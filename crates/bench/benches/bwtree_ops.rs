@@ -1,0 +1,110 @@
+//! Bw-tree micro-benchmarks: the per-operation costs the figures build on,
+//! plus the consolidation-threshold ablation (DESIGN.md decision 1 — delta
+//! chains vs update-in-place economics).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcs_bwtree::{BwTree, BwTreeConfig};
+use dcs_workload::keys;
+use std::hint::black_box;
+
+const RECORDS: u64 = 100_000;
+
+fn loaded_tree(config: BwTreeConfig) -> BwTree {
+    let tree = BwTree::in_memory(config);
+    for id in 0..RECORDS {
+        tree.put(
+            Bytes::copy_from_slice(&keys::encode(id)),
+            Bytes::from(keys::value_for(id, 0, 100)),
+        );
+    }
+    tree
+}
+
+fn bench_point_reads(c: &mut Criterion) {
+    let tree = loaded_tree(BwTreeConfig::default());
+    let mut x = 7u64;
+    c.bench_function("bwtree/get_warm", |b| {
+        b.iter(|| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            black_box(tree.get(&keys::encode(x % RECORDS)))
+        })
+    });
+}
+
+fn bench_upserts(c: &mut Criterion) {
+    let tree = loaded_tree(BwTreeConfig::default());
+    let mut x = 9u64;
+    let value = Bytes::from(vec![7u8; 100]);
+    c.bench_function("bwtree/put_overwrite", |b| {
+        b.iter(|| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            tree.put(
+                Bytes::copy_from_slice(&keys::encode(x % RECORDS)),
+                value.clone(),
+            );
+        })
+    });
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let tree = loaded_tree(BwTreeConfig::default());
+    let mut x = 3u64;
+    c.bench_function("bwtree/scan_100", |b| {
+        b.iter(|| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let start = keys::encode(x % (RECORDS - 200));
+            black_box(
+                tree.range(&start, None)
+                    .take(100)
+                    .filter(|r| r.is_ok())
+                    .count(),
+            )
+        })
+    });
+}
+
+/// Ablation: the consolidation threshold trades read chain-walk cost
+/// against consolidation (copy) cost — the knob behind delta updating.
+fn bench_consolidation_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bwtree/consolidate_threshold_ablation");
+    for threshold in [2usize, 8, 32, 128] {
+        let tree = loaded_tree(BwTreeConfig {
+            consolidate_threshold: threshold,
+            ..BwTreeConfig::default()
+        });
+        let value = Bytes::from(vec![1u8; 100]);
+        let mut x = 11u64;
+        group.bench_with_input(
+            BenchmarkId::new("mixed_50_50", threshold),
+            &threshold,
+            |b, _| {
+                b.iter(|| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let key = keys::encode(x % RECORDS);
+                    if x.is_multiple_of(2) {
+                        tree.put(Bytes::copy_from_slice(&key), value.clone());
+                    } else {
+                        black_box(tree.get(&key));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_point_reads, bench_upserts, bench_scan, bench_consolidation_threshold
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Cost-model micro-benchmarks: equation evaluation and figure-series
+//! generation are cheap enough to run inside a cache manager's sweep loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcs_costmodel::{breakeven, curves, figures, mixed, mm_vs_caching, HardwareCatalog};
+use std::hint::black_box;
+
+fn bench_equations(c: &mut Criterion) {
+    let hw = HardwareCatalog::paper();
+    c.bench_function("costmodel/eq6_breakeven_ti", |b| {
+        b.iter(|| black_box(breakeven::ti_seconds(black_box(&hw))))
+    });
+    c.bench_function("costmodel/eq4_eq5_costs", |b| {
+        b.iter(|| {
+            black_box(curves::mm_cost(black_box(&hw), 0.5))
+                + black_box(curves::ss_cost(black_box(&hw), 0.5))
+        })
+    });
+    c.bench_function("costmodel/eq2_mixed_perf", |b| {
+        b.iter(|| black_box(mixed::relative_performance(black_box(0.3), black_box(5.8))))
+    });
+    let cmp = mm_vs_caching::Comparison::paper();
+    c.bench_function("costmodel/eq7_mm_vs_caching", |b| {
+        b.iter(|| black_box(mm_vs_caching::ti_seconds(black_box(&hw), 6.1e9, &cmp)))
+    });
+}
+
+fn bench_series(c: &mut Criterion) {
+    let hw = HardwareCatalog::paper();
+    c.bench_function("costmodel/fig2_series_100pts", |b| {
+        b.iter(|| black_box(figures::fig2_curves(&hw, 1e-3, 1.0, 100)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_equations, bench_series
+}
+criterion_main!(benches);

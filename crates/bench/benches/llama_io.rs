@@ -1,0 +1,99 @@
+//! LLAMA I/O micro-benchmarks: page write/fetch under each I/O path model
+//! and with/without compression — the per-I/O costs behind R and the CSS
+//! operation.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcs_bwtree::{PageImage, PageStore};
+use dcs_flashsim::{DeviceConfig, FlashDevice, IoPathKind, VirtualClock};
+use dcs_llama::{Codec, LogStructuredStore, LssConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn page_image() -> PageImage {
+    let entries = (0..30u32)
+        .map(|i| {
+            (
+                Bytes::from(format!("user:{i:08}")),
+                Bytes::from(format!("record-{i}-{}", "field=value;".repeat(8))),
+            )
+        })
+        .collect();
+    PageImage::base(entries, None, None)
+}
+
+fn store_with(path: IoPathKind, codec: Codec) -> Arc<LogStructuredStore> {
+    let device = Arc::new(FlashDevice::with_clock(
+        DeviceConfig {
+            segment_bytes: 1 << 20,
+            segment_count: 8192,
+            advance_clock_on_io: false,
+            io_path: path.model(),
+            ..DeviceConfig::paper_ssd()
+        },
+        VirtualClock::new(),
+    ));
+    Arc::new(LogStructuredStore::new(
+        device,
+        LssConfig {
+            codec,
+            flush_buffer_bytes: 512 << 10,
+            ..LssConfig::default()
+        },
+    ))
+}
+
+fn bench_fetch_by_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("llama/fetch_by_io_path");
+    for path in [
+        IoPathKind::Free,
+        IoPathKind::UserLevel,
+        IoPathKind::OsKernel,
+    ] {
+        let store = store_with(path, Codec::None);
+        let img = page_image();
+        let token = store.write(1, &img, None).expect("write");
+        store.flush().expect("flush");
+        group.bench_with_input(
+            BenchmarkId::new("fetch", format!("{path:?}")),
+            &path,
+            |b, _| b.iter(|| black_box(store.fetch(1, token).expect("fetch"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_fetch_by_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("llama/fetch_by_codec");
+    for codec in [Codec::None, Codec::Lzss] {
+        let store = store_with(IoPathKind::Free, codec);
+        let img = page_image();
+        let token = store.write(1, &img, None).expect("write");
+        store.flush().expect("flush");
+        group.bench_with_input(
+            BenchmarkId::new("fetch", format!("{codec:?}")),
+            &codec,
+            |b, _| b.iter(|| black_box(store.fetch(1, token).expect("fetch"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_buffered_write(c: &mut Criterion) {
+    let store = store_with(IoPathKind::Free, Codec::None);
+    let img = page_image();
+    let mut pid = 0u64;
+    c.bench_function("llama/buffered_page_write", |b| {
+        b.iter(|| {
+            pid += 1;
+            black_box(store.write(pid % 10_000, &img, None).expect("write"))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fetch_by_path, bench_fetch_by_codec, bench_buffered_write
+}
+criterion_main!(benches);

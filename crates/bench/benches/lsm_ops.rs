@@ -1,0 +1,91 @@
+//! LSM micro-benchmarks: blind-put cost (the §6.2 path) and read cost by
+//! component depth.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcs_flashsim::{DeviceConfig, FlashDevice, IoPathKind, VirtualClock};
+use dcs_lsm::{LsmConfig, LsmTree};
+use dcs_workload::keys;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const RECORDS: u64 = 50_000;
+
+fn test_tree() -> LsmTree {
+    let device = Arc::new(FlashDevice::with_clock(
+        DeviceConfig {
+            segment_bytes: 1 << 20,
+            segment_count: 4096,
+            advance_clock_on_io: false,
+            io_path: IoPathKind::Free.model(),
+            ..DeviceConfig::paper_ssd()
+        },
+        VirtualClock::new(),
+    ));
+    LsmTree::new(device, LsmConfig::default())
+}
+
+fn bench_blind_puts(c: &mut Criterion) {
+    let lsm = test_tree();
+    let mut x = 1u64;
+    c.bench_function("lsm/blind_put", |b| {
+        b.iter(|| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            lsm.put(
+                Bytes::copy_from_slice(&keys::encode(x % RECORDS)),
+                Bytes::from(vec![9u8; 100]),
+            )
+            .expect("put")
+        })
+    });
+}
+
+fn bench_memtable_reads(c: &mut Criterion) {
+    let lsm = test_tree();
+    for id in 0..10_000u64 {
+        lsm.put(
+            Bytes::copy_from_slice(&keys::encode(id)),
+            Bytes::from(vec![1u8; 50]),
+        )
+        .unwrap();
+    }
+    let mut x = 3u64;
+    c.bench_function("lsm/get_memtable_hot", |b| {
+        b.iter(|| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            black_box(lsm.get(&keys::encode(x % 1_000)).expect("get"))
+        })
+    });
+}
+
+fn bench_table_reads(c: &mut Criterion) {
+    let lsm = test_tree();
+    for id in 0..RECORDS {
+        lsm.put(
+            Bytes::copy_from_slice(&keys::encode(id)),
+            Bytes::from(keys::value_for(id, 0, 100)),
+        )
+        .unwrap();
+    }
+    lsm.flush().unwrap();
+    let mut x = 5u64;
+    c.bench_function("lsm/get_from_tables", |b| {
+        b.iter(|| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            black_box(lsm.get(&keys::encode(x % RECORDS)).expect("get"))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_blind_puts, bench_memtable_reads, bench_table_reads
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! MassTree micro-benchmarks: the Px numerator (per-read cost) and the
+//! layer-descent cost for shared-prefix keys.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcs_masstree::MassTree;
+use dcs_workload::keys;
+use std::hint::black_box;
+
+const RECORDS: u64 = 100_000;
+
+fn bench_reads(c: &mut Criterion) {
+    let tree = MassTree::new();
+    for id in 0..RECORDS {
+        tree.insert(
+            Bytes::copy_from_slice(&keys::encode(id)),
+            Bytes::from(keys::value_for(id, 0, 100)),
+        );
+    }
+    let mut x = 5u64;
+    c.bench_function("masstree/get_warm", |b| {
+        b.iter(|| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            black_box(tree.get(&keys::encode(x % RECORDS)))
+        })
+    });
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let tree = MassTree::new();
+    let mut id = 0u64;
+    c.bench_function("masstree/insert_fresh", |b| {
+        b.iter(|| {
+            id += 1;
+            tree.insert(
+                Bytes::copy_from_slice(&keys::encode(id)),
+                Bytes::from(vec![3u8; 100]),
+            )
+        })
+    });
+}
+
+fn bench_deep_layers(c: &mut Criterion) {
+    // Keys sharing a 24-byte prefix force descent through 3 trie layers.
+    let tree = MassTree::new();
+    let prefix = "p".repeat(24);
+    for i in 0..10_000u32 {
+        tree.insert(
+            Bytes::from(format!("{prefix}{i:08}")),
+            Bytes::from(vec![1u8; 32]),
+        );
+    }
+    let mut x = 1u64;
+    c.bench_function("masstree/get_3_layers_deep", |b| {
+        b.iter(|| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = format!("{prefix}{:08}", x % 10_000);
+            black_box(tree.get(key.as_bytes()))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_reads, bench_inserts, bench_deep_layers
+}
+criterion_main!(benches);

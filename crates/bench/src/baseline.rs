@@ -1,0 +1,152 @@
+//! The classic comparator: a fixed-block page store.
+//!
+//! §6.1 contrasts LLAMA's log-structured store with a "conventional
+//! fixed block store": every page flush writes a full block-aligned page
+//! with its own I/O, regardless of how many bytes changed or how full the
+//! page is. This implements that baseline over the same simulated device,
+//! so the write-reduction experiment compares like with like.
+
+use dcs_bwtree::{PageId, PageImage, PageStore, StoreError};
+use dcs_flashsim::{DeviceError, FlashDevice};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fixed-block page store: one device I/O per page write, each padded to
+/// `block_bytes`. No incremental (delta) writes: a delta flush rewrites the
+/// whole page.
+pub struct FixedBlockStore {
+    device: Arc<FlashDevice>,
+    block_bytes: usize,
+    images: Mutex<HashMap<u64, PageImage>>,
+    next_token: AtomicU64,
+    /// Logical page bytes accepted (for amplification accounting).
+    payload_bytes: AtomicU64,
+}
+
+impl FixedBlockStore {
+    /// A store writing `block_bytes` blocks to `device`.
+    pub fn new(device: Arc<FlashDevice>, block_bytes: usize) -> Self {
+        FixedBlockStore {
+            device,
+            block_bytes,
+            images: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(0),
+            payload_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Payload bytes accepted so far.
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_bytes.load(Ordering::Relaxed)
+    }
+
+    /// The device underneath.
+    pub fn device(&self) -> &Arc<FlashDevice> {
+        &self.device
+    }
+}
+
+impl PageStore for FixedBlockStore {
+    fn write(&self, _pid: PageId, image: &PageImage, prev: Option<u64>) -> Result<u64, StoreError> {
+        // A fixed-block store cannot store deltas: materialize the full
+        // page state first.
+        let full = match (image.is_delta, prev) {
+            (false, _) => image.clone(),
+            (true, Some(p)) => {
+                let mut base = self
+                    .images
+                    .lock()
+                    .get(&p)
+                    .cloned()
+                    .ok_or(StoreError::UnknownToken(p))?;
+                base.apply_delta(image);
+                base
+            }
+            (true, None) => return Err(StoreError::Io("delta write without a base".into())),
+        };
+        let raw = full.serialize();
+        self.payload_bytes
+            .fetch_add(raw.len() as u64, Ordering::Relaxed);
+        // Pad to the block size: the write amplification of fixed blocks.
+        let mut block = raw;
+        if block.len() < self.block_bytes {
+            block.resize(self.block_bytes, 0);
+        }
+        self.device.append(&block).map_err(dev_err)?;
+        let token = self.next_token.fetch_add(1, Ordering::SeqCst);
+        self.images.lock().insert(token, full);
+        Ok(token)
+    }
+
+    fn fetch(&self, _pid: PageId, token: u64) -> Result<PageImage, StoreError> {
+        // Charge a device read of one block (the image itself is kept in a
+        // side map for simplicity; the I/O accounting is what the
+        // experiment measures).
+        let img = self
+            .images
+            .lock()
+            .get(&token)
+            .cloned()
+            .ok_or(StoreError::UnknownToken(token))?;
+        let addr = dcs_flashsim::FlashAddress {
+            segment: 0,
+            offset: 0,
+        };
+        // Read block_bytes from segment 0 if anything was written there;
+        // ignore failures on an empty device (fetch of a never-written
+        // token is already rejected above).
+        let _ = self
+            .device
+            .read(addr, self.block_bytes.min(self.device.segment_written(0)));
+        Ok(img)
+    }
+}
+
+fn dev_err(e: DeviceError) -> StoreError {
+    match e {
+        DeviceError::Full => StoreError::Full,
+        other => StoreError::Io(other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use dcs_flashsim::DeviceConfig;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::from(s.to_owned())
+    }
+
+    #[test]
+    fn every_write_is_one_block_io() {
+        let device = Arc::new(FlashDevice::new(DeviceConfig {
+            segment_count: 256,
+            ..DeviceConfig::small_test()
+        }));
+        let s = FixedBlockStore::new(device.clone(), 4096);
+        for pid in 0..10u64 {
+            let img = PageImage::base(vec![(b("k"), b("tiny"))], None, None);
+            s.write(pid, &img, None).unwrap();
+        }
+        let st = device.stats();
+        assert_eq!(st.writes, 10, "one I/O per page write");
+        assert_eq!(st.bytes_written, 10 * 4096, "blocks are padded");
+    }
+
+    #[test]
+    fn delta_writes_rewrite_whole_pages() {
+        let device = Arc::new(FlashDevice::new(DeviceConfig::small_test()));
+        let s = FixedBlockStore::new(device.clone(), 4096);
+        let base = PageImage::base(vec![(b("a"), b("1"))], None, None);
+        let t0 = s.write(1, &base, None).unwrap();
+        let delta = PageImage::delta(vec![dcs_bwtree::DeltaOp::Put(b("b"), b("2"))], None, None);
+        let t1 = s.write(1, &delta, Some(t0)).unwrap();
+        assert_eq!(device.stats().bytes_written, 2 * 4096);
+        let img = s.fetch(1, t1).unwrap();
+        assert_eq!(img.entries.len(), 2);
+    }
+}

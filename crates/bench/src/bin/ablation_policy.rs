@@ -1,0 +1,144 @@
+//! Ablation: what does the cache-management policy actually cost?
+//!
+//! The paper's thesis is that a caching store *choosing by the cost model*
+//! beats both fixed extremes. This harness runs the same skewed workload
+//! under four policies and prices each run with the paper's cost algebra
+//! (`dcs_costmodel::accounting`):
+//!
+//!   * all-DRAM   — never evict (a main-memory store's storage bill)
+//!   * all-flash  — evict everything, always (maximum SS execution bill)
+//!   * LRU        — classic budget-driven caching
+//!   * cost-model — evict exactly at the Equation 6 breakeven Ti
+//!
+//! Run with: `cargo run --release -p dcs-bench --bin ablation_policy`
+
+use dcs_core::costmodel::accounting::{price_run, RunProfile};
+use dcs_core::costmodel::{breakeven, render, HardwareCatalog};
+use dcs_core::workload::{keys, KeyDist};
+use dcs_core::{Policy, StoreBuilder};
+
+const RECORDS: u64 = 30_000;
+const OPS: u64 = 60_000;
+/// Virtual operation rate (ops per virtual second): low enough that the
+/// cold tail sits past the 45 s breakeven while the hot head stays hot.
+const RATE: f64 = 25.0;
+
+struct PolicyRun {
+    label: &'static str,
+    profile: RunProfile,
+    f: f64,
+}
+
+fn run(label: &'static str, policy: Option<Policy>, budget: usize) -> PolicyRun {
+    let mut b = StoreBuilder::small_test();
+    b.memory_budget = budget;
+    b.sweep_every_ops = 512;
+    if let Some(p) = policy {
+        b.policy = p;
+    } else {
+        b.sweep_every_ops = 0; // all-DRAM: no sweeps at all
+    }
+    let store = b.build();
+    for (k, v) in (0..RECORDS).map(|id| (keys::encode(id).to_vec(), keys::value_for(id, 0, 100))) {
+        store.put(k, v);
+    }
+    store.checkpoint().expect("checkpoint");
+    // Time starts now: the load phase is not billed.
+    let mut zipf = KeyDist::zipfian(0.99).sampler(RECORDS, 11);
+    let gap = (1e9 / RATE) as u64;
+    let stats0 = store.stats();
+    let mut dram_samples: Vec<f64> = Vec::new();
+    for i in 0..OPS {
+        let id = zipf.next_key();
+        std::hint::black_box(store.get(&keys::encode(id)));
+        store.advance_time(gap);
+        if i % 1024 == 0 {
+            dram_samples.push(store.stats().footprint_bytes as f64);
+        }
+    }
+    let stats1 = store.stats();
+    let tree = stats1.tree.delta(&stats0.tree);
+    let duration_secs = OPS as f64 / RATE;
+    let avg_dram = dram_samples.iter().sum::<f64>() / dram_samples.len() as f64;
+    PolicyRun {
+        label,
+        profile: RunProfile {
+            duration_secs,
+            avg_dram_bytes: avg_dram,
+            // Every record has a durable copy (checkpointed before timing).
+            avg_flash_bytes: (RECORDS * 112) as f64,
+            mm_ops: tree.mm_ops,
+            ss_ops: tree.ss_ops,
+        },
+        f: tree.ss_fraction(),
+    }
+}
+
+fn main() {
+    let hw = HardwareCatalog::paper();
+    let ti = breakeven::ti_seconds(&hw);
+    println!(
+        "workload: zipfian(0.99) reads over {RECORDS} records at {RATE} virtual ops/sec\n\
+         (mean per-page interval ≈ {:.0} s vs breakeven Ti = {ti:.0} s: the tail is cold,\n\
+         the head is hot — the regime where policy choice matters)\n",
+        RECORDS as f64 / 36.0 / RATE
+    );
+
+    let runs = vec![
+        run("all-DRAM (never evict)", None, usize::MAX),
+        run("all-flash (budget 0)", Some(Policy::Lru), 0),
+        run(
+            "LRU (budget = 1/4 data)",
+            Some(Policy::Lru),
+            (RECORDS as usize * 112) / 4,
+        ),
+        run(
+            "cost-model (evict at Ti)",
+            Some(Policy::CostModel),
+            usize::MAX,
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut best = (f64::INFINITY, "");
+    for r in &runs {
+        let cost = price_run(&hw, &r.profile);
+        let per_op = cost.per_op(&r.profile);
+        if per_op < best.0 {
+            best = (per_op, r.label);
+        }
+        rows.push(vec![
+            r.label.to_string(),
+            format!("{:.0}", r.profile.avg_dram_bytes / 1024.0),
+            format!("{:.4}", r.f),
+            render::format_sig(cost.dram_rent),
+            render::format_sig(cost.ss_exec),
+            render::format_sig(cost.total()),
+            render::format_sig(per_op),
+        ]);
+    }
+    print!(
+        "{}",
+        render::table(
+            &[
+                "policy",
+                "avg DRAM KiB",
+                "F",
+                "DRAM rent",
+                "SS exec $",
+                "total $·(1/L)",
+                "$/op"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\ncheapest: {} at {} per op",
+        best.1,
+        render::format_sig(best.0)
+    );
+    println!("\nThe fixed extremes each overpay on one axis — all-DRAM on storage");
+    println!("rent, all-flash on SS execution. The adaptive policies land between,");
+    println!("holding hot pages and shedding the cold tail; the cost-model policy");
+    println!("needs no tuned budget, only the hardware catalog (§3, §4.2).");
+}

@@ -1,0 +1,77 @@
+//! Calibration: measure this machine's quantities for the hardware
+//! catalog — ROPS (MM read rate), R (per I/O path), and the CPU-work unit
+//! rate the simulated I/O path is built from.
+//!
+//! Run with: `cargo run --release -p dcs-bench --bin calibrate`
+
+use dcs_bench::{load_tree, OpTimer};
+use dcs_costmodel::render;
+use dcs_flashsim::{calibrate_work_rate, IoPathKind};
+use dcs_workload::keys;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const RECORDS: u64 = 100_000;
+const OPS: u64 = 30_000;
+
+fn measure_mm(t: &dcs_bench::TreeUnderTest) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut timer = OpTimer::new();
+    for _ in 0..OPS {
+        let key = keys::encode(rng.gen_range(0..t.records));
+        timer.time(|| std::hint::black_box(t.tree.get(&key)));
+    }
+    timer.ops_per_sec()
+}
+
+fn measure_ss(t: &dcs_bench::TreeUnderTest) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut timer = OpTimer::new();
+    // Warm the I/O path first.
+    for _ in 0..2_000 {
+        let key = keys::encode(rng.gen_range(0..t.records));
+        let _ = t.tree.evict_page(t.tree.locate_leaf(&key));
+        let _ = t.tree.get(&key);
+    }
+    for _ in 0..OPS / 2 {
+        let key = keys::encode(rng.gen_range(0..t.records));
+        let _ = t.tree.evict_page(t.tree.locate_leaf(&key));
+        timer.time(|| std::hint::black_box(t.tree.get(&key)));
+    }
+    timer.ops_per_sec()
+}
+
+fn main() {
+    println!("== CPU work-unit rate ==");
+    let rate = calibrate_work_rate();
+    println!("{:.0} units/sec  ({:.2} ns/unit)\n", rate, 1e9 / rate);
+
+    let mut rows = Vec::new();
+    for path in [
+        IoPathKind::Free,
+        IoPathKind::UserLevel,
+        IoPathKind::OsKernel,
+    ] {
+        let t = load_tree(RECORDS, 100, path);
+        let mm = measure_mm(&t);
+        let ss = measure_ss(&t);
+        rows.push(vec![
+            format!("{path:?}"),
+            format!("{mm:.0}"),
+            format!("{ss:.0}"),
+            format!("{:.2}", mm / ss),
+        ]);
+    }
+    println!("== Bw-tree operation rates per I/O path (1 core) ==");
+    print!(
+        "{}",
+        render::table(
+            &["I/O path", "MM ops/sec (ROPS)", "SS ops/sec", "R = MM/SS"],
+            &rows
+        )
+    );
+    println!("\npaper targets: R ≈ 9 on the OS path, ≈ 5.8 on the user-level path;");
+    println!("its ROPS = 4e6 on 2018 server hardware with the production C++ codebase.");
+    println!("Use the measured ROPS and R with `HardwareCatalog` to re-derive Ti for");
+    println!("this machine (see the fig2_mm_vs_ss binary).");
+}

@@ -1,0 +1,137 @@
+//! Figure 8 + §7.2: compressed secondary storage (CSS operations).
+//!
+//! Runs the caching store with and without the LZSS codec, *measures* the
+//! real compression ratio and the real CPU overhead of a CSS operation
+//! (fetch + decompress) versus a plain SS operation, then instantiates the
+//! paper's three-regime cost picture with the measured parameters.
+//!
+//! Run with: `cargo run --release -p dcs-bench --bin fig8_compression`
+
+use bytes::Bytes;
+use dcs_bench::OpTimer;
+use dcs_bwtree::{BwTree, BwTreeConfig};
+use dcs_costmodel::{curves, figures, render, HardwareCatalog};
+use dcs_flashsim::{DeviceConfig, FlashDevice, IoPathKind, VirtualClock};
+use dcs_llama::{Codec, LogStructuredStore, LssConfig};
+use dcs_workload::keys;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const RECORDS: u64 = 50_000;
+const VALUE_LEN: usize = 120;
+const OPS: u64 = 8_000;
+
+struct CssMeasurement {
+    ss_rate: f64,
+    stored_ratio: f64,
+}
+
+fn run(codec: Codec) -> CssMeasurement {
+    let device = Arc::new(FlashDevice::with_clock(
+        DeviceConfig {
+            segment_bytes: 1 << 20,
+            segment_count: 2048,
+            advance_clock_on_io: false,
+            io_path: IoPathKind::UserLevel.model(),
+            ..DeviceConfig::paper_ssd()
+        },
+        VirtualClock::new(),
+    ));
+    let lss = Arc::new(LogStructuredStore::new(
+        device,
+        LssConfig {
+            codec,
+            flush_buffer_bytes: 256 << 10,
+            ..LssConfig::default()
+        },
+    ));
+    let tree = BwTree::with_store(BwTreeConfig::default(), lss.clone());
+    for id in 0..RECORDS {
+        tree.put(
+            Bytes::copy_from_slice(&keys::encode(id)),
+            // Textual payloads so compression has something to find.
+            Bytes::from(format!(
+                "record/{id:012}/status=active/balance=000{};{}",
+                id % 997,
+                "field=value;".repeat(VALUE_LEN / 12)
+            )),
+        );
+    }
+    let mut rng = SmallRng::seed_from_u64(21);
+    // Warm.
+    for _ in 0..1_000 {
+        let key = keys::encode(rng.gen_range(0..RECORDS));
+        let _ = tree.evict_page(tree.locate_leaf(&key));
+        let _ = tree.get(&key);
+    }
+    let mut ss = OpTimer::new();
+    for _ in 0..OPS {
+        let key = keys::encode(rng.gen_range(0..RECORDS));
+        let _ = tree.evict_page(tree.locate_leaf(&key));
+        ss.time(|| std::hint::black_box(tree.get(&key)));
+    }
+    let stats = lss.stats();
+    CssMeasurement {
+        ss_rate: ss.ops_per_sec(),
+        stored_ratio: stats.stored_bytes as f64 / stats.payload_bytes as f64,
+    }
+}
+
+fn main() {
+    println!("measuring plain SS operations ...");
+    let plain = run(Codec::None);
+    println!("measuring CSS operations (LZSS pages) ...\n");
+    let packed = run(Codec::Lzss);
+
+    print!(
+        "{}",
+        render::table(
+            &["store", "SS/CSS ops/sec", "stored/raw bytes"],
+            &[
+                vec![
+                    "uncompressed".into(),
+                    format!("{:.0}", plain.ss_rate),
+                    format!("{:.2}", plain.stored_ratio)
+                ],
+                vec![
+                    "LZSS compressed".into(),
+                    format!("{:.0}", packed.ss_rate),
+                    format!("{:.2}", packed.stored_ratio)
+                ],
+            ]
+        )
+    );
+    let cpu_penalty = plain.ss_rate / packed.ss_rate;
+    println!(
+        "\nmeasured: compression shrinks storage to {:.0} % and makes the read\npath {:.2}× more expensive (decompression CPU)",
+        packed.stored_ratio * 100.0,
+        cpu_penalty
+    );
+
+    // Translate into the cost model: CSS execution = SS execution plus the
+    // measured decompression overhead (expressed against MM op cost).
+    let hw = HardwareCatalog::paper();
+    let extra_cpu_vs_mm = (cpu_penalty - 1.0) * hw.r;
+    let cmodel = curves::CompressionModel {
+        ratio: packed.stored_ratio,
+        cpu_overhead: extra_cpu_vs_mm.max(0.05),
+    };
+    println!(
+        "cost-model parameters: ratio = {:.2}, decompress CPU = {:.2}× MM op",
+        cmodel.ratio, cmodel.cpu_overhead
+    );
+
+    println!("\n== Figure 8: three-regime cost curves (measured parameters) ==");
+    let series = figures::fig8_curves(&hw, &cmodel, 1e-4, 100.0, 13);
+    print!("{}", render::series_table("ops/sec", &series));
+    println!(
+        "\ncrossovers: CSS→SS at {} ops/sec, SS→MM at {} ops/sec",
+        render::format_sig(curves::css_ss_crossover_rate(&hw, &cmodel)),
+        render::format_sig(curves::mm_ss_crossover_rate(&hw)),
+    );
+    println!("\nShape (paper's Figure 8, 'all numbers hypothetical'): coldest data");
+    println!("cheapest compressed (CSS), a middle band plain on flash (SS), hot");
+    println!("data in DRAM (MM). A store supporting all three picks the cheapest");
+    println!("tier per access rate — Facebook's RocksDB deployment in practice.");
+}

@@ -1,0 +1,136 @@
+//! §6.2: blind updates avoid read I/O entirely.
+//!
+//! Updates records whose pages are all evicted, three ways:
+//!   1. Bw-tree blind updates (delta to the mapping-table entry);
+//!   2. read-modify-write (fetch the page, then update) — what a classic
+//!      caching store must do;
+//!   3. LSM (RocksDB-style) blind puts into the memtable.
+//!
+//! Counts device read I/Os per 1000 updates for each.
+//!
+//! Run with: `cargo run --release -p dcs-bench --bin sec6_blind_updates`
+
+use bytes::Bytes;
+use dcs_bench::load_tree;
+use dcs_costmodel::render;
+use dcs_flashsim::IoPathKind;
+use dcs_lsm::{LsmConfig, LsmTree};
+use dcs_workload::keys;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const RECORDS: u64 = 20_000;
+const UPDATES: u64 = 10_000;
+
+fn evict_all(tree: &dcs_bwtree::BwTree) {
+    for p in tree.pages() {
+        if p.is_leaf {
+            let _ = tree.evict_page(p.pid);
+        }
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    // 1. Bw-tree blind updates.
+    {
+        let t = load_tree(RECORDS, 100, IoPathKind::UserLevel);
+        evict_all(&t.tree);
+        let before = t.device.stats();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for i in 0..UPDATES {
+            let id = rng.gen_range(0..RECORDS);
+            t.tree.blind_update(
+                Bytes::copy_from_slice(&keys::encode(id)),
+                Bytes::from(keys::value_for(id, i as u32, 100)),
+            );
+        }
+        let d = t.device.stats().delta(&before);
+        let ts = t.tree.stats();
+        rows.push(vec![
+            "Bw-tree blind update".into(),
+            format!("{:.2}", d.reads as f64 / (UPDATES as f64 / 1000.0)),
+            format!("{:.2}", d.writes as f64 / (UPDATES as f64 / 1000.0)),
+            format!("healing fetches: {}", ts.fetches),
+        ]);
+    }
+
+    // 2. Read-modify-write on the same tree shape.
+    {
+        let t = load_tree(RECORDS, 100, IoPathKind::UserLevel);
+        evict_all(&t.tree);
+        let before = t.device.stats();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for i in 0..UPDATES {
+            let id = rng.gen_range(0..RECORDS);
+            let key = keys::encode(id);
+            // Classic store: must read the record before writing it back —
+            // and we re-evict so every page starts cold, as in a big-data
+            // working set that never fits.
+            let _ = t.tree.get(&key);
+            t.tree.put(
+                Bytes::copy_from_slice(&key),
+                Bytes::from(keys::value_for(id, i as u32, 100)),
+            );
+            let _ = t.tree.evict_page(t.tree.locate_leaf(&key));
+        }
+        let d = t.device.stats().delta(&before);
+        rows.push(vec![
+            "read-modify-write (cold)".into(),
+            format!("{:.2}", d.reads as f64 / (UPDATES as f64 / 1000.0)),
+            format!("{:.2}", d.writes as f64 / (UPDATES as f64 / 1000.0)),
+            String::new(),
+        ]);
+    }
+
+    // 3. LSM blind puts.
+    {
+        let device =
+            dcs_bench::standard_device(IoPathKind::UserLevel, dcs_flashsim::VirtualClock::new());
+        let lsm = LsmTree::new(device.clone(), LsmConfig::default());
+        let mut rng = SmallRng::seed_from_u64(1);
+        for id in 0..RECORDS {
+            lsm.put(
+                Bytes::copy_from_slice(&keys::encode(id)),
+                Bytes::from(keys::value_for(id, 0, 100)),
+            )
+            .unwrap();
+        }
+        lsm.flush().unwrap();
+        let before = device.stats();
+        for i in 0..UPDATES {
+            let id = rng.gen_range(0..RECORDS);
+            lsm.put(
+                Bytes::copy_from_slice(&keys::encode(id)),
+                Bytes::from(keys::value_for(id, i as u32, 100)),
+            )
+            .unwrap();
+        }
+        let d = device.stats().delta(&before);
+        rows.push(vec![
+            "LSM (RocksDB-style) put".into(),
+            format!("{:.2}", d.reads as f64 / (UPDATES as f64 / 1000.0)),
+            format!("{:.2}", d.writes as f64 / (UPDATES as f64 / 1000.0)),
+            format!("compactions: {}", lsm.stats().compactions),
+        ]);
+    }
+
+    println!("{RECORDS} records, every page on flash; {UPDATES} random updates per system\n");
+    print!(
+        "{}",
+        render::table(
+            &[
+                "update path",
+                "read I/Os /1000 upd",
+                "write I/Os /1000 upd",
+                "notes"
+            ],
+            &rows
+        )
+    );
+    println!("\nShape (§6.2): blind updaters — the Bw-tree's mapping-table deltas and");
+    println!("the LSM's memtable — take ≈0 read I/Os per update (reads only from");
+    println!("LSM compaction merges / Bw-tree chain healing); the classic");
+    println!("read-modify-write path pays a read I/O for every cold update.");
+}

@@ -1,0 +1,13 @@
+//! Shared measurement infrastructure for the reproduction harness.
+//!
+//! Each paper figure/table has a binary in `src/bin/` that uses these
+//! helpers to build calibrated systems, drive workloads, and time
+//! operations. Criterion micro-benchmarks live in `benches/`.
+
+pub mod baseline;
+pub mod measure;
+pub mod setup;
+
+pub use baseline::FixedBlockStore;
+pub use measure::{measure_ops, MixedRunResult, OpTimer};
+pub use setup::{evict_fraction_of_leaves, load_tree, standard_device, TreeUnderTest};

@@ -1,0 +1,103 @@
+//! Timing utilities for the reproduction experiments.
+
+use std::time::{Duration, Instant};
+
+/// Accumulates per-operation CPU time, excluding untimed maintenance work
+/// between operations (e.g. re-evicting a page so the next run sees the
+/// same cache state).
+#[derive(Debug, Default)]
+pub struct OpTimer {
+    total: Duration,
+    ops: u64,
+}
+
+impl OpTimer {
+    /// A fresh timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time one operation.
+    #[inline]
+    pub fn time<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let r = f();
+        self.total += start.elapsed();
+        self.ops += 1;
+        r
+    }
+
+    /// Operations timed.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Mean seconds per operation.
+    pub fn secs_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        self.total.as_secs_f64() / self.ops as f64
+    }
+
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        let s = self.secs_per_op();
+        if s == 0.0 {
+            0.0
+        } else {
+            1.0 / s
+        }
+    }
+}
+
+/// Throughput of `f` called `n` times (wall clock, no per-op exclusions).
+pub fn measure_ops(n: u64, mut f: impl FnMut(u64)) -> f64 {
+    let start = Instant::now();
+    for i in 0..n {
+        f(i);
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Result of one mixed-workload run at a target SS fraction.
+#[derive(Debug, Clone, Copy)]
+pub struct MixedRunResult {
+    /// Requested fraction of SS operations.
+    pub target_f: f64,
+    /// Fraction actually observed (from tree counters).
+    pub observed_f: f64,
+    /// Measured throughput in ops/sec (per core).
+    pub ops_per_sec: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_counts_and_averages() {
+        let mut t = OpTimer::new();
+        for _ in 0..10 {
+            t.time(|| std::hint::black_box(dcs_flashsim::do_cpu_work(1000)));
+        }
+        assert_eq!(t.ops(), 10);
+        assert!(t.secs_per_op() > 0.0);
+        assert!(t.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn empty_timer_is_zero() {
+        let t = OpTimer::new();
+        assert_eq!(t.secs_per_op(), 0.0);
+        assert_eq!(t.ops_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn measure_ops_positive() {
+        let rate = measure_ops(1000, |i| {
+            std::hint::black_box(i * 2);
+        });
+        assert!(rate > 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! System construction for experiments.
+
+use dcs_bwtree::{BwTree, BwTreeConfig, PageId, ResidencyState};
+use dcs_flashsim::{DeviceConfig, FlashDevice, IoPathKind, VirtualClock};
+use dcs_llama::{LogStructuredStore, LssConfig};
+use dcs_workload::keys;
+use std::sync::Arc;
+
+/// A Bw-tree over LLAMA over the simulated SSD, ready for measurement.
+pub struct TreeUnderTest {
+    /// The tree.
+    pub tree: Arc<BwTree>,
+    /// Its log-structured store.
+    pub lss: Arc<LogStructuredStore>,
+    /// The device.
+    pub device: Arc<FlashDevice>,
+    /// Number of records loaded.
+    pub records: u64,
+    /// Value payload length.
+    pub value_len: usize,
+}
+
+/// A device with a chosen I/O execution-path model. The clock does not
+/// advance on I/O (experiments measure real CPU time; virtual time is for
+/// the cost model, not these runs).
+pub fn standard_device(path: IoPathKind, clock: VirtualClock) -> Arc<FlashDevice> {
+    Arc::new(FlashDevice::with_clock(
+        DeviceConfig {
+            segment_bytes: 1 << 20,
+            segment_count: 4096,
+            advance_clock_on_io: false,
+            io_path: path.model(),
+            ..DeviceConfig::paper_ssd()
+        },
+        clock,
+    ))
+}
+
+/// Build and load a tree with `records` records of `value_len`-byte values.
+pub fn load_tree(records: u64, value_len: usize, path: IoPathKind) -> TreeUnderTest {
+    let clock = VirtualClock::new();
+    let device = standard_device(path, clock);
+    let lss = Arc::new(LogStructuredStore::new(
+        device.clone(),
+        LssConfig {
+            flush_buffer_bytes: 256 << 10,
+            ..LssConfig::default()
+        },
+    ));
+    let tree = Arc::new(BwTree::with_store(BwTreeConfig::default(), lss.clone()));
+    for id in 0..records {
+        tree.put(
+            bytes::Bytes::copy_from_slice(&keys::encode(id)),
+            bytes::Bytes::from(keys::value_for(id, 0, value_len)),
+        );
+    }
+    TreeUnderTest {
+        tree,
+        lss,
+        device,
+        records,
+        value_len,
+    }
+}
+
+/// Evict (approximately) the given fraction of leaves, chosen evenly
+/// across the key space. Returns the evicted PIDs.
+pub fn evict_fraction_of_leaves(tree: &BwTree, fraction: f64) -> Vec<PageId> {
+    let leaves: Vec<PageId> = tree
+        .pages()
+        .into_iter()
+        .filter(|p| p.is_leaf && p.residency == ResidencyState::Resident)
+        .map(|p| p.pid)
+        .collect();
+    let want = ((leaves.len() as f64) * fraction).round() as usize;
+    let mut evicted = Vec::with_capacity(want);
+    if want == 0 {
+        return evicted;
+    }
+    let step = (leaves.len() as f64 / want as f64).max(1.0);
+    let mut cursor = 0.0f64;
+    while evicted.len() < want && (cursor as usize) < leaves.len() {
+        let pid = leaves[cursor as usize];
+        if tree.evict_page(pid).is_ok() {
+            evicted.push(pid);
+        }
+        cursor += step;
+    }
+    evicted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_tree_is_readable() {
+        let t = load_tree(1000, 32, IoPathKind::Free);
+        assert_eq!(t.tree.count_entries(), 1000);
+        let v = t.tree.get(&keys::encode(123)).expect("key exists");
+        assert_eq!(keys::parse_value(&v), Some((123, 0)));
+    }
+
+    #[test]
+    fn evict_fraction_hits_target() {
+        let t = load_tree(20_000, 64, IoPathKind::Free);
+        let total_leaves = t.tree.pages().iter().filter(|p| p.is_leaf).count();
+        let evicted = evict_fraction_of_leaves(&t.tree, 0.5);
+        let frac = evicted.len() as f64 / total_leaves as f64;
+        assert!(
+            (frac - 0.5).abs() < 0.1,
+            "evicted {} of {} leaves",
+            evicted.len(),
+            total_leaves
+        );
+    }
+
+    #[test]
+    fn evict_zero_fraction_is_empty() {
+        let t = load_tree(1000, 32, IoPathKind::Free);
+        assert!(evict_fraction_of_leaves(&t.tree, 0.0).is_empty());
+    }
+}

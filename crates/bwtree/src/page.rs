@@ -1,0 +1,360 @@
+//! Page images: the serialized form pages take on secondary storage.
+//!
+//! LLAMA (the cache/storage subsystem) stores pages as *parts*: a base part
+//! holding a consolidated page, optionally followed over time by delta parts
+//! holding only the updates since the previous flush (§6.1, Figure 5 —
+//! "need only store delta updates when the base page has previously been
+//! stored"). A [`PageImage`] is one such part in memory; the binary codec
+//! here is what actually travels to the flash device.
+
+use bytes::Bytes;
+
+/// One logical record operation inside a delta part.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Upsert of `key` to `value`.
+    Put(Bytes, Bytes),
+    /// Deletion of `key`.
+    Del(Bytes),
+}
+
+impl DeltaOp {
+    /// The key this op addresses.
+    pub fn key(&self) -> &Bytes {
+        match self {
+            DeltaOp::Put(k, _) | DeltaOp::Del(k) => k,
+        }
+    }
+}
+
+/// An in-memory page part, ready to serialize or just deserialized.
+///
+/// *Base* images carry the full sorted record set (`entries`) and page
+/// fencing; *delta* images carry only `ops` (newest first) and must be
+/// applied over an older image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageImage {
+    /// Sorted records (base images; empty for delta images).
+    pub entries: Vec<(Bytes, Bytes)>,
+    /// Update ops newest-first (delta images; empty for base images).
+    pub ops: Vec<DeltaOp>,
+    /// Exclusive high fence key; `None` = +∞.
+    pub high_key: Option<Bytes>,
+    /// Right sibling PID (u64::MAX encodes "none").
+    pub right: Option<u64>,
+    /// True if this is a delta-only part.
+    pub is_delta: bool,
+}
+
+impl PageImage {
+    /// A base image over sorted entries.
+    pub fn base(entries: Vec<(Bytes, Bytes)>, high_key: Option<Bytes>, right: Option<u64>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "unsorted base");
+        PageImage {
+            entries,
+            ops: Vec::new(),
+            high_key,
+            right,
+            is_delta: false,
+        }
+    }
+
+    /// A delta image of `ops`, newest first.
+    pub fn delta(ops: Vec<DeltaOp>, high_key: Option<Bytes>, right: Option<u64>) -> Self {
+        PageImage {
+            entries: Vec::new(),
+            ops,
+            high_key,
+            right,
+            is_delta: true,
+        }
+    }
+
+    /// Payload bytes this image will occupy on storage (excluding framing).
+    pub fn payload_bytes(&self) -> usize {
+        let e: usize = self.entries.iter().map(|(k, v)| k.len() + v.len()).sum();
+        let o: usize = self
+            .ops
+            .iter()
+            .map(|op| match op {
+                DeltaOp::Put(k, v) => k.len() + v.len(),
+                DeltaOp::Del(k) => k.len(),
+            })
+            .sum();
+        e + o
+    }
+
+    /// Apply a newer delta image over this (base) image, producing the
+    /// up-to-date base. `self` must be a base image; `delta` a delta image.
+    pub fn apply_delta(&mut self, delta: &PageImage) {
+        debug_assert!(!self.is_delta && delta.is_delta);
+        // Ops are newest-first; the first op for a key wins. Walk oldest →
+        // newest so later (newer) ops overwrite earlier ones.
+        for op in delta.ops.iter().rev() {
+            match op {
+                DeltaOp::Put(k, v) => match self.entries.binary_search_by(|(ek, _)| ek.cmp(k)) {
+                    Ok(i) => self.entries[i].1 = v.clone(),
+                    Err(i) => self.entries.insert(i, (k.clone(), v.clone())),
+                },
+                DeltaOp::Del(k) => {
+                    if let Ok(i) = self.entries.binary_search_by(|(ek, _)| ek.cmp(k)) {
+                        self.entries.remove(i);
+                    }
+                }
+            }
+        }
+        self.high_key = delta.high_key.clone();
+        self.right = delta.right;
+    }
+
+    /// Serialize to the on-flash byte format.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload_bytes() + 64);
+        out.push(if self.is_delta { 1u8 } else { 0u8 });
+        match &self.high_key {
+            Some(hk) => {
+                out.push(1);
+                out.extend_from_slice(&(hk.len() as u32).to_le_bytes());
+                out.extend_from_slice(hk);
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&self.right.unwrap_or(u64::MAX).to_le_bytes());
+        if self.is_delta {
+            out.extend_from_slice(&(self.ops.len() as u32).to_le_bytes());
+            for op in &self.ops {
+                match op {
+                    DeltaOp::Put(k, v) => {
+                        out.push(0);
+                        put_bytes(&mut out, k);
+                        put_bytes(&mut out, v);
+                    }
+                    DeltaOp::Del(k) => {
+                        out.push(1);
+                        put_bytes(&mut out, k);
+                    }
+                }
+            }
+        } else {
+            out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+            for (k, v) in &self.entries {
+                put_bytes(&mut out, k);
+                put_bytes(&mut out, v);
+            }
+        }
+        out
+    }
+
+    /// Deserialize from [`PageImage::serialize`] output.
+    ///
+    /// Performs one block copy of `buf`; all keys and values are zero-copy
+    /// reference-counted slices into it (this keeps the SS-operation CPU
+    /// cost — the paper's R — dominated by the I/O path, not by per-record
+    /// allocation).
+    pub fn deserialize(buf: &[u8]) -> Result<Self, PageCodecError> {
+        let owned = Bytes::copy_from_slice(buf);
+        Self::deserialize_owned(owned)
+    }
+
+    /// Zero-copy variant of [`PageImage::deserialize`] for callers that
+    /// already hold the bytes.
+    pub fn deserialize_owned(owned: Bytes) -> Result<Self, PageCodecError> {
+        let mut cur = Cursor {
+            buf: &owned,
+            pos: 0,
+        };
+        let is_delta = cur.u8()? == 1;
+        let high_key = if cur.u8()? == 1 {
+            Some(cur.bytes_field()?)
+        } else {
+            None
+        };
+        let right_raw = cur.u64()?;
+        let right = if right_raw == u64::MAX {
+            None
+        } else {
+            Some(right_raw)
+        };
+        let n = cur.u32()? as usize;
+        if is_delta {
+            let mut ops = Vec::with_capacity(n);
+            for _ in 0..n {
+                let tag = cur.u8()?;
+                let k = cur.bytes_field()?;
+                match tag {
+                    0 => {
+                        let v = cur.bytes_field()?;
+                        ops.push(DeltaOp::Put(k, v));
+                    }
+                    1 => ops.push(DeltaOp::Del(k)),
+                    t => return Err(PageCodecError::BadTag(t)),
+                }
+            }
+            Ok(PageImage::delta(ops, high_key, right))
+        } else {
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = cur.bytes_field()?;
+                let v = cur.bytes_field()?;
+                entries.push((k, v));
+            }
+            Ok(PageImage {
+                entries,
+                ops: Vec::new(),
+                high_key,
+                right,
+                is_delta: false,
+            })
+        }
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+/// Codec failures (corrupt or truncated page bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageCodecError {
+    /// The buffer ended before the structure did.
+    Truncated,
+    /// An unknown op tag was encountered.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for PageCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageCodecError::Truncated => write!(f, "page bytes truncated"),
+            PageCodecError::BadTag(t) => write!(f, "unknown page op tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for PageCodecError {}
+
+struct Cursor<'a> {
+    buf: &'a Bytes,
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], PageCodecError> {
+        if self.pos + n > self.buf.len() {
+            return Err(PageCodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, PageCodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, PageCodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, PageCodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+    /// Zero-copy: a refcounted slice of the underlying buffer.
+    fn bytes_field(&mut self) -> Result<Bytes, PageCodecError> {
+        let len = self.u32()? as usize;
+        if self.pos + len > self.buf.len() {
+            return Err(PageCodecError::Truncated);
+        }
+        let out = self.buf.slice(self.pos..self.pos + len);
+        self.pos += len;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::from(s.to_owned())
+    }
+
+    #[test]
+    fn base_roundtrip() {
+        let img = PageImage::base(
+            vec![(b("a"), b("1")), (b("bb"), b("22"))],
+            Some(b("zz")),
+            Some(17),
+        );
+        let bytes = img.serialize();
+        assert_eq!(PageImage::deserialize(&bytes).unwrap(), img);
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let img = PageImage::delta(
+            vec![DeltaOp::Put(b("k"), b("v")), DeltaOp::Del(b("x"))],
+            None,
+            None,
+        );
+        let bytes = img.serialize();
+        assert_eq!(PageImage::deserialize(&bytes).unwrap(), img);
+    }
+
+    #[test]
+    fn empty_base_roundtrip() {
+        let img = PageImage::base(vec![], None, None);
+        assert_eq!(PageImage::deserialize(&img.serialize()).unwrap(), img);
+    }
+
+    #[test]
+    fn apply_delta_newest_wins() {
+        let mut base = PageImage::base(vec![(b("a"), b("old")), (b("c"), b("3"))], None, None);
+        let delta = PageImage::delta(
+            vec![
+                DeltaOp::Put(b("a"), b("newest")), // newest first
+                DeltaOp::Put(b("a"), b("middle")),
+                DeltaOp::Del(b("c")),
+                DeltaOp::Put(b("b"), b("2")),
+            ],
+            Some(b("m")),
+            Some(5),
+        );
+        base.apply_delta(&delta);
+        assert_eq!(base.entries, vec![(b("a"), b("newest")), (b("b"), b("2"))]);
+        assert_eq!(base.high_key, Some(b("m")));
+        assert_eq!(base.right, Some(5));
+    }
+
+    #[test]
+    fn truncated_bytes_detected() {
+        let img = PageImage::base(vec![(b("key"), b("value"))], None, None);
+        let bytes = img.serialize();
+        for cut in [0, 1, 5, bytes.len() - 1] {
+            assert!(
+                PageImage::deserialize(&bytes[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_detected() {
+        let img = PageImage::delta(vec![DeltaOp::Del(b("k"))], None, None);
+        let mut bytes = img.serialize();
+        // Tag byte follows header (1) + high-key flag (1) + right (8) + count (4).
+        bytes[14] = 9;
+        assert_eq!(
+            PageImage::deserialize(&bytes),
+            Err(PageCodecError::BadTag(9))
+        );
+    }
+
+    #[test]
+    fn payload_bytes_counts_keys_and_values() {
+        let img = PageImage::base(vec![(b("ab"), b("cde"))], None, None);
+        assert_eq!(img.payload_bytes(), 5);
+        let d = PageImage::delta(vec![DeltaOp::Del(b("xyz"))], None, None);
+        assert_eq!(d.payload_bytes(), 3);
+    }
+}

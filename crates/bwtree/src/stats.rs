@@ -1,0 +1,166 @@
+//! Tree operation counters.
+//!
+//! These counters are what the reproduction harness reads to classify
+//! operations as MM (main-memory) or SS (secondary-storage) — the paper's
+//! two operation forms (§2.1) — and to account record-cache hits (§6.3) and
+//! blind updates (§6.2).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters.
+#[derive(Default)]
+pub(crate) struct StatsInner {
+    pub gets: AtomicU64,
+    pub puts: AtomicU64,
+    pub deletes: AtomicU64,
+    pub blind_updates: AtomicU64,
+    pub mm_ops: AtomicU64,
+    pub ss_ops: AtomicU64,
+    pub record_cache_hits: AtomicU64,
+    pub consolidations: AtomicU64,
+    pub leaf_splits: AtomicU64,
+    pub inner_splits: AtomicU64,
+    pub leaf_merges: AtomicU64,
+    pub full_flushes: AtomicU64,
+    pub incremental_flushes: AtomicU64,
+    pub evictions: AtomicU64,
+    pub base_evictions: AtomicU64,
+    pub fetches: AtomicU64,
+}
+
+macro_rules! bump {
+    ($self:expr, $field:ident) => {
+        $self.$field.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+impl StatsInner {
+    pub fn snapshot(&self) -> TreeStats {
+        TreeStats {
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            blind_updates: self.blind_updates.load(Ordering::Relaxed),
+            mm_ops: self.mm_ops.load(Ordering::Relaxed),
+            ss_ops: self.ss_ops.load(Ordering::Relaxed),
+            record_cache_hits: self.record_cache_hits.load(Ordering::Relaxed),
+            consolidations: self.consolidations.load(Ordering::Relaxed),
+            leaf_splits: self.leaf_splits.load(Ordering::Relaxed),
+            inner_splits: self.inner_splits.load(Ordering::Relaxed),
+            leaf_merges: self.leaf_merges.load(Ordering::Relaxed),
+            full_flushes: self.full_flushes.load(Ordering::Relaxed),
+            incremental_flushes: self.incremental_flushes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            base_evictions: self.base_evictions.load(Ordering::Relaxed),
+            fetches: self.fetches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+pub(crate) use bump;
+
+/// A snapshot of a tree's operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Point lookups issued.
+    pub gets: u64,
+    /// Upserts issued.
+    pub puts: u64,
+    /// Deletes issued.
+    pub deletes: u64,
+    /// Blind updates issued (no base fetch even when evicted).
+    pub blind_updates: u64,
+    /// Operations completed without any page-store fetch.
+    pub mm_ops: u64,
+    /// Operations that required at least one page-store fetch.
+    pub ss_ops: u64,
+    /// Reads answered from in-memory deltas above a flash-resident base.
+    pub record_cache_hits: u64,
+    /// Delta chains folded into new base pages.
+    pub consolidations: u64,
+    /// Leaf split SMOs completed.
+    pub leaf_splits: u64,
+    /// Inner split SMOs completed.
+    pub inner_splits: u64,
+    /// Leaf merge SMOs completed (right sibling absorbed into the left).
+    pub leaf_merges: u64,
+    /// Full page images written to the store.
+    pub full_flushes: u64,
+    /// Incremental (delta-only) images written to the store.
+    pub incremental_flushes: u64,
+    /// Full page evictions.
+    pub evictions: u64,
+    /// Base-only evictions (deltas kept as a record cache).
+    pub base_evictions: u64,
+    /// Page-store fetches (cache misses / swap-ins).
+    pub fetches: u64,
+}
+
+impl TreeStats {
+    /// Fraction of completed operations that touched secondary storage —
+    /// the paper's `F` (§2.2).
+    pub fn ss_fraction(&self) -> f64 {
+        let total = self.mm_ops + self.ss_ops;
+        if total == 0 {
+            0.0
+        } else {
+            self.ss_ops as f64 / total as f64
+        }
+    }
+
+    /// Difference between two snapshots (`self` - `earlier`).
+    pub fn delta(&self, earlier: &TreeStats) -> TreeStats {
+        TreeStats {
+            gets: self.gets - earlier.gets,
+            puts: self.puts - earlier.puts,
+            deletes: self.deletes - earlier.deletes,
+            blind_updates: self.blind_updates - earlier.blind_updates,
+            mm_ops: self.mm_ops - earlier.mm_ops,
+            ss_ops: self.ss_ops - earlier.ss_ops,
+            record_cache_hits: self.record_cache_hits - earlier.record_cache_hits,
+            consolidations: self.consolidations - earlier.consolidations,
+            leaf_splits: self.leaf_splits - earlier.leaf_splits,
+            inner_splits: self.inner_splits - earlier.inner_splits,
+            leaf_merges: self.leaf_merges - earlier.leaf_merges,
+            full_flushes: self.full_flushes - earlier.full_flushes,
+            incremental_flushes: self.incremental_flushes - earlier.incremental_flushes,
+            evictions: self.evictions - earlier.evictions,
+            base_evictions: self.base_evictions - earlier.base_evictions,
+            fetches: self.fetches - earlier.fetches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ss_fraction_basics() {
+        let mut s = TreeStats::default();
+        assert_eq!(s.ss_fraction(), 0.0);
+        s.mm_ops = 90;
+        s.ss_ops = 10;
+        assert!((s.ss_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let a = TreeStats {
+            gets: 10,
+            mm_ops: 8,
+            ss_ops: 2,
+            ..Default::default()
+        };
+        let b = TreeStats {
+            gets: 25,
+            mm_ops: 20,
+            ss_ops: 5,
+            ..Default::default()
+        };
+        let d = b.delta(&a);
+        assert_eq!(d.gets, 15);
+        assert_eq!(d.mm_ops, 12);
+        assert_eq!(d.ss_ops, 3);
+    }
+}

@@ -1,0 +1,166 @@
+//! Scan stability under concurrent structure modification: scans must
+//! return ascending, duplicate-free keys and never miss a key that was
+//! present for the scan's whole lifetime, while writers force splits,
+//! merges, consolidations, and evictions underneath.
+
+use bytes::Bytes;
+use dcs_bwtree::{BwTree, BwTreeConfig, FlushKind, MemStore};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn key(i: u32) -> Bytes {
+    Bytes::from(format!("key{i:06}"))
+}
+
+#[test]
+fn scans_are_ordered_and_complete_under_churn() {
+    let store = Arc::new(MemStore::new());
+    let tree = Arc::new(BwTree::with_store(BwTreeConfig::small_pages(), store));
+
+    // A stable band that no writer touches: scans must always see all of it.
+    const STABLE_LO: u32 = 40_000;
+    const STABLE_HI: u32 = 41_000;
+    for i in STABLE_LO..STABLE_HI {
+        tree.put(key(i), Bytes::from("stable"));
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+
+    // Churners insert/delete around the stable band, forcing SMOs.
+    for t in 0..3u32 {
+        let tree = tree.clone();
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
+            let base = t * 10_000;
+            let mut round = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                for i in 0..500 {
+                    tree.put(key(base + i), Bytes::from(format!("r{round}")));
+                }
+                for i in 0..500 {
+                    if (i + round).is_multiple_of(3) {
+                        tree.delete(key(base + i));
+                    }
+                }
+                round += 1;
+            }
+        }));
+    }
+    // An evictor keeps pushing pages to the store and back.
+    {
+        let tree = tree.clone();
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                for p in tree.pages() {
+                    if p.is_leaf && p.pid % 3 == 0 {
+                        let _ = tree.flush_page(p.pid, FlushKind::EvictAll);
+                    }
+                }
+                std::thread::yield_now();
+            }
+        }));
+    }
+
+    // Scanning thread: full scans and banded scans, checked each time.
+    for _ in 0..60 {
+        let all: Vec<Bytes> = tree.range(b"", None).map(|r| r.expect("scan").0).collect();
+        assert!(
+            all.windows(2).all(|w| w[0] < w[1]),
+            "scan keys out of order / duplicated"
+        );
+        let stable: Vec<Bytes> = tree
+            .range(&key(STABLE_LO), Some(&key(STABLE_HI)))
+            .map(|r| r.expect("scan").0)
+            .collect();
+        assert_eq!(
+            stable.len(),
+            (STABLE_HI - STABLE_LO) as usize,
+            "stable band lost keys mid-scan"
+        );
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn merge_storm_leaves_scannable_tree() {
+    // Grow, then collapse almost everything, many times; scans stay sane.
+    let tree = BwTree::in_memory(BwTreeConfig::small_pages());
+    for round in 0..5u32 {
+        for i in 0..3_000u32 {
+            tree.put(key(i), Bytes::from(format!("r{round}")));
+        }
+        for i in 0..3_000u32 {
+            if i % 11 != 0 {
+                tree.delete(key(i));
+            }
+        }
+        // Drive consolidations (and thus merges) over the carnage.
+        for i in (0..3_000u32).step_by(11) {
+            tree.put(key(i), Bytes::from(format!("r{round}-keep")));
+        }
+        let survivors: Vec<Bytes> = tree.range(b"", None).map(|r| r.expect("scan").0).collect();
+        assert_eq!(survivors.len(), 3_000usize.div_ceil(11), "round {round}");
+        assert!(survivors.windows(2).all(|w| w[0] < w[1]));
+    }
+    assert!(
+        tree.stats().leaf_merges > 0,
+        "the storm should have merged pages"
+    );
+}
+
+#[test]
+fn merges_abort_cleanly_under_eviction_races() {
+    // Interleave heavy deletion (merge pressure) with aggressive eviction:
+    // absorb deltas must never land on flash-resident chains, and no data
+    // may be lost either way.
+    let store = Arc::new(MemStore::new());
+    let tree = Arc::new(BwTree::with_store(BwTreeConfig::small_pages(), store));
+    for i in 0..4_000u32 {
+        tree.put(key(i), Bytes::from("seed"));
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let evictor = {
+        let tree = tree.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                for p in tree.pages() {
+                    if p.is_leaf {
+                        let _ = tree.flush_page(p.pid, FlushKind::EvictAll);
+                    }
+                }
+            }
+        })
+    };
+    // Deletion storm with re-inserts to drive consolidation+merge attempts.
+    for round in 0..6u32 {
+        for i in 0..4_000u32 {
+            if i % 9 != 0 {
+                tree.delete(key(i));
+            }
+        }
+        for i in (0..4_000u32).step_by(9) {
+            tree.put(key(i), Bytes::from(format!("r{round}")));
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    evictor.join().unwrap();
+    // Survivors intact, deletions effective.
+    for i in 0..4_000u32 {
+        let got = tree.get(&key(i));
+        if i % 9 == 0 {
+            assert_eq!(got, Some(Bytes::from("r5")), "survivor {i}");
+        } else {
+            assert_eq!(got, None, "deleted {i} returned");
+        }
+    }
+    let all: Vec<Bytes> = tree.range(b"", None).map(|r| r.expect("scan").0).collect();
+    assert!(all.windows(2).all(|w| w[0] < w[1]));
+    assert_eq!(all.len(), 4_000usize.div_ceil(9));
+}

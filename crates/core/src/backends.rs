@@ -1,0 +1,185 @@
+//! [`dcs_workload::KvStore`] adapters for every store in the workspace, so
+//! one workload driver can exercise them all. The comparator stores are
+//! wrapped in newtypes (`KvStore` and the stores live in different
+//! crates).
+
+use crate::store::CachingStore;
+use bytes::Bytes;
+use dcs_bwtree::BwTree;
+use dcs_lsm::LsmTree;
+use dcs_masstree::MassTree;
+use dcs_workload::{KvStore, StoreFailure};
+
+/// Workload adapter for a [`BwTree`].
+pub struct BwTreeBackend(pub BwTree);
+
+/// Workload adapter for a [`MassTree`].
+pub struct MassTreeBackend(pub MassTree);
+
+/// Workload adapter for an [`LsmTree`].
+pub struct LsmBackend(pub LsmTree);
+
+impl KvStore for CachingStore {
+    fn kv_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreFailure> {
+        self.try_get(key)
+            .map(|v| v.map(|b| b.to_vec()))
+            .map_err(|e| StoreFailure(e.to_string()))
+    }
+
+    fn kv_put(&self, key: Vec<u8>, value: Vec<u8>) -> Result<(), StoreFailure> {
+        self.put(key, value);
+        Ok(())
+    }
+
+    fn kv_delete(&self, key: Vec<u8>) -> Result<(), StoreFailure> {
+        self.delete(key);
+        Ok(())
+    }
+
+    fn kv_scan(&self, start: &[u8], limit: usize) -> Result<usize, StoreFailure> {
+        Ok(self
+            .tree()
+            .range(start, None)
+            .take(limit)
+            .map(|r| r.map_err(|e| StoreFailure(e.to_string())))
+            .collect::<Result<Vec<_>, _>>()?
+            .len())
+    }
+
+    fn kv_blind_update(&self, key: Vec<u8>, value: Vec<u8>) -> Result<(), StoreFailure> {
+        self.blind_update(key, value);
+        Ok(())
+    }
+}
+
+impl KvStore for BwTreeBackend {
+    fn kv_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreFailure> {
+        self.0
+            .try_get(key)
+            .map(|v| v.map(|b| b.to_vec()))
+            .map_err(|e| StoreFailure(e.to_string()))
+    }
+
+    fn kv_put(&self, key: Vec<u8>, value: Vec<u8>) -> Result<(), StoreFailure> {
+        self.0.put(key, value);
+        Ok(())
+    }
+
+    fn kv_delete(&self, key: Vec<u8>) -> Result<(), StoreFailure> {
+        self.0.delete(key);
+        Ok(())
+    }
+
+    fn kv_scan(&self, start: &[u8], limit: usize) -> Result<usize, StoreFailure> {
+        Ok(self
+            .0
+            .range(start, None)
+            .take(limit)
+            .map(|r| r.map_err(|e| StoreFailure(e.to_string())))
+            .collect::<Result<Vec<_>, _>>()?
+            .len())
+    }
+
+    fn kv_blind_update(&self, key: Vec<u8>, value: Vec<u8>) -> Result<(), StoreFailure> {
+        self.0.blind_update(key, value);
+        Ok(())
+    }
+}
+
+impl KvStore for MassTreeBackend {
+    fn kv_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreFailure> {
+        Ok(self.0.get(key).map(|b| b.to_vec()))
+    }
+
+    fn kv_put(&self, key: Vec<u8>, value: Vec<u8>) -> Result<(), StoreFailure> {
+        self.0.insert(Bytes::from(key), Bytes::from(value));
+        Ok(())
+    }
+
+    fn kv_delete(&self, key: Vec<u8>) -> Result<(), StoreFailure> {
+        self.0.remove(&key);
+        Ok(())
+    }
+
+    fn kv_scan(&self, start: &[u8], limit: usize) -> Result<usize, StoreFailure> {
+        Ok(self.0.scan_limited(start, None, limit).len())
+    }
+}
+
+impl KvStore for LsmBackend {
+    fn kv_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreFailure> {
+        self.0
+            .get(key)
+            .map(|v| v.map(|b| b.to_vec()))
+            .map_err(|e| StoreFailure(e.to_string()))
+    }
+
+    fn kv_put(&self, key: Vec<u8>, value: Vec<u8>) -> Result<(), StoreFailure> {
+        self.0
+            .put(key, value)
+            .map_err(|e| StoreFailure(e.to_string()))
+    }
+
+    fn kv_delete(&self, key: Vec<u8>) -> Result<(), StoreFailure> {
+        self.0.delete(key).map_err(|e| StoreFailure(e.to_string()))
+    }
+
+    fn kv_scan(&self, start: &[u8], limit: usize) -> Result<usize, StoreFailure> {
+        Ok(self
+            .0
+            .scan_limited(start, limit)
+            .map_err(|e| StoreFailure(e.to_string()))?
+            .len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StoreBuilder;
+    use dcs_bwtree::BwTreeConfig;
+    use dcs_flashsim::{DeviceConfig, FlashDevice};
+    use dcs_lsm::LsmConfig;
+    use dcs_workload::{Runner, WorkloadSpec};
+    use std::sync::Arc;
+
+    fn assert_runs<S: KvStore>(store: &S, workload: char) {
+        let spec = WorkloadSpec::ycsb(workload, 300, 32, 7);
+        let runner = Runner::new(spec);
+        runner.load(store).unwrap();
+        let counts = runner.run(store, 1_500).unwrap();
+        assert_eq!(counts.total(), 1_500, "workload {workload}");
+        // Zipfian reads over loaded keys should overwhelmingly hit.
+        if counts.reads > 0 {
+            assert!(
+                counts.read_hits as f64 / counts.reads as f64 > 0.95,
+                "workload {workload}: {} hits of {}",
+                counts.read_hits,
+                counts.reads
+            );
+        }
+    }
+
+    #[test]
+    fn all_backends_run_all_ycsb_workloads() {
+        for w in ['a', 'b', 'c', 'd', 'e', 'f'] {
+            let caching = StoreBuilder::small_test().build();
+            assert_runs(&caching, w);
+
+            let bw = BwTreeBackend(BwTree::in_memory(BwTreeConfig::small_pages()));
+            assert_runs(&bw, w);
+
+            let mt = MassTreeBackend(MassTree::new());
+            assert_runs(&mt, w);
+
+            let lsm = LsmBackend(LsmTree::new(
+                Arc::new(FlashDevice::new(DeviceConfig {
+                    segment_count: 1024,
+                    ..DeviceConfig::small_test()
+                })),
+                LsmConfig::default(),
+            ));
+            assert_runs(&lsm, w);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! `dcs-core`: a data caching store that succeeds the way the paper says
+//! data caching systems succeed.
+//!
+//! This crate assembles the workspace's substrates into the system the
+//! paper analyzes — and wires the paper's *cost model* into the system's
+//! *cache policy*:
+//!
+//! ```text
+//!             ┌───────────────────────────────┐
+//!             │          CachingStore         │
+//!             │  get/put/delete/blind/scan    │
+//!             ├──────────────┬────────────────┤
+//!             │   Bw-tree    │  CacheManager  │  ← evicts at the cost-model
+//!             │ (dcs-bwtree) │  (dcs-llama)   │     breakeven Ti (Eq. 6)
+//!             ├──────────────┴────────────────┤
+//!             │   LLAMA log-structured store  │  ← large-buffer writes,
+//!             │          (dcs-llama)          │     delta flush, GC, LZSS
+//!             ├───────────────────────────────┤
+//!             │     simulated flash SSD       │  ← IOPS queue + real CPU
+//!             │        (dcs-flashsim)         │     I/O-path cost (R)
+//!             └───────────────────────────────┘
+//! ```
+//!
+//! The store's distinguishing behaviours, each traceable to a paper
+//! section:
+//!
+//! * **Adaptivity** (§3): data moves between DRAM and flash per access
+//!   pattern; the [`StoreBuilder::cost_model_policy`] derives the eviction
+//!   interval directly from a [`dcs_costmodel::HardwareCatalog`].
+//! * **Blind updates** (§6.2) and **record caching** (§6.3) via the
+//!   Bw-tree's delta chains.
+//! * **Log-structured writes** (§6.1) with optional **compression**
+//!   (§7.2, `Codec::Lzss`).
+//! * **Transactions**: [`CachingStore::transactional`] attaches a
+//!   Deuteronomy-style TC (`dcs-tc`) over the same data component.
+//! * **Crash/recover**: [`CachingStore::checkpoint`] +
+//!   [`CachingStore::recover`].
+//!
+//! ```
+//! use dcs_core::StoreBuilder;
+//!
+//! let store = StoreBuilder::small_test().build();
+//! store.put(b"hello".to_vec(), b"world".to_vec());
+//! assert_eq!(store.get(b"hello").as_deref(), Some(&b"world"[..]));
+//! ```
+
+mod backends;
+mod store;
+
+pub use backends::{BwTreeBackend, LsmBackend, MassTreeBackend};
+pub use store::{CachingStore, Policy, StoreBuilder, StoreStats};
+
+// Re-export the component crates so downstream users need one dependency.
+pub use dcs_bwtree as bwtree;
+pub use dcs_costmodel as costmodel;
+pub use dcs_flashsim as flashsim;
+pub use dcs_llama as llama;
+pub use dcs_lsm as lsm;
+pub use dcs_masstree as masstree;
+pub use dcs_tc as tc;
+pub use dcs_workload as workload;

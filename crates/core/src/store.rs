@@ -1,0 +1,532 @@
+//! The caching-store facade.
+
+use bytes::Bytes;
+use dcs_bwtree::{BwTree, BwTreeConfig, TreeError, TreeStats};
+use dcs_costmodel::{breakeven, HardwareCatalog};
+use dcs_flashsim::{DeviceConfig, DeviceStats, FlashDevice, VirtualClock};
+use dcs_llama::{
+    CacheManager, CacheManagerConfig, CacheStats, Codec, EvictionPolicy, LogStructuredStore,
+    LssConfig, LssStats,
+};
+use dcs_tc::{TcConfig, TransactionalStore};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How the store decides what stays in DRAM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// Classic LRU against the memory budget.
+    Lru,
+    /// The paper's rule: evict pages whose access interval exceeds the
+    /// breakeven `Ti` computed from a hardware catalog (Equation 6), with
+    /// LRU as the budget backstop.
+    CostModel,
+}
+
+/// Builder for a [`CachingStore`].
+#[derive(Debug, Clone)]
+pub struct StoreBuilder {
+    /// Hardware catalog the cost-model policy derives `Ti` from.
+    pub hardware: HardwareCatalog,
+    /// Simulated device parameters.
+    pub device: DeviceConfig,
+    /// Bw-tree parameters.
+    pub tree: BwTreeConfig,
+    /// Log-structured store parameters (including compression codec).
+    pub lss: LssConfig,
+    /// In-memory footprint target in bytes.
+    pub memory_budget: usize,
+    /// Eviction policy.
+    pub policy: Policy,
+    /// Keep record deltas in memory when evicting (§6.3).
+    pub keep_record_cache: bool,
+    /// Run a cache-management sweep every this many operations
+    /// (0 disables automatic sweeps).
+    pub sweep_every_ops: u64,
+}
+
+impl StoreBuilder {
+    /// Defaults modeled on the paper's setup: its hardware catalog, its
+    /// SSD, cost-model eviction.
+    pub fn paper() -> Self {
+        StoreBuilder {
+            hardware: HardwareCatalog::paper(),
+            device: DeviceConfig::paper_ssd(),
+            tree: BwTreeConfig::default(),
+            lss: LssConfig::default(),
+            memory_budget: 256 << 20,
+            policy: Policy::CostModel,
+            keep_record_cache: true,
+            sweep_every_ops: 4096,
+        }
+    }
+
+    /// A small configuration for tests and examples.
+    pub fn small_test() -> Self {
+        StoreBuilder {
+            hardware: HardwareCatalog::paper(),
+            device: DeviceConfig {
+                segment_count: 1024,
+                advance_clock_on_io: false,
+                ..DeviceConfig::small_test()
+            },
+            tree: BwTreeConfig::small_pages(),
+            lss: LssConfig::default(),
+            memory_budget: 8 << 20,
+            policy: Policy::Lru,
+            keep_record_cache: false,
+            sweep_every_ops: 1024,
+        }
+    }
+
+    /// Use the cost-model eviction policy (breakeven `Ti` from the
+    /// catalog).
+    pub fn cost_model_policy(mut self) -> Self {
+        self.policy = Policy::CostModel;
+        self
+    }
+
+    /// Set the memory budget.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Compress page payloads on flash (§7.2).
+    pub fn compressed(mut self) -> Self {
+        self.lss.codec = Codec::Lzss;
+        self
+    }
+
+    /// Construct the store.
+    pub fn build(self) -> CachingStore {
+        let clock = VirtualClock::new();
+        self.build_with_clock(clock)
+    }
+
+    /// Construct sharing an external clock (workload drivers).
+    pub fn build_with_clock(self, clock: VirtualClock) -> CachingStore {
+        let device = Arc::new(FlashDevice::with_clock(self.device.clone(), clock.clone()));
+        self.assemble(device, clock)
+    }
+
+    fn assemble(self, device: Arc<FlashDevice>, clock: VirtualClock) -> CachingStore {
+        let lss = Arc::new(LogStructuredStore::new(device.clone(), self.lss.clone()));
+        let tree = Arc::new(BwTree::with_store(self.tree.clone(), lss.clone()));
+        self.assemble_recovered(device, clock, lss, tree)
+    }
+
+    fn assemble_recovered(
+        self,
+        device: Arc<FlashDevice>,
+        clock: VirtualClock,
+        lss: Arc<LogStructuredStore>,
+        tree: Arc<BwTree>,
+    ) -> CachingStore {
+        let policy = match self.policy {
+            Policy::Lru => EvictionPolicy::Lru,
+            Policy::CostModel => EvictionPolicy::CostModel {
+                ti_nanos: (breakeven::ti_seconds(&self.hardware) * 1e9) as u64,
+            },
+        };
+        let cache = CacheManager::new(
+            CacheManagerConfig {
+                memory_budget: self.memory_budget,
+                policy,
+                keep_record_cache: self.keep_record_cache,
+            },
+            clock.clone(),
+        );
+        CachingStore {
+            clock,
+            device,
+            lss,
+            tree,
+            cache,
+            sweep_every_ops: self.sweep_every_ops,
+            ops_since_sweep: AtomicU64::new(0),
+            hardware: self.hardware,
+        }
+    }
+}
+
+/// Aggregated counters across all layers.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreStats {
+    /// Bw-tree operation counters.
+    pub tree: TreeStats,
+    /// Log-structured store counters.
+    pub lss: LssStats,
+    /// Device counters.
+    pub device: DeviceStats,
+    /// Cache-manager counters.
+    pub cache: CacheStats,
+    /// Current in-memory footprint in bytes.
+    pub footprint_bytes: usize,
+}
+
+impl StoreStats {
+    /// The paper's `F`: fraction of operations that touched secondary
+    /// storage.
+    pub fn ss_fraction(&self) -> f64 {
+        self.tree.ss_fraction()
+    }
+}
+
+/// The assembled data caching store. See the crate docs.
+pub struct CachingStore {
+    clock: VirtualClock,
+    device: Arc<FlashDevice>,
+    lss: Arc<LogStructuredStore>,
+    tree: Arc<BwTree>,
+    cache: CacheManager,
+    sweep_every_ops: u64,
+    ops_since_sweep: AtomicU64,
+    hardware: HardwareCatalog,
+}
+
+impl CachingStore {
+    /// Point lookup (panics on store failure; see [`CachingStore::try_get`]).
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        self.try_get(key).expect("storage failure")
+    }
+
+    /// Point lookup.
+    pub fn try_get(&self, key: &[u8]) -> Result<Option<Bytes>, TreeError> {
+        let r = self.tree.try_get(key);
+        self.tick();
+        r
+    }
+
+    /// Upsert (a blind update at the data component).
+    pub fn put(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
+        self.tree.put(key, value);
+        self.tick();
+    }
+
+    /// An update the caller asserts is blind (§6.2): never fetches the
+    /// target page even if evicted.
+    pub fn blind_update(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
+        self.tree.blind_update(key, value);
+        self.tick();
+    }
+
+    /// Delete.
+    pub fn delete(&self, key: impl Into<Bytes>) {
+        self.tree.delete(key);
+        self.tick();
+    }
+
+    /// Range scan `[start, end)`.
+    pub fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Vec<(Bytes, Bytes)> {
+        let out = self
+            .tree
+            .range(start, end)
+            .map(|r| r.expect("scan failure"))
+            .collect();
+        self.tick();
+        out
+    }
+
+    fn tick(&self) {
+        if self.sweep_every_ops == 0 {
+            return;
+        }
+        let n = self.ops_since_sweep.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(self.sweep_every_ops) {
+            let _ = self.cache.sweep(&self.tree);
+        }
+    }
+
+    /// Advance the shared virtual clock (workload drivers model access
+    /// intervals with this).
+    pub fn advance_time(&self, nanos: u64) {
+        self.clock.advance(nanos);
+        self.tree.set_vtime(self.clock.now());
+    }
+
+    /// Run one cache-management sweep now. Returns pages evicted.
+    pub fn sweep(&self) -> Result<usize, TreeError> {
+        self.cache.sweep(&self.tree)
+    }
+
+    /// Flush all dirty pages and issue a durability barrier: a
+    /// crash-consistent checkpoint.
+    pub fn checkpoint(&self) -> Result<(), TreeError> {
+        self.cache.checkpoint(&self.tree)?;
+        self.lss.sync().map_err(TreeError::Store)?;
+        Ok(())
+    }
+
+    /// Run log-structured-store garbage collection until clean.
+    pub fn gc(&self) -> Result<usize, TreeError> {
+        self.lss.gc_all().map_err(TreeError::Store)
+    }
+
+    /// Simulate a crash (everything not checkpointed is lost) and recover
+    /// a fresh store from the device.
+    pub fn crash_and_recover(self, builder: StoreBuilder) -> Result<CachingStore, TreeError> {
+        let device = self.device.clone();
+        drop(self);
+        device.crash();
+        CachingStore::recover(device, builder)
+    }
+
+    /// Recover a store from an existing device's log. The tree's mapping
+    /// table is reconstructed at its pre-crash PIDs; record data faults in
+    /// lazily as it is accessed.
+    pub fn recover(
+        device: Arc<FlashDevice>,
+        builder: StoreBuilder,
+    ) -> Result<CachingStore, TreeError> {
+        let recovered =
+            dcs_llama::recover(device.clone(), builder.lss.clone(), builder.tree.clone())
+                .map_err(TreeError::Store)?;
+        let clock = VirtualClock::new();
+        Ok(builder.assemble_recovered(device, clock, recovered.store, Arc::new(recovered.tree)))
+    }
+
+    /// Attach a Deuteronomy-style transaction component over this store's
+    /// data component.
+    pub fn transactional(&self) -> TransactionalStore {
+        TransactionalStore::new(self.tree.clone(), TcConfig::default())
+    }
+
+    /// The underlying Bw-tree.
+    pub fn tree(&self) -> &Arc<BwTree> {
+        &self.tree
+    }
+
+    /// The log-structured store.
+    pub fn lss(&self) -> &Arc<LogStructuredStore> {
+        &self.lss
+    }
+
+    /// The device.
+    pub fn device(&self) -> &Arc<FlashDevice> {
+        &self.device
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The hardware catalog this store's policy was derived from.
+    pub fn hardware(&self) -> &HardwareCatalog {
+        &self.hardware
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            tree: self.tree.stats(),
+            lss: self.lss.stats(),
+            device: self.device.stats(),
+            cache: self.cache.stats(),
+            footprint_bytes: self.tree.footprint_bytes(),
+        }
+    }
+
+    /// Number of records (full scan; diagnostics).
+    pub fn count_entries(&self) -> usize {
+        self.tree.count_entries()
+    }
+}
+
+impl std::fmt::Debug for CachingStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachingStore")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(i: u32) -> (Bytes, Bytes) {
+        (
+            Bytes::from(format!("key{i:06}")),
+            Bytes::from(format!("value-{i}-{}", "x".repeat(32))),
+        )
+    }
+
+    #[test]
+    fn basic_crud() {
+        let s = StoreBuilder::small_test().build();
+        s.put(Bytes::from("a"), Bytes::from("1"));
+        assert_eq!(s.get(b"a"), Some(Bytes::from("1")));
+        s.delete(Bytes::from("a"));
+        assert_eq!(s.get(b"a"), None);
+    }
+
+    #[test]
+    fn scan_in_order() {
+        let s = StoreBuilder::small_test().build();
+        for i in (0..100u32).rev() {
+            let (k, v) = kv(i);
+            s.put(k, v);
+        }
+        let all = s.scan(b"", None);
+        assert_eq!(all.len(), 100);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn auto_sweep_enforces_budget() {
+        let mut b = StoreBuilder::small_test();
+        b.memory_budget = 64 << 10;
+        b.sweep_every_ops = 256;
+        let s = b.build();
+        for i in 0..5000u32 {
+            let (k, v) = kv(i);
+            s.put(k, v);
+        }
+        let stats = s.stats();
+        assert!(stats.cache.pages_evicted > 0, "no evictions happened");
+        // All data still readable (faulting from flash as needed).
+        for i in (0..5000u32).step_by(151) {
+            let (k, v) = kv(i);
+            assert_eq!(s.get(&k), Some(v), "key {i}");
+        }
+        assert!(s.stats().tree.ss_ops > 0, "reads should have faulted");
+    }
+
+    #[test]
+    fn cost_model_policy_uses_catalog_ti() {
+        let mut b = StoreBuilder::small_test().cost_model_policy();
+        b.memory_budget = usize::MAX;
+        b.sweep_every_ops = 0;
+        let s = b.build();
+        for i in 0..500u32 {
+            let (k, v) = kv(i);
+            s.put(k, v);
+        }
+        // Advance past the breakeven interval; everything is now cold.
+        let ti = breakeven::ti_seconds(s.hardware());
+        s.advance_time((ti * 2.0 * 1e9) as u64);
+        let evicted = s.sweep().unwrap();
+        assert!(evicted > 0, "cold pages should leave DRAM at Ti");
+    }
+
+    #[test]
+    fn checkpoint_recover_roundtrip() {
+        let builder = StoreBuilder::small_test();
+        let s = builder.clone().build();
+        for i in 0..1000u32 {
+            let (k, v) = kv(i);
+            s.put(k, v);
+        }
+        s.delete(kv(7).0);
+        s.checkpoint().unwrap();
+        s.put(kv(9999).0, kv(9999).1); // lost by the crash
+        let recovered = s.crash_and_recover(builder).unwrap();
+        for i in 0..1000u32 {
+            let (k, v) = kv(i);
+            if i == 7 {
+                assert_eq!(recovered.get(&k), None);
+            } else {
+                assert_eq!(recovered.get(&k), Some(v), "key {i}");
+            }
+        }
+        assert_eq!(recovered.get(&kv(9999).0), None, "unsynced write survived");
+    }
+
+    #[test]
+    fn compressed_store_saves_flash_bytes() {
+        let plain = StoreBuilder::small_test().build();
+        let packed = StoreBuilder::small_test().compressed().build();
+        for s in [&plain, &packed] {
+            for i in 0..2000u32 {
+                let (k, v) = kv(i);
+                s.put(k, v);
+            }
+            s.checkpoint().unwrap();
+        }
+        let (p, c) = (plain.stats().lss, packed.stats().lss);
+        assert_eq!(p.stored_bytes, p.payload_bytes, "plain stores verbatim");
+        assert!(
+            c.stored_bytes < c.payload_bytes / 2,
+            "compression should shrink structured pages: {} vs {}",
+            c.stored_bytes,
+            c.payload_bytes
+        );
+        // And reads still work after eviction.
+        for p in packed.tree().pages() {
+            if p.is_leaf {
+                let _ = packed.tree().evict_page(p.pid);
+            }
+        }
+        assert_eq!(packed.get(&kv(5).0), Some(kv(5).1));
+    }
+
+    #[test]
+    fn transactional_layer_works_over_store() {
+        let s = StoreBuilder::small_test().build();
+        let tc = s.transactional();
+        let mut t = tc.begin();
+        t.write(Bytes::from("txk"), Bytes::from("txv"));
+        tc.commit(t).unwrap();
+        // Visible both transactionally and through the plain store API.
+        assert_eq!(s.get(b"txk"), Some(Bytes::from("txv")));
+    }
+
+    #[test]
+    fn gc_reclaims_after_churn() {
+        let mut b = StoreBuilder::small_test();
+        b.memory_budget = 32 << 10;
+        b.sweep_every_ops = 128;
+        let s = b.build();
+        for round in 0..30u32 {
+            for i in 0..200u32 {
+                s.put(kv(i).0, Bytes::from(format!("r{round}-{}", "y".repeat(64))));
+            }
+            s.checkpoint().unwrap();
+        }
+        let collected = s.gc().unwrap();
+        assert!(collected > 0, "churn should leave collectable segments");
+        for i in (0..200u32).step_by(13) {
+            assert!(s.get(&kv(i).0).is_some(), "key {i} lost after GC");
+        }
+    }
+}
+
+#[cfg(test)]
+mod rollup_tests {
+    use super::*;
+
+    /// Heavy overwrite churn must not let flash utilization decay without
+    /// bound: the LSS chain-length cap rolls incremental chains into full
+    /// images, making old parts dead, and GC reclaims them.
+    #[test]
+    fn churn_stays_collectable() {
+        let mut b = StoreBuilder::small_test();
+        b.memory_budget = 32 << 10;
+        b.sweep_every_ops = 128;
+        let s = b.build();
+        for round in 0..30u32 {
+            for i in 0..200u32 {
+                s.put(
+                    Bytes::from(format!("key{i:06}")),
+                    Bytes::from(format!("r{round}-{}", "y".repeat(64))),
+                );
+            }
+            s.checkpoint().unwrap();
+        }
+        assert!(s.lss().stats().rollups > 0, "chain cap never triggered");
+        assert!(
+            s.lss().utilization() < 0.5,
+            "churned store should have dead space: {}",
+            s.lss().utilization()
+        );
+        let collected = s.gc().unwrap();
+        assert!(collected > 0);
+        assert!(
+            s.lss().utilization() > 0.5,
+            "GC should restore utilization: {}",
+            s.lss().utilization()
+        );
+    }
+}

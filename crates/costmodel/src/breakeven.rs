@@ -1,0 +1,98 @@
+//! The updated five-minute rule: Equation 6 (§4.2).
+
+use crate::catalog::HardwareCatalog;
+
+/// Equation 6: the breakeven access interval `Ti` in seconds.
+///
+/// `Ti = (1 / ($M·Ps)) · [ $I/IOPS + (R-1)·$P/ROPS ]`
+///
+/// A page accessed less often than once per `Ti` is cheaper to evict and
+/// serve with SS operations; more often, cheaper to cache in DRAM. On the
+/// paper's hardware this comes out ≈45 s — the "updated 5-minute rule",
+/// shrunk by cheap SSD IOPS but *lengthened* by the CPU cost of the I/O
+/// path, which the paper adds to Gray's classic trade-off.
+pub fn ti_seconds(hw: &HardwareCatalog) -> f64 {
+    let io_term = hw.iops_capability / hw.iops;
+    let cpu_term = (hw.r - 1.0) * hw.processor / hw.rops;
+    (io_term + cpu_term) / (hw.dram_per_byte * hw.page_bytes)
+}
+
+/// The breakeven access *rate* (ops/sec), `N = 1/Ti`.
+pub fn breakeven_rate(hw: &HardwareCatalog) -> f64 {
+    1.0 / ti_seconds(hw)
+}
+
+/// Record-level breakeven (§6.3): when the cacheable unit is a record of
+/// `record_bytes` rather than a whole page, the storage term shrinks and
+/// `Ti` grows proportionally — with 10 records per page, breakeven is 10×
+/// longer, widening the range where memory wins.
+pub fn ti_seconds_for_record(hw: &HardwareCatalog, record_bytes: f64) -> f64 {
+    ti_seconds(&hw.with_page_bytes(record_bytes))
+}
+
+/// Split `Ti` into its two additive components (both in seconds): the
+/// classic I/O-cost term and the paper's additional CPU-path term.
+pub fn ti_components(hw: &HardwareCatalog) -> (f64, f64) {
+    let denom = hw.dram_per_byte * hw.page_bytes;
+    (
+        (hw.iops_capability / hw.iops) / denom,
+        ((hw.r - 1.0) * hw.processor / hw.rops) / denom,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ti_is_about_45_seconds() {
+        let ti = ti_seconds(&HardwareCatalog::paper());
+        assert!((45.0 - ti).abs() < 1.0, "Ti = {ti}, paper derives ≈45 s");
+    }
+
+    #[test]
+    fn components_sum_to_ti() {
+        let hw = HardwareCatalog::paper();
+        let (io, cpu) = ti_components(&hw);
+        assert!((io + cpu - ti_seconds(&hw)).abs() < 1e-9);
+        // §4.2: the CPU term now dominates the I/O term on modern SSDs.
+        assert!(cpu > io, "cpu {cpu} should exceed io {io}");
+    }
+
+    #[test]
+    fn record_breakeven_scales_inversely_with_size() {
+        // §6.3: "when there are 10 records in a page, the record breakeven
+        // Ti = 10x minutes instead of about one minute for the page".
+        let hw = HardwareCatalog::paper();
+        let page_ti = ti_seconds(&hw);
+        let record_ti = ti_seconds_for_record(&hw, hw.page_bytes / 10.0);
+        assert!(
+            (record_ti / page_ti - 10.0).abs() < 1e-9,
+            "record Ti should be 10x page Ti"
+        );
+    }
+
+    #[test]
+    fn breakeven_rate_is_reciprocal() {
+        let hw = HardwareCatalog::paper();
+        assert!((breakeven_rate(&hw) * ti_seconds(&hw) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ti_matches_curve_crossover() {
+        let hw = HardwareCatalog::paper();
+        let from_curves = 1.0 / crate::curves::mm_ss_crossover_rate(&hw);
+        assert!((from_curves - ti_seconds(&hw)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cheaper_iops_shrink_ti() {
+        // §7.1.2: a 40 % drop in IOPS cost shrinks the breakeven interval.
+        let hw = HardwareCatalog::paper();
+        let cheaper = HardwareCatalog {
+            iops: hw.iops * 500.0 / 300.0, // 300K → 500K IOPS at same price
+            ..hw.clone()
+        };
+        assert!(ti_seconds(&cheaper) < ti_seconds(&hw));
+    }
+}

@@ -1,0 +1,145 @@
+//! Operation cost curves: Equations 4–5 (Figure 2), the I/O-path what-if
+//! (Figure 7), and the compressed-storage tier (Figure 8).
+
+use crate::catalog::HardwareCatalog;
+
+/// Equation 4 (lifetime factor dropped): cost/sec of keeping a page in
+/// DRAM and serving `n` MM operations/sec on it.
+pub fn mm_cost(hw: &HardwareCatalog, n: f64) -> f64 {
+    hw.mm_storage_cost() + n * hw.mm_exec_cost()
+}
+
+/// Equation 5: cost/sec of keeping a page on flash only and serving `n`
+/// SS operations/sec on it.
+pub fn ss_cost(hw: &HardwareCatalog, n: f64) -> f64 {
+    hw.ss_storage_cost() + n * hw.ss_exec_cost()
+}
+
+/// Parameters of the compressed-secondary-storage tier (Figure 8; the
+/// paper's numbers are "hypothetical", so these are knobs).
+#[derive(Debug, Clone, Copy)]
+pub struct CompressionModel {
+    /// Compressed size / uncompressed size (< 1).
+    pub ratio: f64,
+    /// Extra CPU per operation for decompression, as a multiple of the MM
+    /// execution cost.
+    pub cpu_overhead: f64,
+}
+
+impl Default for CompressionModel {
+    fn default() -> Self {
+        CompressionModel {
+            ratio: 0.35,
+            cpu_overhead: 2.0,
+        }
+    }
+}
+
+/// Cost/sec of a compressed secondary-storage (CSS) operation tier
+/// (Figure 8): storage shrinks by `ratio`, execution grows by the
+/// decompression CPU.
+pub fn css_cost(hw: &HardwareCatalog, n: f64, c: &CompressionModel) -> f64 {
+    hw.ss_storage_cost() * c.ratio + n * (hw.ss_exec_cost() + c.cpu_overhead * hw.mm_exec_cost())
+}
+
+/// The access rate at which MM and SS costs cross (the breakeven `N` of
+/// §4.2; its reciprocal is `Ti`).
+pub fn mm_ss_crossover_rate(hw: &HardwareCatalog) -> f64 {
+    // Ps·$M = N·[$I/IOPS + (R-1)·$P/ROPS]  (Equation 6 rearranged)
+    let storage_gap = hw.page_bytes * hw.dram_per_byte;
+    let exec_gap = hw.ss_exec_cost() - hw.mm_exec_cost();
+    storage_gap / exec_gap
+}
+
+/// The access rate at which CSS and SS costs cross: below it, compressed
+/// storage is cheaper.
+pub fn css_ss_crossover_rate(hw: &HardwareCatalog, c: &CompressionModel) -> f64 {
+    // SS storage saving vs decompression CPU.
+    let storage_gap = hw.ss_storage_cost() * (1.0 - c.ratio);
+    let exec_gap = c.cpu_overhead * hw.mm_exec_cost();
+    storage_gap / exec_gap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> HardwareCatalog {
+        HardwareCatalog::paper()
+    }
+
+    #[test]
+    fn at_zero_rate_ss_is_cheaper() {
+        // §4.2: at low rates storage dominates and flash wins (≈11×).
+        assert!(ss_cost(&hw(), 0.0) < mm_cost(&hw(), 0.0));
+    }
+
+    #[test]
+    fn at_high_rate_mm_is_cheaper() {
+        assert!(mm_cost(&hw(), 1000.0) < ss_cost(&hw(), 1000.0));
+    }
+
+    #[test]
+    fn crossover_equalizes_costs() {
+        let n = mm_ss_crossover_rate(&hw());
+        let (m, s) = (mm_cost(&hw(), n), ss_cost(&hw(), n));
+        assert!(
+            (m - s).abs() / m < 1e-9,
+            "costs differ at crossover: {m} vs {s}"
+        );
+    }
+
+    #[test]
+    fn crossover_is_about_45s_interval() {
+        let n = mm_ss_crossover_rate(&hw());
+        let ti = 1.0 / n;
+        assert!((40.0..50.0).contains(&ti), "Ti = {ti}, paper says ≈45 s");
+    }
+
+    #[test]
+    fn shorter_io_path_moves_crossover_left() {
+        // Figure 7: reducing SS execution cost lowers breakeven Ti.
+        let fast = hw(); // R = 5.8 (user-level I/O)
+        let slow = hw().with_r(9.0); // conventional OS path
+        let ti_fast = 1.0 / mm_ss_crossover_rate(&fast);
+        let ti_slow = 1.0 / mm_ss_crossover_rate(&slow);
+        assert!(
+            ti_fast < ti_slow,
+            "shorter path should shrink Ti: {ti_fast} vs {ti_slow}"
+        );
+        // And lowers the SS cost line everywhere with traffic.
+        for n in [0.1, 1.0, 10.0] {
+            assert!(ss_cost(&fast, n) < ss_cost(&slow, n));
+        }
+    }
+
+    #[test]
+    fn compression_cheapest_when_cold_most_expensive_when_hot() {
+        // Figure 8: CSS < SS < MM at rate ~0; order reverses as rate grows.
+        let c = CompressionModel::default();
+        let h = hw();
+        assert!(css_cost(&h, 0.0, &c) < ss_cost(&h, 0.0));
+        assert!(ss_cost(&h, 0.0) < mm_cost(&h, 0.0));
+        let hot = 10_000.0;
+        assert!(mm_cost(&h, hot) < ss_cost(&h, hot));
+        assert!(ss_cost(&h, hot) < css_cost(&h, hot, &c));
+    }
+
+    #[test]
+    fn css_crossover_equalizes() {
+        let c = CompressionModel::default();
+        let h = hw();
+        let n = css_ss_crossover_rate(&h, &c);
+        let (a, b) = (css_cost(&h, n, &c), ss_cost(&h, n));
+        assert!((a - b).abs() / a < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn css_crossover_below_mm_crossover() {
+        // The three-regime picture requires CSS→SS to happen at a lower
+        // rate than SS→MM.
+        let c = CompressionModel::default();
+        let h = hw();
+        assert!(css_ss_crossover_rate(&h, &c) < mm_ss_crossover_rate(&h));
+    }
+}

@@ -1,0 +1,238 @@
+//! Figure-series builders: the exact data series behind each figure of the
+//! paper, ready for the reproduction harness to print or plot.
+
+use crate::catalog::HardwareCatalog;
+use crate::curves::{css_cost, mm_cost, ss_cost, CompressionModel};
+use crate::mixed;
+use crate::mm_vs_caching::{bwtree_cost, masstree_cost, Comparison};
+
+/// An `(x, y)` sample.
+pub type Point = (f64, f64);
+
+/// A named data series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Samples in x order.
+    pub points: Vec<Point>,
+}
+
+impl Series {
+    /// Build from a function sampled at `xs`.
+    pub fn sample(label: impl Into<String>, xs: &[f64], f: impl Fn(f64) -> f64) -> Self {
+        Series {
+            label: label.into(),
+            points: xs.iter().map(|&x| (x, f(x))).collect(),
+        }
+    }
+
+    /// The x of the first sample where this series drops below `other`
+    /// (linear interpolation between samples). `None` if it never does.
+    pub fn crossover_with(&self, other: &Series) -> Option<f64> {
+        for (a, b) in self.points.iter().zip(self.points.iter().skip(1)) {
+            let oa = other.points.iter().find(|p| p.0 == a.0)?;
+            let ob = other.points.iter().find(|p| p.0 == b.0)?;
+            let d0 = a.1 - oa.1;
+            let d1 = b.1 - ob.1;
+            if d0.signum() != d1.signum() {
+                let t = d0 / (d0 - d1);
+                return Some(a.0 + t * (b.0 - a.0));
+            }
+        }
+        None
+    }
+}
+
+/// Evenly spaced values in `[lo, hi]`.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2);
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+/// Log-spaced values in `[lo, hi]` (both > 0).
+pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && n >= 2);
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    (0..n)
+        .map(|i| (llo + (lhi - llo) * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+/// Figure 1: relative performance vs SS-fraction, as the `R ± tol` band.
+/// Returns `[R_high (slow bound), R_mid, R_low (fast bound)]`.
+pub fn fig1_band(r_mid: f64, tol: f64, samples: usize) -> Vec<Series> {
+    let xs = linspace(0.0, 1.0, samples);
+    vec![
+        Series::sample(
+            format!("R = {:.2} (slow bound)", r_mid * (1.0 + tol)),
+            &xs,
+            |f| mixed::band(f, r_mid, tol).0,
+        ),
+        Series::sample(format!("R = {r_mid:.2}"), &xs, |f| {
+            mixed::band(f, r_mid, tol).1
+        }),
+        Series::sample(
+            format!("R = {:.2} (fast bound)", r_mid * (1.0 - tol)),
+            &xs,
+            |f| mixed::band(f, r_mid, tol).2,
+        ),
+    ]
+}
+
+/// Figure 2: MM and SS operation cost vs access rate (log-spaced).
+pub fn fig2_curves(
+    hw: &HardwareCatalog,
+    lo_rate: f64,
+    hi_rate: f64,
+    samples: usize,
+) -> Vec<Series> {
+    let xs = logspace(lo_rate, hi_rate, samples);
+    vec![
+        Series::sample("MM op cost", &xs, |n| mm_cost(hw, n)),
+        Series::sample("SS op cost", &xs, |n| ss_cost(hw, n)),
+    ]
+}
+
+/// Figure 3: Bw-tree vs MassTree cost vs access rate for a database of
+/// `size` bytes.
+pub fn fig3_curves(
+    hw: &HardwareCatalog,
+    cmp: &Comparison,
+    size: f64,
+    lo_rate: f64,
+    hi_rate: f64,
+    samples: usize,
+) -> Vec<Series> {
+    let xs = logspace(lo_rate, hi_rate, samples);
+    vec![
+        Series::sample("Bw-tree (fully cached)", &xs, |n| bwtree_cost(hw, size, n)),
+        Series::sample("MassTree", &xs, |n| masstree_cost(hw, size, n, cmp)),
+    ]
+}
+
+/// Figure 7: SS cost at several I/O execution-path lengths (as `R` values),
+/// plus the MM line.
+pub fn fig7_curves(
+    hw: &HardwareCatalog,
+    rs: &[f64],
+    lo_rate: f64,
+    hi_rate: f64,
+    samples: usize,
+) -> Vec<Series> {
+    let xs = logspace(lo_rate, hi_rate, samples);
+    let mut out = vec![Series::sample("MM op cost", &xs, |n| mm_cost(hw, n))];
+    for &r in rs {
+        let h = hw.with_r(r);
+        out.push(Series::sample(
+            format!("SS op cost (R = {r:.2})"),
+            &xs,
+            move |n| ss_cost(&h, n),
+        ));
+    }
+    out
+}
+
+/// Figure 8: MM / SS / CSS cost curves.
+pub fn fig8_curves(
+    hw: &HardwareCatalog,
+    c: &CompressionModel,
+    lo_rate: f64,
+    hi_rate: f64,
+    samples: usize,
+) -> Vec<Series> {
+    let xs = logspace(lo_rate, hi_rate, samples);
+    vec![
+        Series::sample("MM op cost", &xs, |n| mm_cost(hw, n)),
+        Series::sample("SS op cost", &xs, |n| ss_cost(hw, n)),
+        Series::sample("CSS op cost (compressed)", &xs, |n| css_cost(hw, n, c)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints() {
+        let xs = linspace(0.0, 1.0, 11);
+        assert_eq!(xs.len(), 11);
+        assert_eq!(xs[0], 0.0);
+        assert_eq!(xs[10], 1.0);
+    }
+
+    #[test]
+    fn logspace_is_geometric() {
+        let xs = logspace(1.0, 100.0, 3);
+        assert!((xs[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig1_band_shape() {
+        let series = fig1_band(5.8, 0.3, 21);
+        assert_eq!(series.len(), 3);
+        // At F=0 all curves start at 1.0.
+        for s in &series {
+            assert!((s.points[0].1 - 1.0).abs() < 1e-12);
+        }
+        // Slow bound below mid below fast bound at F=1.
+        let at_one: Vec<f64> = series.iter().map(|s| s.points.last().unwrap().1).collect();
+        assert!(at_one[0] < at_one[1] && at_one[1] < at_one[2]);
+    }
+
+    #[test]
+    fn fig2_crossover_matches_equation6() {
+        let hw = HardwareCatalog::paper();
+        let curves = fig2_curves(&hw, 1e-3, 1.0, 400);
+        let x = curves[0].crossover_with(&curves[1]).expect("curves cross");
+        let expected = crate::curves::mm_ss_crossover_rate(&hw);
+        assert!(
+            (x - expected).abs() / expected < 0.05,
+            "series crossover {x} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn fig3_masstree_wins_only_when_hot() {
+        let hw = HardwareCatalog::paper();
+        let cmp = Comparison::paper();
+        let curves = fig3_curves(&hw, &cmp, 6.1e9, 1e4, 1e7, 100);
+        let bw = &curves[0];
+        let mt = &curves[1];
+        assert!(bw.points[0].1 < mt.points[0].1, "cold: Bw-tree cheaper");
+        assert!(
+            mt.points.last().unwrap().1 < bw.points.last().unwrap().1,
+            "hot: MassTree cheaper"
+        );
+        let x = mt.crossover_with(bw).expect("cross");
+        assert!((x - 0.73e6).abs() / 0.73e6 < 0.1, "crossover {x}");
+    }
+
+    #[test]
+    fn fig7_lower_r_lower_curves() {
+        let hw = HardwareCatalog::paper();
+        let curves = fig7_curves(&hw, &[9.0, 5.8], 1e-3, 1.0, 50);
+        // curves[1] = R 9, curves[2] = R 5.8.
+        for (a, b) in curves[1].points.iter().zip(curves[2].points.iter()) {
+            assert!(b.1 <= a.1, "R=5.8 should never cost more");
+        }
+    }
+
+    #[test]
+    fn fig8_three_regimes() {
+        let hw = HardwareCatalog::paper();
+        let c = CompressionModel::default();
+        let curves = fig8_curves(&hw, &c, 1e-4, 100.0, 200);
+        let (mm, ss, css) = (&curves[0], &curves[1], &curves[2]);
+        // Coldest point: CSS < SS < MM.
+        assert!(css.points[0].1 < ss.points[0].1 && ss.points[0].1 < mm.points[0].1);
+        // Hottest point: MM < SS < CSS.
+        let last = curves
+            .iter()
+            .map(|s| s.points.last().unwrap().1)
+            .collect::<Vec<_>>();
+        assert!(last[0] < last[1] && last[1] < last[2]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Mixed-workload performance: Equations 1–3 and Figure 1 (§2.2).
+
+/// Equation 2: throughput with SS-fraction `f`, relative to `p0` (the
+/// all-MM throughput), when an SS operation costs `r` times the CPU of an
+/// MM operation.
+pub fn pf(p0: f64, f: f64, r: f64) -> f64 {
+    p0 * relative_performance(f, r)
+}
+
+/// Equation 2 normalized: `PF / P0 = 1 / ((1-F) + F·R)`.
+pub fn relative_performance(f: f64, r: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&f), "F is a fraction, got {f}");
+    assert!(r >= 1.0, "R < 1 means SS is cheaper than MM: {r}");
+    1.0 / ((1.0 - f) + f * r)
+}
+
+/// Equation 3: derive `R` from a measured pair `(P0, PF)` at SS-fraction
+/// `f`. Returns `None` when `f == 0` (no SS operations: R unobservable).
+pub fn derive_r(p0: f64, pf: f64, f: f64) -> Option<f64> {
+    if f <= 0.0 {
+        return None;
+    }
+    Some(1.0 + (1.0 / f) * (p0 / pf - 1.0))
+}
+
+/// The Figure 1 band: relative performance at `f` for `R = r_mid ± tol`
+/// (the paper uses 5.8 ± 30 %). Returns `(low_curve, mid, high_curve)`
+/// where `low_curve` is the *slower* (higher-R) bound.
+pub fn band(f: f64, r_mid: f64, tol: f64) -> (f64, f64, f64) {
+    let hi_r = r_mid * (1.0 + tol);
+    let lo_r = (r_mid * (1.0 - tol)).max(1.0);
+    (
+        relative_performance(f, hi_r),
+        relative_performance(f, r_mid),
+        relative_performance(f, lo_r),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_ss_ops_means_full_speed() {
+        assert_eq!(relative_performance(0.0, 5.8), 1.0);
+    }
+
+    #[test]
+    fn all_ss_ops_means_one_over_r() {
+        // §2.2: "At a cache miss ratio of 1, the Bw-tree runs at 1/R of
+        // in-memory performance".
+        let r = 5.8;
+        assert!((relative_performance(1.0, r) - 1.0 / r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn performance_declines_monotonically() {
+        let mut prev = f64::INFINITY;
+        for i in 0..=100 {
+            let f = i as f64 / 100.0;
+            let p = relative_performance(f, 5.8);
+            assert!(p < prev, "not monotone at f={f}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn eq3_inverts_eq2() {
+        // R derived from Eq-2-generated throughputs must round-trip.
+        for &r in &[1.0, 2.0, 5.8, 9.0, 20.0] {
+            for &f in &[0.01, 0.1, 0.5, 0.9, 1.0] {
+                let p0 = 4e6;
+                let pf = pf(p0, f, r);
+                let derived = derive_r(p0, pf, f).expect("f > 0");
+                assert!(
+                    (derived - r).abs() < 1e-6,
+                    "roundtrip failed: r={r} f={f} derived={derived}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derive_r_rejects_zero_f() {
+        assert_eq!(derive_r(1e6, 1e6, 0.0), None);
+    }
+
+    #[test]
+    fn band_orders_correctly() {
+        let (lo, mid, hi) = band(0.5, 5.8, 0.3);
+        assert!(lo < mid && mid < hi);
+    }
+
+    #[test]
+    fn half_misses_at_paper_r() {
+        // With R = 5.8, a 50 % miss ratio runs at 1/3.4 of full speed.
+        let rel = relative_performance(0.5, 5.8);
+        assert!((rel - 1.0 / 3.4).abs() < 1e-9, "rel {rel}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn fraction_out_of_range_panics() {
+        relative_performance(1.5, 5.8);
+    }
+}

@@ -1,0 +1,147 @@
+//! Main-memory store vs data caching store: Equations 7–8, Figure 3 (§5).
+
+use crate::catalog::HardwareCatalog;
+
+/// Measured comparison inputs: the main-memory store's performance gain
+/// and memory expansion over the caching store (both > 1 in the paper:
+/// `Px ≈ 2.6`, `Mx ≈ 2.1` for MassTree vs the memory-resident Bw-tree).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// `Px`: MassTree ops/sec divided by Bw-tree ops/sec.
+    pub px: f64,
+    /// `Mx`: MassTree footprint divided by Bw-tree footprint.
+    pub mx: f64,
+}
+
+impl Comparison {
+    /// The paper's point-experiment values.
+    pub fn paper() -> Self {
+        Comparison { px: 2.6, mx: 2.1 }
+    }
+}
+
+/// Equation 4 specialized (§5.1): cost/sec of running the whole database
+/// of `size` bytes in the Bw-tree at `n` ops/sec. (Secondary-storage rent
+/// is dropped on both sides, as in the paper.)
+pub fn bwtree_cost(hw: &HardwareCatalog, size: f64, n: f64) -> f64 {
+    size * hw.dram_per_byte + n * hw.mm_exec_cost()
+}
+
+/// Cost/sec of the same database in MassTree: `Mx` times the memory,
+/// `1/Px` times the per-op processor cost.
+pub fn masstree_cost(hw: &HardwareCatalog, size: f64, n: f64, cmp: &Comparison) -> f64 {
+    cmp.mx * size * hw.dram_per_byte + n * hw.mm_exec_cost() / cmp.px
+}
+
+/// Equation 7: the breakeven access interval. For access intervals longer
+/// than this (rates below `1/Ti`), the Bw-tree is cheaper; shorter, the
+/// MassTree's faster execution pays for its extra memory.
+pub fn ti_seconds(hw: &HardwareCatalog, size: f64, cmp: &Comparison) -> f64 {
+    assert!(cmp.px > 1.0 && cmp.mx > 1.0, "paper's regime: Px, Mx > 1");
+    (1.0 / size)
+        * (hw.mm_exec_cost() / hw.dram_per_byte)
+        * ((cmp.px - 1.0) / (cmp.px * (cmp.mx - 1.0)))
+}
+
+/// Equation 8's constant: `Ti · Size` (the paper computes 8.3·10³ for its
+/// catalog and measured Px/Mx).
+pub fn ti_size_product(hw: &HardwareCatalog, cmp: &Comparison) -> f64 {
+    ti_seconds(hw, 1.0, cmp)
+}
+
+/// The access rate above which MassTree is cheaper, for a database of
+/// `size` bytes.
+pub fn breakeven_rate(hw: &HardwareCatalog, size: f64, cmp: &Comparison) -> f64 {
+    1.0 / ti_seconds(hw, size, cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: f64 = 1e9;
+
+    fn setup() -> (HardwareCatalog, Comparison) {
+        (HardwareCatalog::paper(), Comparison::paper())
+    }
+
+    #[test]
+    fn ti_size_product_is_8300() {
+        let (hw, cmp) = setup();
+        let c = ti_size_product(&hw, &cmp);
+        assert!(
+            (c - 8.3e3).abs() / 8.3e3 < 0.02,
+            "Ti·S = {c}, paper says 8.3e3"
+        );
+    }
+
+    #[test]
+    fn six_gb_database_breakeven() {
+        // §5.2: 6.1 GB (the Bw-tree footprint) → rate ≈ 0.73e6 ops/sec.
+        let (hw, cmp) = setup();
+        let rate = breakeven_rate(&hw, 6.1 * GB, &cmp);
+        assert!(
+            (rate - 0.73e6).abs() / 0.73e6 < 0.02,
+            "rate {rate}, paper says ≈0.73e6"
+        );
+    }
+
+    #[test]
+    fn hundred_gb_database_breakeven() {
+        // §5.2: 100 GB → about 12e6 ops/sec before MassTree is cheaper.
+        let (hw, cmp) = setup();
+        let rate = breakeven_rate(&hw, 100.0 * GB, &cmp);
+        assert!(
+            (rate - 12e6).abs() / 12e6 < 0.05,
+            "rate {rate}, paper says ≈12e6"
+        );
+    }
+
+    #[test]
+    fn page_level_interval() {
+        // §5.2: for a 2.7 KB page, Ti must fall below ≈3.1 s before
+        // MassTree's cost per operation is lower.
+        let (hw, cmp) = setup();
+        let ti = ti_seconds(&hw, hw.page_bytes, &cmp);
+        assert!((ti - 3.1).abs() < 0.05, "Ti {ti}, paper says ≈3.1 s");
+    }
+
+    #[test]
+    fn breakeven_equalizes_costs() {
+        let (hw, cmp) = setup();
+        let size = 10.0 * GB;
+        let n = breakeven_rate(&hw, size, &cmp);
+        let bw = bwtree_cost(&hw, size, n);
+        let mt = masstree_cost(&hw, size, n, &cmp);
+        assert!((bw - mt).abs() / bw < 1e-9, "{bw} vs {mt}");
+    }
+
+    #[test]
+    fn bwtree_wins_cold_masstree_wins_hot() {
+        let (hw, cmp) = setup();
+        let size = 6.1 * GB;
+        let n_star = breakeven_rate(&hw, size, &cmp);
+        assert!(
+            bwtree_cost(&hw, size, n_star / 10.0) < masstree_cost(&hw, size, n_star / 10.0, &cmp)
+        );
+        assert!(
+            masstree_cost(&hw, size, n_star * 10.0, &cmp) < bwtree_cost(&hw, size, n_star * 10.0)
+        );
+    }
+
+    #[test]
+    fn rate_scales_with_database_size() {
+        // §5.2: "The access rate must scale with database size."
+        let (hw, cmp) = setup();
+        let r1 = breakeven_rate(&hw, GB, &cmp);
+        let r10 = breakeven_rate(&hw, 10.0 * GB, &cmp);
+        assert!((r10 / r1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "regime")]
+    fn degenerate_comparison_panics() {
+        let hw = HardwareCatalog::paper();
+        let _ = ti_seconds(&hw, 1e9, &Comparison { px: 0.9, mx: 2.0 });
+    }
+}

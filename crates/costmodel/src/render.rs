@@ -1,0 +1,117 @@
+//! Plain-text rendering of series and tables for the reproduction harness.
+
+use crate::figures::Series;
+
+/// Render rows as a fixed-width text table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render several series as columns keyed by a shared x axis.
+///
+/// All series must be sampled at the same x values (as the figure builders
+/// guarantee).
+pub fn series_table(x_label: &str, series: &[Series]) -> String {
+    let mut headers: Vec<&str> = vec![x_label];
+    for s in series {
+        headers.push(&s.label);
+    }
+    let rows: Vec<Vec<String>> = series[0]
+        .points
+        .iter()
+        .enumerate()
+        .map(|(i, (x, _))| {
+            let mut row = vec![format_sig(*x)];
+            for s in series {
+                row.push(format_sig(s.points[i].1));
+            }
+            row
+        })
+        .collect();
+    table(&headers, &rows)
+}
+
+/// Format a float to four significant digits, using scientific notation
+/// for very large/small magnitudes.
+pub fn format_sig(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if !(1e-3..1e6).contains(&a) {
+        format!("{v:.3e}")
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns() {
+        let out = table(
+            &["name", "value"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].contains("longer"));
+    }
+
+    #[test]
+    fn series_table_has_all_columns() {
+        let s1 = Series {
+            label: "a".into(),
+            points: vec![(1.0, 2.0), (2.0, 3.0)],
+        };
+        let s2 = Series {
+            label: "b".into(),
+            points: vec![(1.0, 5.0), (2.0, 6.0)],
+        };
+        let out = series_table("x", &[s1, s2]);
+        assert!(out.contains('a') && out.contains('b'));
+        assert_eq!(out.lines().count(), 4);
+    }
+
+    #[test]
+    fn sig_formatting() {
+        assert_eq!(format_sig(0.0), "0");
+        assert!(format_sig(1.0e-9).contains('e'));
+        assert!(format_sig(5.8).starts_with("5.8"));
+        assert!(format_sig(4.0e6).contains('e'));
+    }
+}

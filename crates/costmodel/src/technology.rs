@@ -1,0 +1,184 @@
+//! §8.2–8.3 technology what-ifs: NVRAM as an intermediate tier, and why
+//! hard disks stopped being a caching-store medium.
+//!
+//! The paper discusses both qualitatively; this module makes them
+//! computable with the same cost algebra as Equations 4–6, so the claims
+//! ("fetching data from NVRAM has much lower cost … than an SS operation",
+//! "HDDs cannot compete with flash drives", "disk is tape") can be checked
+//! against any catalog.
+
+use crate::catalog::HardwareCatalog;
+
+/// An NVRAM technology point: §8.2 expects cost and performance *between*
+/// DRAM and flash, with persistence.
+#[derive(Debug, Clone, Copy)]
+pub struct NvramModel {
+    /// NVRAM cost per byte (between `$M` and `$Fl`).
+    pub per_byte: f64,
+    /// CPU-cost ratio of an NVRAM-resident operation to an MM operation.
+    /// Loads cross no I/O stack, so this is small (≈1–3), far below the
+    /// SS operation's R.
+    pub r_nvram: f64,
+}
+
+impl NvramModel {
+    /// A mid-point guess consistent with §8.2's qualitative placement:
+    /// ~4× cheaper than DRAM, ~2.5× DRAM's access cost.
+    pub fn between() -> Self {
+        NvramModel {
+            per_byte: 1.25e-9,
+            r_nvram: 2.5,
+        }
+    }
+}
+
+/// Cost/sec of keeping a page in NVRAM and serving `n` ops/sec on it.
+/// No flash copy is needed: NVRAM is itself persistent (§8.2).
+pub fn nvram_cost(hw: &HardwareCatalog, nv: &NvramModel, n: f64) -> f64 {
+    hw.page_bytes * nv.per_byte + n * nv.r_nvram * hw.mm_exec_cost()
+}
+
+/// Access rate above which DRAM beats NVRAM for a page.
+pub fn nvram_mm_crossover_rate(hw: &HardwareCatalog, nv: &NvramModel) -> f64 {
+    // Storage gap: DRAM+flash rent minus NVRAM rent. Execution gap:
+    // NVRAM's extra CPU per op.
+    let storage_gap = hw.mm_storage_cost() - hw.page_bytes * nv.per_byte;
+    let exec_gap = (nv.r_nvram - 1.0) * hw.mm_exec_cost();
+    storage_gap / exec_gap
+}
+
+/// Access rate above which NVRAM beats flash (SS operations) for a page.
+pub fn ss_nvram_crossover_rate(hw: &HardwareCatalog, nv: &NvramModel) -> f64 {
+    let storage_gap = hw.page_bytes * (nv.per_byte - hw.flash_per_byte);
+    let exec_gap = hw.ss_exec_cost() - nv.r_nvram * hw.mm_exec_cost();
+    storage_gap / exec_gap
+}
+
+/// An HDD technology point (§8.3).
+#[derive(Debug, Clone, Copy)]
+pub struct HddModel {
+    /// Disk cost per byte.
+    pub per_byte: f64,
+    /// Cost of the drive's I/O capability.
+    pub iops_capability: f64,
+    /// Maximum I/O operations per second.
+    pub iops: f64,
+}
+
+impl HddModel {
+    /// §8.3's "best of them": 200 IOPS, ~5 ms latency, pricey per IOPS.
+    pub fn performance_2018() -> Self {
+        HddModel {
+            per_byte: 0.03e-9,
+            iops_capability: 100.0,
+            iops: 200.0,
+        }
+    }
+
+    /// §8.3's commodity drive: ~100 IOPS, 10 ms latency.
+    pub fn commodity_2018() -> Self {
+        HddModel {
+            per_byte: 0.02e-9,
+            iops_capability: 50.0,
+            iops: 100.0,
+        }
+    }
+}
+
+/// A catalog whose secondary storage is this HDD instead of flash. The
+/// breakeven interval (Equation 6) then tells the Gray-era story: with
+/// HDD IOPS this scarce, pages must be *very* cold before eviction pays.
+pub fn catalog_with_hdd(hw: &HardwareCatalog, hdd: &HddModel) -> HardwareCatalog {
+    HardwareCatalog {
+        flash_per_byte: hdd.per_byte,
+        iops_capability: hdd.iops_capability,
+        iops: hdd.iops,
+        ..hw.clone()
+    }
+}
+
+/// §8.3's saturation arithmetic: the throughput (ops/sec) a store can
+/// sustain before a device with `iops` I/O capacity saturates, at SS
+/// fraction `f`.
+pub fn iops_bound_throughput(iops: f64, f: f64) -> f64 {
+    if f <= 0.0 {
+        f64::INFINITY
+    } else {
+        iops / f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breakeven;
+    use crate::curves;
+
+    fn hw() -> HardwareCatalog {
+        HardwareCatalog::paper()
+    }
+
+    #[test]
+    fn nvram_sits_between_dram_and_flash_when_cold() {
+        let nv = NvramModel::between();
+        let h = hw();
+        let cold = 0.0;
+        let nvram = nvram_cost(&h, &nv, cold);
+        assert!(curves::ss_cost(&h, cold) < nvram, "flash cheapest cold");
+        assert!(nvram < curves::mm_cost(&h, cold), "NVRAM under DRAM cold");
+    }
+
+    #[test]
+    fn nvram_fetch_far_cheaper_than_ss_op() {
+        // §8.2: "fetching data from NVRAM has much lower cost and
+        // performance impact than an SS operation which needs I/O."
+        let nv = NvramModel::between();
+        let h = hw();
+        let nvram_exec = nv.r_nvram * h.mm_exec_cost();
+        assert!(nvram_exec < h.ss_exec_cost() / 3.0);
+    }
+
+    #[test]
+    fn three_tier_crossovers_are_ordered() {
+        // cold → flash, middle → NVRAM, hot → DRAM.
+        let nv = NvramModel::between();
+        let h = hw();
+        let ss_nv = ss_nvram_crossover_rate(&h, &nv);
+        let nv_mm = nvram_mm_crossover_rate(&h, &nv);
+        assert!(ss_nv > 0.0 && nv_mm > 0.0);
+        assert!(
+            ss_nv < nv_mm,
+            "NVRAM band must be non-empty: {ss_nv} vs {nv_mm}"
+        );
+    }
+
+    #[test]
+    fn hdd_breakeven_is_hours_not_seconds() {
+        // §8.3 / Gray: with 100–200 IOPS, the breakeven interval balloons —
+        // the 5-minute rule was derived when I/O was this scarce (and DRAM
+        // pricier still).
+        let h = catalog_with_hdd(&hw(), &HddModel::performance_2018());
+        let ti = breakeven::ti_seconds(&h);
+        let flash_ti = breakeven::ti_seconds(&hw());
+        assert!(
+            ti > 10.0 * flash_ti,
+            "HDD Ti {ti} should dwarf flash Ti {flash_ti}"
+        );
+    }
+
+    #[test]
+    fn hdd_saturates_at_tiny_throughput() {
+        // §8.3: "even less than a small fraction of 1 % of operations
+        // needing to access secondary storage quickly saturates an HDD."
+        let bound = iops_bound_throughput(HddModel::performance_2018().iops, 0.005);
+        assert!(bound < 1e5, "HDD-bound throughput {bound} ops/sec");
+        // Whereas the paper's SSD at the same miss rate supports millions.
+        let ssd_bound = iops_bound_throughput(hw().iops, 0.005);
+        assert!(ssd_bound >= 4e7);
+    }
+
+    #[test]
+    fn unbounded_when_no_misses() {
+        assert!(iops_bound_throughput(200.0, 0.0).is_infinite());
+    }
+}

@@ -1,0 +1,354 @@
+//! The collector: global epoch, participant registry, and garbage bags.
+
+use crate::deferred::Deferred;
+use crate::guard::Guard;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Local garbage bag size that triggers an opportunistic collection.
+const COLLECT_THRESHOLD: usize = 64;
+
+/// Per-participant state. Shared between the owning thread (hot path) and
+/// collecting threads (scan in `try_advance`).
+pub(crate) struct Local {
+    /// `0` when not pinned; otherwise `(epoch << 1) | 1`.
+    state: AtomicU64,
+    /// Nesting depth of guards on the owning thread. Only the owning thread
+    /// mutates this, but it is atomic so `Local` stays `Sync`.
+    guard_count: AtomicU64,
+    /// Garbage retired by this participant, stamped with retirement epoch.
+    bag: Mutex<Vec<Deferred>>,
+}
+
+impl Local {
+    fn new() -> Self {
+        Local {
+            state: AtomicU64::new(0),
+            guard_count: AtomicU64::new(0),
+            bag: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// Shared collector internals, owned jointly by the [`Collector`] and every
+/// [`LocalHandle`] registered to it.
+pub(crate) struct Global {
+    epoch: AtomicU64,
+    locals: Mutex<Vec<Arc<Local>>>,
+    /// Garbage from participants that unregistered before it became safe.
+    orphan: Mutex<Vec<Deferred>>,
+    deferred_total: AtomicU64,
+    freed_total: AtomicU64,
+    pins_total: AtomicU64,
+}
+
+impl Global {
+    fn new() -> Self {
+        Global {
+            epoch: AtomicU64::new(2), // start >= 2 so `epoch - 2` never underflows
+            locals: Mutex::new(Vec::new()),
+            orphan: Mutex::new(Vec::new()),
+            deferred_total: AtomicU64::new(0),
+            freed_total: AtomicU64::new(0),
+            pins_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Attempt to advance the global epoch. Succeeds only when every pinned
+    /// participant has announced the current epoch.
+    fn try_advance(&self) -> u64 {
+        let ge = self.epoch.load(Ordering::SeqCst);
+        {
+            let locals = self.locals.lock().unwrap();
+            for local in locals.iter() {
+                let s = local.state.load(Ordering::SeqCst);
+                if s & 1 == 1 && (s >> 1) != ge {
+                    return ge; // a participant is still in the previous epoch
+                }
+            }
+        }
+        // CAS failure means another thread advanced for us; either way the
+        // epoch is now at least ge + 1.
+        let _ = self
+            .epoch
+            .compare_exchange(ge, ge + 1, Ordering::SeqCst, Ordering::SeqCst);
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Free all garbage retired at or before `safe_epoch`.
+    ///
+    /// Garbage stamped `e` is freed once the global epoch reaches `e + 2`:
+    /// every thread pinned now announces at least `e + 1`, so it pinned
+    /// *after* the retiring unlink and cannot hold a reference.
+    fn collect(&self, local: &Local) {
+        let ge = self.try_advance();
+        let safe_before = ge.saturating_sub(1); // free items with epoch < ge - 1
+        let mut ready: Vec<Deferred> = Vec::new();
+        {
+            let mut bag = local.bag.lock().unwrap();
+            let mut i = 0;
+            while i < bag.len() {
+                if bag[i].epoch < safe_before {
+                    ready.push(bag.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        {
+            let mut orphan = self.orphan.lock().unwrap();
+            let mut i = 0;
+            while i < orphan.len() {
+                if orphan[i].epoch < safe_before {
+                    ready.push(orphan.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        let n = ready.len() as u64;
+        for d in ready {
+            d.call();
+        }
+        self.freed_total.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl Drop for Global {
+    fn drop(&mut self) {
+        // No handles remain (they co-own `Global`), so nothing is pinned and
+        // all garbage is safe to run.
+        let locals = std::mem::take(&mut *self.locals.lock().unwrap());
+        for local in locals {
+            let bag = std::mem::take(&mut *local.bag.lock().unwrap());
+            for d in bag {
+                d.call();
+            }
+        }
+        let orphan = std::mem::take(&mut *self.orphan.lock().unwrap());
+        for d in orphan {
+            d.call();
+        }
+    }
+}
+
+/// An epoch-based garbage collector instance.
+///
+/// Typically one collector exists per latch-free structure (or the process
+/// default via [`crate::pin`]). Threads participate by calling
+/// [`Collector::register`] and pinning through the returned handle.
+pub struct Collector {
+    global: Arc<Global>,
+}
+
+impl Collector {
+    /// Create a new, empty collector.
+    pub fn new() -> Self {
+        Collector {
+            global: Arc::new(Global::new()),
+        }
+    }
+
+    /// Register the current thread (or any thread the handle is moved to)
+    /// as a participant.
+    pub fn register(&self) -> LocalHandle {
+        let local = Arc::new(Local::new());
+        self.global.locals.lock().unwrap().push(local.clone());
+        LocalHandle {
+            global: self.global.clone(),
+            local,
+        }
+    }
+
+    /// Snapshot of collector counters, for observability and tests.
+    pub fn stats(&self) -> CollectorStats {
+        CollectorStats {
+            global_epoch: self.global.epoch.load(Ordering::SeqCst),
+            registered: self.global.locals.lock().unwrap().len(),
+            deferred_total: self.global.deferred_total.load(Ordering::Relaxed),
+            freed_total: self.global.freed_total.load(Ordering::Relaxed),
+            pins_total: self.global.pins_total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Counters describing a collector's activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// Current global epoch.
+    pub global_epoch: u64,
+    /// Number of registered participants.
+    pub registered: usize,
+    /// Total deferred functions ever queued.
+    pub deferred_total: u64,
+    /// Total deferred functions executed so far.
+    pub freed_total: u64,
+    /// Total pin operations.
+    pub pins_total: u64,
+}
+
+/// A per-thread participant handle. Pin through this to get a [`Guard`].
+pub struct LocalHandle {
+    pub(crate) global: Arc<Global>,
+    pub(crate) local: Arc<Local>,
+}
+
+impl LocalHandle {
+    /// Pin the owning thread. See [`crate::pin`].
+    pub fn pin(&self) -> Guard {
+        let prev = self.local.guard_count.fetch_add(1, Ordering::Relaxed);
+        if prev == 0 {
+            // Announce the epoch we observe; the fence orders the
+            // announcement before any subsequent shared-memory loads, and the
+            // re-check closes the window where the epoch advanced between our
+            // load and store.
+            loop {
+                let ge = self.global.epoch.load(Ordering::SeqCst);
+                self.local.state.store((ge << 1) | 1, Ordering::SeqCst);
+                fence(Ordering::SeqCst);
+                if self.global.epoch.load(Ordering::SeqCst) == ge {
+                    break;
+                }
+            }
+        }
+        self.global.pins_total.fetch_add(1, Ordering::Relaxed);
+        Guard::new(self.global.clone(), self.local.clone())
+    }
+}
+
+impl Drop for LocalHandle {
+    fn drop(&mut self) {
+        debug_assert_eq!(
+            self.local.guard_count.load(Ordering::Relaxed),
+            0,
+            "LocalHandle dropped while a Guard is live"
+        );
+        // Migrate unfreed garbage to the orphan list and unregister.
+        let bag = std::mem::take(&mut *self.local.bag.lock().unwrap());
+        self.global.orphan.lock().unwrap().extend(bag);
+        let mut locals = self.global.locals.lock().unwrap();
+        locals.retain(|l| !Arc::ptr_eq(l, &self.local));
+    }
+}
+
+// Guard-side operations live here so `Local` internals stay private.
+impl Guard {
+    /// Defer `f` until no pinned thread can observe retired memory.
+    ///
+    /// `f` must not pin or defer on the *same* collector (it runs while
+    /// internal locks may be re-acquired by the caller's thread).
+    pub fn defer(&self, f: impl FnOnce() + Send + 'static) {
+        let epoch = self.global().epoch.load(Ordering::SeqCst);
+        self.global().deferred_total.fetch_add(1, Ordering::Relaxed);
+        let mut bag = self.local().bag.lock().unwrap();
+        bag.push(Deferred::new(epoch, f));
+        let should_collect = bag.len() >= COLLECT_THRESHOLD;
+        drop(bag);
+        if should_collect {
+            self.global().collect(self.local());
+        }
+    }
+
+    /// Defer dropping the `Box` behind `ptr`.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have come from `Box::into_raw`, must not be freed by any
+    /// other path, and no new references to it may be created after this
+    /// call (it is already unlinked from shared memory).
+    pub unsafe fn defer_drop<T: Send + 'static>(&self, ptr: *mut T) {
+        let addr = ptr as usize;
+        self.defer(move || {
+            // SAFETY: caller contract — unique, unlinked Box pointer.
+            drop(unsafe { Box::from_raw(addr as *mut T) });
+        });
+    }
+
+    /// Eagerly attempt to advance the epoch and run safe garbage.
+    pub fn flush(&self) {
+        self.global().collect(self.local());
+    }
+
+    /// The epoch this guard's thread announced when pinning.
+    pub fn epoch(&self) -> u64 {
+        self.local().state.load(Ordering::SeqCst) >> 1
+    }
+
+    pub(crate) fn unpin(global: &Global, local: &Local) {
+        let prev = local.guard_count.fetch_sub(1, Ordering::Relaxed);
+        if prev == 1 {
+            local.state.store(0, Ordering::SeqCst);
+            // Opportunistically collect if garbage is piling up.
+            let pending = local.bag.lock().unwrap().len();
+            if pending >= COLLECT_THRESHOLD / 2 {
+                global.collect(local);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_unregister_updates_registry() {
+        let c = Collector::new();
+        assert_eq!(c.stats().registered, 0);
+        let h1 = c.register();
+        let h2 = c.register();
+        assert_eq!(c.stats().registered, 2);
+        drop(h1);
+        assert_eq!(c.stats().registered, 1);
+        drop(h2);
+        assert_eq!(c.stats().registered, 0);
+    }
+
+    #[test]
+    fn epoch_starts_at_two() {
+        let c = Collector::new();
+        assert_eq!(c.stats().global_epoch, 2);
+    }
+
+    #[test]
+    fn pin_count_tracked() {
+        let c = Collector::new();
+        let h = c.register();
+        for _ in 0..10 {
+            let _ = h.pin();
+        }
+        assert_eq!(c.stats().pins_total, 10);
+    }
+
+    #[test]
+    fn advance_blocked_by_lagging_pin() {
+        let c = Collector::new();
+        let h1 = c.register();
+        let h2 = c.register();
+        let _blocker = h1.pin();
+        let before = c.stats().global_epoch;
+        // h2 can advance at most once past the epoch h1 is pinned at.
+        for _ in 0..16 {
+            h2.pin().flush();
+        }
+        let after = c.stats().global_epoch;
+        assert!(
+            after <= before + 1,
+            "advance past pinned epoch: {before} -> {after}"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Type-erased deferred functions.
+
+/// A deferred function: a closure that will run exactly once, after the
+/// collector proves no pinned thread can still observe the memory it frees.
+///
+/// Stored boxed; retirement is off the hot path (an operation retires memory
+/// only when it unlinks a node), so one allocation per retirement is
+/// acceptable and keeps the implementation simple and safe.
+pub struct Deferred {
+    /// Epoch at which the owning object was retired.
+    pub(crate) epoch: u64,
+    call: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl Deferred {
+    pub(crate) fn new(epoch: u64, f: impl FnOnce() + Send + 'static) -> Self {
+        Deferred {
+            epoch,
+            call: Some(Box::new(f)),
+        }
+    }
+
+    /// Execute the deferred function. Idempotent: calling twice is a no-op.
+    pub(crate) fn call(mut self) {
+        if let Some(f) = self.call.take() {
+            f();
+        }
+    }
+}
+
+impl std::fmt::Debug for Deferred {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deferred")
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn call_runs_once() {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = n.clone();
+        let d = Deferred::new(3, move || {
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(d.epoch, 3);
+        d.call();
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn debug_format() {
+        let d = Deferred::new(7, || {});
+        let s = format!("{d:?}");
+        assert!(s.contains("7"));
+        d.call();
+    }
+}

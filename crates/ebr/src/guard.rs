@@ -1,0 +1,52 @@
+//! Pin guards.
+
+use crate::collector::{Global, Local};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Witness that the current thread is pinned.
+///
+/// While a `Guard` is live, memory retired through the same collector cannot
+/// be freed if this thread could still observe it. Guards nest: inner guards
+/// share the outermost guard's announced epoch. Dropping the outermost guard
+/// unpins the thread and may opportunistically collect garbage.
+///
+/// `Guard` is deliberately `!Send`: a pin protects loads performed *on the
+/// pinning thread*.
+pub struct Guard {
+    global: Arc<Global>,
+    local: Arc<Local>,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl Guard {
+    pub(crate) fn new(global: Arc<Global>, local: Arc<Local>) -> Self {
+        Guard {
+            global,
+            local,
+            _not_send: PhantomData,
+        }
+    }
+
+    pub(crate) fn global(&self) -> &Global {
+        &self.global
+    }
+
+    pub(crate) fn local(&self) -> &Local {
+        &self.local
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        Guard::unpin(&self.global, &self.local);
+    }
+}
+
+impl std::fmt::Debug for Guard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Guard")
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}

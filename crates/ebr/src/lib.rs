@@ -1,0 +1,265 @@
+//! Epoch-based memory reclamation (EBR) for latch-free data structures.
+//!
+//! Latch-free structures like the Bw-tree (`dcs-bwtree`) and MassTree
+//! (`dcs-masstree`) unlink nodes from shared memory while concurrent readers
+//! may still hold raw pointers into them. EBR defers physical deallocation
+//! until no reader that could have observed the unlinked node remains active.
+//!
+//! # Scheme
+//!
+//! This is the classic three-epoch scheme (Fraser 2004; the same design used
+//! by `crossbeam-epoch`, re-implemented here from scratch so the data-store
+//! substrates of this workspace have no external unsafe dependencies):
+//!
+//! * A global epoch counter advances through values `e`, `e+1`, `e+2`, …
+//! * Each thread *pins* itself before touching shared memory, announcing the
+//!   global epoch it observed. While pinned, the thread's announced epoch
+//!   lags the global epoch by at most one.
+//! * Retired garbage is stamped with the epoch at retirement. Once the global
+//!   epoch has advanced two steps past the stamp, no pinned thread can still
+//!   hold a reference, and the garbage is freed.
+//!
+//! # Usage
+//!
+//! ```
+//! use dcs_ebr::{pin, Collector};
+//!
+//! // Retire a heap allocation through the global collector.
+//! let guard = pin();
+//! let boxed = Box::new(42u64);
+//! let raw = Box::into_raw(boxed);
+//! unsafe { guard.defer_drop(raw) };
+//! drop(guard);
+//!
+//! // Or use a private collector, e.g. one per tree instance.
+//! let collector = Collector::new();
+//! let handle = collector.register();
+//! let guard = handle.pin();
+//! guard.defer(|| { /* runs once safe */ });
+//! ```
+//!
+//! # Guarantees
+//!
+//! * [`Guard`] is `!Send`: a pin is a property of the current thread.
+//! * Deferred closures run at most once, after every thread pinned at (or
+//!   before) the retirement epoch has unpinned.
+//! * Dropping a [`Collector`] runs all remaining deferred functions.
+
+mod collector;
+mod deferred;
+mod guard;
+
+pub use collector::{Collector, CollectorStats, LocalHandle};
+pub use deferred::Deferred;
+pub use guard::Guard;
+
+use std::sync::OnceLock;
+
+/// The process-wide default collector used by [`pin`].
+fn default_collector() -> &'static Collector {
+    static DEFAULT: OnceLock<Collector> = OnceLock::new();
+    DEFAULT.get_or_init(Collector::new)
+}
+
+thread_local! {
+    static DEFAULT_HANDLE: LocalHandle = default_collector().register();
+}
+
+/// Pin the current thread to the global default collector.
+///
+/// While the returned [`Guard`] lives, memory retired through *this
+/// collector* by any thread is not freed if this thread could still observe
+/// it. Pins are cheap (two atomic stores and a fence) and re-entrant: nested
+/// pins reuse the outermost pin's epoch.
+pub fn pin() -> Guard {
+    DEFAULT_HANDLE.with(|h| h.pin())
+}
+
+/// Returns statistics for the global default collector.
+pub fn default_stats() -> CollectorStats {
+    default_collector().stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn pin_unpin_smoke() {
+        let g = pin();
+        drop(g);
+        let g1 = pin();
+        let g2 = pin();
+        drop(g1);
+        drop(g2);
+    }
+
+    #[test]
+    fn deferred_runs_eventually() {
+        let collector = Collector::new();
+        let handle = collector.register();
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let guard = handle.pin();
+            let ran = ran.clone();
+            guard.defer(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Repeated pin/unpin cycles advance the epoch and flush garbage.
+        for _ in 0..64 {
+            let g = handle.pin();
+            g.flush();
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn deferred_not_run_while_pinned() {
+        let collector = Collector::new();
+        let h1 = collector.register();
+        let h2 = collector.register();
+        let ran = Arc::new(AtomicUsize::new(0));
+
+        let blocker = h1.pin(); // h1 stays pinned, blocking epoch advance.
+        {
+            let guard = h2.pin();
+            let ran = ran.clone();
+            guard.defer(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        for _ in 0..64 {
+            let g = h2.pin();
+            g.flush();
+        }
+        // h1's pin predates the retirement epoch, so garbage must survive.
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        drop(blocker);
+        for _ in 0..64 {
+            let g = h2.pin();
+            g.flush();
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn collector_drop_runs_all_garbage() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let collector = Collector::new();
+            let handle = collector.register();
+            let guard = handle.pin();
+            for _ in 0..100 {
+                let ran = ran.clone();
+                guard.defer(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            drop(guard);
+            drop(handle);
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn defer_drop_frees_box() {
+        struct Canary(Arc<AtomicUsize>);
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let collector = Collector::new();
+        let handle = collector.register();
+        {
+            let guard = handle.pin();
+            let raw = Box::into_raw(Box::new(Canary(drops.clone())));
+            unsafe { guard.defer_drop(raw) };
+        }
+        for _ in 0..64 {
+            handle.pin().flush();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_stress() {
+        let collector = Arc::new(Collector::new());
+        let freed = Arc::new(AtomicUsize::new(0));
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 2_000;
+
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let collector = collector.clone();
+            let freed = freed.clone();
+            joins.push(std::thread::spawn(move || {
+                let handle = collector.register();
+                for i in 0..PER_THREAD {
+                    let guard = handle.pin();
+                    let freed = freed.clone();
+                    guard.defer(move || {
+                        freed.fetch_add(1, Ordering::SeqCst);
+                    });
+                    if i % 16 == 0 {
+                        guard.flush();
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        // Drop the last Arc; the collector reclaims stragglers on drop.
+        drop(Arc::try_unwrap(collector).ok());
+        assert_eq!(freed.load(Ordering::SeqCst), THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn stats_report_epoch_progress() {
+        let collector = Collector::new();
+        let handle = collector.register();
+        let before = collector.stats().global_epoch;
+        for _ in 0..32 {
+            handle.pin().flush();
+        }
+        let after = collector.stats().global_epoch;
+        assert!(after > before, "epoch should advance: {before} -> {after}");
+    }
+
+    #[test]
+    fn nested_pins_share_epoch() {
+        let collector = Collector::new();
+        let handle = collector.register();
+        let outer = handle.pin();
+        let e1 = outer.epoch();
+        let inner = handle.pin();
+        assert_eq!(e1, inner.epoch());
+        drop(inner);
+        drop(outer);
+    }
+
+    #[test]
+    fn handle_drop_migrates_garbage() {
+        let collector = Collector::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let handle = collector.register();
+            let guard = handle.pin();
+            let ran = ran.clone();
+            guard.defer(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+            // handle dropped with garbage still queued
+        }
+        let h2 = collector.register();
+        for _ in 0..64 {
+            h2.pin().flush();
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+}

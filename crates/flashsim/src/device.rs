@@ -1,0 +1,626 @@
+//! The simulated append-only flash device.
+
+use crate::clock::VirtualClock;
+use crate::config::DeviceConfig;
+use crate::inject::FailureInjector;
+use crate::stats::{DeviceStats, StatsInner};
+use crate::Nanos;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifier of an erase segment.
+pub type SegmentId = u32;
+
+/// A stable address on the device: segment plus byte offset within it.
+///
+/// Appends never span segments, so `(segment, offset, len)` always names a
+/// contiguous byte range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlashAddress {
+    /// Erase segment holding the data.
+    pub segment: SegmentId,
+    /// Byte offset within the segment.
+    pub offset: u32,
+}
+
+impl FlashAddress {
+    /// Pack into a `u64` (for storage in mapping-table words).
+    pub fn to_u64(self) -> u64 {
+        ((self.segment as u64) << 32) | self.offset as u64
+    }
+
+    /// Unpack from [`FlashAddress::to_u64`].
+    pub fn from_u64(v: u64) -> Self {
+        FlashAddress {
+            segment: (v >> 32) as u32,
+            offset: v as u32,
+        }
+    }
+}
+
+/// Errors surfaced by the device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The device is out of free segments; the caller must garbage-collect.
+    Full,
+    /// An append larger than one segment was requested.
+    OversizedAppend {
+        /// Bytes requested.
+        requested: usize,
+        /// Segment capacity.
+        segment_bytes: usize,
+    },
+    /// A read named a segment that does not exist or was trimmed.
+    BadAddress(FlashAddress),
+    /// A read extended past the written extent of its segment.
+    ShortSegment {
+        /// Requested address.
+        addr: FlashAddress,
+        /// Requested length.
+        len: usize,
+        /// Written bytes in that segment.
+        written: usize,
+    },
+    /// An injected (simulated) media failure.
+    InjectedFailure,
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::Full => write!(f, "device full: no free segments"),
+            DeviceError::OversizedAppend {
+                requested,
+                segment_bytes,
+            } => write!(
+                f,
+                "append of {requested} bytes exceeds segment size {segment_bytes}"
+            ),
+            DeviceError::BadAddress(a) => write!(f, "bad address {a:?}"),
+            DeviceError::ShortSegment { addr, len, written } => write!(
+                f,
+                "read of {len} bytes at {addr:?} past written extent {written}"
+            ),
+            DeviceError::InjectedFailure => write!(f, "injected media failure"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// One erase segment's in-memory image.
+struct Segment {
+    data: Box<[u8]>,
+    /// Bytes appended so far.
+    written: usize,
+    /// Bytes known durable (≤ written). A crash truncates to this point.
+    durable: usize,
+}
+
+impl Segment {
+    fn new(size: usize) -> Self {
+        Segment {
+            data: vec![0u8; size].into_boxed_slice(),
+            written: 0,
+            durable: 0,
+        }
+    }
+}
+
+struct DeviceState {
+    segments: Vec<Option<Segment>>,
+    free: Vec<SegmentId>,
+    open: Option<SegmentId>,
+    /// Erase (trim) count per physical segment — flash wear.
+    erase_counts: Vec<u32>,
+}
+
+/// The simulated flash SSD.
+///
+/// * **Append-only within segments**: data is written by [`FlashDevice::append`],
+///   which returns a stable [`FlashAddress`]; whole segments are reclaimed by
+///   [`FlashDevice::trim_segment`] (flash erase).
+/// * **Accounting**: every read/write I/O charges the configured
+///   [`crate::IoPathModel`]'s CPU work and occupies the device's virtual-time
+///   queue slot (rate `max_iops`), so both the CPU term and the IOPS term of
+///   the paper's cost equations are exercised.
+/// * **Crash simulation**: [`FlashDevice::sync`] marks appended data durable;
+///   [`FlashDevice::crash`] discards the non-durable tail, as a power failure
+///   would.
+pub struct FlashDevice {
+    config: DeviceConfig,
+    clock: VirtualClock,
+    state: Mutex<DeviceState>,
+    /// Virtual time at which the device queue frees up.
+    busy_until: AtomicU64,
+    stats: StatsInner,
+    injector: FailureInjector,
+}
+
+impl FlashDevice {
+    /// Create a device with its own clock.
+    pub fn new(config: DeviceConfig) -> Self {
+        Self::with_clock(config, VirtualClock::new())
+    }
+
+    /// Create a device sharing an external virtual clock.
+    pub fn with_clock(config: DeviceConfig, clock: VirtualClock) -> Self {
+        let state = DeviceState {
+            segments: (0..config.segment_count).map(|_| None).collect(),
+            free: (0..config.segment_count as SegmentId).rev().collect(),
+            open: None,
+            erase_counts: vec![0; config.segment_count],
+        };
+        FlashDevice {
+            config,
+            clock,
+            state: Mutex::new(state),
+            busy_until: AtomicU64::new(0),
+            stats: StatsInner::default(),
+            injector: FailureInjector::disabled(),
+        }
+    }
+
+    /// Replace the failure injector (for recovery tests).
+    pub fn set_injector(&self, injector: FailureInjector) {
+        self.injector.replace_with(injector);
+    }
+
+    /// The device's configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// The device's clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Occupy one device queue slot and return the I/O's completion time.
+    fn schedule_io(&self, latency: Nanos) -> Nanos {
+        let service = (1e9 / self.config.max_iops) as u64;
+        let now = self.clock.now();
+        // busy_until = max(now, busy_until) + service, atomically.
+        let mut cur = self.busy_until.load(Ordering::SeqCst);
+        loop {
+            let start = cur.max(now);
+            let next = start + service;
+            match self.busy_until.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return start + latency.max(service),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Append `buf` to the log, returning its address.
+    ///
+    /// The append charges one write I/O. Appends never span segments: when
+    /// the open segment cannot hold `buf`, it is sealed and a fresh segment
+    /// opened. Fails with [`DeviceError::Full`] when no free segment remains
+    /// (the log-structured store must GC).
+    pub fn append(&self, buf: &[u8]) -> Result<FlashAddress, DeviceError> {
+        if buf.len() > self.config.segment_bytes {
+            return Err(DeviceError::OversizedAppend {
+                requested: buf.len(),
+                segment_bytes: self.config.segment_bytes,
+            });
+        }
+        self.config.io_path.run_submit();
+
+        let addr = {
+            let mut st = self.state.lock();
+            let need_new = match st.open {
+                Some(id) => {
+                    let seg = st.segments[id as usize]
+                        .as_ref()
+                        .expect("open segment exists");
+                    seg.written + buf.len() > self.config.segment_bytes
+                }
+                None => true,
+            };
+            if need_new {
+                let id = st.free.pop().ok_or(DeviceError::Full)?;
+                st.segments[id as usize] = Some(Segment::new(self.config.segment_bytes));
+                st.open = Some(id);
+            }
+            let id = st.open.expect("segment just opened");
+            let seg = st.segments[id as usize]
+                .as_mut()
+                .expect("open segment exists");
+            let offset = seg.written;
+            seg.data[offset..offset + buf.len()].copy_from_slice(buf);
+            seg.written += buf.len();
+            FlashAddress {
+                segment: id,
+                offset: offset as u32,
+            }
+        };
+
+        let done = self.schedule_io(self.config.write_latency);
+        if self.config.advance_clock_on_io {
+            self.clock.advance_to(done);
+        }
+        self.config.io_path.run_complete();
+        self.stats.record_write(buf.len() as u64);
+        Ok(addr)
+    }
+
+    /// Append `buf` with immediate durability (FUA-style): the write goes
+    /// to a freshly opened segment whose contents are durable as soon as
+    /// the call returns, without affecting the durability of any other
+    /// pending write. Used by GC relocation, which must not piggyback a
+    /// global sync onto unrelated buffered data.
+    pub fn append_durable(&self, buf: &[u8]) -> Result<FlashAddress, DeviceError> {
+        if buf.len() > self.config.segment_bytes {
+            return Err(DeviceError::OversizedAppend {
+                requested: buf.len(),
+                segment_bytes: self.config.segment_bytes,
+            });
+        }
+        self.config.io_path.run_submit();
+        let addr = {
+            let mut st = self.state.lock();
+            let id = st.free.pop().ok_or(DeviceError::Full)?;
+            let mut seg = Segment::new(self.config.segment_bytes);
+            seg.data[..buf.len()].copy_from_slice(buf);
+            seg.written = buf.len();
+            seg.durable = buf.len();
+            st.segments[id as usize] = Some(seg);
+            // The fresh segment is closed immediately; the previous open
+            // segment (if any) remains the append target.
+            FlashAddress {
+                segment: id,
+                offset: 0,
+            }
+        };
+        let done = self.schedule_io(self.config.write_latency);
+        if self.config.advance_clock_on_io {
+            self.clock.advance_to(done);
+        }
+        self.config.io_path.run_complete();
+        self.stats.record_write(buf.len() as u64);
+        self.stats.record_sync();
+        Ok(addr)
+    }
+
+    /// Read `len` bytes at `addr`. Charges one read I/O.
+    pub fn read(&self, addr: FlashAddress, len: usize) -> Result<Vec<u8>, DeviceError> {
+        self.config.io_path.run_submit();
+        if self.injector.should_fail_read() {
+            self.stats.record_injected_failure();
+            return Err(DeviceError::InjectedFailure);
+        }
+
+        let data = {
+            let st = self.state.lock();
+            let seg = st
+                .segments
+                .get(addr.segment as usize)
+                .and_then(|s| s.as_ref())
+                .ok_or(DeviceError::BadAddress(addr))?;
+            let start = addr.offset as usize;
+            if start + len > seg.written {
+                return Err(DeviceError::ShortSegment {
+                    addr,
+                    len,
+                    written: seg.written,
+                });
+            }
+            seg.data[start..start + len].to_vec()
+        };
+
+        let done = self.schedule_io(self.config.read_latency);
+        if self.config.advance_clock_on_io {
+            self.clock.advance_to(done);
+        }
+        self.config.io_path.run_complete();
+        self.stats.record_read(len as u64);
+        Ok(data)
+    }
+
+    /// Number of bytes written into `segment` (0 if trimmed/never used).
+    pub fn segment_written(&self, segment: SegmentId) -> usize {
+        let st = self.state.lock();
+        st.segments
+            .get(segment as usize)
+            .and_then(|s| s.as_ref())
+            .map(|s| s.written)
+            .unwrap_or(0)
+    }
+
+    /// Erase a whole segment, returning its storage to the free pool.
+    ///
+    /// The open segment cannot be trimmed. Trimming an already-free segment
+    /// is a no-op (idempotent, as SSD trim is).
+    pub fn trim_segment(&self, segment: SegmentId) {
+        let mut st = self.state.lock();
+        if st.open == Some(segment) {
+            return;
+        }
+        if st
+            .segments
+            .get(segment as usize)
+            .map(|s| s.is_some())
+            .unwrap_or(false)
+        {
+            st.segments[segment as usize] = None;
+            st.free.push(segment);
+            st.erase_counts[segment as usize] += 1;
+            self.stats.record_trim();
+        }
+    }
+
+    /// Flash-wear summary: `(max erases on any segment, mean erases)`.
+    /// Log-structured stores spread erases across segments; a hot-spot in
+    /// the maximum relative to the mean indicates poor wear leveling.
+    pub fn wear(&self) -> (u32, f64) {
+        let st = self.state.lock();
+        let max = st.erase_counts.iter().copied().max().unwrap_or(0);
+        let sum: u64 = st.erase_counts.iter().map(|&c| c as u64).sum();
+        (max, sum as f64 / st.erase_counts.len() as f64)
+    }
+
+    /// Seal the open segment so the next append starts a fresh one.
+    /// The log-structured store calls this at flush-buffer boundaries.
+    pub fn seal_open_segment(&self) {
+        let mut st = self.state.lock();
+        st.open = None;
+    }
+
+    /// Mark all appended data durable (as a flush barrier / FUA would).
+    pub fn sync(&self) {
+        let mut st = self.state.lock();
+        for seg in st.segments.iter_mut().flatten() {
+            seg.durable = seg.written;
+        }
+        self.stats.record_sync();
+    }
+
+    /// Simulate a power failure: every byte appended since the last
+    /// [`FlashDevice::sync`] is lost. Returns the number of bytes discarded.
+    pub fn crash(&self) -> u64 {
+        let mut st = self.state.lock();
+        let mut lost = 0u64;
+        for seg in st.segments.iter_mut().flatten() {
+            lost += (seg.written - seg.durable) as u64;
+            seg.written = seg.durable;
+        }
+        st.open = None;
+        lost
+    }
+
+    /// Free segments remaining.
+    pub fn free_segments(&self) -> usize {
+        self.state.lock().free.len()
+    }
+
+    /// Snapshot of device counters.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+            .snapshot(self.clock.now(), self.busy_until.load(Ordering::SeqCst))
+    }
+}
+
+impl std::fmt::Debug for FlashDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlashDevice")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::IoPathKind;
+
+    fn test_device() -> FlashDevice {
+        FlashDevice::new(DeviceConfig::small_test())
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let d = test_device();
+        let a1 = d.append(b"alpha").unwrap();
+        let a2 = d.append(b"beta").unwrap();
+        assert_eq!(d.read(a1, 5).unwrap(), b"alpha");
+        assert_eq!(d.read(a2, 4).unwrap(), b"beta");
+    }
+
+    #[test]
+    fn addresses_are_packed_losslessly() {
+        let a = FlashAddress {
+            segment: 0xDEAD,
+            offset: 0xBEEF,
+        };
+        assert_eq!(FlashAddress::from_u64(a.to_u64()), a);
+    }
+
+    #[test]
+    fn appends_do_not_span_segments() {
+        let d = test_device();
+        let seg_size = d.config().segment_bytes;
+        let big = vec![7u8; seg_size - 10];
+        let a1 = d.append(&big).unwrap();
+        let a2 = d.append(b"next-segment").unwrap();
+        assert_ne!(a1.segment, a2.segment);
+        assert_eq!(a2.offset, 0);
+        assert_eq!(d.read(a2, 12).unwrap(), b"next-segment");
+    }
+
+    #[test]
+    fn oversized_append_rejected() {
+        let d = test_device();
+        let huge = vec![0u8; d.config().segment_bytes + 1];
+        assert!(matches!(
+            d.append(&huge),
+            Err(DeviceError::OversizedAppend { .. })
+        ));
+    }
+
+    #[test]
+    fn device_fills_up() {
+        let cfg = DeviceConfig {
+            segment_count: 2,
+            ..DeviceConfig::small_test()
+        };
+        let d = FlashDevice::new(cfg);
+        let seg = d.config().segment_bytes;
+        d.append(&vec![1u8; seg]).unwrap();
+        d.append(&vec![2u8; seg]).unwrap();
+        assert_eq!(d.append(b"x"), Err(DeviceError::Full));
+    }
+
+    #[test]
+    fn trim_frees_capacity() {
+        let cfg = DeviceConfig {
+            segment_count: 2,
+            ..DeviceConfig::small_test()
+        };
+        let d = FlashDevice::new(cfg);
+        let seg = d.config().segment_bytes;
+        let a1 = d.append(&vec![1u8; seg]).unwrap();
+        d.append(&vec![2u8; seg]).unwrap();
+        d.trim_segment(a1.segment);
+        assert_eq!(d.free_segments(), 1);
+        assert_eq!(d.read(a1, 1), Err(DeviceError::BadAddress(a1)));
+        // The trimmed segment is recycled for new appends.
+        let a3 = d.append(b"fits now").unwrap();
+        assert_eq!(a3.segment, a1.segment);
+    }
+
+    #[test]
+    fn trim_open_segment_is_refused() {
+        let d = test_device();
+        let a = d.append(b"keep me").unwrap();
+        d.trim_segment(a.segment);
+        assert_eq!(d.read(a, 7).unwrap(), b"keep me");
+    }
+
+    #[test]
+    fn short_read_detected() {
+        let d = test_device();
+        let a = d.append(b"tiny").unwrap();
+        assert!(matches!(
+            d.read(a, 100),
+            Err(DeviceError::ShortSegment { .. })
+        ));
+    }
+
+    #[test]
+    fn crash_discards_unsynced_tail() {
+        let d = test_device();
+        let a1 = d.append(b"durable").unwrap();
+        d.sync();
+        let a2 = d.append(b"volatile").unwrap();
+        let lost = d.crash();
+        assert_eq!(lost, 8);
+        assert_eq!(d.read(a1, 7).unwrap(), b"durable");
+        assert!(d.read(a2, 8).is_err());
+    }
+
+    #[test]
+    fn stats_count_ios() {
+        let d = test_device();
+        let a = d.append(b"12345678").unwrap();
+        d.read(a, 8).unwrap();
+        d.read(a, 4).unwrap();
+        let s = d.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.bytes_written, 8);
+        assert_eq!(s.bytes_read, 12);
+    }
+
+    #[test]
+    fn iops_ceiling_advances_clock() {
+        let cfg = DeviceConfig {
+            max_iops: 1000.0, // 1 ms service time
+            read_latency: 0,
+            write_latency: 0,
+            io_path: IoPathKind::Free.model(),
+            ..DeviceConfig::small_test()
+        };
+        let d = FlashDevice::new(cfg);
+        let a = d.append(b"x").unwrap();
+        for _ in 0..10 {
+            d.read(a, 1).unwrap();
+        }
+        // 11 I/Os at 1 ms service each ⇒ ≥ 11 ms of virtual time.
+        assert!(d.clock().now() >= 11_000_000, "now={}", d.clock().now());
+    }
+
+    #[test]
+    fn injected_read_failures_surface() {
+        let d = test_device();
+        let a = d.append(b"data").unwrap();
+        d.set_injector(FailureInjector::failing_reads(1.0, 42));
+        assert_eq!(d.read(a, 4), Err(DeviceError::InjectedFailure));
+        d.set_injector(FailureInjector::disabled());
+        assert_eq!(d.read(a, 4).unwrap(), b"data");
+    }
+
+    #[test]
+    fn concurrent_appends_get_distinct_addresses() {
+        let d = std::sync::Arc::new(FlashDevice::new(DeviceConfig {
+            segment_count: 256,
+            ..DeviceConfig::small_test()
+        }));
+        let mut handles = Vec::new();
+        for t in 0..8u8 {
+            let d = d.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut addrs = Vec::new();
+                for i in 0..200 {
+                    let payload = [t, i as u8, 0xAB];
+                    addrs.push((d.append(&payload).unwrap(), payload));
+                }
+                addrs
+            }));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for h in handles {
+            for (addr, payload) in h.join().unwrap() {
+                assert!(seen.insert(addr), "duplicate address {addr:?}");
+                assert_eq!(d.read(addr, 3).unwrap(), payload);
+            }
+        }
+    }
+
+    #[test]
+    fn wear_counts_erases() {
+        let cfg = DeviceConfig {
+            segment_count: 4,
+            ..DeviceConfig::small_test()
+        };
+        let d = FlashDevice::new(cfg);
+        assert_eq!(d.wear(), (0, 0.0));
+        let seg = d.config().segment_bytes;
+        for _ in 0..3 {
+            let a = d.append(&vec![1u8; seg]).unwrap();
+            d.seal_open_segment();
+            d.trim_segment(a.segment);
+        }
+        let (max, mean) = d.wear();
+        assert!(max >= 1);
+        assert!(
+            (mean - 3.0 / 4.0).abs() < 1e-9 || max == 3,
+            "max {max} mean {mean}"
+        );
+    }
+
+    #[test]
+    fn seal_open_segment_starts_fresh() {
+        let d = test_device();
+        let a1 = d.append(b"one").unwrap();
+        d.seal_open_segment();
+        let a2 = d.append(b"two").unwrap();
+        assert_ne!(a1.segment, a2.segment);
+    }
+}

@@ -1,0 +1,103 @@
+//! Deterministic failure injection.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Probability is stored in fixed point (per 2^32) so the injector needs no
+/// floating-point atomics.
+const PROB_SCALE: f64 = (1u64 << 32) as f64;
+
+/// Injects simulated media failures into a [`crate::FlashDevice`].
+///
+/// Failures are driven by a deterministic xorshift RNG so tests reproduce
+/// exactly: the same seed and call sequence yields the same failures.
+#[derive(Debug)]
+pub struct FailureInjector {
+    /// Read-failure probability in per-2^32 fixed point. 0 = disabled.
+    read_fail: AtomicU64,
+    rng_state: AtomicU64,
+}
+
+impl FailureInjector {
+    /// An injector that never fails anything.
+    pub fn disabled() -> Self {
+        FailureInjector {
+            read_fail: AtomicU64::new(0),
+            rng_state: AtomicU64::new(0x853C_49E6_748F_EA9B),
+        }
+    }
+
+    /// Fail reads with probability `p` (0.0–1.0), seeded deterministically.
+    pub fn failing_reads(p: f64, seed: u64) -> Self {
+        FailureInjector {
+            read_fail: AtomicU64::new((p.clamp(0.0, 1.0) * PROB_SCALE) as u64),
+            rng_state: AtomicU64::new(seed | 1),
+        }
+    }
+
+    /// Adopt another injector's settings in place (used by
+    /// `FlashDevice::set_injector`, which cannot replace the field behind a
+    /// shared reference).
+    pub(crate) fn replace_with(&self, other: FailureInjector) {
+        self.read_fail
+            .store(other.read_fail.load(Ordering::SeqCst), Ordering::SeqCst);
+        self.rng_state
+            .store(other.rng_state.load(Ordering::SeqCst), Ordering::SeqCst);
+    }
+
+    fn next_u32(&self) -> u32 {
+        let mut x = self.rng_state.load(Ordering::Relaxed);
+        loop {
+            let mut y = x;
+            y ^= y << 13;
+            y ^= y >> 7;
+            y ^= y << 17;
+            match self
+                .rng_state
+                .compare_exchange_weak(x, y, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return (y >> 16) as u32,
+                Err(actual) => x = actual,
+            }
+        }
+    }
+
+    /// Roll the dice for a read failure.
+    pub fn should_fail_read(&self) -> bool {
+        let p = self.read_fail.load(Ordering::Relaxed);
+        p != 0 && (self.next_u32() as u64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_fails() {
+        let inj = FailureInjector::disabled();
+        assert!(!(0..10_000).any(|_| inj.should_fail_read()));
+    }
+
+    #[test]
+    fn certain_always_fails() {
+        let inj = FailureInjector::failing_reads(1.0, 7);
+        assert!((0..1_000).all(|_| inj.should_fail_read()));
+    }
+
+    #[test]
+    fn partial_probability_is_partial() {
+        let inj = FailureInjector::failing_reads(0.3, 12345);
+        let fails = (0..100_000).filter(|_| inj.should_fail_read()).count();
+        let rate = fails as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = FailureInjector::failing_reads(0.5, 99);
+        let b = FailureInjector::failing_reads(0.5, 99);
+        let seq_a: Vec<bool> = (0..100).map(|_| a.should_fail_read()).collect();
+        let seq_b: Vec<bool> = (0..100).map(|_| b.should_fail_read()).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+}

@@ -1,0 +1,138 @@
+//! Device accounting.
+
+use crate::Nanos;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters.
+#[derive(Default)]
+pub(crate) struct StatsInner {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    trims: AtomicU64,
+    syncs: AtomicU64,
+    injected_failures: AtomicU64,
+}
+
+impl StatsInner {
+    pub(crate) fn record_read(&self, bytes: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+    pub(crate) fn record_write(&self, bytes: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+    pub(crate) fn record_trim(&self) {
+        self.trims.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_sync(&self) {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_injected_failure(&self) {
+        self.injected_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, now: Nanos, busy_until: Nanos) -> DeviceStats {
+        DeviceStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            trims: self.trims.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+            injected_failures: self.injected_failures.load(Ordering::Relaxed),
+            virtual_now: now,
+            busy_until,
+        }
+    }
+}
+
+/// A point-in-time snapshot of device activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceStats {
+    /// Read I/Os completed.
+    pub reads: u64,
+    /// Write I/Os completed.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Segments trimmed (erased).
+    pub trims: u64,
+    /// Sync barriers issued.
+    pub syncs: u64,
+    /// Reads failed by the failure injector.
+    pub injected_failures: u64,
+    /// Virtual clock at snapshot time.
+    pub virtual_now: Nanos,
+    /// Virtual time until which the device queue is occupied.
+    pub busy_until: Nanos,
+}
+
+impl DeviceStats {
+    /// Total I/O count.
+    pub fn total_ios(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Achieved IOPS over the virtual-time window so far.
+    pub fn achieved_iops(&self) -> f64 {
+        if self.virtual_now == 0 {
+            return 0.0;
+        }
+        self.total_ios() as f64 / (self.virtual_now as f64 / 1e9)
+    }
+
+    /// Difference between two snapshots (self - earlier).
+    pub fn delta(&self, earlier: &DeviceStats) -> DeviceStats {
+        DeviceStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            trims: self.trims - earlier.trims,
+            syncs: self.syncs - earlier.syncs,
+            injected_failures: self.injected_failures - earlier.injected_failures,
+            virtual_now: self.virtual_now,
+            busy_until: self.busy_until,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let inner = StatsInner::default();
+        inner.record_read(100);
+        inner.record_write(200);
+        let s1 = inner.snapshot(1_000_000_000, 0);
+        inner.record_read(50);
+        let s2 = inner.snapshot(2_000_000_000, 0);
+        let d = s2.delta(&s1);
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.writes, 0);
+        assert_eq!(d.bytes_read, 50);
+    }
+
+    #[test]
+    fn achieved_iops() {
+        let inner = StatsInner::default();
+        for _ in 0..100 {
+            inner.record_read(1);
+        }
+        let s = inner.snapshot(crate::secs(2.0), 0);
+        assert!((s.achieved_iops() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_time_zero_iops() {
+        let s = DeviceStats::default();
+        assert_eq!(s.achieved_iops(), 0.0);
+    }
+}

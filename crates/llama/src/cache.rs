@@ -1,0 +1,386 @@
+//! The cache manager: which pages stay in DRAM.
+//!
+//! This is where the paper's economics become policy. A data caching system
+//! can move data between DRAM and flash (§3), and the cost model says
+//! exactly when it should: once the interval between accesses to a page
+//! exceeds the breakeven `Ti` (§4.2 — ≈45 s on the paper's hardware), the
+//! page is cheaper to serve from flash with SS operations than to keep
+//! renting DRAM for. The [`EvictionPolicy::CostModel`] policy implements
+//! that rule directly; [`EvictionPolicy::Lru`] is the classic comparator.
+
+use dcs_bwtree::{BwTree, FlushKind, ResidencyState, TreeError};
+use dcs_flashsim::VirtualClock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Eviction policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EvictionPolicy {
+    /// Evict least-recently-used leaves until under the memory budget.
+    Lru,
+    /// Evict any leaf whose access interval exceeds `ti` (the cost-model
+    /// breakeven), *and* fall back to LRU if still over budget.
+    CostModel {
+        /// Breakeven access interval in virtual nanoseconds.
+        ti_nanos: u64,
+    },
+}
+
+/// Cache-manager configuration.
+#[derive(Debug, Clone)]
+pub struct CacheManagerConfig {
+    /// Target in-memory footprint in bytes (tree pages + mapping table).
+    pub memory_budget: usize,
+    /// Eviction policy.
+    pub policy: EvictionPolicy,
+    /// Keep record deltas in memory when evicting (record caching, §6.3).
+    pub keep_record_cache: bool,
+}
+
+impl Default for CacheManagerConfig {
+    fn default() -> Self {
+        CacheManagerConfig {
+            memory_budget: 64 << 20,
+            policy: EvictionPolicy::Lru,
+            keep_record_cache: false,
+        }
+    }
+}
+
+/// Counters for cache management activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Eviction sweeps run.
+    pub sweeps: u64,
+    /// Pages evicted.
+    pub pages_evicted: u64,
+    /// Approximate bytes released.
+    pub bytes_released: u64,
+    /// Pages flushed (made durable) without eviction, by checkpoints.
+    pub pages_checkpointed: u64,
+}
+
+/// Drives [`BwTree::flush_page`] according to a policy. See module docs.
+pub struct CacheManager {
+    config: CacheManagerConfig,
+    clock: VirtualClock,
+    sweeps: AtomicU64,
+    pages_evicted: AtomicU64,
+    bytes_released: AtomicU64,
+    pages_checkpointed: AtomicU64,
+}
+
+impl CacheManager {
+    /// A manager reading access times from `clock`.
+    pub fn new(config: CacheManagerConfig, clock: VirtualClock) -> Self {
+        CacheManager {
+            config,
+            clock,
+            sweeps: AtomicU64::new(0),
+            pages_evicted: AtomicU64::new(0),
+            bytes_released: AtomicU64::new(0),
+            pages_checkpointed: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheManagerConfig {
+        &self.config
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            sweeps: self.sweeps.load(Ordering::Relaxed),
+            pages_evicted: self.pages_evicted.load(Ordering::Relaxed),
+            bytes_released: self.bytes_released.load(Ordering::Relaxed),
+            pages_checkpointed: self.pages_checkpointed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn flush_kind(&self) -> FlushKind {
+        if self.config.keep_record_cache {
+            FlushKind::EvictBaseKeepDeltas
+        } else {
+            FlushKind::EvictAll
+        }
+    }
+
+    /// One policy sweep over the tree. Returns pages evicted.
+    ///
+    /// Propagates the tree's virtual time from the clock, applies the
+    /// cost-model interval rule (if configured), then enforces the memory
+    /// budget by LRU.
+    pub fn sweep(&self, tree: &BwTree) -> Result<usize, TreeError> {
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        let now = self.clock.now();
+        tree.set_vtime(now);
+        let mut evicted = 0usize;
+
+        // Phase 1 — cost-model rule: any leaf colder than Ti goes to flash,
+        // regardless of memory pressure (it is cheaper there).
+        if let EvictionPolicy::CostModel { ti_nanos } = self.config.policy {
+            for page in tree.pages() {
+                if !page.is_leaf || page.residency != ResidencyState::Resident {
+                    continue;
+                }
+                if now.saturating_sub(page.last_access) > ti_nanos
+                    && self.evict_one(tree, page.pid, page.mem_bytes)?.is_some()
+                {
+                    evicted += 1;
+                }
+            }
+        }
+
+        // Phase 2 — budget enforcement, coldest first.
+        let mut footprint = tree.footprint_bytes();
+        if footprint > self.config.memory_budget {
+            let mut candidates: Vec<_> = tree
+                .pages()
+                .into_iter()
+                .filter(|p| p.is_leaf && p.residency == ResidencyState::Resident)
+                .collect();
+            candidates.sort_by_key(|p| p.last_access);
+            for page in candidates {
+                if footprint <= self.config.memory_budget {
+                    break;
+                }
+                if let Some(released) = self.evict_one(tree, page.pid, page.mem_bytes)? {
+                    evicted += 1;
+                    footprint = footprint.saturating_sub(released);
+                }
+            }
+        }
+        Ok(evicted)
+    }
+
+    /// Evict one page; returns the bytes actually released (the page's
+    /// in-memory stub remains, so this is less than its resident size).
+    fn evict_one(
+        &self,
+        tree: &BwTree,
+        pid: dcs_bwtree::PageId,
+        bytes_before: usize,
+    ) -> Result<Option<usize>, TreeError> {
+        match tree.flush_page(pid, self.flush_kind()) {
+            Ok(_) => {
+                let bytes_after = tree.page_info(pid).map(|p| p.mem_bytes).unwrap_or(0);
+                let released = bytes_before.saturating_sub(bytes_after);
+                self.pages_evicted.fetch_add(1, Ordering::Relaxed);
+                self.bytes_released
+                    .fetch_add(released as u64, Ordering::Relaxed);
+                Ok(Some(released))
+            }
+            // A page can disappear or change level under a racing SMO.
+            Err(TreeError::InnerPageNotEvictable(_)) | Err(TreeError::PageNotFound(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Flush every dirty leaf (without evicting), making the whole tree
+    /// durable. Pair with [`crate::LogStructuredStore::sync`] to establish a
+    /// crash-consistent checkpoint.
+    pub fn checkpoint(&self, tree: &BwTree) -> Result<usize, TreeError> {
+        let mut flushed = 0usize;
+        for page in tree.pages() {
+            if page.is_leaf && page.dirty {
+                match tree.flush_page(page.pid, FlushKind::FlushOnly) {
+                    Ok(_) => {
+                        flushed += 1;
+                        self.pages_checkpointed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TreeError::InnerPageNotEvictable(_)) | Err(TreeError::PageNotFound(_)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(flushed)
+    }
+}
+
+impl std::fmt::Debug for CacheManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheManager")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lss::{LogStructuredStore, LssConfig};
+    use bytes::Bytes;
+    use dcs_bwtree::BwTreeConfig;
+    use dcs_flashsim::{DeviceConfig, FlashDevice};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<BwTree>, Arc<LogStructuredStore>, VirtualClock) {
+        let clock = VirtualClock::new();
+        let device = Arc::new(FlashDevice::with_clock(
+            DeviceConfig {
+                segment_count: 512,
+                advance_clock_on_io: false,
+                ..DeviceConfig::small_test()
+            },
+            clock.clone(),
+        ));
+        let store = Arc::new(LogStructuredStore::new(device, LssConfig::default()));
+        let tree = Arc::new(BwTree::with_store(
+            BwTreeConfig::small_pages(),
+            store.clone(),
+        ));
+        (tree, store, clock)
+    }
+
+    fn kv(i: u32) -> (Bytes, Bytes) {
+        (
+            Bytes::from(format!("key{i:06}")),
+            Bytes::from(format!("value-{i}-padding-padding")),
+        )
+    }
+
+    #[test]
+    fn lru_sweep_enforces_budget() {
+        let (tree, _store, clock) = setup();
+        for i in 0..2000u32 {
+            let (k, v) = kv(i);
+            tree.put(k, v);
+        }
+        let before = tree.footprint_bytes();
+        let budget = before / 4;
+        let mgr = CacheManager::new(
+            CacheManagerConfig {
+                memory_budget: budget,
+                policy: EvictionPolicy::Lru,
+                keep_record_cache: false,
+            },
+            clock,
+        );
+        let evicted = mgr.sweep(&tree).unwrap();
+        assert!(evicted > 0);
+        let after = tree.footprint_bytes();
+        assert!(
+            after < before,
+            "footprint should shrink: {before} -> {after}"
+        );
+        // Either the budget is met, or every leaf the policy can evict is
+        // already gone (inner pages and stubs are the irreducible floor).
+        let resident_leaves = tree
+            .pages()
+            .iter()
+            .filter(|p| p.is_leaf && p.residency == ResidencyState::Resident)
+            .count();
+        assert!(
+            after <= budget + 4096 || resident_leaves == 0,
+            "footprint {after} exceeds budget {budget} with {resident_leaves} resident leaves"
+        );
+        // Data still correct.
+        for i in (0..2000u32).step_by(97) {
+            let (k, v) = kv(i);
+            assert_eq!(tree.get(&k), Some(v));
+        }
+    }
+
+    #[test]
+    fn cost_model_evicts_cold_pages_only() {
+        let (tree, _store, clock) = setup();
+        for i in 0..800u32 {
+            let (k, v) = kv(i);
+            tree.put(k, v);
+        }
+        // Stamp all pages as accessed now...
+        tree.set_vtime(clock.now());
+        for i in 0..800u32 {
+            tree.get(&kv(i).0);
+        }
+        // ...then advance past Ti and re-touch only the first keys (hot set).
+        let ti = dcs_flashsim::secs(45.0);
+        clock.advance(ti * 2);
+        tree.set_vtime(clock.now());
+        for i in 0..50u32 {
+            tree.get(&kv(i).0);
+        }
+        let mgr = CacheManager::new(
+            CacheManagerConfig {
+                memory_budget: usize::MAX,
+                policy: EvictionPolicy::CostModel { ti_nanos: ti },
+                keep_record_cache: false,
+            },
+            clock,
+        );
+        let evicted = mgr.sweep(&tree).unwrap();
+        assert!(evicted > 0, "cold pages should be evicted");
+        // The hot leaf (first keys) must remain resident.
+        let hot_hits_before = tree.stats().fetches;
+        tree.get(&kv(0).0);
+        assert_eq!(tree.stats().fetches, hot_hits_before, "hot page evicted");
+    }
+
+    #[test]
+    fn record_cache_mode_keeps_deltas() {
+        let (tree, _store, clock) = setup();
+        for i in 0..200u32 {
+            let (k, v) = kv(i);
+            tree.put(k, v);
+        }
+        // Flush everything clean first, then lay down fresh deltas.
+        let mgr = CacheManager::new(
+            CacheManagerConfig {
+                memory_budget: 0,
+                policy: EvictionPolicy::Lru,
+                keep_record_cache: true,
+            },
+            clock,
+        );
+        mgr.checkpoint(&tree).unwrap();
+        tree.put(kv(0).0, Bytes::from("fresh"));
+        mgr.sweep(&tree).unwrap();
+        // The fresh delta survives as a record cache.
+        let fetches = tree.stats().fetches;
+        assert_eq!(tree.get(&kv(0).0), Some(Bytes::from("fresh")));
+        assert_eq!(tree.stats().fetches, fetches, "record cache should hit");
+    }
+
+    #[test]
+    fn checkpoint_flushes_all_dirty() {
+        let (tree, store, clock) = setup();
+        for i in 0..500u32 {
+            let (k, v) = kv(i);
+            tree.put(k, v);
+        }
+        let mgr = CacheManager::new(CacheManagerConfig::default(), clock);
+        let flushed = mgr.checkpoint(&tree).unwrap();
+        assert!(flushed > 0);
+        store.sync().unwrap();
+        // No leaf remains dirty.
+        assert!(
+            tree.pages().iter().all(|p| !p.is_leaf || !p.dirty),
+            "dirty leaves remain after checkpoint"
+        );
+        // Second checkpoint is a no-op.
+        assert_eq!(mgr.checkpoint(&tree).unwrap(), 0);
+    }
+
+    #[test]
+    fn sweep_counts_stats() {
+        let (tree, _store, clock) = setup();
+        for i in 0..300u32 {
+            let (k, v) = kv(i);
+            tree.put(k, v);
+        }
+        let mgr = CacheManager::new(
+            CacheManagerConfig {
+                memory_budget: 0,
+                policy: EvictionPolicy::Lru,
+                keep_record_cache: false,
+            },
+            clock,
+        );
+        mgr.sweep(&tree).unwrap();
+        let s = mgr.stats();
+        assert_eq!(s.sweeps, 1);
+        assert!(s.pages_evicted > 0);
+        assert!(s.bytes_released > 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! LLAMA: a cache/storage subsystem for the Bw-tree
+//! (Levandoski, Lomet, Sengupta — PVLDB 2013).
+//!
+//! Deuteronomy's data component layers the Bw-tree (`dcs-bwtree`) on LLAMA,
+//! which owns everything below the logical-page interface:
+//!
+//! * **Log-structured store** ([`LogStructuredStore`]) — implements the
+//!   tree's [`dcs_bwtree::PageStore`] trait over the simulated flash device.
+//!   Page images are accumulated into large flush buffers and written with a
+//!   *single* device I/O per buffer (§6.1 of the cost/performance paper:
+//!   "LLAMA writes very large buffers containing a large number of pages to
+//!   secondary storage in a single write"). Pages are variable-size — only
+//!   the bytes a page actually uses are written — and a page whose base is
+//!   already stored flushes only its delta updates (Figure 5).
+//! * **Stable tokens, relocatable bytes** — the store hands out logical
+//!   tokens (LSNs); the physical location of each page part lives in a
+//!   private table, so garbage collection can relocate parts and trim flash
+//!   segments without invalidating tokens held by the tree.
+//! * **Garbage collection** ([`LogStructuredStore::gc_once`]) — picks the
+//!   segment with the lowest live fraction, relocates its live parts to the
+//!   log tail, and trims it. The live-fraction threshold is the
+//!   load-dependent trade-off §6.1 discusses.
+//! * **Cache manager** ([`CacheManager`]) — the policy engine that decides
+//!   *which* pages stay in DRAM. It supports plain LRU and the paper's
+//!   cost-model policy: evict a page once its access interval exceeds the
+//!   breakeven `Ti` (§4.2, ≈45 s for the paper's hardware), optionally
+//!   keeping recent deltas in memory as a record cache (§6.3).
+//! * **Recovery** ([`recover`]) — rescans the log, rebuilds the part tables,
+//!   and reconstructs a tree from the newest durable state of every page.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dcs_bwtree::{BwTree, BwTreeConfig};
+//! use dcs_flashsim::{DeviceConfig, FlashDevice};
+//! use dcs_llama::{LogStructuredStore, LssConfig};
+//!
+//! let device = Arc::new(FlashDevice::new(DeviceConfig::small_test()));
+//! let store = Arc::new(LogStructuredStore::new(device, LssConfig::default()));
+//! let tree = BwTree::with_store(BwTreeConfig::default(), store.clone());
+//! tree.put(bytes::Bytes::from("k"), bytes::Bytes::from("v"));
+//! let leaf = tree.pages().into_iter().find(|p| p.is_leaf).unwrap();
+//! tree.evict_page(leaf.pid).unwrap();
+//! assert_eq!(tree.get(b"k"), Some(bytes::Bytes::from("v")));
+//! ```
+
+mod cache;
+mod codec;
+mod lss;
+mod recover;
+
+pub use cache::{CacheManager, CacheManagerConfig, CacheStats, EvictionPolicy};
+pub use codec::{compress, decompress, Codec, CodecError};
+pub use lss::{LogStructuredStore, LssConfig, LssStats};
+pub use recover::{recover, RecoveredState};

@@ -1,0 +1,946 @@
+//! The log-structured store.
+
+use crate::codec::Codec;
+use dcs_bwtree::{PageId, PageImage, PageStore, StoreError};
+use dcs_flashsim::{DeviceError, FlashAddress, FlashDevice, SegmentId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Frame magic ("LLMA").
+const FRAME_MAGIC: u32 = 0x4C4C_4D41;
+/// Frame header: magic(4) lsn(8) pid(8) prev(8) len(4) crc(8).
+const FRAME_HEADER: usize = 4 + 8 + 8 + 8 + 4 + 8;
+/// `prev` encoding of "no previous part".
+const NO_PREV: u64 = u64::MAX;
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Configuration of the log-structured store.
+#[derive(Debug, Clone)]
+pub struct LssConfig {
+    /// Flush the write buffer once it holds this many bytes. Must not
+    /// exceed the device segment size.
+    pub flush_buffer_bytes: usize,
+    /// GC-eligibility: collect a segment when its live fraction falls below
+    /// this threshold.
+    pub gc_live_fraction: f64,
+    /// Payload compression (§7.2: trade CPU for storage on cold data).
+    pub codec: Codec,
+    /// Maximum incremental parts per page chain: a delta write that would
+    /// exceed this is *rolled up* — the store folds the chain and writes a
+    /// full image instead, superseding the history so GC can reclaim it.
+    pub max_flush_chain: u32,
+}
+
+impl Default for LssConfig {
+    fn default() -> Self {
+        LssConfig {
+            flush_buffer_bytes: 32 << 10,
+            gc_live_fraction: 0.5,
+            codec: Codec::None,
+            max_flush_chain: 4,
+        }
+    }
+}
+
+/// Where a page part's bytes currently are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Location {
+    /// Still in the write buffer, at this offset.
+    Buffer(usize),
+    /// On flash; `addr` points at the frame header.
+    Flash(FlashAddress),
+}
+
+#[derive(Debug, Clone)]
+struct PartMeta {
+    pid: PageId,
+    prev: Option<u64>,
+    /// Serialized image length (payload only).
+    len: u32,
+    loc: Location,
+    /// LSN of the write that superseded this part (a newer full image or a
+    /// tombstone), if any. Superseded parts remain readable until their
+    /// segment is collected — and remain *GC-live* until the superseder is
+    /// durable, or a crash could erase the only durable copy.
+    superseded_by: Option<u64>,
+    /// Number of parts in this part's chain (1 for a base image).
+    chain_len: u32,
+}
+
+impl PartMeta {
+    /// Whether GC must preserve this part: not superseded, or superseded
+    /// only by writes that have not reached a durability barrier yet.
+    fn gc_live(&self, synced_watermark: u64) -> bool {
+        match self.superseded_by {
+            None => true,
+            Some(s) => s >= synced_watermark,
+        }
+    }
+}
+
+#[derive(Default)]
+struct SegmentInfo {
+    live_bytes: usize,
+    total_bytes: usize,
+}
+
+struct Inner {
+    buffer: Vec<u8>,
+    /// LSNs whose bytes are in the buffer, in buffer order.
+    buffered: Vec<u64>,
+    parts: HashMap<u64, PartMeta>,
+    /// Live (not superseded) part LSNs per page, oldest first.
+    per_pid: HashMap<PageId, Vec<u64>>,
+    segments: HashMap<SegmentId, SegmentInfo>,
+    /// All LSNs below this are durable (set by `sync`).
+    synced_watermark: u64,
+}
+
+/// Counters for the store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LssStats {
+    /// Page parts accepted.
+    pub parts_written: u64,
+    /// Payload bytes accepted (what a fixed-block store would round up).
+    pub payload_bytes: u64,
+    /// Payload bytes actually stored after compression.
+    pub stored_bytes: u64,
+    /// Flush buffers written to the device.
+    pub buffers_flushed: u64,
+    /// Parts served from the write buffer (no device read).
+    pub buffer_hits: u64,
+    /// Parts read from the device.
+    pub flash_reads: u64,
+    /// Segments garbage-collected.
+    pub segments_collected: u64,
+    /// Live parts relocated by GC.
+    pub parts_relocated: u64,
+    /// Incremental chains folded into full images by the chain-length cap.
+    pub rollups: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    parts_written: AtomicU64,
+    payload_bytes: AtomicU64,
+    stored_bytes: AtomicU64,
+    buffers_flushed: AtomicU64,
+    buffer_hits: AtomicU64,
+    flash_reads: AtomicU64,
+    segments_collected: AtomicU64,
+    parts_relocated: AtomicU64,
+    rollups: AtomicU64,
+}
+
+/// Log-structured page store over a flash device. See the crate docs.
+pub struct LogStructuredStore {
+    device: Arc<FlashDevice>,
+    config: LssConfig,
+    inner: Mutex<Inner>,
+    next_lsn: AtomicU64,
+    stats: StatsInner,
+}
+
+impl LogStructuredStore {
+    /// Create an empty store over `device`.
+    pub fn new(device: Arc<FlashDevice>, config: LssConfig) -> Self {
+        assert!(
+            config.flush_buffer_bytes <= device.config().segment_bytes,
+            "flush buffer must fit in one device segment"
+        );
+        LogStructuredStore {
+            device,
+            config,
+            inner: Mutex::new(Inner {
+                buffer: Vec::new(),
+                buffered: Vec::new(),
+                parts: HashMap::new(),
+                per_pid: HashMap::new(),
+                segments: HashMap::new(),
+                synced_watermark: 0,
+            }),
+            next_lsn: AtomicU64::new(0),
+            stats: StatsInner::default(),
+        }
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<FlashDevice> {
+        &self.device
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> LssStats {
+        LssStats {
+            parts_written: self.stats.parts_written.load(Ordering::Relaxed),
+            payload_bytes: self.stats.payload_bytes.load(Ordering::Relaxed),
+            stored_bytes: self.stats.stored_bytes.load(Ordering::Relaxed),
+            buffers_flushed: self.stats.buffers_flushed.load(Ordering::Relaxed),
+            buffer_hits: self.stats.buffer_hits.load(Ordering::Relaxed),
+            flash_reads: self.stats.flash_reads.load(Ordering::Relaxed),
+            segments_collected: self.stats.segments_collected.load(Ordering::Relaxed),
+            parts_relocated: self.stats.parts_relocated.load(Ordering::Relaxed),
+            rollups: self.stats.rollups.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Encode one frame into `out`, returning the frame's start offset.
+    fn encode_frame(
+        out: &mut Vec<u8>,
+        lsn: u64,
+        pid: PageId,
+        prev: Option<u64>,
+        payload: &[u8],
+    ) -> usize {
+        let offset = out.len();
+        out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        out.extend_from_slice(&lsn.to_le_bytes());
+        out.extend_from_slice(&pid.to_le_bytes());
+        out.extend_from_slice(&prev.unwrap_or(NO_PREV).to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&fnv64(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        offset
+    }
+
+    /// Append one framed part into the buffer (caller holds the lock).
+    fn buffer_part(
+        inner: &mut Inner,
+        lsn: u64,
+        pid: PageId,
+        prev: Option<u64>,
+        payload: &[u8],
+        chain_len: u32,
+    ) {
+        let offset = Self::encode_frame(&mut inner.buffer, lsn, pid, prev, payload);
+        inner.buffered.push(lsn);
+        inner.parts.insert(
+            lsn,
+            PartMeta {
+                pid,
+                prev,
+                len: payload.len() as u32,
+                loc: Location::Buffer(offset),
+                superseded_by: None,
+                chain_len,
+            },
+        );
+    }
+
+    /// Write the buffer to the device in one append (caller holds the lock).
+    fn flush_buffer_locked(&self, inner: &mut Inner) -> Result<(), StoreError> {
+        if inner.buffer.is_empty() {
+            return Ok(());
+        }
+        let blob = std::mem::take(&mut inner.buffer);
+        let addr = self.device.append(&blob).map_err(device_err)?;
+        self.stats.buffers_flushed.fetch_add(1, Ordering::Relaxed);
+        let seg = inner.segments.entry(addr.segment).or_default();
+        seg.total_bytes += blob.len();
+        // Re-point every buffered part at its flash location.
+        for lsn in std::mem::take(&mut inner.buffered) {
+            let meta = inner.parts.get_mut(&lsn).expect("buffered part exists");
+            let Location::Buffer(off) = meta.loc else {
+                unreachable!("buffered part has buffer location")
+            };
+            meta.loc = Location::Flash(FlashAddress {
+                segment: addr.segment,
+                offset: addr.offset + off as u32,
+            });
+            let framed = FRAME_HEADER + meta.len as usize;
+            let superseded = meta.superseded_by.is_some();
+            let seg = inner.segments.entry(addr.segment).or_default();
+            if !superseded {
+                seg.live_bytes += framed;
+            }
+        }
+        Ok(())
+    }
+
+    /// Point relocated parts at their new, already-durable home and account
+    /// the new segment (caller holds the lock).
+    fn install_relocated(
+        inner: &mut Inner,
+        addr: FlashAddress,
+        blob: &[u8],
+        placed: &[(u64, usize, u32)],
+    ) {
+        let seg = inner.segments.entry(addr.segment).or_default();
+        seg.total_bytes += blob.len();
+        seg.live_bytes += blob.len();
+        for (lsn, off, _len) in placed {
+            if let Some(meta) = inner.parts.get_mut(lsn) {
+                meta.loc = Location::Flash(FlashAddress {
+                    segment: addr.segment,
+                    offset: addr.offset + *off as u32,
+                });
+            }
+        }
+    }
+
+    /// Force any buffered parts onto the device.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        self.flush_buffer_locked(&mut inner)
+    }
+
+    /// Flush and issue a durability barrier on the device. After `sync`
+    /// returns, every previously written part survives a crash.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        self.flush()?;
+        self.device.sync();
+        let mut inner = self.inner.lock();
+        inner.synced_watermark = self.next_lsn.load(Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Mark all parts of `pid` older than `new_base_lsn` dead (a full image
+    /// supersedes the page's entire history). Caller holds the lock.
+    fn supersede_pid(inner: &mut Inner, pid: PageId, new_base_lsn: u64) {
+        if let Some(lsns) = inner.per_pid.get_mut(&pid) {
+            for lsn in lsns.drain(..) {
+                if lsn == new_base_lsn {
+                    continue;
+                }
+                if let Some(meta) = inner.parts.get_mut(&lsn) {
+                    if meta.superseded_by.is_none() {
+                        meta.superseded_by = Some(new_base_lsn);
+                        if let Location::Flash(addr) = meta.loc {
+                            if let Some(seg) = inner.segments.get_mut(&addr.segment) {
+                                seg.live_bytes = seg
+                                    .live_bytes
+                                    .saturating_sub(FRAME_HEADER + meta.len as usize);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Read one part's payload (device or buffer).
+    fn read_part(&self, inner: &Inner, lsn: u64) -> Result<(PartMeta, Vec<u8>), StoreError> {
+        let meta = inner
+            .parts
+            .get(&lsn)
+            .ok_or(StoreError::UnknownToken(lsn))?
+            .clone();
+        let payload = match meta.loc {
+            Location::Buffer(off) => {
+                self.stats.buffer_hits.fetch_add(1, Ordering::Relaxed);
+                let start = off + FRAME_HEADER;
+                inner.buffer[start..start + meta.len as usize].to_vec()
+            }
+            Location::Flash(addr) => {
+                self.stats.flash_reads.fetch_add(1, Ordering::Relaxed);
+                let payload_addr = FlashAddress {
+                    segment: addr.segment,
+                    offset: addr.offset + FRAME_HEADER as u32,
+                };
+                self.device
+                    .read(payload_addr, meta.len as usize)
+                    .map_err(device_err)?
+            }
+        };
+        Ok((meta, payload))
+    }
+
+    /// Garbage-collect at most one segment: the flushed segment with the
+    /// lowest live fraction below the configured threshold. Live parts are
+    /// relocated to the log tail; the segment is trimmed. Returns the
+    /// collected segment, if any.
+    pub fn gc_once(&self) -> Result<Option<SegmentId>, StoreError> {
+        let mut inner = self.inner.lock();
+        // Segments holding any not-yet-durable part are off limits:
+        // relocating such a part through the durable GC path would make an
+        // unsynced write survive a crash, tearing checkpoint atomicity.
+        let watermark = inner.synced_watermark;
+        let mut has_unsynced: std::collections::HashSet<SegmentId> =
+            std::collections::HashSet::new();
+        for (&lsn, m) in inner.parts.iter() {
+            if lsn >= watermark {
+                if let Location::Flash(a) = m.loc {
+                    has_unsynced.insert(a.segment);
+                }
+            }
+        }
+        let victim = inner
+            .segments
+            .iter()
+            .filter(|(seg, info)| info.total_bytes > 0 && !has_unsynced.contains(seg))
+            .map(|(&seg, info)| (seg, info.live_bytes as f64 / info.total_bytes as f64))
+            .filter(|(_, frac)| *frac < self.config.gc_live_fraction)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("fractions compare"));
+        let Some((victim, _)) = victim else {
+            return Ok(None);
+        };
+        // Relocate live parts under the same LSNs (tokens are logical, so
+        // holders are unaffected). The relocated copies go to the device
+        // through an immediately durable append of their own — a global
+        // sync here would break checkpoint atomicity by making unrelated
+        // buffered parts durable mid-checkpoint.
+        let watermark = inner.synced_watermark;
+        let live_lsns: Vec<u64> = inner
+            .parts
+            .iter()
+            .filter(|(_, m)| {
+                m.gc_live(watermark) && matches!(m.loc, Location::Flash(a) if a.segment == victim)
+            })
+            .map(|(&lsn, _)| lsn)
+            .collect();
+        let mut blob = Vec::new();
+        let mut placed: Vec<(u64, usize, u32)> = Vec::new(); // (lsn, frame offset, len)
+        for lsn in &live_lsns {
+            let (meta, payload) = self.read_part(&inner, *lsn)?;
+            if blob.len() + FRAME_HEADER + payload.len() > self.config.flush_buffer_bytes {
+                let addr = self.device.append_durable(&blob).map_err(device_err)?;
+                Self::install_relocated(&mut inner, addr, &blob, &placed);
+                blob.clear();
+                placed.clear();
+            }
+            let off = Self::encode_frame(&mut blob, *lsn, meta.pid, meta.prev, &payload);
+            placed.push((*lsn, off, payload.len() as u32));
+            self.stats.parts_relocated.fetch_add(1, Ordering::Relaxed);
+        }
+        if !blob.is_empty() {
+            let addr = self.device.append_durable(&blob).map_err(device_err)?;
+            Self::install_relocated(&mut inner, addr, &blob, &placed);
+        }
+        // Drop durably-dead parts that lived in the victim segment.
+        inner.parts.retain(|_, m| {
+            !matches!(m.loc, Location::Flash(a) if a.segment == victim) || m.gc_live(watermark)
+        });
+        inner.segments.remove(&victim);
+        self.device.trim_segment(victim);
+        self.stats
+            .segments_collected
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(Some(victim))
+    }
+
+    /// Run GC until no segment is below the threshold. Returns segments
+    /// collected.
+    pub fn gc_all(&self) -> Result<usize, StoreError> {
+        let mut n = 0;
+        while self.gc_once()?.is_some() {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Storage utilization: live bytes / total flash bytes in use.
+    pub fn utilization(&self) -> f64 {
+        let inner = self.inner.lock();
+        let (live, total) = inner.segments.values().fold((0usize, 0usize), |(l, t), s| {
+            (l + s.live_bytes, t + s.total_bytes)
+        });
+        if total == 0 {
+            1.0
+        } else {
+            live as f64 / total as f64
+        }
+    }
+
+    /// The newest durable state of every page, as recovery inputs: PID,
+    /// token, and fence/sibling metadata read from the newest part (one
+    /// part read per page; record contents stay on flash).
+    pub fn newest_page_fences(&self) -> Result<Vec<dcs_bwtree::RecoveredPage>, StoreError> {
+        let inner = self.inner.lock();
+        let newest: Vec<(PageId, u64)> = inner
+            .per_pid
+            .iter()
+            .filter_map(|(&pid, lsns)| lsns.last().map(|&l| (pid, l)))
+            .collect();
+        let mut out = Vec::with_capacity(newest.len());
+        for (pid, token) in newest {
+            let (_, payload) = self.read_part(&inner, token)?;
+            let raw = self
+                .config
+                .codec
+                .decode(&payload)
+                .map_err(|e| StoreError::Io(format!("corrupt part {token}: {e}")))?;
+            let img = PageImage::deserialize(&raw)
+                .map_err(|e| StoreError::Io(format!("corrupt part {token}: {e}")))?;
+            out.push(dcs_bwtree::RecoveredPage {
+                pid,
+                token,
+                high_key: img.high_key,
+                right: img.right,
+            });
+        }
+        Ok(out)
+    }
+
+    /// The newest live part LSN for every page — the durable tree state.
+    pub fn newest_parts(&self) -> HashMap<PageId, u64> {
+        let inner = self.inner.lock();
+        inner
+            .per_pid
+            .iter()
+            .filter_map(|(&pid, lsns)| lsns.last().map(|&l| (pid, l)))
+            .collect()
+    }
+
+    /// Rebuild a store's tables by scanning a device (crash recovery).
+    ///
+    /// Stops scanning a segment at the first torn or corrupt frame. Parts
+    /// are replayed in LSN order so supersession is reconstructed exactly.
+    pub fn recover_from_device(
+        device: Arc<FlashDevice>,
+        config: LssConfig,
+    ) -> Result<Self, StoreError> {
+        #[derive(Clone)]
+        struct Scanned {
+            lsn: u64,
+            pid: PageId,
+            prev: Option<u64>,
+            len: u32,
+            addr: FlashAddress,
+            is_delta: bool,
+        }
+        let mut found: Vec<Scanned> = Vec::new();
+        let seg_count = device.config().segment_count;
+        for seg in 0..seg_count as SegmentId {
+            let written = device.segment_written(seg);
+            let mut off = 0usize;
+            while off + FRAME_HEADER <= written {
+                let addr = FlashAddress {
+                    segment: seg,
+                    offset: off as u32,
+                };
+                let header = device.read(addr, FRAME_HEADER).map_err(device_err)?;
+                let magic = u32::from_le_bytes(header[0..4].try_into().expect("4"));
+                if magic != FRAME_MAGIC {
+                    break; // torn tail or free space
+                }
+                let lsn = u64::from_le_bytes(header[4..12].try_into().expect("8"));
+                let pid = u64::from_le_bytes(header[12..20].try_into().expect("8"));
+                let prev_raw = u64::from_le_bytes(header[20..28].try_into().expect("8"));
+                let len = u32::from_le_bytes(header[28..32].try_into().expect("4"));
+                let crc = u64::from_le_bytes(header[32..40].try_into().expect("8"));
+                if off + FRAME_HEADER + len as usize > written {
+                    break; // torn payload
+                }
+                let payload_addr = FlashAddress {
+                    segment: seg,
+                    offset: (off + FRAME_HEADER) as u32,
+                };
+                let payload = device
+                    .read(payload_addr, len as usize)
+                    .map_err(device_err)?;
+                if fnv64(&payload) != crc {
+                    break; // corrupt frame: stop at torn tail
+                }
+                let is_tombstone = len == 0;
+                let is_delta = if is_tombstone {
+                    false
+                } else {
+                    let raw = config
+                        .codec
+                        .decode(&payload)
+                        .map_err(|e| StoreError::Io(format!("corrupt part {lsn}: {e}")))?;
+                    raw.first().copied() == Some(1)
+                };
+                found.push(Scanned {
+                    lsn,
+                    pid,
+                    prev: if prev_raw == NO_PREV {
+                        None
+                    } else {
+                        Some(prev_raw)
+                    },
+                    len,
+                    addr,
+                    is_delta,
+                });
+                off += FRAME_HEADER + len as usize;
+            }
+        }
+        found.sort_by_key(|s| s.lsn);
+        let next_lsn = found.last().map(|s| s.lsn + 1).unwrap_or(0);
+
+        let store = LogStructuredStore::new(device, config);
+        {
+            let mut inner = store.inner.lock();
+            for s in &found {
+                if s.len == 0 {
+                    // Tombstone: the page was retired at this LSN.
+                    Self::supersede_pid(&mut inner, s.pid, s.lsn);
+                    inner.per_pid.remove(&s.pid);
+                    let framed = FRAME_HEADER;
+                    let seg = inner.segments.entry(s.addr.segment).or_default();
+                    seg.total_bytes += framed;
+                    continue;
+                }
+                let chain_len = s
+                    .prev
+                    .and_then(|p| inner.parts.get(&p).map(|m| m.chain_len))
+                    .unwrap_or(0)
+                    + 1;
+                inner.parts.insert(
+                    s.lsn,
+                    PartMeta {
+                        pid: s.pid,
+                        prev: s.prev,
+                        len: s.len,
+                        loc: Location::Flash(s.addr),
+                        superseded_by: None,
+                        chain_len,
+                    },
+                );
+                let framed = FRAME_HEADER + s.len as usize;
+                let seg = inner.segments.entry(s.addr.segment).or_default();
+                seg.total_bytes += framed;
+                seg.live_bytes += framed;
+                if !s.is_delta {
+                    Self::supersede_pid(&mut inner, s.pid, s.lsn);
+                }
+                inner.per_pid.entry(s.pid).or_default().push(s.lsn);
+            }
+        }
+        store.next_lsn.store(next_lsn, Ordering::SeqCst);
+        // Everything recovered from the device is, by construction, durable.
+        store.inner.lock().synced_watermark = next_lsn;
+        Ok(store)
+    }
+}
+
+impl LogStructuredStore {
+    /// Materialize the full image for `token` (caller holds the lock).
+    fn fetch_locked(&self, inner: &Inner, token: u64) -> Result<PageImage, StoreError> {
+        // Walk the part chain newest → oldest, then fold oldest-up.
+        let mut imgs: Vec<PageImage> = Vec::new();
+        let mut cur = Some(token);
+        while let Some(lsn) = cur {
+            let (meta, payload) = self.read_part(inner, lsn)?;
+            let raw = self
+                .config
+                .codec
+                .decode(&payload)
+                .map_err(|e| StoreError::Io(format!("corrupt compressed part {lsn}: {e}")))?;
+            let img = PageImage::deserialize(&raw)
+                .map_err(|e| StoreError::Io(format!("corrupt part {lsn}: {e}")))?;
+            let is_base = !img.is_delta;
+            imgs.push(img);
+            cur = if is_base { None } else { meta.prev };
+        }
+        let mut base = imgs.pop().ok_or(StoreError::UnknownToken(token))?;
+        if base.is_delta {
+            return Err(StoreError::Io(format!(
+                "part chain for token {token} has no base"
+            )));
+        }
+        for delta in imgs.into_iter().rev() {
+            base.apply_delta(&delta);
+        }
+        Ok(base)
+    }
+}
+
+impl PageStore for LogStructuredStore {
+    fn write(&self, pid: PageId, image: &PageImage, prev: Option<u64>) -> Result<u64, StoreError> {
+        let mut inner = self.inner.lock();
+        // Roll up over-long incremental chains: fold the durable chain with
+        // this delta and write a full image, so the history becomes dead
+        // (collectable) and fetch cost stays bounded.
+        let mut rolled: Option<PageImage> = None;
+        if image.is_delta {
+            if let Some(prev_lsn) = prev {
+                let chain_len = inner.parts.get(&prev_lsn).map(|m| m.chain_len).unwrap_or(0);
+                if chain_len >= self.config.max_flush_chain {
+                    let mut full = self.fetch_locked(&inner, prev_lsn)?;
+                    full.apply_delta(image);
+                    self.stats.rollups.fetch_add(1, Ordering::Relaxed);
+                    rolled = Some(full);
+                }
+            }
+        }
+        let (image, prev) = match &rolled {
+            Some(full) => (full, None),
+            None => (image, prev),
+        };
+        let raw = image.serialize();
+        let payload = self.config.codec.encode(&raw);
+        let lsn = self.next_lsn.fetch_add(1, Ordering::SeqCst);
+        self.stats.parts_written.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .payload_bytes
+            .fetch_add(raw.len() as u64, Ordering::Relaxed);
+        self.stats
+            .stored_bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        if inner.buffer.len() + FRAME_HEADER + payload.len() > self.config.flush_buffer_bytes {
+            self.flush_buffer_locked(&mut inner)?;
+        }
+        let chain_len = match prev {
+            Some(p) => inner.parts.get(&p).map(|m| m.chain_len).unwrap_or(0) + 1,
+            None => 1,
+        };
+        Self::buffer_part(&mut inner, lsn, pid, prev, &payload, chain_len);
+        if !image.is_delta {
+            Self::supersede_pid(&mut inner, pid, lsn);
+        }
+        inner.per_pid.entry(pid).or_default().push(lsn);
+        Ok(lsn)
+    }
+
+    fn fetch(&self, _pid: PageId, token: u64) -> Result<PageImage, StoreError> {
+        let inner = self.inner.lock();
+        self.fetch_locked(&inner, token)
+    }
+
+    fn retire_page(&self, pid: PageId) -> Result<(), StoreError> {
+        let lsn = self.next_lsn.fetch_add(1, Ordering::SeqCst);
+        let mut inner = self.inner.lock();
+        // Durable tombstone: a zero-length part. Recovery treats it as
+        // "this page ceased to exist at this LSN".
+        if inner.buffer.len() + FRAME_HEADER > self.config.flush_buffer_bytes {
+            self.flush_buffer_locked(&mut inner)?;
+        }
+        Self::buffer_part(&mut inner, lsn, pid, None, &[], 1);
+        // Everything the page ever wrote — including the tombstone part
+        // itself — is dead.
+        Self::supersede_pid(&mut inner, pid, lsn);
+        if let Some(meta) = inner.parts.get_mut(&lsn) {
+            meta.superseded_by = Some(lsn);
+        }
+        inner.per_pid.remove(&pid);
+        Ok(())
+    }
+}
+
+fn device_err(e: DeviceError) -> StoreError {
+    match e {
+        DeviceError::Full => StoreError::Full,
+        other => StoreError::Io(other.to_string()),
+    }
+}
+
+impl std::fmt::Debug for LogStructuredStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogStructuredStore")
+            .field("stats", &self.stats())
+            .field("utilization", &self.utilization())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use dcs_bwtree::DeltaOp;
+    use dcs_flashsim::DeviceConfig;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::from(s.to_owned())
+    }
+
+    fn test_store() -> LogStructuredStore {
+        let device = Arc::new(FlashDevice::new(DeviceConfig::small_test()));
+        LogStructuredStore::new(device, LssConfig::default())
+    }
+
+    fn base_img(pairs: &[(&str, &str)]) -> PageImage {
+        PageImage::base(
+            pairs.iter().map(|(k, v)| (b(k), b(v))).collect(),
+            None,
+            None,
+        )
+    }
+
+    #[test]
+    fn write_fetch_roundtrip_via_buffer() {
+        let s = test_store();
+        let img = base_img(&[("a", "1"), ("b", "2")]);
+        let t = s.write(1, &img, None).unwrap();
+        assert_eq!(s.fetch(1, t).unwrap(), img);
+        // Served from the buffer: no device read yet.
+        assert_eq!(s.stats().buffer_hits, 1);
+        assert_eq!(s.stats().flash_reads, 0);
+    }
+
+    #[test]
+    fn write_fetch_roundtrip_via_flash() {
+        let s = test_store();
+        let img = base_img(&[("k", "v")]);
+        let t = s.write(1, &img, None).unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.fetch(1, t).unwrap(), img);
+        assert_eq!(s.stats().flash_reads, 1);
+        assert_eq!(s.stats().buffers_flushed, 1);
+    }
+
+    #[test]
+    fn many_parts_one_device_write() {
+        let s = test_store();
+        for pid in 0..50u64 {
+            s.write(pid, &base_img(&[("key", "value")]), None).unwrap();
+        }
+        s.flush().unwrap();
+        // Log-structuring: 50 page writes became one device append.
+        assert_eq!(s.device().stats().writes, 1);
+        assert_eq!(s.stats().parts_written, 50);
+    }
+
+    #[test]
+    fn incremental_chain_folds_on_fetch() {
+        let s = test_store();
+        let t0 = s
+            .write(1, &base_img(&[("a", "1"), ("b", "2")]), None)
+            .unwrap();
+        let d = PageImage::delta(vec![DeltaOp::Put(b("c"), b("3"))], None, None);
+        let t1 = s.write(1, &d, Some(t0)).unwrap();
+        s.flush().unwrap();
+        let img = s.fetch(1, t1).unwrap();
+        assert_eq!(img.entries.len(), 3);
+        // Two parts ⇒ two flash reads (the I/O cost of delta chains).
+        assert_eq!(s.stats().flash_reads, 2);
+    }
+
+    #[test]
+    fn base_write_supersedes_history() {
+        let s = test_store();
+        let t0 = s.write(1, &base_img(&[("a", "old")]), None).unwrap();
+        s.flush().unwrap();
+        let _t1 = s.write(1, &base_img(&[("a", "new")]), None).unwrap();
+        s.flush().unwrap();
+        // Old part is dead but still readable until GC trims its segment.
+        assert!(s.fetch(1, t0).is_ok());
+        let newest = s.newest_parts();
+        assert_ne!(newest[&1], t0);
+    }
+
+    #[test]
+    fn gc_relocates_live_parts_and_preserves_tokens() {
+        let device = Arc::new(FlashDevice::new(DeviceConfig {
+            segment_bytes: 4 << 10,
+            segment_count: 16,
+            ..DeviceConfig::small_test()
+        }));
+        let s = LogStructuredStore::new(
+            device,
+            LssConfig {
+                flush_buffer_bytes: 4 << 10,
+                gc_live_fraction: 0.9,
+                codec: Codec::None,
+                max_flush_chain: 4,
+            },
+        );
+        // Interleave two pids so segments end up partly dead.
+        let live_img = base_img(&[("live-key", "live-value-xxxxxxxxxxxxxxxxxxx")]);
+        let live_token = s.write(1, &live_img, None).unwrap();
+        for i in 0..200u64 {
+            // Repeated full rewrites of pid 2 leave dead parts everywhere.
+            let img = base_img(&[("churn", &format!("v{i}-{}", "y".repeat(64)))]);
+            s.write(2, &img, None).unwrap();
+        }
+        // GC only touches durable segments (unsynced parts must not be
+        // durably relocated), so establish a barrier first.
+        s.sync().unwrap();
+        let collected = s.gc_all().unwrap();
+        assert!(collected > 0, "GC should collect churned segments");
+        // The live token survives relocation.
+        assert_eq!(s.fetch(1, live_token).unwrap(), live_img);
+        assert!(s.stats().parts_relocated > 0);
+        // Utilization improves after GC.
+        assert!(s.utilization() > 0.5, "utilization {}", s.utilization());
+    }
+
+    #[test]
+    fn recovery_rebuilds_tables() {
+        let device = Arc::new(FlashDevice::new(DeviceConfig::small_test()));
+        let tokens: Vec<u64>;
+        {
+            let s = LogStructuredStore::new(device.clone(), LssConfig::default());
+            let t0 = s.write(1, &base_img(&[("a", "1")]), None).unwrap();
+            let t1 = s
+                .write(
+                    1,
+                    &PageImage::delta(vec![DeltaOp::Put(b("b"), b("2"))], None, None),
+                    Some(t0),
+                )
+                .unwrap();
+            let t2 = s.write(7, &base_img(&[("x", "y")]), None).unwrap();
+            s.sync().unwrap();
+            tokens = vec![t0, t1, t2];
+        }
+        let s2 = LogStructuredStore::recover_from_device(device, LssConfig::default()).unwrap();
+        let img = s2.fetch(1, tokens[1]).unwrap();
+        assert_eq!(img.entries, vec![(b("a"), b("1")), (b("b"), b("2"))]);
+        assert_eq!(
+            s2.fetch(7, tokens[2]).unwrap().entries,
+            vec![(b("x"), b("y"))]
+        );
+        let newest = s2.newest_parts();
+        assert_eq!(newest[&1], tokens[1]);
+        // New writes continue with fresh LSNs.
+        let t3 = s2.write(9, &base_img(&[("z", "9")]), None).unwrap();
+        assert!(t3 > tokens[2]);
+    }
+
+    #[test]
+    fn crash_discards_unsynced_parts() {
+        let device = Arc::new(FlashDevice::new(DeviceConfig::small_test()));
+        {
+            let s = LogStructuredStore::new(device.clone(), LssConfig::default());
+            s.write(1, &base_img(&[("durable", "1")]), None).unwrap();
+            s.sync().unwrap();
+            s.write(2, &base_img(&[("volatile", "2")]), None).unwrap();
+            s.flush().unwrap(); // written but not synced
+        }
+        device.crash();
+        let s2 = LogStructuredStore::recover_from_device(device, LssConfig::default()).unwrap();
+        let newest = s2.newest_parts();
+        assert!(newest.contains_key(&1), "synced page must survive");
+        assert!(!newest.contains_key(&2), "unsynced page must be lost");
+    }
+
+    #[test]
+    fn unknown_token_is_reported() {
+        let s = test_store();
+        assert_eq!(s.fetch(1, 999), Err(StoreError::UnknownToken(999)));
+    }
+
+    #[test]
+    fn oversized_buffer_config_rejected() {
+        let device = Arc::new(FlashDevice::new(DeviceConfig::small_test()));
+        let seg = device.config().segment_bytes;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            LogStructuredStore::new(
+                device,
+                LssConfig {
+                    flush_buffer_bytes: seg + 1,
+                    gc_live_fraction: 0.5,
+                    codec: Codec::None,
+                    max_flush_chain: 4,
+                },
+            )
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn payload_accounting_tracks_variable_sizes() {
+        let s = test_store();
+        let small = base_img(&[("k", "v")]);
+        let big = base_img(&[("key-large", &"x".repeat(500))]);
+        s.write(1, &small, None).unwrap();
+        s.write(2, &big, None).unwrap();
+        let stats = s.stats();
+        assert_eq!(
+            stats.payload_bytes,
+            (small.serialize().len() + big.serialize().len()) as u64
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Property test: the log-structured store against a reference model,
+//! under random writes (full and incremental), fetches, buffer flushes,
+//! garbage collection, page retirement, sync, and crash+recover cycles.
+
+use bytes::Bytes;
+use dcs_bwtree::{DeltaOp, PageId, PageImage, PageStore};
+use dcs_flashsim::{DeviceConfig, FlashDevice};
+use dcs_llama::{LogStructuredStore, LssConfig};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write a full base image for a page.
+    WriteBase(u8, Vec<(u8, u8)>),
+    /// Write an incremental delta for a page (if it has a durable state).
+    WriteDelta(u8, Vec<(u8, u8)>),
+    /// Fetch and compare a page's newest state.
+    Fetch(u8),
+    /// Retire (tombstone) a page.
+    Retire(u8),
+    Flush,
+    Gc,
+    Sync,
+    CrashRecover,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let kvs = proptest::collection::vec((any::<u8>(), any::<u8>()), 1..8);
+    prop_oneof![
+        4 => (any::<u8>(), kvs.clone()).prop_map(|(p, kv)| Op::WriteBase(p % 16, kv)),
+        4 => (any::<u8>(), kvs).prop_map(|(p, kv)| Op::WriteDelta(p % 16, kv)),
+        4 => any::<u8>().prop_map(|p| Op::Fetch(p % 16)),
+        1 => any::<u8>().prop_map(|p| Op::Retire(p % 16)),
+        2 => Just(Op::Flush),
+        1 => Just(Op::Gc),
+        2 => Just(Op::Sync),
+        1 => Just(Op::CrashRecover),
+    ]
+}
+
+fn base_image(kvs: &[(u8, u8)]) -> PageImage {
+    let mut m = BTreeMap::new();
+    for (k, v) in kvs {
+        m.insert(Bytes::copy_from_slice(&[*k]), Bytes::copy_from_slice(&[*v]));
+    }
+    PageImage::base(m.into_iter().collect(), None, None)
+}
+
+fn delta_image(kvs: &[(u8, u8)]) -> PageImage {
+    // PageImage delta ops are newest-first; the test treats `kvs` as
+    // oldest-first (like the model's sequential application).
+    PageImage::delta(
+        kvs.iter()
+            .rev()
+            .map(|(k, v)| {
+                DeltaOp::Put(Bytes::copy_from_slice(&[*k]), Bytes::copy_from_slice(&[*v]))
+            })
+            .collect(),
+        None,
+        None,
+    )
+}
+
+/// The model's view of one page.
+#[derive(Debug, Clone, Default)]
+struct PageModel {
+    /// Current logical contents (volatile view).
+    entries: BTreeMap<u8, u8>,
+    /// Newest token.
+    token: Option<u64>,
+    /// Contents as of the last sync, and the token for them.
+    durable: Option<(BTreeMap<u8, u8>, u64)>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lss_matches_model(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let device = Arc::new(FlashDevice::new(DeviceConfig {
+            segment_bytes: 2 << 10,
+            segment_count: 1024,
+            ..DeviceConfig::small_test()
+        }));
+        let config = LssConfig {
+            flush_buffer_bytes: 1 << 10,
+            gc_live_fraction: 0.7,
+            max_flush_chain: 3,
+            ..LssConfig::default()
+        };
+        let mut store = LogStructuredStore::new(device.clone(), config.clone());
+        let mut pages: HashMap<u8, PageModel> = HashMap::new();
+        // Pages whose newest state was written before the last sync.
+        let mut synced_through: u64 = 0;
+        let mut next_token_watermark: u64 = 0;
+
+        for op in ops {
+            match op {
+                Op::WriteBase(p, kvs) => {
+                    let img = base_image(&kvs);
+                    let token = store.write(p as PageId, &img, None).expect("write");
+                    let m = pages.entry(p).or_default();
+                    m.entries = kvs.iter().rev().map(|(k, v)| (*k, *v)).collect();
+                    m.entries = {
+                        // newest-first semantics of duplicate keys in kvs:
+                        let mut bt = BTreeMap::new();
+                        for (k, v) in &kvs { bt.insert(*k, *v); }
+                        bt
+                    };
+                    m.token = Some(token);
+                    next_token_watermark = token + 1;
+                }
+                Op::WriteDelta(p, kvs) => {
+                    let Some(m) = pages.get_mut(&p) else { continue };
+                    let Some(prev) = m.token else { continue };
+                    let img = delta_image(&kvs);
+                    let token = store.write(p as PageId, &img, Some(prev)).expect("write");
+                    for (k, v) in &kvs {
+                        m.entries.insert(*k, *v);
+                    }
+                    m.token = Some(token);
+                    next_token_watermark = token + 1;
+                }
+                Op::Fetch(p) => {
+                    let Some(m) = pages.get(&p) else { continue };
+                    let Some(token) = m.token else { continue };
+                    let img = store.fetch(p as PageId, token).expect("fetch");
+                    let got: BTreeMap<u8, u8> = img
+                        .entries
+                        .iter()
+                        .map(|(k, v)| (k[0], v[0]))
+                        .collect();
+                    prop_assert_eq!(&got, &m.entries, "page {} state", p);
+                }
+                Op::Retire(p) => {
+                    if pages.remove(&p).is_some() {
+                        store.retire_page(p as PageId).expect("retire");
+                    }
+                }
+                Op::Flush => store.flush().expect("flush"),
+                Op::Gc => {
+                    store.gc_all().expect("gc");
+                }
+                Op::Sync => {
+                    store.sync().expect("sync");
+                    synced_through = next_token_watermark;
+                    for m in pages.values_mut() {
+                        if let Some(t) = m.token {
+                            m.durable = Some((m.entries.clone(), t));
+                        }
+                    }
+                }
+                Op::CrashRecover => {
+                    drop(store);
+                    device.crash();
+                    store = LogStructuredStore::recover_from_device(
+                        device.clone(),
+                        config.clone(),
+                    )
+                    .expect("recover");
+                    let _ = synced_through;
+                    // The model rolls back to the durable view.
+                    pages.retain(|_, m| m.durable.is_some());
+                    for m in pages.values_mut() {
+                        let (entries, token) = m.durable.clone().expect("retained");
+                        m.entries = entries;
+                        m.token = Some(token);
+                    }
+                    // Recovered newest-parts must agree with the model.
+                    let newest = store.newest_parts();
+                    for (p, m) in &pages {
+                        prop_assert_eq!(
+                            newest.get(&(*p as PageId)).copied(),
+                            m.token,
+                            "page {} token after recovery",
+                            p
+                        );
+                    }
+                }
+            }
+        }
+        // Final audit: every live page fetches to its model state.
+        for (p, m) in &pages {
+            if let Some(token) = m.token {
+                let img = store.fetch(*p as PageId, token).expect("final fetch");
+                let got: BTreeMap<u8, u8> =
+                    img.entries.iter().map(|(k, v)| (k[0], v[0])).collect();
+                prop_assert_eq!(&got, &m.entries, "final page {}", p);
+            }
+        }
+    }
+}

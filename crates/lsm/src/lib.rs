@@ -1,0 +1,42 @@
+//! A log-structured merge tree in the style of RocksDB / LevelDB.
+//!
+//! The cost/performance paper (§1.3, §6) uses RocksDB as its second example
+//! of a modern data caching system: like Deuteronomy it is log-structured
+//! (all secondary-storage writes are large sequential appends), accepts
+//! **blind updates** into its in-memory tree without reading secondary
+//! storage (§6.2), and its in-memory tree doubles as a **record cache**
+//! (§6.3). This crate implements that system over the simulated flash
+//! device:
+//!
+//! * [`Memtable`] — the sorted in-memory tree where all updates land.
+//! * [`SsTable`] — immutable sorted runs on flash, each written with a
+//!   single device append; per-table bloom filters and sparse indexes keep
+//!   lookups to at most one device read per consulted table.
+//! * [`LsmTree`] — leveled organization: L0 collects flushed memtables
+//!   (overlapping, searched newest-first); L1+ are non-overlapping runs
+//!   merged by compaction, with a configurable level-size growth factor.
+//!
+//! Write amplification, device I/O counts, and bloom-filter effectiveness
+//! are all surfaced through [`LsmStats`] so the §6 experiments can compare
+//! the LSM's write-shrinking behaviour with LLAMA's.
+//!
+//! ```
+//! use dcs_lsm::{LsmConfig, LsmTree};
+//! use dcs_flashsim::{DeviceConfig, FlashDevice};
+//! use std::sync::Arc;
+//!
+//! let device = Arc::new(FlashDevice::new(DeviceConfig::small_test()));
+//! let lsm = LsmTree::new(device, LsmConfig::default());
+//! lsm.put(b"k".to_vec(), b"v".to_vec()).unwrap();
+//! assert_eq!(lsm.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
+//! ```
+
+mod bloom;
+mod lsm;
+mod memtable;
+mod sstable;
+
+pub use bloom::BloomFilter;
+pub use lsm::{LsmConfig, LsmError, LsmStats, LsmTree};
+pub use memtable::Memtable;
+pub use sstable::SsTable;

@@ -1,0 +1,187 @@
+//! The in-memory tree where all updates are first "accepted" (§6.1).
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// A record state in the memtable: a value or a tombstone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum MemValue {
+    Put(Bytes),
+    Tombstone,
+}
+
+/// Sorted in-memory write buffer.
+///
+/// All updates — including blind updates to keys whose current value lives
+/// on flash — land here without any read I/O (§6.2), and reads of recently
+/// written keys are served from here without I/O (the record-cache effect,
+/// §6.3).
+pub struct Memtable {
+    map: RwLock<BTreeMap<Bytes, MemValue>>,
+    bytes: std::sync::atomic::AtomicUsize,
+}
+
+impl Memtable {
+    /// An empty memtable.
+    pub fn new() -> Self {
+        Memtable {
+            map: RwLock::new(BTreeMap::new()),
+            bytes: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Upsert a value.
+    pub fn put(&self, key: Bytes, value: Bytes) {
+        use std::sync::atomic::Ordering;
+        let (klen, vlen) = (key.len(), value.len());
+        let mut map = self.map.write();
+        match map.insert(key, MemValue::Put(value)) {
+            None => {
+                self.bytes.fetch_add(klen + vlen, Ordering::Relaxed);
+            }
+            Some(MemValue::Tombstone) => {
+                self.bytes.fetch_add(vlen, Ordering::Relaxed);
+            }
+            Some(MemValue::Put(old)) => {
+                self.bytes.fetch_add(vlen, Ordering::Relaxed);
+                self.bytes.fetch_sub(old.len(), Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Record a deletion (tombstone).
+    pub fn delete(&self, key: Bytes) {
+        let delta = key.len();
+        let mut map = self.map.write();
+        if map.insert(key, MemValue::Tombstone).is_none() {
+            self.bytes
+                .fetch_add(delta, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Look a key up. `None` = not present here (check lower levels);
+    /// `Some(None)` = tombstoned; `Some(Some(v))` = live value.
+    pub fn get(&self, key: &[u8]) -> Option<Option<Bytes>> {
+        let map = self.map.read();
+        map.get(key).map(|v| match v {
+            MemValue::Put(b) => Some(b.clone()),
+            MemValue::Tombstone => None,
+        })
+    }
+
+    /// Approximate payload bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of entries (including tombstones).
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot the contents in key order (for flushing).
+    pub(crate) fn snapshot(&self) -> Vec<(Bytes, MemValue)> {
+        self.map
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Range snapshot `[start, end)` for scans.
+    pub(crate) fn range_snapshot(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> Vec<(Bytes, MemValue)> {
+        self.range_snapshot_capped(start, end, usize::MAX).0
+    }
+
+    /// Range snapshot bounded to `cap` items; the second value reports
+    /// whether the snapshot was truncated by the cap.
+    pub(crate) fn range_snapshot_capped(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        cap: usize,
+    ) -> (Vec<(Bytes, MemValue)>, bool) {
+        let map = self.map.read();
+        let mut out = Vec::new();
+        let mut truncated = false;
+        for (k, v) in map
+            .range(Bytes::copy_from_slice(start)..)
+            .take_while(|(k, _)| end.map(|e| k.as_ref() < e).unwrap_or(true))
+        {
+            if out.len() >= cap {
+                truncated = true;
+                break;
+            }
+            out.push((k.clone(), v.clone()));
+        }
+        (out, truncated)
+    }
+}
+
+impl Default for Memtable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::from(s.to_owned())
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let m = Memtable::new();
+        assert_eq!(m.get(b"k"), None);
+        m.put(b("k"), b("v"));
+        assert_eq!(m.get(b"k"), Some(Some(b("v"))));
+        m.delete(b("k"));
+        assert_eq!(m.get(b"k"), Some(None));
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let m = Memtable::new();
+        m.put(b("c"), b("3"));
+        m.put(b("a"), b("1"));
+        m.put(b("b"), b("2"));
+        let snap = m.snapshot();
+        let keys: Vec<_> = snap.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b("a"), b("b"), b("c")]);
+    }
+
+    #[test]
+    fn bytes_grow_with_content() {
+        let m = Memtable::new();
+        assert_eq!(m.approx_bytes(), 0);
+        m.put(b("key"), b("value"));
+        assert_eq!(m.approx_bytes(), 8);
+        m.put(b("key"), b("longer-value"));
+        assert!(m.approx_bytes() >= 12);
+    }
+
+    #[test]
+    fn range_snapshot_bounds() {
+        let m = Memtable::new();
+        for i in 0..10u32 {
+            m.put(Bytes::from(format!("k{i}")), b("v"));
+        }
+        let r = m.range_snapshot(b"k3", Some(b"k7"));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0].0, b("k3"));
+        assert_eq!(r[3].0, b("k6"));
+    }
+}

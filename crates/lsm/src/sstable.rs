@@ -1,0 +1,293 @@
+//! Immutable sorted runs on flash.
+
+use crate::bloom::BloomFilter;
+use crate::memtable::MemValue;
+use bytes::Bytes;
+use dcs_flashsim::{FlashAddress, FlashDevice};
+
+/// Entries per sparse-index interval.
+const INDEX_INTERVAL: usize = 16;
+
+/// Bits per key in the bloom filter (RocksDB default).
+const BLOOM_BITS_PER_KEY: usize = 10;
+
+/// An entry as stored in a table: tombstones must be persisted so newer
+/// levels can shadow older values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TableValue {
+    Put(Bytes),
+    Tombstone,
+}
+
+impl From<MemValue> for TableValue {
+    fn from(v: MemValue) -> Self {
+        match v {
+            MemValue::Put(b) => TableValue::Put(b),
+            MemValue::Tombstone => TableValue::Tombstone,
+        }
+    }
+}
+
+/// An immutable sorted run. Data lives on flash (one device append); the
+/// bloom filter and a sparse index stay in memory, as in RocksDB's
+/// table-cache steady state.
+pub struct SsTable {
+    /// Where the serialized run begins.
+    addr: FlashAddress,
+    /// Serialized length in bytes.
+    pub(crate) len: usize,
+    /// First key in the run.
+    pub(crate) first_key: Bytes,
+    /// Last key in the run.
+    pub(crate) last_key: Bytes,
+    /// Number of entries.
+    pub(crate) entries: usize,
+    bloom: BloomFilter,
+    /// `(key, byte offset)` every [`INDEX_INTERVAL`] entries.
+    index: Vec<(Bytes, u32)>,
+    /// Monotone id for age ordering (newer = larger).
+    pub(crate) id: u64,
+}
+
+fn push_entry(out: &mut Vec<u8>, key: &[u8], value: &TableValue) {
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(key);
+    match value {
+        TableValue::Put(v) => {
+            out.push(0);
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v);
+        }
+        TableValue::Tombstone => out.push(1),
+    }
+}
+
+fn read_entry(buf: &[u8], pos: &mut usize) -> Option<(Bytes, TableValue)> {
+    if *pos + 4 > buf.len() {
+        return None;
+    }
+    let klen = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().ok()?) as usize;
+    *pos += 4;
+    let key = Bytes::copy_from_slice(buf.get(*pos..*pos + klen)?);
+    *pos += klen;
+    let tag = *buf.get(*pos)?;
+    *pos += 1;
+    let value = match tag {
+        0 => {
+            let vlen = u32::from_le_bytes(buf.get(*pos..*pos + 4)?.try_into().ok()?) as usize;
+            *pos += 4;
+            let v = Bytes::copy_from_slice(buf.get(*pos..*pos + vlen)?);
+            *pos += vlen;
+            TableValue::Put(v)
+        }
+        1 => TableValue::Tombstone,
+        _ => return None,
+    };
+    Some((key, value))
+}
+
+impl SsTable {
+    /// Build and persist a run from sorted entries. One device append.
+    pub(crate) fn build(
+        device: &FlashDevice,
+        id: u64,
+        entries: &[(Bytes, TableValue)],
+    ) -> Result<SsTable, dcs_flashsim::DeviceError> {
+        assert!(!entries.is_empty(), "empty SSTable");
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "unsorted run");
+        let mut data = Vec::new();
+        let mut bloom = BloomFilter::new(entries.len(), BLOOM_BITS_PER_KEY);
+        let mut index = Vec::new();
+        for (i, (k, v)) in entries.iter().enumerate() {
+            if i % INDEX_INTERVAL == 0 {
+                index.push((k.clone(), data.len() as u32));
+            }
+            bloom.insert(k);
+            push_entry(&mut data, k, v);
+        }
+        let addr = device.append(&data)?;
+        Ok(SsTable {
+            addr,
+            len: data.len(),
+            first_key: entries[0].0.clone(),
+            last_key: entries[entries.len() - 1].0.clone(),
+            entries: entries.len(),
+            bloom,
+            index,
+            id,
+        })
+    }
+
+    /// Whether `key` falls within this run's key range.
+    pub(crate) fn covers(&self, key: &[u8]) -> bool {
+        self.first_key.as_ref() <= key && key <= self.last_key.as_ref()
+    }
+
+    /// Whether this run's range overlaps `[first, last]`.
+    pub(crate) fn overlaps(&self, first: &[u8], last: &[u8]) -> bool {
+        !(self.last_key.as_ref() < first || last < self.first_key.as_ref())
+    }
+
+    /// Point lookup: bloom check, then at most one device read of the
+    /// sparse-index interval containing the key.
+    ///
+    /// Returns `(result, did_io)`.
+    pub(crate) fn get(
+        &self,
+        device: &FlashDevice,
+        key: &[u8],
+    ) -> Result<(Option<TableValue>, bool), dcs_flashsim::DeviceError> {
+        if !self.covers(key) || !self.bloom.may_contain(key) {
+            return Ok((None, false));
+        }
+        // Sparse index: find the interval whose first key ≤ key.
+        let slot = self
+            .index
+            .partition_point(|(k, _)| k.as_ref() <= key)
+            .saturating_sub(1);
+        let start = self.index[slot].1 as usize;
+        let end = self
+            .index
+            .get(slot + 1)
+            .map(|(_, off)| *off as usize)
+            .unwrap_or(self.len);
+        let block = device.read(
+            FlashAddress {
+                segment: self.addr.segment,
+                offset: self.addr.offset + start as u32,
+            },
+            end - start,
+        )?;
+        let mut pos = 0usize;
+        while let Some((k, v)) = read_entry(&block, &mut pos) {
+            if k.as_ref() == key {
+                return Ok((Some(v), true));
+            }
+            if k.as_ref() > key {
+                break;
+            }
+        }
+        Ok((None, true))
+    }
+
+    /// Read the whole run back (for compaction and scans).
+    pub(crate) fn read_all(
+        &self,
+        device: &FlashDevice,
+    ) -> Result<Vec<(Bytes, TableValue)>, dcs_flashsim::DeviceError> {
+        let buf = device.read(self.addr, self.len)?;
+        let mut out = Vec::with_capacity(self.entries);
+        let mut pos = 0usize;
+        while let Some(e) = read_entry(&buf, &mut pos) {
+            out.push(e);
+        }
+        Ok(out)
+    }
+
+    /// The flash segment holding this run.
+    pub(crate) fn segment(&self) -> dcs_flashsim::SegmentId {
+        self.addr.segment
+    }
+}
+
+impl std::fmt::Debug for SsTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SsTable")
+            .field("id", &self.id)
+            .field("entries", &self.entries)
+            .field("bytes", &self.len)
+            .field("first", &self.first_key)
+            .field("last", &self.last_key)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_flashsim::DeviceConfig;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::from(s.to_owned())
+    }
+
+    fn sample_entries(n: u32) -> Vec<(Bytes, TableValue)> {
+        (0..n)
+            .map(|i| {
+                let v = if i % 10 == 9 {
+                    TableValue::Tombstone
+                } else {
+                    TableValue::Put(Bytes::from(format!("value{i}")))
+                };
+                (Bytes::from(format!("key{i:05}")), v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_and_point_lookup() {
+        let device = FlashDevice::new(DeviceConfig::small_test());
+        let entries = sample_entries(200);
+        let t = SsTable::build(&device, 1, &entries).unwrap();
+        assert_eq!(device.stats().writes, 1, "one append per table");
+        for (k, v) in &entries {
+            let (got, _io) = t.get(&device, k).unwrap();
+            assert_eq!(got.as_ref(), Some(v), "key {k:?}");
+        }
+    }
+
+    #[test]
+    fn absent_keys_mostly_skip_io() {
+        let device = FlashDevice::new(DeviceConfig::small_test());
+        let t = SsTable::build(&device, 1, &sample_entries(500)).unwrap();
+        let reads_before = device.stats().reads;
+        let mut ios = 0;
+        for i in 0..500u32 {
+            let (got, io) = t.get(&device, format!("nope{i:05}").as_bytes()).unwrap();
+            assert_eq!(got, None);
+            if io {
+                ios += 1;
+            }
+        }
+        // Out-of-range keys are free; in-range absent keys are mostly
+        // filtered by the bloom filter.
+        assert!(ios < 30, "{ios} I/Os for absent keys");
+        assert_eq!(device.stats().reads - reads_before, ios as u64);
+    }
+
+    #[test]
+    fn in_range_absent_key() {
+        let device = FlashDevice::new(DeviceConfig::small_test());
+        let entries = vec![
+            (b("a"), TableValue::Put(b("1"))),
+            (b("c"), TableValue::Put(b("3"))),
+        ];
+        let t = SsTable::build(&device, 1, &entries).unwrap();
+        let (got, _) = t.get(&device, b"b").unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn read_all_roundtrip() {
+        let device = FlashDevice::new(DeviceConfig::small_test());
+        let entries = sample_entries(100);
+        let t = SsTable::build(&device, 3, &entries).unwrap();
+        assert_eq!(t.read_all(&device).unwrap(), entries);
+    }
+
+    #[test]
+    fn covers_and_overlaps() {
+        let device = FlashDevice::new(DeviceConfig::small_test());
+        let entries = vec![
+            (b("f"), TableValue::Put(b("1"))),
+            (b("m"), TableValue::Put(b("2"))),
+        ];
+        let t = SsTable::build(&device, 1, &entries).unwrap();
+        assert!(t.covers(b"f") && t.covers(b"m") && t.covers(b"j"));
+        assert!(!t.covers(b"e") && !t.covers(b"n"));
+        assert!(t.overlaps(b"a", b"g"));
+        assert!(t.overlaps(b"l", b"z"));
+        assert!(!t.overlaps(b"a", b"e"));
+        assert!(!t.overlaps(b"n", b"z"));
+    }
+}

@@ -1,0 +1,49 @@
+//! MassTree: a main-memory key-value store for multicore machines
+//! (Mao, Kohler, Morris — EuroSys 2012).
+//!
+//! MassTree is the paper's main-memory comparator (§5): faster per
+//! operation than the Bw-tree (the paper measures `Px ≈ 2.6`) but with a
+//! larger memory footprint (`Mx ≈ 2.1`), because it trades space for time —
+//! fixed-width fanout-15 nodes, an 8-byte-slice trie that replaces byte-wise
+//! key comparison with single integer compares, and everything permanently
+//! in DRAM.
+//!
+//! # Structure (faithful to the paper)
+//!
+//! * A **trie of B+-trees**: layer *d* indexes bytes `8d..8d+8` of the key
+//!   as a big-endian `u64` slice. Keys that agree on a full 8-byte slice
+//!   and continue further share a *next-layer* subtree.
+//! * **Fanout-15 nodes** with `u64` slice keys in interior nodes; border
+//!   (leaf) nodes store per-entry key lengths, an inline suffix for a single
+//!   longer key, or a link to the next layer once two keys share a slice.
+//! * **Lock-free reads**: readers never block and never take locks.
+//!
+//! # Substitution note
+//!
+//! The original uses per-node version counters and permutation words so
+//! writers can update nodes in place while readers validate versions. That
+//! protocol relies on benign data races that Rust's memory model does not
+//! allow. This implementation keeps the read path lock-free with the same
+//! asymptotics by making nodes **immutable**: writers clone the ~15-entry
+//! node, apply the change, and atomically swap the parent's child slot
+//! (epoch-based reclamation frees the old node). Writers to the same parent
+//! serialize on a per-node lock; readers are untouched. The fixed-width
+//! node arrays are preserved, so the *memory expansion* (`Mx`) behaviour the
+//! paper measures is exercised by the same mechanism as the original.
+//!
+//! ```
+//! use dcs_masstree::MassTree;
+//! use bytes::Bytes;
+//!
+//! let t = MassTree::new();
+//! t.insert(Bytes::from("hello/world"), Bytes::from("v1"));
+//! assert_eq!(t.get(b"hello/world"), Some(Bytes::from("v1")));
+//! t.remove(b"hello/world");
+//! assert_eq!(t.get(b"hello/world"), None);
+//! ```
+
+mod node;
+mod scan;
+mod tree;
+
+pub use tree::{MassTree, MassTreeStats};

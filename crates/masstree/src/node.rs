@@ -1,0 +1,290 @@
+//! Node representations: interior, border, layers, slices.
+
+use bytes::Bytes;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Node fanout, as in the MassTree paper.
+pub(crate) const WIDTH: usize = 15;
+
+/// Big-endian 8-byte slice of a key starting at `offset`, zero-padded.
+pub(crate) fn slice_at(key: &[u8], offset: usize) -> u64 {
+    let mut buf = [0u8; 8];
+    if offset < key.len() {
+        let end = (offset + 8).min(key.len());
+        buf[..end - offset].copy_from_slice(&key[offset..end]);
+    }
+    u64::from_be_bytes(buf)
+}
+
+/// Key-length class of a border entry: `0..=8` is a key that ends within
+/// this slice (with that many bytes); `HAS_MORE` means the key continues
+/// past the slice (suffix inline or next layer).
+pub(crate) const HAS_MORE: u8 = 9;
+
+/// What a border entry holds.
+#[derive(Clone)]
+pub(crate) enum EntryValue {
+    /// A record whose key ends in this slice (`klen ≤ 8`), or a single
+    /// longer key with its suffix stored inline.
+    Inline {
+        /// Remaining key bytes past this slice (empty if `klen ≤ 8`).
+        suffix: Bytes,
+        /// Record payload.
+        value: Bytes,
+    },
+    /// Two or more keys share this slice and continue: descend a layer.
+    NextLayer(Arc<Layer>),
+}
+
+/// One border-node entry.
+#[derive(Clone)]
+pub(crate) struct Entry {
+    pub slice: u64,
+    /// `0..=8`, or [`HAS_MORE`].
+    pub klen: u8,
+    pub value: EntryValue,
+}
+
+impl Entry {
+    /// Sort key within a border node.
+    pub fn rank(&self) -> (u64, u8) {
+        (self.slice, self.klen)
+    }
+}
+
+/// An immutable border (leaf) node. Entries are sorted by `(slice, klen)`.
+pub(crate) struct Border {
+    pub entries: Vec<Entry>,
+}
+
+impl Border {
+    pub fn empty() -> Self {
+        Border {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Find the entry index matching `(slice, klen)`.
+    pub fn find(&self, slice: u64, klen: u8) -> Result<usize, usize> {
+        self.entries
+            .binary_search_by(|e| e.rank().cmp(&(slice, klen)))
+    }
+}
+
+/// An interior node: routes slices to children. Keys are immutable;
+/// children slots are updated in place, under the node's write lock, so
+/// readers can follow them with plain atomic loads.
+pub(crate) struct Interior {
+    pub keys: Vec<u64>,
+    pub children: Vec<AtomicPtr<Node>>,
+    /// Serializes all writers that publish into this node's slots (and the
+    /// node's own replacement).
+    pub wlock: Mutex<()>,
+    /// Set (under `wlock`) when this node has been replaced; writers that
+    /// located it before the swap must retry.
+    pub obsolete: std::sync::atomic::AtomicBool,
+}
+
+impl Interior {
+    /// Child index routing `slice`: entry `i` covers `keys[i-1] ≤ s < keys[i]`.
+    pub fn route(&self, slice: u64) -> usize {
+        self.keys.partition_point(|&k| k <= slice)
+    }
+}
+
+/// A tree node.
+pub(crate) enum Node {
+    Interior(Interior),
+    Border(Border),
+}
+
+impl Node {
+    pub fn into_raw(self) -> *mut Node {
+        Box::into_raw(Box::new(self))
+    }
+
+    /// Approximate allocated bytes: fixed-width arrays (the space-for-time
+    /// trade the paper's `Mx` measures) plus owned byte payloads.
+    pub fn approx_bytes(&self) -> usize {
+        // Fixed node frame: WIDTH key slots + WIDTH+1 child slots or WIDTH
+        // entry slots, regardless of occupancy — as in the original's fixed
+        // node layout.
+        const FRAME: usize = std::mem::size_of::<Node>()
+            + WIDTH * std::mem::size_of::<u64>()
+            + (WIDTH + 1) * std::mem::size_of::<usize>();
+        match self {
+            Node::Interior(_) => FRAME,
+            Node::Border(b) => {
+                let payload: usize = b
+                    .entries
+                    .iter()
+                    .map(|e| match &e.value {
+                        EntryValue::Inline { suffix, value } => suffix.len() + value.len() + 32,
+                        EntryValue::NextLayer(_) => 32,
+                    })
+                    .sum();
+                FRAME + payload
+            }
+        }
+    }
+}
+
+/// One trie layer: a B+-tree over one 8-byte slice position.
+pub(crate) struct Layer {
+    pub root: AtomicPtr<Node>,
+    /// Serializes writers when the root itself must be replaced (root is a
+    /// border node, or a root split).
+    pub root_lock: Mutex<()>,
+}
+
+impl Layer {
+    pub fn new_with(root: *mut Node) -> Self {
+        Layer {
+            root: AtomicPtr::new(root),
+            root_lock: Mutex::new(()),
+        }
+    }
+
+    pub fn new_empty() -> Self {
+        Self::new_with(Node::Border(Border::empty()).into_raw())
+    }
+}
+
+impl Drop for Layer {
+    fn drop(&mut self) {
+        // Exclusive at drop: free the subtree immediately.
+        let root = self.root.load(Ordering::SeqCst);
+        if !root.is_null() {
+            // SAFETY: no other reference can exist when a Layer drops (it is
+            // reachable only through tree nodes that are themselves being
+            // dropped, after all guards have expired).
+            unsafe { free_subtree(root) };
+        }
+    }
+}
+
+/// Free a subtree of this layer (not descending into `NextLayer` Arcs —
+/// those free themselves when their reference count drops).
+///
+/// # Safety
+/// Caller must have exclusive access to the subtree.
+pub(crate) unsafe fn free_subtree(node: *mut Node) {
+    let boxed = unsafe { Box::from_raw(node) };
+    if let Node::Interior(ref i) = *boxed {
+        for c in &i.children {
+            let p = c.load(Ordering::SeqCst);
+            if !p.is_null() {
+                unsafe { free_subtree(p) };
+            }
+        }
+    }
+    // Border entries (and their NextLayer Arcs) drop with the box.
+}
+
+/// Global allocation counter support: tracks approximate live node bytes.
+#[derive(Clone, Default)]
+pub(crate) struct MemCounter(pub Arc<AtomicUsize>);
+
+impl MemCounter {
+    pub fn add(&self, n: usize) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn sub(&self, n: usize) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+    pub fn get(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_extraction() {
+        assert_eq!(slice_at(b"", 0), 0);
+        assert_eq!(slice_at(b"A", 0), (b'A' as u64) << 56);
+        assert_eq!(slice_at(b"ABCDEFGH", 0), u64::from_be_bytes(*b"ABCDEFGH"));
+        assert_eq!(
+            slice_at(b"ABCDEFGHIJ", 8),
+            u64::from_be_bytes([b'I', b'J', 0, 0, 0, 0, 0, 0])
+        );
+        assert_eq!(slice_at(b"AB", 8), 0);
+    }
+
+    #[test]
+    fn slices_preserve_order() {
+        let keys: Vec<&[u8]> = vec![b"", b"a", b"ab", b"b", b"ba"];
+        for w in keys.windows(2) {
+            assert!(
+                slice_at(w[0], 0) <= slice_at(w[1], 0),
+                "{:?} vs {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn interior_routing() {
+        let i = Interior {
+            keys: vec![10, 20, 30],
+            children: Vec::new(),
+            wlock: Mutex::new(()),
+            obsolete: std::sync::atomic::AtomicBool::new(false),
+        };
+        assert_eq!(i.route(5), 0);
+        assert_eq!(i.route(10), 1); // equal goes right
+        assert_eq!(i.route(15), 1);
+        assert_eq!(i.route(30), 3);
+        assert_eq!(i.route(99), 3);
+    }
+
+    #[test]
+    fn border_find() {
+        let b = Border {
+            entries: vec![
+                Entry {
+                    slice: 1,
+                    klen: 3,
+                    value: EntryValue::Inline {
+                        suffix: Bytes::new(),
+                        value: Bytes::from("x"),
+                    },
+                },
+                Entry {
+                    slice: 1,
+                    klen: HAS_MORE,
+                    value: EntryValue::Inline {
+                        suffix: Bytes::from("rest"),
+                        value: Bytes::from("y"),
+                    },
+                },
+            ],
+        };
+        assert_eq!(b.find(1, 3), Ok(0));
+        assert_eq!(b.find(1, HAS_MORE), Ok(1));
+        assert_eq!(b.find(1, 5), Err(1));
+        assert_eq!(b.find(0, 1), Err(0));
+    }
+
+    #[test]
+    fn node_bytes_reflect_fixed_frames() {
+        let empty = Node::Border(Border::empty());
+        let frame = empty.approx_bytes();
+        assert!(frame > WIDTH * 8, "fixed frame should be charged");
+        let one = Node::Border(Border {
+            entries: vec![Entry {
+                slice: 0,
+                klen: 4,
+                value: EntryValue::Inline {
+                    suffix: Bytes::new(),
+                    value: Bytes::from(vec![0u8; 100]),
+                },
+            }],
+        });
+        assert_eq!(one.approx_bytes(), frame + 132);
+    }
+}

@@ -1,0 +1,326 @@
+//! Range scans across trie layers.
+//!
+//! Border entries sort by `(slice, klen)`, which coincides with
+//! lexicographic key order (equal slices imply equal prefixes including
+//! zero padding; a shorter key is a prefix of — and sorts before — a
+//! longer one with the same slice, and `HAS_MORE` continuations sort after
+//! every in-slice terminal). An in-order walk of each layer's B+-tree,
+//! recursing into next-layer subtrees, therefore yields keys in order.
+//!
+//! Consistency matches the Bw-tree scan (and B-link trees generally): the
+//! scan is not a point-in-time snapshot of the whole tree, but every
+//! record returned was live when its node was visited, keys ascend, and
+//! there are no duplicates.
+
+use crate::node::{slice_at, EntryValue, Layer, Node};
+use crate::tree::MassTree;
+use bytes::Bytes;
+use dcs_ebr::Guard;
+use std::sync::atomic::Ordering;
+
+/// Exclusive scan bounds relative to the current layer (suffix view).
+struct Bounds<'a> {
+    start: &'a [u8],
+    end: Option<&'a [u8]>,
+}
+
+impl MassTree {
+    /// Collect records with `start ≤ key < end` (or to the end of the key
+    /// space when `end` is `None`), in ascending key order.
+    pub fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Vec<(Bytes, Bytes)> {
+        self.scan_limited(start, end, usize::MAX)
+    }
+
+    /// Like [`MassTree::scan`], but stops after `limit` records — the walk
+    /// terminates early instead of materializing the whole range.
+    pub fn scan_limited(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Vec<(Bytes, Bytes)> {
+        let guard = dcs_ebr::pin();
+        let mut out = Vec::new();
+        scan_layer(
+            self.root_layer(),
+            &mut Vec::new(),
+            &Bounds { start, end },
+            limit,
+            &mut out,
+            &guard,
+        );
+        out
+    }
+
+    /// Number of records in `[start, end)`.
+    pub fn count_range(&self, start: &[u8], end: Option<&[u8]>) -> usize {
+        self.scan(start, end).len()
+    }
+}
+
+/// Whether a reconstructed full key is inside the bounds.
+fn in_bounds(key: &[u8], b: &Bounds<'_>) -> bool {
+    key >= b.start && b.end.map(|e| key < e).unwrap_or(true)
+}
+
+/// Walk one layer's subtree in order.
+fn scan_layer(
+    layer: &Layer,
+    prefix: &mut Vec<u8>,
+    bounds: &Bounds<'_>,
+    limit: usize,
+    out: &mut Vec<(Bytes, Bytes)>,
+    guard: &Guard,
+) {
+    let root = layer.root.load(Ordering::SeqCst);
+    scan_node(root, prefix, bounds, limit, out, guard);
+}
+
+fn scan_node(
+    node: *const Node,
+    prefix: &mut Vec<u8>,
+    bounds: &Bounds<'_>,
+    limit: usize,
+    out: &mut Vec<(Bytes, Bytes)>,
+    guard: &Guard,
+) {
+    if out.len() >= limit {
+        return;
+    }
+    // SAFETY: guard pinned since before the pointer load; nodes are
+    // immutable and freed only through EBR.
+    match unsafe { &*node } {
+        Node::Interior(i) => {
+            // Prune: child c covers slices in [keys[c-1], keys[c]). The
+            // relevant slice range at this layer comes from the bounds'
+            // bytes at the current depth.
+            let lo_slice = bound_slice(bounds.start, prefix.len());
+            let hi_slice = bounds.end.map(|e| bound_slice(e, prefix.len()));
+            for c in 0..i.children.len() {
+                let child_lo = if c == 0 { None } else { Some(i.keys[c - 1]) };
+                let child_hi = i.keys.get(c).copied();
+                // Skip children entirely below the range start...
+                if let (Some(h), Some(lo)) = (child_hi, lo_slice) {
+                    if h < lo {
+                        continue;
+                    }
+                }
+                // ...or at/above the range end.
+                if let (Some(l), Some(Some(hi))) = (child_lo, hi_slice.as_ref().map(|h| *h)) {
+                    if l > hi {
+                        break;
+                    }
+                }
+                if out.len() >= limit {
+                    return;
+                }
+                let ptr = i.children[c].load(Ordering::SeqCst);
+                scan_node(ptr, prefix, bounds, limit, out, guard);
+            }
+        }
+        Node::Border(b) => {
+            for e in &b.entries {
+                if out.len() >= limit {
+                    return;
+                }
+                let slice_bytes = e.slice.to_be_bytes();
+                match (&e.value, e.klen) {
+                    (EntryValue::Inline { suffix, value }, klen) if klen <= 8 => {
+                        let mut key = prefix.clone();
+                        key.extend_from_slice(&slice_bytes[..klen as usize]);
+                        debug_assert!(suffix.is_empty());
+                        if in_bounds(&key, bounds) {
+                            out.push((Bytes::from(key), value.clone()));
+                        }
+                    }
+                    (EntryValue::Inline { suffix, value }, _) => {
+                        // HAS_MORE with an inline suffix.
+                        let mut key = prefix.clone();
+                        key.extend_from_slice(&slice_bytes);
+                        key.extend_from_slice(suffix);
+                        if in_bounds(&key, bounds) {
+                            out.push((Bytes::from(key), value.clone()));
+                        }
+                    }
+                    (EntryValue::NextLayer(next), _) => {
+                        // Prune whole sub-layers outside the bounds: every
+                        // key below shares `prefix + slice`.
+                        let mut sub_prefix = prefix.clone();
+                        sub_prefix.extend_from_slice(&slice_bytes);
+                        if subtree_may_intersect(&sub_prefix, bounds) {
+                            scan_layer(next, &mut sub_prefix, bounds, limit, out, guard);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The slice value the bound key has at `offset` (None = unbounded in that
+/// direction for pruning purposes once the prefix has passed the bound).
+fn bound_slice(bound: &[u8], offset: usize) -> Option<u64> {
+    if offset >= bound.len() {
+        None
+    } else {
+        Some(slice_at(bound, offset))
+    }
+}
+
+/// Whether any key beginning with `sub_prefix` can fall inside the bounds.
+fn subtree_may_intersect(sub_prefix: &[u8], b: &Bounds<'_>) -> bool {
+    // Max key with this prefix is prefix+0xFF...; min is the prefix itself.
+    if let Some(end) = b.end {
+        if sub_prefix >= end {
+            return false;
+        }
+    }
+    // If the prefix is lexicographically below start, keys under it can
+    // still exceed start only when start begins with the prefix.
+    if sub_prefix < b.start {
+        let n = sub_prefix.len().min(b.start.len());
+        return sub_prefix[..n] == b.start[..n];
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::from(s.to_owned())
+    }
+
+    #[test]
+    fn scan_short_keys_in_order() {
+        let t = MassTree::new();
+        for i in (0..500u32).rev() {
+            t.insert(
+                Bytes::from(format!("k{i:04}")),
+                Bytes::from(format!("v{i}")),
+            );
+        }
+        let all = t.scan(b"", None);
+        assert_eq!(all.len(), 500);
+        for (i, (k, v)) in all.iter().enumerate() {
+            assert_eq!(k, &Bytes::from(format!("k{i:04}")));
+            assert_eq!(v, &Bytes::from(format!("v{i}")));
+        }
+    }
+
+    #[test]
+    fn bounded_scan() {
+        let t = MassTree::new();
+        for i in 0..200u32 {
+            t.insert(Bytes::from(format!("k{i:04}")), b("v"));
+        }
+        let got = t.scan(b"k0050", Some(b"k0060"));
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0].0, b("k0050"));
+        assert_eq!(got[9].0, b("k0059"));
+        assert_eq!(t.count_range(b"k0199", None), 1);
+        assert_eq!(t.count_range(b"zzz", None), 0);
+    }
+
+    #[test]
+    fn scan_across_layers_in_order() {
+        // Long keys with shared prefixes force multi-layer descent; scan
+        // order must still be lexicographic.
+        let t = MassTree::new();
+        let mut expect = Vec::new();
+        for i in 0..50u32 {
+            for suffix in ["", "-a", "-bb", "-ccc"] {
+                let key = format!("shared-prefix-{i:03}{suffix}");
+                t.insert(
+                    Bytes::from(key.clone()),
+                    Bytes::from(format!("{i}{suffix}")),
+                );
+                expect.push(key);
+            }
+        }
+        expect.sort();
+        let got: Vec<String> = t
+            .scan(b"", None)
+            .into_iter()
+            .map(|(k, _)| String::from_utf8(k.to_vec()).unwrap())
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn scan_mixed_lengths_and_padding() {
+        let t = MassTree::new();
+        let keys: Vec<&[u8]> = vec![
+            b"a",
+            b"ab",
+            b"ab\x00",
+            b"abcdefgh",
+            b"abcdefghi",
+            b"abcdefgh\x00",
+            b"b",
+        ];
+        for k in &keys {
+            t.insert(Bytes::copy_from_slice(k), b("v"));
+        }
+        let got: Vec<Vec<u8>> = t
+            .scan(b"", None)
+            .into_iter()
+            .map(|(k, _)| k.to_vec())
+            .collect();
+        let mut expect: Vec<Vec<u8>> = keys.iter().map(|k| k.to_vec()).collect();
+        expect.sort();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bounded_scan_across_layers() {
+        let t = MassTree::new();
+        for i in 0..100u32 {
+            t.insert(
+                Bytes::from(format!("deep-shared-prefix-{i:04}-tail")),
+                Bytes::from(format!("{i}")),
+            );
+        }
+        let got = t.scan(b"deep-shared-prefix-0040", Some(b"deep-shared-prefix-0045"));
+        assert_eq!(got.len(), 5);
+        assert!(got
+            .iter()
+            .zip(40..45)
+            .all(|((_, v), i)| v == &Bytes::from(format!("{i}"))));
+    }
+
+    #[test]
+    fn scan_limited_stops_early() {
+        let t = MassTree::new();
+        for i in 0..5000u32 {
+            t.insert(Bytes::from(format!("k{i:06}")), b("v"));
+        }
+        let got = t.scan_limited(b"k001000", None, 25);
+        assert_eq!(got.len(), 25);
+        assert_eq!(got[0].0, b("k001000"));
+        assert_eq!(got[24].0, b("k001024"));
+        // And the full scan agrees on the same prefix.
+        let full = t.scan(b"k001000", Some(b"k001025"));
+        assert_eq!(full, got);
+    }
+
+    #[test]
+    fn empty_tree_scans_empty() {
+        let t = MassTree::new();
+        assert!(t.scan(b"", None).is_empty());
+    }
+
+    #[test]
+    fn scan_sees_deletes() {
+        let t = MassTree::new();
+        for i in 0..20u32 {
+            t.insert(Bytes::from(format!("k{i:02}")), b("v"));
+        }
+        t.remove(b"k05");
+        t.remove(b"k06");
+        let got = t.scan(b"k00", Some(b"k10"));
+        assert_eq!(got.len(), 8);
+        assert!(!got.iter().any(|(k, _)| k == &b("k05") || k == &b("k06")));
+    }
+}

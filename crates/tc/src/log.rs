@@ -1,0 +1,269 @@
+//! The recovery log, whose buffers double as the updated-record cache.
+//!
+//! Redo records are appended to in-memory log buffers; [`RecoveryLog::flush`]
+//! marks a prefix durable (writing it to the flash device as one large
+//! append — log-structuring again), but the buffers are *retained in
+//! memory* (§6.3): together with the MVCC hash table they form the TC's
+//! updated-record cache.
+
+use bytes::Bytes;
+use dcs_flashsim::FlashDevice;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One redo record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Committing transaction's timestamp.
+    pub ts: u64,
+    /// Record key.
+    pub key: Bytes,
+    /// New value; `None` = delete.
+    pub value: Option<Bytes>,
+}
+
+impl LogRecord {
+    fn serialized_len(&self) -> usize {
+        8 + 4 + self.key.len() + 1 + 4 + self.value.as_ref().map(|v| v.len()).unwrap_or(0)
+    }
+
+    fn serialize_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.ts.to_le_bytes());
+        out.extend_from_slice(&(self.key.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.key);
+        match &self.value {
+            Some(v) => {
+                out.push(1);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                out.extend_from_slice(v);
+            }
+            None => out.push(0),
+        }
+    }
+}
+
+struct LogInner {
+    /// All records, in append order. Flushed records stay resident.
+    records: Vec<LogRecord>,
+    /// Records up to this index are durable.
+    durable_upto: usize,
+    bytes: usize,
+}
+
+/// The in-memory recovery log with an optional flash device for
+/// durability.
+pub struct RecoveryLog {
+    inner: Mutex<LogInner>,
+    device: Option<Arc<FlashDevice>>,
+}
+
+impl RecoveryLog {
+    /// A log kept only in memory (tests / volatile mode).
+    pub fn in_memory() -> Self {
+        RecoveryLog {
+            inner: Mutex::new(LogInner {
+                records: Vec::new(),
+                durable_upto: 0,
+                bytes: 0,
+            }),
+            device: None,
+        }
+    }
+
+    /// A log that flushes to `device`.
+    pub fn on_device(device: Arc<FlashDevice>) -> Self {
+        RecoveryLog {
+            inner: Mutex::new(LogInner {
+                records: Vec::new(),
+                durable_upto: 0,
+                bytes: 0,
+            }),
+            device: Some(device),
+        }
+    }
+
+    /// Append a group of records (one transaction's writes) atomically.
+    /// Returns the log sequence number of the last record.
+    pub fn append_group(&self, records: &[LogRecord]) -> u64 {
+        let mut inner = self.inner.lock();
+        for r in records {
+            inner.bytes += r.serialized_len();
+            inner.records.push(r.clone());
+        }
+        inner.records.len() as u64 - 1
+    }
+
+    /// Flush undurable records to the device (one large append), retaining
+    /// them in memory. No-op for in-memory logs.
+    pub fn flush(&self) -> Result<(), dcs_flashsim::DeviceError> {
+        let mut inner = self.inner.lock();
+        if inner.durable_upto == inner.records.len() {
+            return Ok(());
+        }
+        if let Some(device) = &self.device {
+            let mut buf = Vec::new();
+            for r in &inner.records[inner.durable_upto..] {
+                r.serialize_into(&mut buf);
+            }
+            // Large appends may exceed a segment; chunk them.
+            let seg = device.config().segment_bytes;
+            for chunk in buf.chunks(seg) {
+                device.append(chunk)?;
+            }
+            device.sync();
+        }
+        inner.durable_upto = inner.records.len();
+        Ok(())
+    }
+
+    /// Look up the newest logged value for `key` visible at `read_ts`.
+    ///
+    /// This is the record-cache read path: a hit avoids the DC entirely.
+    pub fn lookup(&self, key: &[u8], read_ts: u64) -> Option<Option<Bytes>> {
+        let inner = self.inner.lock();
+        inner
+            .records
+            .iter()
+            .rev()
+            .find(|r| r.key.as_ref() == key && r.ts <= read_ts)
+            .map(|r| r.value.clone())
+    }
+
+    /// All records at or after timestamp `from_ts`, for redo replay.
+    pub fn records_from(&self, from_ts: u64) -> Vec<LogRecord> {
+        let inner = self.inner.lock();
+        inner
+            .records
+            .iter()
+            .filter(|r| r.ts >= from_ts)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records not yet durable.
+    pub fn undurable(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.records.len() - inner.durable_upto
+    }
+
+    /// Approximate bytes of retained log buffers.
+    pub fn approx_bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Discard records older than `horizon` that are durable (cache
+    /// trimming; durability is preserved because they were flushed).
+    pub fn trim_below(&self, horizon: u64) {
+        let mut inner = self.inner.lock();
+        let durable = inner.durable_upto;
+        let mut kept = Vec::new();
+        let mut kept_bytes = 0usize;
+        let mut new_durable = 0usize;
+        for (i, r) in inner.records.iter().enumerate() {
+            if r.ts >= horizon || i >= durable {
+                kept_bytes += r.serialized_len();
+                if i < durable {
+                    new_durable += 1;
+                }
+                kept.push(r.clone());
+            }
+        }
+        inner.records = kept;
+        inner.durable_upto = new_durable;
+        inner.bytes = kept_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_flashsim::DeviceConfig;
+
+    fn rec(ts: u64, key: &str, value: Option<&str>) -> LogRecord {
+        LogRecord {
+            ts,
+            key: Bytes::from(key.to_owned()),
+            value: value.map(|v| Bytes::from(v.to_owned())),
+        }
+    }
+
+    #[test]
+    fn append_and_lookup() {
+        let log = RecoveryLog::in_memory();
+        log.append_group(&[rec(10, "k", Some("v10"))]);
+        log.append_group(&[rec(20, "k", Some("v20")), rec(20, "j", None)]);
+        assert_eq!(log.lookup(b"k", 15), Some(Some(Bytes::from("v10"))));
+        assert_eq!(log.lookup(b"k", 25), Some(Some(Bytes::from("v20"))));
+        assert_eq!(log.lookup(b"j", 25), Some(None));
+        assert_eq!(log.lookup(b"x", 100), None);
+        assert_eq!(
+            log.lookup(b"k", 5),
+            None,
+            "nothing visible before first write"
+        );
+    }
+
+    #[test]
+    fn flush_marks_durable_and_retains() {
+        let device = Arc::new(FlashDevice::new(DeviceConfig::small_test()));
+        let log = RecoveryLog::on_device(device.clone());
+        log.append_group(&[rec(1, "a", Some("1")), rec(1, "b", Some("2"))]);
+        assert_eq!(log.undurable(), 2);
+        log.flush().unwrap();
+        assert_eq!(log.undurable(), 0);
+        assert_eq!(device.stats().writes, 1, "one large append");
+        // Retained in memory: lookups still hit.
+        assert_eq!(log.lookup(b"a", 10), Some(Some(Bytes::from("1"))));
+        // Idempotent flush.
+        log.flush().unwrap();
+        assert_eq!(device.stats().writes, 1);
+    }
+
+    #[test]
+    fn records_from_filters_by_ts() {
+        let log = RecoveryLog::in_memory();
+        log.append_group(&[rec(10, "a", Some("1"))]);
+        log.append_group(&[rec(20, "b", Some("2"))]);
+        log.append_group(&[rec(30, "c", Some("3"))]);
+        let replay = log.records_from(20);
+        assert_eq!(replay.len(), 2);
+        assert_eq!(replay[0].ts, 20);
+    }
+
+    #[test]
+    fn trim_keeps_recent_and_undurable() {
+        let device = Arc::new(FlashDevice::new(DeviceConfig::small_test()));
+        let log = RecoveryLog::on_device(device);
+        log.append_group(&[rec(10, "old", Some("x"))]);
+        log.append_group(&[rec(20, "mid", Some("y"))]);
+        log.flush().unwrap();
+        log.append_group(&[rec(30, "new", Some("z"))]); // not durable
+        log.trim_below(15);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.lookup(b"old", 100), None, "trimmed from cache");
+        assert_eq!(log.lookup(b"mid", 100), Some(Some(Bytes::from("y"))));
+        assert_eq!(log.lookup(b"new", 100), Some(Some(Bytes::from("z"))));
+        assert_eq!(log.undurable(), 1);
+    }
+
+    #[test]
+    fn bytes_accounting_tracks_trim() {
+        let log = RecoveryLog::in_memory();
+        log.append_group(&[rec(10, "key", Some("a-long-value-here"))]);
+        let b1 = log.approx_bytes();
+        assert!(b1 > 20);
+        log.trim_below(100);
+        // Undurable records are kept by trim (in-memory log never flushes).
+        assert_eq!(log.approx_bytes(), b1);
+    }
+}

@@ -1,0 +1,203 @@
+//! The multi-version store: the TC's version hash table.
+//!
+//! Versions are the actual record payloads (the paper: "Instead of using
+//! proxies for the multiple versions, the TC uses the versions
+//! themselves"), so this table *is* the updated-record cache — a hit here
+//! answers a read with no DC visit and no I/O.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// One committed version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Version {
+    /// Commit timestamp.
+    pub ts: u64,
+    /// Payload; `None` = deletion.
+    pub value: Option<Bytes>,
+}
+
+/// Hash table of per-key version chains, newest first.
+pub struct VersionStore {
+    shards: Vec<RwLock<HashMap<Bytes, Vec<Version>>>>,
+}
+
+const SHARDS: usize = 64;
+
+fn shard_of(key: &[u8]) -> usize {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in key {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h as usize) % SHARDS
+}
+
+impl VersionStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        VersionStore {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Install a committed version.
+    pub(crate) fn install(&self, key: Bytes, ts: u64, value: Option<Bytes>) {
+        let mut shard = self.shards[shard_of(&key)].write();
+        let chain = shard.entry(key).or_default();
+        // Newest first; commits are timestamp-ordered but racing installs
+        // may arrive slightly out of order.
+        let pos = chain.partition_point(|v| v.ts > ts);
+        chain.insert(pos, Version { ts, value });
+    }
+
+    /// The visible version for a reader at `read_ts`:
+    /// the newest version with `ts ≤ read_ts`.
+    ///
+    /// Outer `None` = no version cached here (fall through to the read
+    /// cache / DC); `Some(None)` = visibly deleted.
+    pub(crate) fn visible(&self, key: &[u8], read_ts: u64) -> Option<Option<Bytes>> {
+        let shard = self.shards[shard_of(key)].read();
+        let chain = shard.get(key)?;
+        chain
+            .iter()
+            .find(|v| v.ts <= read_ts)
+            .map(|v| v.value.clone())
+    }
+
+    /// Newest committed timestamp for `key` (write-conflict validation).
+    pub(crate) fn newest_ts(&self, key: &[u8]) -> Option<u64> {
+        let shard = self.shards[shard_of(key)].read();
+        shard.get(key).and_then(|c| c.first()).map(|v| v.ts)
+    }
+
+    /// Drop versions no active transaction can see: keep, per key, the
+    /// newest version with `ts ≤ horizon` plus everything newer.
+    pub fn truncate_below(&self, horizon: u64) {
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            for chain in shard.values_mut() {
+                if let Some(keep_idx) = chain.iter().position(|v| v.ts <= horizon) {
+                    chain.truncate(keep_idx + 1);
+                }
+            }
+            shard.retain(|_, c| !c.is_empty());
+        }
+    }
+
+    /// Drop *entire chains* whose newest version is at or below `horizon`
+    /// — cache shrinking, not MVCC GC. Safe because the data component
+    /// always holds the latest committed value (commits post blind updates
+    /// synchronously): a dropped chain just turns future reads into DC
+    /// reads.
+    pub fn evict_chains_below(&self, horizon: u64) {
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            shard.retain(|_, chain| chain.first().map(|v| v.ts > horizon).unwrap_or(false));
+        }
+    }
+
+    /// Total cached versions (diagnostics).
+    pub fn version_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().values().map(|c| c.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Approximate bytes held by cached versions.
+    pub fn approx_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .iter()
+                    .map(|(k, c)| {
+                        k.len()
+                            + c.iter()
+                                .map(|v| 16 + v.value.as_ref().map(|b| b.len()).unwrap_or(0))
+                                .sum::<usize>()
+                    })
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+impl Default for VersionStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::from(s.to_owned())
+    }
+
+    #[test]
+    fn visibility_by_timestamp() {
+        let vs = VersionStore::new();
+        vs.install(b("k"), 10, Some(b("v10")));
+        vs.install(b("k"), 20, Some(b("v20")));
+        assert_eq!(vs.visible(b"k", 5), None, "nothing visible at 5");
+        assert_eq!(vs.visible(b"k", 10), Some(Some(b("v10"))));
+        assert_eq!(vs.visible(b"k", 15), Some(Some(b("v10"))));
+        assert_eq!(vs.visible(b"k", 25), Some(Some(b("v20"))));
+        assert_eq!(vs.visible(b"absent", 100), None);
+    }
+
+    #[test]
+    fn deletions_are_versions() {
+        let vs = VersionStore::new();
+        vs.install(b("k"), 10, Some(b("v")));
+        vs.install(b("k"), 20, None);
+        assert_eq!(vs.visible(b"k", 15), Some(Some(b("v"))));
+        assert_eq!(vs.visible(b"k", 25), Some(None));
+    }
+
+    #[test]
+    fn newest_ts_for_validation() {
+        let vs = VersionStore::new();
+        assert_eq!(vs.newest_ts(b"k"), None);
+        vs.install(b("k"), 7, Some(b("v")));
+        vs.install(b("k"), 3, Some(b("old")));
+        assert_eq!(vs.newest_ts(b"k"), Some(7));
+    }
+
+    #[test]
+    fn out_of_order_installs_sort() {
+        let vs = VersionStore::new();
+        vs.install(b("k"), 30, Some(b("c")));
+        vs.install(b("k"), 10, Some(b("a")));
+        vs.install(b("k"), 20, Some(b("b")));
+        assert_eq!(vs.visible(b"k", 10), Some(Some(b("a"))));
+        assert_eq!(vs.visible(b"k", 20), Some(Some(b("b"))));
+        assert_eq!(vs.visible(b"k", 30), Some(Some(b("c"))));
+    }
+
+    #[test]
+    fn truncate_respects_horizon() {
+        let vs = VersionStore::new();
+        for ts in [10, 20, 30, 40] {
+            vs.install(b("k"), ts, Some(Bytes::from(format!("v{ts}"))));
+        }
+        assert_eq!(vs.version_count(), 4);
+        vs.truncate_below(25);
+        // Keep 40, 30, and 20 (the newest ≤ 25); drop 10.
+        assert_eq!(vs.version_count(), 3);
+        assert_eq!(vs.visible(b"k", 25), Some(Some(b("v20"))));
+        assert_eq!(vs.visible(b"k", 45), Some(Some(b("v40"))));
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let vs = VersionStore::new();
+        assert_eq!(vs.approx_bytes(), 0);
+        vs.install(b("key"), 1, Some(Bytes::from(vec![0u8; 100])));
+        assert!(vs.approx_bytes() >= 103);
+    }
+}

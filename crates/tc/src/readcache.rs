@@ -1,0 +1,211 @@
+//! The log-structured read cache (Figure 6).
+//!
+//! Records read from the DC are retained in a bounded, log-structured ring:
+//! new entries append at the head; when the byte budget is exceeded, the
+//! oldest entries fall off the tail (the "log-structured read cache" of
+//! Deuteronomy's TC). A hash index maps keys to their newest ring slot.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+
+struct Slot {
+    key: Bytes,
+    /// `None` caches a confirmed miss (negative caching).
+    value: Option<Bytes>,
+    /// Commit timestamp the value was read as-of.
+    as_of_ts: u64,
+}
+
+struct Inner {
+    ring: VecDeque<Slot>,
+    /// key → newest position offset from the ring head sequence.
+    index: HashMap<Bytes, u64>,
+    /// Sequence number of the ring's first element.
+    head_seq: u64,
+    bytes: usize,
+}
+
+/// Bounded log-structured read cache.
+pub struct ReadCache {
+    inner: Mutex<Inner>,
+    budget: usize,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl ReadCache {
+    /// A cache bounded at `budget` payload bytes.
+    pub fn new(budget: usize) -> Self {
+        ReadCache {
+            inner: Mutex::new(Inner {
+                ring: VecDeque::new(),
+                index: HashMap::new(),
+                head_seq: 0,
+                bytes: 0,
+            }),
+            budget,
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn slot_bytes(s: &Slot) -> usize {
+        s.key.len() + s.value.as_ref().map(|v| v.len()).unwrap_or(0) + 24
+    }
+
+    /// Record a value read from the DC.
+    pub fn insert(&self, key: Bytes, value: Option<Bytes>, as_of_ts: u64) {
+        let mut inner = self.inner.lock();
+        let slot = Slot {
+            key: key.clone(),
+            value,
+            as_of_ts,
+        };
+        inner.bytes += Self::slot_bytes(&slot);
+        let seq = inner.head_seq + inner.ring.len() as u64;
+        inner.ring.push_back(slot);
+        inner.index.insert(key, seq);
+        // Evict from the tail while over budget.
+        while inner.bytes > self.budget && inner.ring.len() > 1 {
+            let old = inner.ring.pop_front().expect("non-empty ring");
+            inner.bytes -= Self::slot_bytes(&old);
+            let old_seq = inner.head_seq;
+            inner.head_seq += 1;
+            // Only drop the index entry if it still points at this slot.
+            if inner.index.get(&old.key) == Some(&old_seq) {
+                inner.index.remove(&old.key);
+            }
+        }
+    }
+
+    /// Look up a key. Returns the cached value (possibly a cached miss)
+    /// and the timestamp it was read as-of.
+    pub fn lookup(&self, key: &[u8]) -> Option<(Option<Bytes>, u64)> {
+        use std::sync::atomic::Ordering;
+        let inner = self.inner.lock();
+        let seq = inner.index.get(key).copied();
+        let result = seq.and_then(|s| {
+            let idx = (s - inner.head_seq) as usize;
+            inner
+                .ring
+                .get(idx)
+                .map(|slot| (slot.value.clone(), slot.as_of_ts))
+        });
+        drop(inner);
+        if result.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Invalidate a key (on commit of a newer version).
+    pub fn invalidate(&self, key: &[u8]) {
+        let mut inner = self.inner.lock();
+        inner.index.remove(key);
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Current payload bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().ring.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::from(s.to_owned())
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let c = ReadCache::new(1 << 20);
+        c.insert(b("k"), Some(b("v")), 5);
+        assert_eq!(c.lookup(b"k"), Some((Some(b("v")), 5)));
+        assert_eq!(c.lookup(b"absent"), None);
+        assert_eq!(c.hit_stats(), (1, 1));
+    }
+
+    #[test]
+    fn negative_caching() {
+        let c = ReadCache::new(1 << 20);
+        c.insert(b("gone"), None, 3);
+        assert_eq!(c.lookup(b"gone"), Some((None, 3)));
+    }
+
+    #[test]
+    fn newest_entry_wins() {
+        let c = ReadCache::new(1 << 20);
+        c.insert(b("k"), Some(b("old")), 1);
+        c.insert(b("k"), Some(b("new")), 2);
+        assert_eq!(c.lookup(b"k"), Some((Some(b("new")), 2)));
+    }
+
+    #[test]
+    fn budget_evicts_oldest() {
+        let c = ReadCache::new(200);
+        for i in 0..20u32 {
+            c.insert(
+                Bytes::from(format!("key{i:02}")),
+                Some(Bytes::from(vec![0u8; 20])),
+                i as u64,
+            );
+        }
+        assert!(c.approx_bytes() <= 200 + 60, "bytes {}", c.approx_bytes());
+        assert_eq!(c.lookup(b"key00"), None, "oldest entry should be gone");
+        assert!(c.lookup(b"key19").is_some(), "newest entry should remain");
+    }
+
+    #[test]
+    fn invalidate_hides_entry() {
+        let c = ReadCache::new(1 << 20);
+        c.insert(b("k"), Some(b("v")), 1);
+        c.invalidate(b"k");
+        assert_eq!(c.lookup(b"k"), None);
+    }
+
+    #[test]
+    fn stale_index_entries_are_safe() {
+        // An entry re-inserted then tail-evicted must not corrupt lookups.
+        let c = ReadCache::new(150);
+        c.insert(b("a"), Some(Bytes::from(vec![1u8; 30])), 1);
+        c.insert(b("b"), Some(Bytes::from(vec![2u8; 30])), 2);
+        c.insert(b("a"), Some(Bytes::from(vec![3u8; 30])), 3); // re-insert
+        for i in 0..10u32 {
+            c.insert(
+                Bytes::from(format!("fill{i}")),
+                Some(Bytes::from(vec![0u8; 30])),
+                10 + i as u64,
+            );
+        }
+        // "a"'s newest copy may or may not survive, but lookups never panic
+        // and never return the stale older copy.
+        if let Some((Some(v), ts)) = c.lookup(b"a") {
+            assert_eq!(ts, 3);
+            assert_eq!(v[0], 3);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Property test: the transaction component against a sequential model.
+//!
+//! Random interleavings of overlapping transactions (begin / read / write /
+//! delete / commit / abort) plus cache maintenance. The model applies a
+//! transaction's effects atomically at commit and predicts conflicts
+//! exactly (first-committer-wins on write-write overlap), so every read,
+//! every commit outcome, and the final state are checked.
+
+use bytes::Bytes;
+use dcs_bwtree::{BwTree, BwTreeConfig};
+use dcs_tc::{CommitError, TcConfig, Transaction, TransactionalStore};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+const SLOTS: usize = 4;
+const KEYS: u8 = 24;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Begin(u8),
+    Read(u8, u8),
+    Write(u8, u8, u8),
+    Delete(u8, u8),
+    Commit(u8),
+    Abort(u8),
+    EvictAll,
+    Vacuum,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<u8>().prop_map(|s| Op::Begin(s % SLOTS as u8)),
+        5 => (any::<u8>(), any::<u8>()).prop_map(|(s, k)| Op::Read(s % SLOTS as u8, k % KEYS)),
+        5 => (any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(s, k, v)| Op::Write(s % SLOTS as u8, k % KEYS, v)),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(s, k)| Op::Delete(s % SLOTS as u8, k % KEYS)),
+        3 => any::<u8>().prop_map(|s| Op::Commit(s % SLOTS as u8)),
+        1 => any::<u8>().prop_map(|s| Op::Abort(s % SLOTS as u8)),
+        1 => Just(Op::EvictAll),
+        1 => Just(Op::Vacuum),
+    ]
+}
+
+fn key(k: u8) -> Bytes {
+    Bytes::from(format!("row{k:03}"))
+}
+
+/// The model's open transaction.
+#[derive(Debug, Clone, Default)]
+struct ModelTxn {
+    /// Committed state at begin time.
+    snapshot: BTreeMap<u8, u8>,
+    /// Commit count at begin (for conflict prediction).
+    commits_at_begin: u64,
+    /// Buffered writes: value or deletion.
+    writes: BTreeMap<u8, Option<u8>>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tc_matches_sequential_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let dc = Arc::new(BwTree::in_memory(BwTreeConfig::small_pages()));
+        let tc = TransactionalStore::new(dc, TcConfig::default());
+
+        // Committed model state, plus per-key first/last commit indexes.
+        let mut committed: BTreeMap<u8, u8> = BTreeMap::new();
+        let mut first_commit_of_key: HashMap<u8, u64> = HashMap::new();
+        let mut last_commit_of_key: HashMap<u8, u64> = HashMap::new();
+        let mut commit_counter: u64 = 0;
+
+        let mut real: Vec<Option<Transaction>> = (0..SLOTS).map(|_| None).collect();
+        let mut model: Vec<Option<ModelTxn>> = (0..SLOTS).map(|_| None).collect();
+
+        for op in ops {
+            match op {
+                Op::Begin(s) => {
+                    let s = s as usize;
+                    // Replacing an open transaction abandons it (abort).
+                    real[s] = Some(tc.begin());
+                    model[s] = Some(ModelTxn {
+                        snapshot: committed.clone(),
+                        commits_at_begin: commit_counter,
+                        writes: BTreeMap::new(),
+                    });
+                }
+                Op::Read(s, k) => {
+                    let s = s as usize;
+                    let (Some(txn), Some(m)) = (&real[s], &model[s]) else { continue };
+                    let got = tc.read(txn, &key(k)).expect("read");
+                    // Bounded-history snapshot semantics (see dcs-tc docs):
+                    // a snapshot sees the committed value as of its begin if
+                    // the key had been committed by then; a key whose whole
+                    // history postdates the snapshot reads as its current
+                    // committed state (single-version DC fall-through).
+                    let expect = match m.writes.get(&k) {
+                        Some(Some(v)) => Some(*v),
+                        Some(None) => None,
+                        None => {
+                            let touched_by_begin = first_commit_of_key
+                                .get(&k)
+                                .map(|&c| c <= m.commits_at_begin)
+                                .unwrap_or(false);
+                            if touched_by_begin {
+                                m.snapshot.get(&k).copied()
+                            } else {
+                                committed.get(&k).copied()
+                            }
+                        }
+                    };
+                    prop_assert_eq!(
+                        got.map(|b| b[0]),
+                        expect,
+                        "slot {} read of key {}",
+                        s,
+                        k
+                    );
+                }
+                Op::Write(s, k, v) => {
+                    let s = s as usize;
+                    let (Some(txn), Some(m)) = (&mut real[s], &mut model[s]) else { continue };
+                    txn.write(key(k), Bytes::from(vec![v]));
+                    m.writes.insert(k, Some(v));
+                }
+                Op::Delete(s, k) => {
+                    let s = s as usize;
+                    let (Some(txn), Some(m)) = (&mut real[s], &mut model[s]) else { continue };
+                    txn.delete(key(k));
+                    m.writes.insert(k, None);
+                }
+                Op::Commit(s) => {
+                    let s = s as usize;
+                    let (Some(txn), Some(m)) = (real[s].take(), model[s].take()) else { continue };
+                    // Predicted conflict: some written key committed after
+                    // this transaction began.
+                    let conflict = m.writes.keys().any(|k| {
+                        last_commit_of_key
+                            .get(k)
+                            .map(|&c| c > m.commits_at_begin)
+                            .unwrap_or(false)
+                    });
+                    match tc.commit(txn) {
+                        Ok(_) => {
+                            prop_assert!(
+                                !conflict || m.writes.is_empty(),
+                                "commit succeeded despite predicted conflict (slot {})",
+                                s
+                            );
+                            if !m.writes.is_empty() {
+                                commit_counter += 1;
+                                for (k, v) in m.writes {
+                                    match v {
+                                        Some(v) => {
+                                            committed.insert(k, v);
+                                        }
+                                        None => {
+                                            committed.remove(&k);
+                                        }
+                                    }
+                                    first_commit_of_key.entry(k).or_insert(commit_counter);
+                                    last_commit_of_key.insert(k, commit_counter);
+                                }
+                            }
+                        }
+                        Err(CommitError::WriteConflict { .. }) => {
+                            prop_assert!(
+                                conflict,
+                                "spurious conflict abort (slot {})",
+                                s
+                            );
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Op::Abort(s) => {
+                    let s = s as usize;
+                    if let Some(txn) = real[s].take() {
+                        tc.abort(txn);
+                    }
+                    model[s] = None;
+                }
+                Op::EvictAll => {
+                    for p in tc.dc().pages() {
+                        if p.is_leaf {
+                            let _ = tc.dc().evict_page(p.pid);
+                        }
+                    }
+                }
+                Op::Vacuum => {
+                    // Safe horizon: below every open snapshot.
+                    let horizon = real
+                        .iter()
+                        .flatten()
+                        .map(|t| t.read_ts())
+                        .min()
+                        .unwrap_or_else(|| tc.begin().read_ts());
+                    tc.vacuum(horizon);
+                }
+            }
+        }
+        // Final: a fresh snapshot agrees with the committed model.
+        let probe = tc.begin();
+        for k in 0..KEYS {
+            prop_assert_eq!(
+                tc.read(&probe, &key(k)).expect("final read").map(|b| b[0]),
+                committed.get(&k).copied(),
+                "final key {}",
+                k
+            );
+        }
+        // And the DC itself holds exactly the committed values.
+        for k in 0..KEYS {
+            prop_assert_eq!(
+                tc.dc().get(&key(k)).map(|b| b[0]),
+                committed.get(&k).copied(),
+                "DC key {}",
+                k
+            );
+        }
+    }
+}

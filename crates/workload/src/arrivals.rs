@@ -1,0 +1,97 @@
+//! Arrival processes for access-interval experiments.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates inter-arrival gaps (virtual nanoseconds) at a target rate.
+///
+/// The 5-minute-rule analysis (§4.2) is about the *interval between
+/// accesses* to a page, `Ti = 1/N`. These processes drive the virtual clock
+/// between operations so cache managers see realistic access intervals
+/// without real waiting.
+#[derive(Debug, Clone)]
+pub enum Arrivals {
+    /// Constant gap of `1/rate` seconds.
+    Fixed {
+        /// Operations per (virtual) second.
+        rate: f64,
+    },
+    /// Exponential gaps (Poisson process) with mean `1/rate`.
+    Poisson {
+        /// Operations per (virtual) second.
+        rate: f64,
+        /// RNG for the exponential draws.
+        rng: SmallRng,
+    },
+}
+
+impl Arrivals {
+    /// Fixed-rate arrivals.
+    pub fn fixed(rate: f64) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        Arrivals::Fixed { rate }
+    }
+
+    /// Poisson arrivals.
+    pub fn poisson(rate: f64, seed: u64) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        Arrivals::Poisson {
+            rate,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next inter-arrival gap in nanoseconds (≥ 1).
+    pub fn next_gap(&mut self) -> u64 {
+        match self {
+            Arrivals::Fixed { rate } => ((1e9 / *rate) as u64).max(1),
+            Arrivals::Poisson { rate, rng } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                ((-u.ln() / *rate) * 1e9).max(1.0) as u64
+            }
+        }
+    }
+
+    /// The configured mean rate (ops/sec).
+    pub fn rate(&self) -> f64 {
+        match self {
+            Arrivals::Fixed { rate } => *rate,
+            Arrivals::Poisson { rate, .. } => *rate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_gap_is_inverse_rate() {
+        let mut a = Arrivals::fixed(1000.0);
+        assert_eq!(a.next_gap(), 1_000_000);
+        assert_eq!(a.next_gap(), 1_000_000);
+    }
+
+    #[test]
+    fn poisson_mean_approaches_inverse_rate() {
+        let mut a = Arrivals::poisson(100.0, 9);
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| a.next_gap()).sum();
+        let mean_secs = total as f64 / n as f64 / 1e9;
+        assert!((mean_secs - 0.01).abs() < 0.001, "mean {mean_secs}");
+    }
+
+    #[test]
+    fn gaps_never_zero() {
+        let mut a = Arrivals::poisson(1e12, 1);
+        for _ in 0..1000 {
+            assert!(a.next_gap() >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = Arrivals::fixed(0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! A skewed workload against the caching store: hot data stays in DRAM,
+//! cold data migrates to flash, and the store keeps serving everything.
+//!
+//! This is §3's claim in action: "a data caching system can adapt for
+//! lowest cost depending upon load … moving data between main memory and
+//! secondary storage, changing its mix of MM vs SS operations."
+//!
+//! Run with: `cargo run --example hot_cold_workload --release`
+
+use dcs_core::workload::{KeyDist, OpKind, OpMix, WorkloadSpec};
+use dcs_core::{Policy, StoreBuilder};
+
+fn main() {
+    const RECORDS: u64 = 20_000;
+    let spec = WorkloadSpec {
+        record_count: RECORDS,
+        key_dist: KeyDist::HotSpot {
+            hot_keys_fraction: 0.05, // 5% of keys get...
+            hot_ops_fraction: 0.95,  // ...95% of the traffic
+        },
+        mix: OpMix::ycsb_b(), // 95% reads / 5% updates
+        value_len: 100,
+        seed: 42,
+    };
+
+    let mut builder = StoreBuilder::small_test();
+    builder.policy = Policy::CostModel;
+    builder.memory_budget = 1 << 20; // far smaller than the dataset
+    builder.keep_record_cache = true;
+    builder.sweep_every_ops = 2_000;
+    let store = builder.build();
+
+    println!("loading {RECORDS} records ...");
+    for (k, v) in spec.load_set() {
+        store.put(k, v);
+    }
+    store.checkpoint().expect("checkpoint");
+
+    println!("running skewed workload (hotspot 5%/95%, YCSB-B mix) ...\n");
+    let mut gen = spec.generator();
+    let before = store.stats();
+    const OPS: u64 = 100_000;
+    for i in 0..OPS {
+        let op = gen.next_op();
+        let key = dcs_core::workload::keys::encode(op.key_id);
+        match op.kind {
+            OpKind::Read => {
+                let _ = store.get(&key);
+            }
+            OpKind::Update => store.blind_update(key.to_vec(), op.value),
+            _ => unreachable!("ycsb_b mix"),
+        }
+        // Model time passing between operations (1000 virtual ops/sec) so
+        // the cost-model eviction sees realistic access intervals.
+        store.advance_time(1_000_000);
+        if (i + 1) % 20_000 == 0 {
+            let s = store.stats();
+            println!(
+                "  {:>6} ops: F={:.4}  footprint={:>6} KiB  evictions={}  record-cache-hits={}",
+                i + 1,
+                s.ss_fraction(),
+                s.footprint_bytes / 1024,
+                s.cache.pages_evicted,
+                s.tree.record_cache_hits,
+            );
+        }
+    }
+
+    let after = store.stats();
+    let tree = after.tree.delta(&before.tree);
+    println!("\n== workload summary ==");
+    println!("operations:          {}", tree.mm_ops + tree.ss_ops);
+    println!("MM operations:       {}", tree.mm_ops);
+    println!(
+        "SS operations:       {} (F = {:.4})",
+        tree.ss_ops,
+        tree.ss_ops as f64 / (tree.mm_ops + tree.ss_ops) as f64
+    );
+    println!("record cache hits:   {}", tree.record_cache_hits);
+    println!("page fetches:        {}", tree.fetches);
+    println!(
+        "footprint:           {} KiB (dataset ≈ {} KiB)",
+        after.footprint_bytes / 1024,
+        RECORDS as usize * 112 / 1024
+    );
+    println!(
+        "device reads/writes: {} / {}",
+        after.device.reads, after.device.writes
+    );
+    println!();
+    println!("The hot 5% stays resident, so F remains far below the 95% of the");
+    println!("data that lives on flash — the cache adapts to the access skew.");
+}

@@ -1,0 +1,140 @@
+//! End-to-end checks of the paper's quantitative claims: the analytic
+//! numbers exactly, and the system-level behaviours directionally.
+
+use dcs_core::costmodel::{breakeven, curves, figures, mixed, mm_vs_caching, HardwareCatalog};
+use dcs_core::{Policy, StoreBuilder};
+
+const GB: f64 = 1e9;
+
+#[test]
+fn updated_five_minute_rule_is_45_seconds() {
+    // §4.2: "We determine Ti is approximately 45 seconds at breakeven."
+    let ti = breakeven::ti_seconds(&HardwareCatalog::paper());
+    assert!((ti - 45.0).abs() < 1.0, "Ti = {ti}");
+}
+
+#[test]
+fn storage_cost_gap_is_11x_execution_gap_puts_ss_ahead_when_hot() {
+    // §4.2's "here's why" in numbers.
+    let hw = HardwareCatalog::paper();
+    assert!((hw.mm_storage_cost() / hw.ss_storage_cost() - 11.0).abs() < 0.1);
+    assert!(hw.ss_exec_cost() > hw.mm_exec_cost() * 9.0);
+}
+
+#[test]
+fn equation8_constant() {
+    // §5.1: Ti = (1/Size) · 8.3e3.
+    let c = mm_vs_caching::ti_size_product(
+        &HardwareCatalog::paper(),
+        &mm_vs_caching::Comparison::paper(),
+    );
+    assert!((c - 8.3e3).abs() / 8.3e3 < 0.02, "Ti·S = {c}");
+}
+
+#[test]
+fn section_5_2_breakevens() {
+    let hw = HardwareCatalog::paper();
+    let cmp = mm_vs_caching::Comparison::paper();
+    let r61 = mm_vs_caching::breakeven_rate(&hw, 6.1 * GB, &cmp);
+    assert!((r61 - 0.73e6).abs() / 0.73e6 < 0.02, "6.1GB rate {r61}");
+    let r100 = mm_vs_caching::breakeven_rate(&hw, 100.0 * GB, &cmp);
+    assert!((r100 - 12e6).abs() / 12e6 < 0.05, "100GB rate {r100}");
+    let page_ti = mm_vs_caching::ti_seconds(&hw, hw.page_bytes, &cmp);
+    assert!((page_ti - 3.1).abs() < 0.05, "page Ti {page_ti}");
+}
+
+#[test]
+fn figure1_extremes() {
+    // §2.2: at miss ratio 1 the tree runs at 1/R of in-memory performance.
+    assert_eq!(mixed::relative_performance(0.0, 5.8), 1.0);
+    assert!((mixed::relative_performance(1.0, 5.8) - 1.0 / 5.8).abs() < 1e-12);
+}
+
+#[test]
+fn figure7_direction_io_path_cost() {
+    // §7.1.1: shortening the path shrinks R and the breakeven interval.
+    let hw = HardwareCatalog::paper();
+    let ti_os = breakeven::ti_seconds(&hw.with_r(9.0));
+    let ti_user = breakeven::ti_seconds(&hw.with_r(5.8));
+    assert!(ti_user < ti_os);
+    // §7.1.2: a 40 % IOPS price drop also shrinks the interval.
+    let cheaper = HardwareCatalog {
+        iops: hw.iops / 0.6,
+        ..hw.clone()
+    };
+    assert!(breakeven::ti_seconds(&cheaper) < breakeven::ti_seconds(&hw));
+}
+
+#[test]
+fn figure8_regimes_are_ordered() {
+    let hw = HardwareCatalog::paper();
+    let c = curves::CompressionModel::default();
+    let css_to_ss = curves::css_ss_crossover_rate(&hw, &c);
+    let ss_to_mm = curves::mm_ss_crossover_rate(&hw);
+    assert!(
+        css_to_ss < ss_to_mm,
+        "compression regime must sit below the caching regime"
+    );
+}
+
+#[test]
+fn figure2_series_cross_exactly_once() {
+    let hw = HardwareCatalog::paper();
+    let series = figures::fig2_curves(&hw, 1e-4, 10.0, 800);
+    let mut sign_changes = 0;
+    let mut prev: Option<f64> = None;
+    for ((_, mm), (_, ss)) in series[0].points.iter().zip(series[1].points.iter()) {
+        let d = mm - ss;
+        if let Some(p) = prev {
+            if p.signum() != d.signum() {
+                sign_changes += 1;
+            }
+        }
+        prev = Some(d);
+    }
+    assert_eq!(sign_changes, 1, "MM and SS cost curves cross exactly once");
+}
+
+#[test]
+fn cost_model_policy_derives_ti_from_catalog() {
+    // System wiring: a store built with the cost-model policy evicts pages
+    // colder than the catalog's breakeven, and not hotter ones.
+    let mut b = StoreBuilder::small_test();
+    b.policy = Policy::CostModel;
+    b.memory_budget = usize::MAX;
+    b.sweep_every_ops = 0;
+    let store = b.build();
+    for i in 0..300u32 {
+        store.put(
+            format!("k{i:05}").into_bytes(),
+            format!("v{i}").into_bytes(),
+        );
+    }
+    let ti = breakeven::ti_seconds(store.hardware());
+    // Just under Ti: nothing is cold yet.
+    store.advance_time((ti * 0.9 * 1e9) as u64);
+    assert_eq!(store.sweep().unwrap(), 0, "no page is past breakeven yet");
+    // Past Ti: everything is cold.
+    store.advance_time((ti * 0.2 * 1e9) as u64);
+    assert!(store.sweep().unwrap() > 0, "cold pages must be evicted");
+}
+
+#[test]
+fn record_granularity_multiplies_breakeven() {
+    // §6.3: 10 records per page → record breakeven is 10× the page's.
+    let hw = HardwareCatalog::paper();
+    let page = breakeven::ti_seconds(&hw);
+    let record = breakeven::ti_seconds_for_record(&hw, hw.page_bytes / 10.0);
+    assert!((record / page - 10.0).abs() < 1e-9);
+}
+
+#[test]
+fn eq3_recovers_r_from_eq2_throughputs() {
+    for r in [1.5, 5.8, 9.0] {
+        for f in [0.05, 0.5, 1.0] {
+            let pf = mixed::pf(4e6, f, r);
+            let derived = mixed::derive_r(4e6, pf, f).unwrap();
+            assert!((derived - r).abs() < 1e-6);
+        }
+    }
+}

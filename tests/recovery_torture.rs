@@ -1,0 +1,175 @@
+//! Recovery torture: repeated crash/recover cycles, torn log tails, and
+//! injected read failures.
+
+use bytes::Bytes;
+use dcs_core::bwtree::{BwTree, BwTreeConfig, StoreError, TreeError};
+use dcs_core::flashsim::{DeviceConfig, FailureInjector, FlashDevice, VirtualClock};
+use dcs_core::llama::{recover, CacheManager, CacheManagerConfig, LogStructuredStore, LssConfig};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn device() -> Arc<FlashDevice> {
+    Arc::new(FlashDevice::new(DeviceConfig {
+        segment_count: 2048,
+        ..DeviceConfig::small_test()
+    }))
+}
+
+fn key(i: u32) -> Bytes {
+    Bytes::from(format!("key{i:06}"))
+}
+
+#[test]
+fn repeated_crash_recover_cycles_preserve_checkpoints() {
+    let dev = device();
+    let mut model: BTreeMap<u32, String> = BTreeMap::new();
+    let mut rng = 0xBADC0FFEu64;
+
+    for cycle in 0..5u32 {
+        // Reopen from the device (first cycle: empty device).
+        let recovered = recover(
+            dev.clone(),
+            LssConfig::default(),
+            BwTreeConfig::small_pages(),
+        )
+        .expect("recovery");
+        let tree = recovered.tree;
+        let store = recovered.store;
+
+        // Recovered state must equal the model (last checkpoint).
+        for (k, v) in &model {
+            assert_eq!(
+                tree.get(&key(*k)),
+                Some(Bytes::from(v.clone())),
+                "cycle {cycle}: key {k} lost"
+            );
+        }
+        assert_eq!(tree.count_entries(), model.len(), "cycle {cycle} count");
+
+        // Mutate, checkpoint, mutate again (the tail is lost in the crash).
+        let mgr = CacheManager::new(CacheManagerConfig::default(), VirtualClock::new());
+        for _ in 0..300 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = (rng >> 33) as u32 % 500;
+            let v = format!("c{cycle}-{}", rng % 1000);
+            if rng.is_multiple_of(10) {
+                tree.delete(key(k));
+                model.remove(&k);
+            } else {
+                tree.put(key(k), Bytes::from(v.clone()));
+                model.insert(k, v);
+            }
+        }
+        mgr.checkpoint(&tree).unwrap();
+        store.sync().unwrap();
+        // Uncheckpointed tail.
+        for i in 0..50u32 {
+            tree.put(key(9000 + i), Bytes::from("doomed"));
+        }
+        drop(tree);
+        dev.crash();
+    }
+}
+
+#[test]
+fn torn_log_tail_is_ignored() {
+    let dev = device();
+    {
+        let store = Arc::new(LogStructuredStore::new(dev.clone(), LssConfig::default()));
+        let tree = BwTree::with_store(BwTreeConfig::small_pages(), store.clone());
+        for i in 0..500u32 {
+            tree.put(key(i), Bytes::from(format!("v{i}")));
+        }
+        let mgr = CacheManager::new(CacheManagerConfig::default(), VirtualClock::new());
+        mgr.checkpoint(&tree).unwrap();
+        store.sync().unwrap();
+        // More writes flushed to the device but never synced: the crash
+        // tears them off mid-frame.
+        for i in 500..900u32 {
+            tree.put(key(i), Bytes::from(format!("v{i}")));
+        }
+        mgr.checkpoint(&tree).unwrap(); // flushed, NOT synced
+    }
+    dev.crash();
+    let recovered = recover(dev, LssConfig::default(), BwTreeConfig::small_pages())
+        .expect("recovery of torn log");
+    for i in 0..500u32 {
+        assert_eq!(
+            recovered.tree.get(&key(i)),
+            Some(Bytes::from(format!("v{i}"))),
+            "synced key {i}"
+        );
+    }
+    for i in 500..900u32 {
+        assert_eq!(recovered.tree.get(&key(i)), None, "torn key {i} survived");
+    }
+}
+
+#[test]
+fn injected_read_failures_surface_as_errors_not_corruption() {
+    let dev = device();
+    let store = Arc::new(LogStructuredStore::new(dev.clone(), LssConfig::default()));
+    let tree = BwTree::with_store(BwTreeConfig::small_pages(), store.clone());
+    for i in 0..300u32 {
+        tree.put(key(i), Bytes::from(format!("v{i}")));
+    }
+    for p in tree.pages() {
+        if p.is_leaf {
+            let _ = tree.evict_page(p.pid);
+        }
+    }
+    store.flush().unwrap();
+    // All reads now fail at the device.
+    dev.set_injector(FailureInjector::failing_reads(1.0, 42));
+    let mut errors = 0;
+    for i in (0..300u32).step_by(37) {
+        match tree.try_get(&key(i)) {
+            Err(TreeError::Store(StoreError::Io(_))) => errors += 1,
+            Ok(None) => panic!("read loss disguised as missing key"),
+            Ok(Some(_)) => panic!("read should have failed"),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(errors > 0);
+    // Heal the device: all data is still there.
+    dev.set_injector(FailureInjector::disabled());
+    for i in 0..300u32 {
+        assert_eq!(tree.get(&key(i)), Some(Bytes::from(format!("v{i}"))));
+    }
+}
+
+#[test]
+fn gc_then_crash_then_recover() {
+    let dev = device();
+    {
+        let store = Arc::new(LogStructuredStore::new(
+            dev.clone(),
+            LssConfig {
+                gc_live_fraction: 0.8,
+                ..LssConfig::default()
+            },
+        ));
+        let tree = BwTree::with_store(BwTreeConfig::small_pages(), store.clone());
+        let mgr = CacheManager::new(CacheManagerConfig::default(), VirtualClock::new());
+        // Churn so GC has work, checkpointing as we go.
+        for round in 0..8u32 {
+            for i in 0..200u32 {
+                tree.put(key(i), Bytes::from(format!("r{round}-{i}")));
+            }
+            mgr.checkpoint(&tree).unwrap();
+            store.sync().unwrap();
+        }
+        store.gc_all().unwrap();
+        store.sync().unwrap();
+    }
+    dev.crash();
+    let recovered =
+        recover(dev, LssConfig::default(), BwTreeConfig::small_pages()).expect("recovery after GC");
+    for i in 0..200u32 {
+        assert_eq!(
+            recovered.tree.get(&key(i)),
+            Some(Bytes::from(format!("r7-{i}"))),
+            "key {i} after GC+crash"
+        );
+    }
+}

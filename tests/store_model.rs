@@ -1,0 +1,134 @@
+//! Property tests of the assembled caching store: the full stack
+//! (Bw-tree → LLAMA → flash sim) under random operations must behave like
+//! a `BTreeMap`, no matter how often pages are evicted, checkpointed, or
+//! the store crashes and recovers.
+
+use bytes::Bytes;
+use dcs_core::{Policy, StoreBuilder};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, String),
+    BlindUpdate(u16, String),
+    Del(u16),
+    Get(u16),
+    Sweep,
+    Checkpoint,
+    Gc,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), "[a-z]{0,24}").prop_map(|(k, v)| Op::Put(k % 512, v)),
+        2 => (any::<u16>(), "[a-z]{0,24}").prop_map(|(k, v)| Op::BlindUpdate(k % 512, v)),
+        1 => any::<u16>().prop_map(|k| Op::Del(k % 512)),
+        4 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
+        1 => Just(Op::Sweep),
+        1 => Just(Op::Checkpoint),
+        1 => Just(Op::Gc),
+    ]
+}
+
+fn key(k: u16) -> Bytes {
+    Bytes::from(format!("key{k:05}"))
+}
+
+fn builder() -> StoreBuilder {
+    let mut b = StoreBuilder::small_test();
+    b.memory_budget = 16 << 10; // tiny: evictions happen constantly
+    b.sweep_every_ops = 64;
+    b.policy = Policy::Lru;
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn store_matches_model_under_eviction(
+        ops in proptest::collection::vec(op_strategy(), 1..300)
+    ) {
+        let store = builder().build();
+        let mut model: BTreeMap<u16, String> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    store.put(key(*k), Bytes::from(v.clone()));
+                    model.insert(*k, v.clone());
+                }
+                Op::BlindUpdate(k, v) => {
+                    store.blind_update(key(*k), Bytes::from(v.clone()));
+                    model.insert(*k, v.clone());
+                }
+                Op::Del(k) => {
+                    store.delete(key(*k));
+                    model.remove(k);
+                }
+                Op::Get(k) => {
+                    let expect = model.get(k).map(|v| Bytes::from(v.clone()));
+                    prop_assert_eq!(store.get(&key(*k)), expect, "get {}", k);
+                }
+                Op::Sweep => {
+                    store.sweep().unwrap();
+                }
+                Op::Checkpoint => {
+                    store.checkpoint().unwrap();
+                }
+                Op::Gc => {
+                    store.gc().unwrap();
+                }
+            }
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(
+                store.get(&key(*k)),
+                Some(Bytes::from(v.clone())),
+                "final state {}",
+                k
+            );
+        }
+        prop_assert_eq!(store.count_entries(), model.len());
+    }
+
+    #[test]
+    fn checkpointed_state_survives_crash(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        post in proptest::collection::vec((any::<u16>(), "[a-z]{0,12}"), 0..20),
+    ) {
+        let b = builder();
+        let store = b.clone().build();
+        let mut model: BTreeMap<u16, String> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) | Op::BlindUpdate(k, v) => {
+                    store.put(key(*k), Bytes::from(v.clone()));
+                    model.insert(*k, v.clone());
+                }
+                Op::Del(k) => {
+                    store.delete(key(*k));
+                    model.remove(k);
+                }
+                _ => {}
+            }
+        }
+        store.checkpoint().unwrap();
+        // Writes after the checkpoint must vanish in the crash.
+        for (k, v) in &post {
+            store.put(key(k % 512 + 600), Bytes::from(v.clone()));
+        }
+        let recovered = store.crash_and_recover(b).unwrap();
+        for (k, v) in &model {
+            prop_assert_eq!(
+                recovered.get(&key(*k)),
+                Some(Bytes::from(v.clone())),
+                "recovered {}",
+                k
+            );
+        }
+        prop_assert_eq!(recovered.count_entries(), model.len());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests: every store in the workspace implements the same
+//! key-value semantics. Random operation sequences are applied to the
+//! Bw-tree, MassTree, the LSM tree, and a `BTreeMap` model; all four must
+//! agree on every lookup and on the final state.
+
+use bytes::Bytes;
+use dcs_core::bwtree::{BwTree, BwTreeConfig};
+use dcs_core::lsm::{LsmConfig, LsmTree};
+use dcs_core::masstree::MassTree;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(String, String),
+    Del(String),
+    Get(String),
+}
+
+fn key_strategy() -> impl Strategy<Value = String> {
+    // A mix of short keys, 8-byte-boundary keys, and long shared-prefix
+    // keys (exercises MassTree layers and Bw-tree splits).
+    prop_oneof![
+        "[a-c]{1,3}",
+        "k[0-9]{1,3}",
+        "exactly8char[0-9]".prop_map(|s| s),
+        "shared-prefix-0123456789-[a-d]{1,6}",
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (key_strategy(), "[a-z0-9]{0,20}").prop_map(|(k, v)| Op::Put(k, v)),
+        1 => key_strategy().prop_map(Op::Del),
+        2 => key_strategy().prop_map(Op::Get),
+    ]
+}
+
+fn lsm() -> LsmTree {
+    let device = Arc::new(dcs_core::flashsim::FlashDevice::new(
+        dcs_core::flashsim::DeviceConfig {
+            segment_count: 512,
+            ..dcs_core::flashsim::DeviceConfig::small_test()
+        },
+    ));
+    LsmTree::new(
+        device,
+        LsmConfig {
+            memtable_bytes: 1 << 10, // tiny: forces flushes/compactions
+            level_base_bytes: 4 << 10,
+            table_target_bytes: 2 << 10,
+            ..LsmConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn all_stores_agree(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let bw = BwTree::in_memory(BwTreeConfig::small_pages());
+        let mt = MassTree::new();
+        let ls = lsm();
+        let mut model: BTreeMap<String, String> = BTreeMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    bw.put(Bytes::from(k.clone()), Bytes::from(v.clone()));
+                    mt.insert(Bytes::from(k.clone()), Bytes::from(v.clone()));
+                    ls.put(Bytes::from(k.clone()), Bytes::from(v.clone())).unwrap();
+                    model.insert(k.clone(), v.clone());
+                }
+                Op::Del(k) => {
+                    bw.delete(Bytes::from(k.clone()));
+                    mt.remove(k.as_bytes());
+                    ls.delete(Bytes::from(k.clone())).unwrap();
+                    model.remove(k);
+                }
+                Op::Get(k) => {
+                    let expect = model.get(k).map(|v| Bytes::from(v.clone()));
+                    prop_assert_eq!(bw.get(k.as_bytes()), expect.clone(), "bwtree get {}", k);
+                    prop_assert_eq!(mt.get(k.as_bytes()), expect.clone(), "masstree get {}", k);
+                    prop_assert_eq!(ls.get(k.as_bytes()).unwrap(), expect, "lsm get {}", k);
+                }
+            }
+        }
+        // Final state: every model key present everywhere, every model-absent
+        // probe absent everywhere.
+        for (k, v) in &model {
+            let expect = Some(Bytes::from(v.clone()));
+            prop_assert_eq!(bw.get(k.as_bytes()), expect.clone());
+            prop_assert_eq!(mt.get(k.as_bytes()), expect.clone());
+            prop_assert_eq!(ls.get(k.as_bytes()).unwrap(), expect);
+        }
+        prop_assert_eq!(bw.count_entries(), model.len());
+        prop_assert_eq!(mt.len(), model.len());
+    }
+
+    #[test]
+    fn bwtree_scans_match_model(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+        bounds in (key_strategy(), key_strategy()),
+    ) {
+        let bw = BwTree::in_memory(BwTreeConfig::small_pages());
+        let mut model: BTreeMap<String, String> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    bw.put(Bytes::from(k.clone()), Bytes::from(v.clone()));
+                    model.insert(k.clone(), v.clone());
+                }
+                Op::Del(k) => {
+                    bw.delete(Bytes::from(k.clone()));
+                    model.remove(k);
+                }
+                Op::Get(_) => {}
+            }
+        }
+        let (lo, hi) = if bounds.0 <= bounds.1 { bounds } else { (bounds.1, bounds.0) };
+        let got: Vec<(Bytes, Bytes)> = bw
+            .range(lo.as_bytes(), Some(hi.as_bytes()))
+            .map(|r| r.unwrap())
+            .collect();
+        let expect: Vec<(Bytes, Bytes)> = model
+            .range(lo.clone()..hi.clone())
+            .map(|(k, v)| (Bytes::from(k.clone()), Bytes::from(v.clone())))
+            .collect();
+        prop_assert_eq!(got, expect, "range [{}, {})", lo, hi);
+    }
+
+    #[test]
+    fn lsm_scan_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let ls = lsm();
+        let mut model: BTreeMap<String, String> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    ls.put(Bytes::from(k.clone()), Bytes::from(v.clone())).unwrap();
+                    model.insert(k.clone(), v.clone());
+                }
+                Op::Del(k) => {
+                    ls.delete(Bytes::from(k.clone())).unwrap();
+                    model.remove(k);
+                }
+                Op::Get(_) => {}
+            }
+        }
+        let got = ls.scan(b"", None).unwrap();
+        let expect: Vec<(Bytes, Bytes)> = model
+            .iter()
+            .map(|(k, v)| (Bytes::from(k.clone()), Bytes::from(v.clone())))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+}
