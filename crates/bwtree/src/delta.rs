@@ -219,7 +219,12 @@ impl Node {
 
     /// Allocate on the heap, returning a raw chain pointer.
     pub fn into_raw(self) -> *mut Node {
-        Box::into_raw(Box::new(self))
+        let ptr = Box::into_raw(Box::new(self));
+        // Shadow-heap bookkeeping: a fresh allocation may reuse an address
+        // the checker saw freed earlier; registering it resets that slot.
+        #[cfg(feature = "check")]
+        dcs_check::shadow::on_alloc(ptr);
+        ptr
     }
 }
 
@@ -247,6 +252,11 @@ impl<'g> Iterator for ChainIter<'g> {
         if self.cur.is_null() {
             return None;
         }
+        // Under the checker, every chain dereference is validated against the
+        // shadow heap: walking into a node whose destructor already ran is a
+        // use-after-free and aborts the execution with the seed.
+        #[cfg(feature = "check")]
+        dcs_check::shadow::on_access(self.cur);
         // SAFETY: guaranteed live by the guard held per `chain_iter` contract.
         let node = unsafe { &*self.cur };
         self.cur = node.next().unwrap_or(std::ptr::null());
@@ -272,7 +282,9 @@ pub(crate) unsafe fn chain_shape(head: *const Node) -> ChainShape {
     let mut deltas = 0;
     let mut bytes = 0;
     let mut flash_base = false;
-    for node in chain_iter(head) {
+    // SAFETY: forwarding this function's own contract — same as
+    // [`chain_iter`]'s.
+    for node in unsafe { chain_iter(head) } {
         bytes += node.approx_bytes();
         if node.is_base() {
             flash_base = matches!(node, Node::FlashBase { .. });
@@ -296,10 +308,25 @@ pub(crate) unsafe fn retire_chain(guard: &Guard, head: *mut Node) {
     if head.is_null() {
         return;
     }
+    // Report every node of the chain as retired. Overlapping retirements
+    // (the same node reachable from two retired chains) surface as a
+    // double-retire failure in the checker instead of a latent double-free.
+    #[cfg(feature = "check")]
+    {
+        let mut cur = head as *const Node;
+        while !cur.is_null() {
+            dcs_check::shadow::on_retire(cur);
+            // SAFETY: the guard is pinned and the chain was just unlinked,
+            // so every node is still live for this walk.
+            cur = unsafe { (*cur).next().unwrap_or(std::ptr::null()) };
+        }
+    }
     let addr = head as usize;
     guard.defer(move || {
         let mut cur = addr as *mut Node;
         while !cur.is_null() {
+            #[cfg(feature = "check")]
+            dcs_check::shadow::on_free(cur as *const Node);
             // SAFETY: chain is unlinked and the grace period has elapsed.
             let boxed = unsafe { Box::from_raw(cur) };
             cur = boxed
@@ -316,6 +343,8 @@ pub(crate) unsafe fn retire_chain(guard: &Guard, head: *mut Node) {
 pub(crate) unsafe fn free_chain_now(head: *mut Node) {
     let mut cur = head;
     while !cur.is_null() {
+        #[cfg(feature = "check")]
+        dcs_check::shadow::on_free(cur as *const Node);
         // SAFETY: caller guarantees exclusivity.
         let boxed = unsafe { Box::from_raw(cur) };
         cur = boxed
@@ -357,12 +386,14 @@ mod tests {
         }
         .into_raw();
 
+        // SAFETY: `d2` heads a chain this test just built and owns.
         let nodes: Vec<_> = unsafe { chain_iter(d2) }.collect();
         assert_eq!(nodes.len(), 3);
         assert!(matches!(nodes[0], Node::Del { .. }));
         assert!(matches!(nodes[1], Node::Put { .. }));
         assert!(matches!(nodes[2], Node::LeafBase(_)));
 
+        // SAFETY: never published; this test is the only owner.
         unsafe { free_chain_now(d2) };
     }
 
@@ -375,10 +406,12 @@ mod tests {
             next: base,
         }
         .into_raw();
+        // SAFETY: `d1` heads a chain this test just built and owns.
         let shape = unsafe { chain_shape(d1) };
         assert_eq!(shape.deltas, 1);
         assert!(!shape.flash_base);
         assert!(shape.bytes > 0);
+        // SAFETY: never published; this test is the only owner.
         unsafe { free_chain_now(d1) };
     }
 
@@ -390,9 +423,11 @@ mod tests {
             right: None,
         }
         .into_raw();
+        // SAFETY: `fb` is a single-node chain this test just built and owns.
         let shape = unsafe { chain_shape(fb) };
         assert!(shape.flash_base);
         assert_eq!(shape.deltas, 0);
+        // SAFETY: never published; this test is the only owner.
         unsafe { free_chain_now(fb) };
     }
 
@@ -409,6 +444,8 @@ mod tests {
         .into_raw();
         {
             let guard = handle.pin();
+            // SAFETY: `d` was never published; retiring under the guard is
+            // trivially exclusive.
             unsafe { retire_chain(&guard, d) };
         }
         for _ in 0..64 {

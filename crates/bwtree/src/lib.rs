@@ -45,6 +45,7 @@
 //! assert_eq!(tree.get(b"k1"), None);
 //! ```
 
+mod audit;
 mod config;
 mod delta;
 mod iter;
@@ -52,8 +53,10 @@ mod mapping;
 mod page;
 mod stats;
 mod store;
+pub(crate) mod sync;
 mod tree;
 
+pub use audit::AuditReport;
 pub use config::BwTreeConfig;
 pub use iter::RangeIter;
 pub use mapping::{MappingTable, PageId};

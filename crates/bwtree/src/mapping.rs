@@ -7,8 +7,7 @@
 //! any other page.
 
 use crate::delta::Node;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
-use std::sync::Mutex;
+use crate::sync::{AtomicPtr, AtomicU64, Mutex, Ordering};
 
 /// Logical page identifier: an index into the mapping table.
 pub type PageId = u64;
@@ -75,7 +74,14 @@ impl MappingTable {
     }
 
     pub(crate) fn load(&self, pid: PageId) -> *mut Node {
-        self.slots[pid as usize].head.load(Ordering::SeqCst)
+        let head = self.slots[pid as usize].head.load(Ordering::SeqCst);
+        // A published head must never point at reclaimed memory; surfacing
+        // it at the load keeps the checker's report close to the bad unlink.
+        #[cfg(feature = "check")]
+        if !head.is_null() {
+            dcs_check::shadow::on_access(head);
+        }
+        head
     }
 
     /// Install `new` if the slot still holds `expected`.
@@ -135,6 +141,11 @@ impl MappingTable {
     /// Table capacity.
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Snapshot of the free list, for structural audits.
+    pub(crate) fn free_pids(&self) -> Vec<PageId> {
+        self.free_list.lock().unwrap().clone()
     }
 }
 
@@ -196,6 +207,8 @@ mod tests {
         assert!(!t.cas(pid, b, a));
         assert!(t.cas(pid, a, b));
         assert_eq!(t.load(pid), b);
+        // SAFETY: `a` lost the CAS race above, so it was never published
+        // in the table; this test thread is its only owner.
         unsafe {
             crate::delta::free_chain_now(a);
         }

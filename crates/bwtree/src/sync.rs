@@ -1,0 +1,18 @@
+//! Facade over the synchronization primitives this crate uses.
+//!
+//! Default build: `std::sync` re-exports, zero cost. With the `check`
+//! feature: the instrumented shims from `dcs-check`, turning every atomic
+//! access on the mapping table and tree hot paths into a schedule point for
+//! the deterministic interleaving checker.
+//!
+//! `stats.rs` deliberately keeps plain `std` atomics: statistics counters
+//! cannot affect correctness, and instrumenting them would only inflate the
+//! schedule space the checker must explore.
+
+#[cfg(feature = "check")]
+pub use dcs_check::sync::{AtomicPtr, AtomicU64, Mutex, Ordering};
+
+#[cfg(not(feature = "check"))]
+pub use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+#[cfg(not(feature = "check"))]
+pub use std::sync::Mutex;

@@ -9,9 +9,9 @@ use crate::mapping::{MappingTable, PageId};
 use crate::page::{DeltaOp, PageImage};
 use crate::stats::{bump, StatsInner, TreeStats};
 use crate::store::{NullStore, PageStore, StoreError};
+use crate::sync::{AtomicU64, Ordering};
 use bytes::Bytes;
 use dcs_ebr::Guard;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Errors surfaced by tree operations.
@@ -321,7 +321,7 @@ impl BwTree {
         &self.mapping
     }
 
-    fn root_pid(&self) -> PageId {
+    pub(crate) fn root_pid(&self) -> PageId {
         self.root.load(Ordering::SeqCst)
     }
 
@@ -335,7 +335,9 @@ impl BwTree {
     /// # Safety
     /// `head` must be a live inner chain protected by `_guard`.
     unsafe fn route_inner(&self, head: *const Node, key: &[u8], _guard: &Guard) -> Route {
-        let nodes: Vec<&Node> = chain_iter(head).collect();
+        // SAFETY: forwarding this function's own contract — `head` is a live
+        // chain protected by the caller's guard.
+        let nodes: Vec<&Node> = unsafe { chain_iter(head) }.collect();
         // Tightest split fence seen anywhere in the chain.
         let mut bound: Option<&Bytes> = None;
         for node in &nodes {
@@ -428,7 +430,9 @@ impl BwTree {
     /// # Safety
     /// `head` must be live under a guard.
     unsafe fn head_is_inner(&self, head: *const Node) -> bool {
-        (*head).is_inner()
+        // SAFETY: forwarding this function's own contract — `head` is live
+        // under the caller's guard.
+        unsafe { (*head).is_inner() }
     }
 
     /// Descend to the leaf owning `key`.
@@ -1155,6 +1159,7 @@ impl BwTree {
         if shape.deltas < self.config.consolidate_threshold {
             return;
         }
+        // SAFETY: guard held.
         let Some(merged) = (unsafe { merge_inner_chain(head) }) else {
             return;
         };
@@ -1321,8 +1326,8 @@ impl BwTree {
                         // Keep record deltas (not splits/markers) in memory
                         // purely as a read cache; they are already durable in
                         // `token`, so a top marker prevents re-flushing them.
-                        // SAFETY: guard held.
                         let mut chain = flash;
+                        // SAFETY: guard held.
                         let record_deltas: Vec<&Node> = unsafe {
                             chain_iter(head)
                                 .filter(|n| matches!(n, Node::Put { .. } | Node::Del { .. }))
@@ -1582,7 +1587,9 @@ enum ParentSearch {
 ///
 /// # Safety: live chain under a guard.
 unsafe fn leaf_route(head: *const Node, key: &[u8]) -> Option<PageId> {
-    for node in chain_iter(head) {
+    // SAFETY: forwarding this function's own contract — `head` is a live
+    // chain protected by the caller's guard.
+    for node in unsafe { chain_iter(head) } {
         match node {
             Node::RemoveNode { left, .. } => return Some(*left),
             Node::Absorb {
@@ -1630,7 +1637,9 @@ unsafe fn search_leaf(head: *const Node, key: &[u8]) -> LeafSearch {
     let mut passed_marker = false;
     let mut first_answer: Option<(bool, Option<Bytes>)> = None;
     let mut first_marker_token: Option<u64> = None;
-    for node in chain_iter(head) {
+    // SAFETY: forwarding this function's own contract — `head` is a live
+    // chain protected by the caller's guard.
+    for node in unsafe { chain_iter(head) } {
         match node {
             Node::Put { key: k, value, .. } => {
                 if first_answer.is_none() && k.as_ref() == key {
@@ -1762,7 +1771,9 @@ struct MergedLeaf {
 ///
 /// # Safety: live chain under a guard.
 unsafe fn merge_leaf_chain(head: *const Node) -> Option<MergedLeaf> {
-    let nodes: Vec<&Node> = chain_iter(head).collect();
+    // SAFETY: forwarding this function's own contract — `head` is a live
+    // chain protected by the caller's guard.
+    let nodes: Vec<&Node> = unsafe { chain_iter(head) }.collect();
     if nodes.iter().any(|n| matches!(n, Node::RemoveNode { .. })) {
         return None; // frozen for merging; do not consolidate
     }
@@ -1835,7 +1846,9 @@ struct MergedInner {
 ///
 /// # Safety: live chain under a guard.
 unsafe fn merge_inner_chain(head: *const Node) -> Option<MergedInner> {
-    let nodes: Vec<&Node> = chain_iter(head).collect();
+    // SAFETY: forwarding this function's own contract — `head` is a live
+    // chain protected by the caller's guard.
+    let nodes: Vec<&Node> = unsafe { chain_iter(head) }.collect();
     let base = match nodes.last()? {
         Node::InnerBase(b) => b,
         _ => return None,
@@ -1900,7 +1913,9 @@ unsafe fn analyze_leaf_chain(head: *const Node) -> LeafChainInfo {
     let mut has_split = false;
     let mut unflushed = 0usize;
     let mut seen_marker: Option<u64> = None;
-    for node in chain_iter(head) {
+    // SAFETY: forwarding this function's own contract — `head` is a live
+    // chain protected by the caller's guard.
+    for node in unsafe { chain_iter(head) } {
         match node {
             Node::Put { .. } | Node::Del { .. } => {
                 deltas += 1;
@@ -1953,7 +1968,9 @@ unsafe fn analyze_leaf_chain(head: *const Node) -> LeafChainInfo {
 /// # Safety: live chain under a guard.
 unsafe fn collect_unflushed_ops(head: *const Node) -> Vec<DeltaOp> {
     let mut ops = Vec::new();
-    for node in chain_iter(head) {
+    // SAFETY: forwarding this function's own contract — `head` is a live
+    // chain protected by the caller's guard.
+    for node in unsafe { chain_iter(head) } {
         match node {
             Node::Put { key, value, .. } => {
                 ops.push(DeltaOp::Put(key.clone(), value.clone()));
@@ -1972,7 +1989,9 @@ unsafe fn collect_unflushed_ops(head: *const Node) -> Vec<DeltaOp> {
 /// # Safety: live chain under a guard; references valid while guard held.
 unsafe fn collect_nodes_above_marker<'g>(head: *const Node) -> Vec<&'g Node> {
     let mut out = Vec::new();
-    for node in chain_iter(head) {
+    // SAFETY: forwarding this function's own contract — `head` is a live
+    // chain protected by the caller's guard.
+    for node in unsafe { chain_iter(head) } {
         match node {
             Node::FlushMarker { .. } | Node::LeafBase(_) | Node::FlashBase { .. } => break,
             n => out.push(n),

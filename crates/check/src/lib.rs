@@ -1,0 +1,41 @@
+//! `dcs-check`: deterministic interleaving checker for the latch-free
+//! substrate (`dcs-ebr`, `dcs-bwtree`, `dcs-masstree`).
+//!
+//! A from-scratch "shuttle-lite": scenarios written against the instrumented
+//! shims in [`sync`] and [`thread`] run under a seeded virtual-thread
+//! scheduler ([`explore`]) that serializes all threads and chooses the
+//! interleaving from a PRNG (uniform random or PCT). Every run is
+//! byte-for-byte deterministic per seed, so any failure report — panic,
+//! invariant violation, shadow-heap diagnostic — names a seed that replays
+//! the exact interleaving with [`replay`].
+//!
+//! The substrate crates opt in via their `check` cargo feature, which swaps
+//! their internal `sync` facade from `std::sync` to [`crate::sync`] and
+//! enables shadow-heap instrumentation ([`shadow`]) on the EBR retire/free
+//! paths. With the feature off, those crates compile against plain `std`
+//! with zero overhead; with it on but no execution active, the shims
+//! degrade to a thread-local check per operation.
+//!
+//! ```
+//! use dcs_check::sync::AtomicU64;
+//! use std::sync::atomic::Ordering;
+//! use std::sync::Arc;
+//!
+//! dcs_check::explore("handoff", 20, || {
+//!     let flag = Arc::new(AtomicU64::new(0));
+//!     let f2 = flag.clone();
+//!     let t = dcs_check::thread::spawn(move || f2.store(1, Ordering::Release));
+//!     let _saw = flag.load(Ordering::Acquire); // 0 or 1, schedule-dependent
+//!     t.join().unwrap();
+//!     assert_eq!(flag.load(Ordering::Acquire), 1);
+//! });
+//! ```
+
+pub mod scheduler;
+pub mod shadow;
+pub mod sync;
+pub mod thread;
+
+pub use scheduler::{
+    explore, explore_with, in_execution, replay, schedule_point, Config, Failure, Policy,
+};

@@ -1,0 +1,193 @@
+//! Shadow allocation tracker for epoch-based reclamation.
+//!
+//! The instrumented builds of `dcs-ebr` and `dcs-bwtree` report lifecycle
+//! events for every EBR-managed allocation — [`on_alloc`], [`on_retire`],
+//! [`on_free`], [`on_access`] — keyed by address. Inside an execution the
+//! active `ShadowHeap` cross-checks them:
+//!
+//! * **use-after-free** — an access to an address whose deferred destructor
+//!   already ran;
+//! * **double retire** — the same live allocation retired twice (would run
+//!   its destructor twice);
+//! * **double free** — a destructor running twice without an intervening
+//!   re-allocation (an EBR bookkeeping bug);
+//! * **epoch leak** — via `ShadowHeap::leak_check` at execution end:
+//!   memory retired but never physically freed even though its collector
+//!   was torn down.
+//!
+//! A violation aborts the execution and the harness reports the seed, so
+//! the exact interleaving replays with [`crate::replay`].
+//!
+//! Outside an execution every hook is a no-op: the plain test suite runs
+//! real concurrency where address-keyed global state would produce
+//! cross-test false positives.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::scheduler::{fail_current, with_shadow};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SlotState {
+    /// Known allocation, not yet retired.
+    Live,
+    /// Retired into EBR; destructor not yet run.
+    Retired,
+    /// Destructor ran; any access until re-allocation is a use-after-free.
+    Freed,
+}
+
+/// Per-execution registry of EBR-managed allocations.
+pub(crate) struct ShadowHeap {
+    slots: Mutex<HashMap<usize, SlotState>>,
+}
+
+impl ShadowHeap {
+    pub(crate) fn new() -> Self {
+        ShadowHeap {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn transition(&self, addr: usize, event: &str) -> Result<(), String> {
+        let mut slots = self.slots.lock().unwrap();
+        let state = slots.get(&addr).copied();
+        let next = match (event, state) {
+            // (Re-)allocation always resets the slot: the allocator may hand
+            // back an address that was freed earlier (ABA on addresses).
+            ("alloc", _) => SlotState::Live,
+            ("retire", Some(SlotState::Retired)) => {
+                return Err(format!(
+                    "double retire of {addr:#x}: already retired, destructor would run twice"
+                ));
+            }
+            ("retire", Some(SlotState::Freed)) => {
+                return Err(format!(
+                    "retire of freed {addr:#x}: use-after-free (retiring reclaimed memory)"
+                ));
+            }
+            ("retire", _) => SlotState::Retired,
+            ("free", Some(SlotState::Freed)) => {
+                return Err(format!("double free of {addr:#x}"));
+            }
+            ("free", _) => SlotState::Freed,
+            ("access", Some(SlotState::Freed)) => {
+                return Err(format!(
+                    "use-after-free: access to {addr:#x} after its destructor ran"
+                ));
+            }
+            ("access", _) => return Ok(()),
+            _ => unreachable!("unknown shadow event {event}"),
+        };
+        slots.insert(addr, next);
+        Ok(())
+    }
+
+    /// Fails if anything retired was never freed (call after collector
+    /// teardown; see `Config::leak_check`).
+    pub(crate) fn leak_check(&self) -> Result<(), String> {
+        let slots = self.slots.lock().unwrap();
+        let leaked: Vec<usize> = slots
+            .iter()
+            .filter(|(_, s)| **s == SlotState::Retired)
+            .map(|(a, _)| *a)
+            .collect();
+        if leaked.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "epoch leak: {} retired allocation(s) never reclaimed (e.g. {:#x})",
+                leaked.len(),
+                leaked[0]
+            ))
+        }
+    }
+}
+
+fn record(addr: usize, event: &str) {
+    if let Some(Err(msg)) = with_shadow(|shadow, seed| {
+        shadow
+            .transition(addr, event)
+            .map_err(|m| format!("shadow heap (seed {seed}): {m}"))
+    }) {
+        fail_current(msg);
+    }
+}
+
+/// Reports a fresh EBR-managed allocation.
+pub fn on_alloc<T: ?Sized>(ptr: *const T) {
+    record(ptr as *const () as usize, "alloc");
+}
+
+/// Reports that an allocation was retired (its destructor deferred).
+pub fn on_retire<T: ?Sized>(ptr: *const T) {
+    record(ptr as *const () as usize, "retire");
+}
+
+/// Reports that a deferred destructor actually ran.
+pub fn on_free<T: ?Sized>(ptr: *const T) {
+    record(ptr as *const () as usize, "free");
+}
+
+/// Reports a read through a possibly-retired pointer.
+pub fn on_access<T: ?Sized>(ptr: *const T) {
+    record(ptr as *const () as usize, "access");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_are_noops_outside_execution() {
+        let b = Box::new(1u32);
+        let p: *const u32 = &*b;
+        on_alloc(p);
+        on_retire(p);
+        on_retire(p); // would fail inside an execution
+        on_free(p);
+        on_access(p); // would fail inside an execution
+    }
+
+    #[test]
+    fn transition_table() {
+        let h = ShadowHeap::new();
+        h.transition(0x10, "alloc").unwrap();
+        h.transition(0x10, "access").unwrap();
+        h.transition(0x10, "retire").unwrap();
+        // Access between retire and free is the whole point of EBR: legal.
+        h.transition(0x10, "access").unwrap();
+        assert!(h
+            .transition(0x10, "retire")
+            .unwrap_err()
+            .contains("double retire"));
+    }
+
+    #[test]
+    fn uaf_and_double_free() {
+        let h = ShadowHeap::new();
+        h.transition(0x20, "alloc").unwrap();
+        h.transition(0x20, "retire").unwrap();
+        h.transition(0x20, "free").unwrap();
+        assert!(h
+            .transition(0x20, "access")
+            .unwrap_err()
+            .contains("use-after-free"));
+        assert!(h
+            .transition(0x20, "free")
+            .unwrap_err()
+            .contains("double free"));
+        // Address reuse legitimizes the slot again.
+        h.transition(0x20, "alloc").unwrap();
+        h.transition(0x20, "access").unwrap();
+    }
+
+    #[test]
+    fn leak_check_reports_unreclaimed() {
+        let h = ShadowHeap::new();
+        h.transition(0x30, "retire").unwrap();
+        assert!(h.leak_check().unwrap_err().contains("epoch leak"));
+        h.transition(0x30, "free").unwrap();
+        h.leak_check().unwrap();
+    }
+}

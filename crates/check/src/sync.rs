@@ -1,0 +1,422 @@
+//! Instrumented drop-in replacements for `std::sync` primitives.
+//!
+//! Each operation that can participate in a data race calls
+//! [`crate::scheduler::schedule_point`] *before* performing the real
+//! operation on the underlying `std` primitive. Inside an execution that
+//! hands control to the deterministic scheduler; outside one it is a
+//! thread-local check and the shims behave exactly like `std`.
+//!
+//! The shims deliberately execute every access with `SeqCst` regardless of
+//! the ordering the caller requested: the checker serializes all threads, so
+//! weaker orderings cannot be distinguished anyway, and upgrading removes
+//! any chance of the *checker build* hitting real hardware reordering. The
+//! requested ordering is still type-checked, keeping call sites honest for
+//! the uninstrumented build.
+
+pub use std::sync::atomic::Ordering;
+
+use crate::scheduler::schedule_point;
+use std::sync::TryLockError;
+
+macro_rules! int_atomic {
+    ($name:ident, $std:ty, $int:ty) => {
+        /// Instrumented counterpart of the matching `std::sync::atomic` type.
+        #[derive(Debug, Default)]
+        pub struct $name($std);
+
+        impl $name {
+            /// Creates a new atomic (const, like `std`).
+            pub const fn new(v: $int) -> Self {
+                Self(<$std>::new(v))
+            }
+
+            /// Loads the value (schedule point).
+            #[inline]
+            pub fn load(&self, _order: Ordering) -> $int {
+                schedule_point();
+                self.0.load(Ordering::SeqCst)
+            }
+
+            /// Stores a value (schedule point).
+            #[inline]
+            pub fn store(&self, v: $int, _order: Ordering) {
+                schedule_point();
+                self.0.store(v, Ordering::SeqCst)
+            }
+
+            /// Swaps the value (schedule point).
+            #[inline]
+            pub fn swap(&self, v: $int, _order: Ordering) -> $int {
+                schedule_point();
+                self.0.swap(v, Ordering::SeqCst)
+            }
+
+            /// Adds, returning the previous value (schedule point).
+            #[inline]
+            pub fn fetch_add(&self, v: $int, _order: Ordering) -> $int {
+                schedule_point();
+                self.0.fetch_add(v, Ordering::SeqCst)
+            }
+
+            /// Subtracts, returning the previous value (schedule point).
+            #[inline]
+            pub fn fetch_sub(&self, v: $int, _order: Ordering) -> $int {
+                schedule_point();
+                self.0.fetch_sub(v, Ordering::SeqCst)
+            }
+
+            /// Bitwise-or, returning the previous value (schedule point).
+            #[inline]
+            pub fn fetch_or(&self, v: $int, _order: Ordering) -> $int {
+                schedule_point();
+                self.0.fetch_or(v, Ordering::SeqCst)
+            }
+
+            /// Bitwise-and, returning the previous value (schedule point).
+            #[inline]
+            pub fn fetch_and(&self, v: $int, _order: Ordering) -> $int {
+                schedule_point();
+                self.0.fetch_and(v, Ordering::SeqCst)
+            }
+
+            /// Maximum, returning the previous value (schedule point).
+            #[inline]
+            pub fn fetch_max(&self, v: $int, _order: Ordering) -> $int {
+                schedule_point();
+                self.0.fetch_max(v, Ordering::SeqCst)
+            }
+
+            /// Compare-and-exchange (schedule point).
+            #[inline]
+            pub fn compare_exchange(
+                &self,
+                current: $int,
+                new: $int,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$int, $int> {
+                schedule_point();
+                self.0
+                    .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            /// Weak compare-and-exchange (schedule point). Never fails
+            /// spuriously under the checker — spurious failure would make
+            /// replay depend on hardware, not the seed.
+            #[inline]
+            pub fn compare_exchange_weak(
+                &self,
+                current: $int,
+                new: $int,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$int, $int> {
+                schedule_point();
+                self.0
+                    .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            /// Consumes the atomic, returning the value (no schedule point:
+            /// exclusive ownership means no race to explore).
+            pub fn into_inner(self) -> $int {
+                self.0.into_inner()
+            }
+
+            /// Mutable access (no schedule point: exclusive borrow).
+            pub fn get_mut(&mut self) -> &mut $int {
+                self.0.get_mut()
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+int_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+/// Instrumented counterpart of `std::sync::atomic::AtomicBool`.
+#[derive(Debug, Default)]
+pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+impl AtomicBool {
+    /// Creates a new atomic bool.
+    pub const fn new(v: bool) -> Self {
+        Self(std::sync::atomic::AtomicBool::new(v))
+    }
+
+    /// Loads the value (schedule point).
+    #[inline]
+    pub fn load(&self, _order: Ordering) -> bool {
+        schedule_point();
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Stores a value (schedule point).
+    #[inline]
+    pub fn store(&self, v: bool, _order: Ordering) {
+        schedule_point();
+        self.0.store(v, Ordering::SeqCst)
+    }
+
+    /// Swaps the value (schedule point).
+    #[inline]
+    pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+        schedule_point();
+        self.0.swap(v, Ordering::SeqCst)
+    }
+
+    /// Compare-and-exchange (schedule point).
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<bool, bool> {
+        schedule_point();
+        self.0
+            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+}
+
+/// Instrumented counterpart of `std::sync::atomic::AtomicPtr<T>`.
+#[derive(Debug)]
+pub struct AtomicPtr<T>(std::sync::atomic::AtomicPtr<T>);
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> Self {
+        Self(std::sync::atomic::AtomicPtr::default())
+    }
+}
+
+impl<T> AtomicPtr<T> {
+    /// Creates a new atomic pointer.
+    pub const fn new(p: *mut T) -> Self {
+        Self(std::sync::atomic::AtomicPtr::new(p))
+    }
+
+    /// Loads the pointer (schedule point).
+    #[inline]
+    pub fn load(&self, _order: Ordering) -> *mut T {
+        schedule_point();
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Stores a pointer (schedule point).
+    #[inline]
+    pub fn store(&self, p: *mut T, _order: Ordering) {
+        schedule_point();
+        self.0.store(p, Ordering::SeqCst)
+    }
+
+    /// Swaps the pointer (schedule point).
+    #[inline]
+    pub fn swap(&self, p: *mut T, _order: Ordering) -> *mut T {
+        schedule_point();
+        self.0.swap(p, Ordering::SeqCst)
+    }
+
+    /// Compare-and-exchange (schedule point).
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        schedule_point();
+        self.0
+            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// Weak compare-and-exchange (schedule point, never spurious).
+    #[inline]
+    pub fn compare_exchange_weak(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        schedule_point();
+        self.0
+            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// Mutable access (no schedule point: exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        self.0.get_mut()
+    }
+}
+
+/// Instrumented memory fence: a schedule point plus the real fence.
+#[inline]
+pub fn fence(_order: Ordering) {
+    schedule_point();
+    std::sync::atomic::fence(Ordering::SeqCst);
+}
+
+/// Instrumented mutex with the *std-compatible* poisoning API
+/// (`lock() -> LockResult<..>`), so `mutex.lock().unwrap()` call sites
+/// compile unchanged against either `std::sync::Mutex` or this shim.
+///
+/// Inside an execution the lock is acquired **cooperatively**: a blocking
+/// `std` lock would park the only runnable OS thread and deadlock the
+/// scheduler, so instead the thread loops `schedule point → try_lock`. The
+/// holder is always runnable (nothing in the checker blocks while holding a
+/// lock), so the loop terminates under every schedule; the `max_steps`
+/// backstop converts checker bugs into failures rather than hangs.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for the instrumented [`Mutex`]. Wraps the std guard.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> std::sync::LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock; cooperative inside an execution.
+    ///
+    /// Never returns `Err`: poisoning exists to propagate panics between
+    /// threads, but under the checker a failing execution aborts every
+    /// virtual thread at its next schedule point, and those aborts routinely
+    /// unwind *through* critical sections. Surfacing that as poison would
+    /// make unrelated destructors' `.lock().unwrap()` calls double-panic
+    /// during cleanup and abort the process instead of reporting the seed.
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        if !crate::scheduler::in_execution() {
+            return match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard { inner: g }),
+                Err(p) => Ok(MutexGuard {
+                    inner: p.into_inner(),
+                }),
+            };
+        }
+        loop {
+            schedule_point();
+            match self.inner.try_lock() {
+                Ok(g) => return Ok(MutexGuard { inner: g }),
+                Err(TryLockError::Poisoned(p)) => {
+                    return Ok(MutexGuard {
+                        inner: p.into_inner(),
+                    })
+                }
+                Err(TryLockError::WouldBlock) => continue,
+            }
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking (schedule point).
+    /// Like [`Mutex::lock`], never reports poison.
+    pub fn try_lock(
+        &self,
+    ) -> Result<MutexGuard<'_, T>, std::sync::TryLockError<MutexGuard<'_, T>>> {
+        schedule_point();
+        match self.inner.try_lock() {
+            Ok(g) => Ok(MutexGuard { inner: g }),
+            Err(TryLockError::Poisoned(p)) => Ok(MutexGuard {
+                inner: p.into_inner(),
+            }),
+            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+        }
+    }
+
+    /// Mutable access without locking (exclusive borrow, no schedule point).
+    pub fn get_mut(&mut self) -> std::sync::LockResult<&mut T> {
+        match self.inner.get_mut() {
+            Ok(v) => Ok(v),
+            Err(p) => Ok(p.into_inner()),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn atomics_behave_like_std_outside_execution() {
+        let a = AtomicU64::new(5);
+        assert_eq!(a.load(Ordering::Relaxed), 5);
+        a.store(7, Ordering::Release);
+        assert_eq!(a.swap(9, Ordering::AcqRel), 7);
+        assert_eq!(a.fetch_add(1, Ordering::SeqCst), 9);
+        assert_eq!(
+            a.compare_exchange(10, 11, Ordering::SeqCst, Ordering::SeqCst),
+            Ok(10)
+        );
+        assert_eq!(a.into_inner(), 11);
+
+        let b = AtomicBool::new(false);
+        assert!(!b.swap(true, Ordering::SeqCst));
+        assert!(b.load(Ordering::SeqCst));
+
+        let p = AtomicPtr::<u32>::new(std::ptr::null_mut());
+        assert!(p.load(Ordering::SeqCst).is_null());
+    }
+
+    #[test]
+    fn mutex_std_api_shape() {
+        let m = Mutex::new(1);
+        *m.lock().unwrap() += 1;
+        assert_eq!(*m.lock().unwrap(), 2);
+        assert!(m.try_lock().is_ok());
+    }
+
+    #[test]
+    fn cooperative_mutex_excludes() {
+        crate::explore("mutex-exclusion", 50, || {
+            let m = Arc::new(Mutex::new(0u64));
+            let mut handles = Vec::new();
+            for _ in 0..3 {
+                let m = m.clone();
+                handles.push(crate::thread::spawn(move || {
+                    for _ in 0..4 {
+                        let mut g = m.lock().unwrap();
+                        // A non-atomic read-modify-write under the lock: the
+                        // lock must make it atomic w.r.t. the other threads.
+                        let v = *g;
+                        crate::thread::yield_now();
+                        *g = v + 1;
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*m.lock().unwrap(), 12);
+        });
+    }
+}

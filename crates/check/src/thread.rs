@@ -1,0 +1,48 @@
+//! Virtual-thread spawn/join facade.
+//!
+//! Inside an execution, `spawn` registers a *virtual thread*: a real OS
+//! thread that parks immediately and only runs when the deterministic
+//! scheduler elects it. Outside an execution it is plain `std::thread`.
+
+use crate::scheduler::{self, schedule_point, ManagedHandle};
+
+/// Handle returned by [`spawn`], mirroring `std::thread::JoinHandle`.
+pub enum JoinHandle<T> {
+    /// A scheduler-managed virtual thread.
+    Managed(ManagedHandle<T>),
+    /// A plain std thread (spawned outside any execution).
+    Native(std::thread::JoinHandle<T>),
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self {
+            JoinHandle::Managed(h) => h.join(),
+            JoinHandle::Native(h) => h.join(),
+        }
+    }
+}
+
+/// Spawns a thread; deterministic and scheduler-managed inside an execution.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if scheduler::in_execution() {
+        JoinHandle::Managed(scheduler::spawn_managed(f).expect("active execution"))
+    } else {
+        JoinHandle::Native(std::thread::spawn(f))
+    }
+}
+
+/// Cooperative yield: a schedule point inside an execution, a real
+/// `std::thread::yield_now` outside.
+pub fn yield_now() {
+    if scheduler::in_execution() {
+        schedule_point();
+    } else {
+        std::thread::yield_now();
+    }
+}

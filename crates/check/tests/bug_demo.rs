@@ -1,0 +1,59 @@
+//! Demonstrates that the checker actually catches bugs: a writer that
+//! frees immediately instead of retiring through EBR. Some interleaving
+//! within the first few seeds orders the reader's access after the free,
+//! and the shadow heap reports the use-after-free with the seed.
+
+use dcs_check::sync::AtomicU64;
+use dcs_check::{explore, shadow};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// The bug: the writer unlinks the old allocation and frees it on the
+/// spot — no epoch protection — while the reader dereferences a pointer
+/// it loaded under no guard at all. The deterministic scheduler finds the
+/// load-free-access ordering quickly, and `explore` panics with the seed
+/// and the shadow heap's diagnosis.
+#[test]
+#[should_panic(expected = "use-after-free")]
+fn premature_free_is_caught() {
+    explore("bug-demo-premature-free", 200, || {
+        let cell = Arc::new(AtomicU64::new(0));
+        let first = Box::into_raw(Box::new(1u64));
+        shadow::on_alloc(first);
+        cell.store(first as u64, Ordering::SeqCst);
+
+        let reader = {
+            let cell = cell.clone();
+            dcs_check::thread::spawn(move || {
+                let p = cell.load(Ordering::SeqCst) as *const u64;
+                // In real code an arbitrary amount of work sits between
+                // loading a pointer and dereferencing it; model it with an
+                // explicit schedule point so the writer's free can slip in.
+                dcs_check::schedule_point();
+                shadow::on_access(p);
+            })
+        };
+        let writer = {
+            let cell = cell.clone();
+            dcs_check::thread::spawn(move || {
+                let fresh = Box::into_raw(Box::new(2u64));
+                shadow::on_alloc(fresh);
+                let old = cell.swap(fresh as u64, Ordering::SeqCst) as *mut u64;
+                shadow::on_free(old);
+                // BUG: freeing without waiting for readers to quiesce.
+                // SAFETY: not safe — that is the point of this test. The
+                // shadow heap catches the reader's access to `old`.
+                unsafe { drop(Box::from_raw(old)) };
+            })
+        };
+        reader.join().unwrap();
+        writer.join().unwrap();
+
+        // Teardown for the interleavings that survive (reader ran first):
+        // free the value still parked in the cell.
+        let last = cell.load(Ordering::SeqCst) as *mut u64;
+        shadow::on_free(last);
+        // SAFETY: both threads joined; `last` has no other owner.
+        unsafe { drop(Box::from_raw(last)) };
+    });
+}

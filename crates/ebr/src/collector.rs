@@ -2,8 +2,8 @@
 
 use crate::deferred::Deferred;
 use crate::guard::Guard;
-use std::sync::atomic::{fence, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use crate::sync::{fence, AtomicU64, Mutex, Ordering};
+use std::sync::Arc;
 
 /// Local garbage bag size that triggers an opportunistic collection.
 const COLLECT_THRESHOLD: usize = 64;
@@ -40,6 +40,9 @@ pub(crate) struct Global {
     deferred_total: AtomicU64,
     freed_total: AtomicU64,
     pins_total: AtomicU64,
+    /// Highest epoch any `audit()` call has observed; audits use it to prove
+    /// the epoch never regresses across the collector's lifetime.
+    audit_floor: AtomicU64,
 }
 
 impl Global {
@@ -51,7 +54,54 @@ impl Global {
             deferred_total: AtomicU64::new(0),
             freed_total: AtomicU64::new(0),
             pins_total: AtomicU64::new(0),
+            audit_floor: AtomicU64::new(0),
         }
+    }
+
+    /// Check the collector's structural invariants. See [`Collector::audit`].
+    fn audit(&self) -> Result<(), String> {
+        let ge = self.epoch.load(Ordering::SeqCst);
+        if ge < 2 {
+            return Err(format!("global epoch {ge} below initial value 2"));
+        }
+        // Monotonicity across audits: fetch_max returns the previous floor,
+        // which must never exceed what we just read.
+        let floor = self.audit_floor.fetch_max(ge, Ordering::SeqCst);
+        if floor > ge {
+            return Err(format!(
+                "global epoch regressed: observed {floor}, now {ge}"
+            ));
+        }
+        {
+            let locals = self.locals.lock().unwrap();
+            for (i, local) in locals.iter().enumerate() {
+                let s = local.state.load(Ordering::SeqCst);
+                if s & 1 == 1 {
+                    let e = s >> 1;
+                    // A pinned participant may lag the global epoch by at
+                    // most one; more lag would let reclamation free memory
+                    // the participant can still observe.
+                    if e + 1 < ge || e > ge {
+                        return Err(format!(
+                            "participant {i} pinned at epoch {e} but global epoch is {ge} \
+                             (lag must be 0 or 1)"
+                        ));
+                    }
+                } else if s != 0 {
+                    return Err(format!(
+                        "participant {i} unpinned but state is {s:#x} (must be 0)"
+                    ));
+                }
+            }
+        }
+        let deferred = self.deferred_total.load(Ordering::SeqCst);
+        let freed = self.freed_total.load(Ordering::SeqCst);
+        if freed > deferred {
+            return Err(format!(
+                "freed_total ({freed}) exceeds deferred_total ({deferred})"
+            ));
+        }
+        Ok(())
     }
 
     /// Attempt to advance the global epoch. Succeeds only when every pinned
@@ -158,6 +208,22 @@ impl Collector {
             global: self.global.clone(),
             local,
         }
+    }
+
+    /// Audit the collector's structural invariants:
+    ///
+    /// * the global epoch is at least the initial value and never regresses
+    ///   between audits (epoch monotonicity);
+    /// * every pinned participant's announced epoch lags the global epoch by
+    ///   at most one;
+    /// * unpinned participants announce the sentinel state `0`;
+    /// * the freed counter never exceeds the deferred counter.
+    ///
+    /// Safe to call concurrently with operations, but epoch/participant
+    /// checks are only meaningfully stable at quiescence (no concurrent
+    /// pins) — e.g. at the end of a deterministic-checker scenario.
+    pub fn audit(&self) -> Result<(), String> {
+        self.global.audit()
     }
 
     /// Snapshot of collector counters, for observability and tests.
@@ -271,8 +337,15 @@ impl Guard {
     /// other path, and no new references to it may be created after this
     /// call (it is already unlinked from shared memory).
     pub unsafe fn defer_drop<T: Send + 'static>(&self, ptr: *mut T) {
+        // Under the deterministic checker, report the retirement and the
+        // eventual free so the shadow heap can flag double-retires and
+        // use-after-free with the triggering seed.
+        #[cfg(feature = "check")]
+        dcs_check::shadow::on_retire(ptr);
         let addr = ptr as usize;
         self.defer(move || {
+            #[cfg(feature = "check")]
+            dcs_check::shadow::on_free(addr as *const u8);
             // SAFETY: caller contract — unique, unlinked Box pointer.
             drop(unsafe { Box::from_raw(addr as *mut T) });
         });

@@ -48,6 +48,7 @@
 mod collector;
 mod deferred;
 mod guard;
+pub(crate) mod sync;
 
 pub use collector::{Collector, CollectorStats, LocalHandle};
 pub use deferred::Deferred;
@@ -178,6 +179,7 @@ mod tests {
         {
             let guard = handle.pin();
             let raw = Box::into_raw(Box::new(Canary(drops.clone())));
+            // SAFETY: `raw` came from Box::into_raw and is never used again.
             unsafe { guard.defer_drop(raw) };
         }
         for _ in 0..64 {

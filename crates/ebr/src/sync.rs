@@ -1,0 +1,19 @@
+//! Facade over the synchronization primitives this crate uses.
+//!
+//! The default build re-exports `std::sync` types unchanged — zero cost.
+//! With the `check` feature, the instrumented shims from `dcs-check` are
+//! substituted instead: every atomic access and lock acquisition becomes a
+//! schedule point for the deterministic interleaving checker, and the same
+//! source compiles against either.
+//!
+//! Code in this crate must import synchronization types from here, never
+//! from `std::sync` directly (test modules excepted: they run outside the
+//! checker by construction).
+
+#[cfg(feature = "check")]
+pub use dcs_check::sync::{fence, AtomicU64, Mutex, Ordering};
+
+#[cfg(not(feature = "check"))]
+pub use std::sync::atomic::{fence, AtomicU64, Ordering};
+#[cfg(not(feature = "check"))]
+pub use std::sync::Mutex;

@@ -44,6 +44,7 @@
 
 mod node;
 mod scan;
+pub(crate) mod sync;
 mod tree;
 
 pub use tree::{MassTree, MassTreeStats};

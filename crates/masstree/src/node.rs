@@ -1,8 +1,8 @@
 //! Node representations: interior, border, layers, slices.
 
+use crate::sync::{AtomicBool, AtomicPtr, AtomicUsize, Mutex, Ordering};
 use bytes::Bytes;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Node fanout, as in the MassTree paper.
 pub(crate) const WIDTH: usize = 15;
@@ -83,7 +83,7 @@ pub(crate) struct Interior {
     pub wlock: Mutex<()>,
     /// Set (under `wlock`) when this node has been replaced; writers that
     /// located it before the swap must retry.
-    pub obsolete: std::sync::atomic::AtomicBool,
+    pub obsolete: AtomicBool,
 }
 
 impl Interior {
@@ -233,7 +233,7 @@ mod tests {
             keys: vec![10, 20, 30],
             children: Vec::new(),
             wlock: Mutex::new(()),
-            obsolete: std::sync::atomic::AtomicBool::new(false),
+            obsolete: AtomicBool::new(false),
         };
         assert_eq!(i.route(5), 0);
         assert_eq!(i.route(10), 1); // equal goes right

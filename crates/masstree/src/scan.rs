@@ -13,10 +13,10 @@
 //! there are no duplicates.
 
 use crate::node::{slice_at, EntryValue, Layer, Node};
+use crate::sync::Ordering;
 use crate::tree::MassTree;
 use bytes::Bytes;
 use dcs_ebr::Guard;
-use std::sync::atomic::Ordering;
 
 /// Exclusive scan bounds relative to the current layer (suffix view).
 struct Bounds<'a> {

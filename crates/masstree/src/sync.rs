@@ -1,0 +1,16 @@
+//! Facade over the synchronization primitives this crate uses.
+//!
+//! Default build: `std::sync` re-exports, zero cost. With the `check`
+//! feature: the instrumented shims from `dcs-check`, so the optimistic
+//! version protocol and permuter updates run under the deterministic
+//! interleaving checker.
+
+#[cfg(feature = "check")]
+pub use dcs_check::sync::{
+    AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Mutex, MutexGuard, Ordering,
+};
+
+#[cfg(not(feature = "check"))]
+pub use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(feature = "check"))]
+pub use std::sync::{Mutex, MutexGuard};

@@ -5,10 +5,10 @@ use crate::node::{
     free_subtree, slice_at, Border, Entry, EntryValue, Interior, Layer, MemCounter, Node, HAS_MORE,
     WIDTH,
 };
+use crate::sync::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Mutex, Ordering};
 use bytes::Bytes;
 use dcs_ebr::Guard;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Operation counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -422,7 +422,7 @@ impl MassTree {
     ) -> bool {
         // Locks are acquired bottom-up and held in this vector until the
         // publication completes (drop order is irrelevant for correctness).
-        let mut locks: Vec<std::sync::MutexGuard<'_, ()>> = Vec::new();
+        let mut locks: Vec<crate::sync::MutexGuard<'_, ()>> = Vec::new();
 
         if new_entries.len() <= WIDTH {
             let new_node = Node::Border(Border {
@@ -503,7 +503,7 @@ impl MassTree {
         level: usize,
         old: *mut Node,
         new_node: Node,
-        locks: &mut Vec<std::sync::MutexGuard<'_, ()>>,
+        locks: &mut Vec<crate::sync::MutexGuard<'_, ()>>,
         guard: &Guard,
     ) -> bool {
         let new_bytes = new_node.approx_bytes();
@@ -512,9 +512,10 @@ impl MassTree {
             // SAFETY: transmute the guard lifetime into the held vector; the
             // vector dies before `layer` does.
             locks.push(unsafe {
-                std::mem::transmute::<std::sync::MutexGuard<'_, ()>, std::sync::MutexGuard<'_, ()>>(
-                    lock,
-                )
+                std::mem::transmute::<
+                    crate::sync::MutexGuard<'_, ()>,
+                    crate::sync::MutexGuard<'_, ()>,
+                >(lock)
             });
             if layer.root.load(Ordering::SeqCst) != old {
                 return false;
@@ -535,9 +536,10 @@ impl MassTree {
             // SAFETY: see publish_swap's root case — the node outlives the
             // guard (EBR pin), and `locks` drops before publication returns.
             locks.push(unsafe {
-                std::mem::transmute::<std::sync::MutexGuard<'_, ()>, std::sync::MutexGuard<'_, ()>>(
-                    lock,
-                )
+                std::mem::transmute::<
+                    crate::sync::MutexGuard<'_, ()>,
+                    crate::sync::MutexGuard<'_, ()>,
+                >(lock)
             });
             if p.obsolete.load(Ordering::SeqCst) || p.children[slot].load(Ordering::SeqCst) != old {
                 return false;
@@ -562,7 +564,7 @@ impl MassTree {
         upkey: u64,
         left: *mut Node,
         right: *mut Node,
-        locks: &mut Vec<std::sync::MutexGuard<'_, ()>>,
+        locks: &mut Vec<crate::sync::MutexGuard<'_, ()>>,
         guard: &Guard,
     ) -> bool {
         if level == 0 {
@@ -570,9 +572,10 @@ impl MassTree {
             let lock = layer.root_lock.lock().expect("root lock poisoned");
             // SAFETY: see publish_swap's root case.
             locks.push(unsafe {
-                std::mem::transmute::<std::sync::MutexGuard<'_, ()>, std::sync::MutexGuard<'_, ()>>(
-                    lock,
-                )
+                std::mem::transmute::<
+                    crate::sync::MutexGuard<'_, ()>,
+                    crate::sync::MutexGuard<'_, ()>,
+                >(lock)
             });
             if layer.root.load(Ordering::SeqCst) != old_child {
                 return false;
@@ -601,7 +604,7 @@ impl MassTree {
         // while our epoch Guard is pinned), and `locks` drops before the
         // enclosing publication call returns.
         locks.push(unsafe {
-            std::mem::transmute::<std::sync::MutexGuard<'_, ()>, std::sync::MutexGuard<'_, ()>>(
+            std::mem::transmute::<crate::sync::MutexGuard<'_, ()>, crate::sync::MutexGuard<'_, ()>>(
                 lock,
             )
         });

@@ -1,0 +1,255 @@
+//! Vendored shim of `criterion`: enough API for the workspace's benches to
+//! compile and produce useful numbers, without the statistical machinery.
+//!
+//! Each benchmark warms up briefly, then runs timed batches and reports the
+//! median per-iteration time on stdout. Set `DCS_BENCH_QUICK=1` to run each
+//! benchmark once (smoke mode, used by CI to keep benches compiling and
+//! executable without burning minutes).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            quick: std::env::var("DCS_BENCH_QUICK").is_ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            quick: self.quick,
+            result: None,
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Compatibility no-op (real criterion parses CLI args here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Compatibility no-op (sample count hint), builder-style.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Compatibility no-op (measurement time hint), builder-style.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    match b.result {
+        Some(per_iter) => println!("bench {name:<50} {:>12.1} ns/iter", per_iter),
+        None => println!("bench {name:<50}          (no b.iter call)"),
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            quick: self.criterion.quick,
+            result: None,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.label), &b);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            quick: self.criterion.quick,
+            result: None,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.label), &b);
+        self
+    }
+
+    /// Compatibility no-op (throughput annotation).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Compatibility no-op (sample count hint).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Throughput annotation (accepted, ignored).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    quick: bool,
+    result: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing median ns/iteration.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.quick {
+            let start = Instant::now();
+            black_box(routine());
+            self.result = Some(start.elapsed().as_nanos() as f64);
+            return;
+        }
+        // Warm up ~20ms, then pick an iteration count targeting ~50ms per
+        // batch and take the median of 5 batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter_est = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let batch_iters = ((50_000_000.0 / per_iter_est) as u64).clamp(1, 10_000_000);
+        let mut samples = Vec::with_capacity(5);
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch_iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        std::env::set_var("DCS_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut count = 0;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        assert_eq!(count, 1);
+        std::env::remove_var("DCS_BENCH_QUICK");
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let id = BenchmarkId::new("f", 42);
+        assert_eq!(id.label, "f/42");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

@@ -1,0 +1,710 @@
+//! Vendored shim of `proptest`: randomized property testing without
+//! shrinking.
+//!
+//! Supports the subset the workspace's model tests use: [`strategy::Strategy`]
+//! with `prop_map`, `any::<T>()`, tuple strategies, regex-lite string
+//! strategies (`"[a-z]{0,24}"`), `collection::vec`, weighted [`prop_oneof!`],
+//! [`proptest!`] with `#![proptest_config(..)]`, and
+//! `prop_assert!`/`prop_assert_eq!`.
+//!
+//! On failure the runner reports the case number and the RNG seed; re-running
+//! with `PROPTEST_SEED=<seed>` reproduces the exact case stream. Shrinking is
+//! deliberately not implemented — failures print the full generated input via
+//! the panic payload instead.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// The RNG handed to strategies by the runner.
+    pub type TestRng = SmallRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Regenerates until `f` accepts (up to an attempt cap).
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                f,
+                whence,
+            }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: std::rc::Rc::new(self),
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+        whence: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates: {}", self.whence);
+        }
+    }
+
+    /// Type-erased strategy handle.
+    pub struct BoxedStrategy<T> {
+        inner: std::rc::Rc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategies behind shared references generate like the referent,
+    /// letting `prop_oneof!` arms borrow a common sub-strategy.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uniform {
+        ($($t:ty),*) => {
+            $(
+                impl Arbitrary for $t {
+                    fn arbitrary(rng: &mut TestRng) -> Self {
+                        rng.gen()
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_arbitrary_uniform!(u8, u16, u32, u64, usize, bool, f64);
+
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen::<u64>() as i64
+        }
+    }
+
+    impl Arbitrary for i32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen::<u32>() as i32
+        }
+    }
+
+    /// See [`super::arbitrary::any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any::new()
+        }
+    }
+
+    impl<T> Any<T> {
+        pub(crate) fn new() -> Self {
+            Any {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    /// Integer ranges are strategies (`0..10u64`).
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for std::ops::Range<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.gen_range(self.clone())
+                    }
+                }
+                impl Strategy for std::ops::RangeInclusive<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.gen_range(self.clone())
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    /// String strategies from a regex-lite pattern:
+    /// `"shared-prefix-[a-z0-9]{0,24}"`.
+    ///
+    /// Supported shapes: literal characters, `[..]` char classes with ranges,
+    /// and an optional `{min,max}` / `{n}` quantifier after a class — the
+    /// only regex forms the workspace's tests use. Anything else panics
+    /// loudly so a silently-wrong generator can't slip in.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let atoms = parse_pattern(self)
+                .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+            let mut out = String::new();
+            for atom in &atoms {
+                let n = if atom.min == atom.max {
+                    atom.min
+                } else {
+                    rng.gen_range(atom.min..atom.max + 1)
+                };
+                for _ in 0..n {
+                    out.push(atom.alphabet[rng.gen_range(0..atom.alphabet.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    /// One generation unit of a string pattern: pick `min..=max` chars from
+    /// `alphabet`.
+    struct PatternAtom {
+        alphabet: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Parses a pattern into atoms; `None` on any unsupported construct.
+    fn parse_pattern(pat: &str) -> Option<Vec<PatternAtom>> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let alphabet = if chars[i] == '[' {
+                let close = (i + 1..chars.len()).find(|&j| chars[j] == ']')?;
+                let class = &chars[i + 1..close];
+                i = close + 1;
+                let mut alphabet = Vec::new();
+                let mut j = 0;
+                while j < class.len() {
+                    if j + 2 < class.len() && class[j + 1] == '-' {
+                        let (lo, hi) = (class[j], class[j + 2]);
+                        if lo > hi {
+                            return None;
+                        }
+                        alphabet.extend(lo..=hi);
+                        j += 3;
+                    } else {
+                        alphabet.push(class[j]);
+                        j += 1;
+                    }
+                }
+                if alphabet.is_empty() {
+                    return None;
+                }
+                alphabet
+            } else {
+                // Regex metacharacters other than the handled ones are not
+                // supported; reject rather than emit them literally.
+                if "\\.*+?|(){}^$".contains(chars[i]) {
+                    return None;
+                }
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = (i + 1..chars.len()).find(|&j| chars[j] == '}')?;
+                let counts: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match counts.split_once(',') {
+                    Some((lo, hi)) => (lo.parse().ok()?, hi.parse().ok()?),
+                    None => {
+                        let n = counts.parse().ok()?;
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            if min > max {
+                return None;
+            }
+            atoms.push(PatternAtom { alphabet, min, max });
+        }
+        Some(atoms)
+    }
+
+    /// Boxes a strategy for [`crate::prop_oneof!`] arms. Internal plumbing.
+    pub fn box_arm<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    /// One weighted arm of a [`crate::prop_oneof!`]. Internal plumbing.
+    pub struct WeightedUnion<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u32,
+    }
+
+    impl<T> WeightedUnion<T> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one nonzero weight");
+            WeightedUnion { arms, total }
+        }
+    }
+
+    impl<T> Strategy for WeightedUnion<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` entry point.
+
+    use super::strategy::{Any, Arbitrary};
+
+    /// Strategy yielding unconstrained values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::new()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Size specification for [`vec()`]: a `min..max` length range.
+    #[derive(Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    /// `Vec` strategy: `len` drawn from `size`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec()`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Case loop: seeds, case counts, failure reporting.
+
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Explicit test-case failure, for `Result`-style property bodies
+    /// (`return Err(TestCaseError::fail("...")`)).
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property failed with a message.
+        Fail(String),
+        /// The input was rejected (treated as failure by this shim).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Failure with a reason.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// Rejection with a reason.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "property failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            }
+        }
+    }
+
+    /// Runner configuration (`cases` is the only knob the workspace sets).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Unused compatibility knob (real proptest shrinks; this shim
+        /// doesn't).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Seed for the run: `PROPTEST_SEED` env var, else a fixed default so CI
+    /// runs are reproducible without extra flags.
+    pub fn run_seed() -> u64 {
+        match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s
+                .parse()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+            Err(_) => 0x1CDE_2019_0B00_u64 ^ 0xA5A5_5A5A,
+        }
+    }
+
+    /// Runs `body` once per case with a per-case RNG derived from the run
+    /// seed; on panic, re-raises with the case index and seed attached.
+    pub fn run_cases(config: &Config, body: impl Fn(&mut TestRng)) {
+        let seed = run_seed();
+        for case in 0..config.cases {
+            let case_seed = seed ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut rng = TestRng::seed_from_u64(case_seed);
+                body(&mut rng);
+            }));
+            if let Err(payload) = result {
+                eprintln!(
+                    "proptest case {case}/{} failed; reproduce with PROPTEST_SEED={seed} \
+                     (case seed {case_seed})",
+                    config.cases
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use super::arbitrary::any;
+    pub use super::prop_assert;
+    pub use super::prop_assert_eq;
+    pub use super::prop_assert_ne;
+    pub use super::prop_oneof;
+    pub use super::proptest;
+    pub use super::strategy::{BoxedStrategy, Just, Strategy};
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use super::test_runner::TestCaseError;
+
+    /// Namespace mirror of real proptest's `prop::`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property; panics like `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property; panics like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property; panics like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Weighted (or unweighted) union of strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $(($weight, $crate::strategy::box_arm($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $((1, $crate::strategy::box_arm($strat)),)+
+        ])
+    };
+}
+
+/// Declares property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+///     #[test]
+///     fn prop(xs in collection::vec(any::<u8>(), 1..10)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::Config::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let strategies = ($($strat,)+);
+                $crate::test_runner::run_cases(&config, |__rng| {
+                    #[allow(non_snake_case)]
+                    let ($(ref $arg,)+) = strategies;
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate($arg, __rng);
+                    )+
+                    // The immediately-called closure gives `$body` its own
+                    // `?`-compatible scope, like upstream proptest.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (move || {
+                        $body
+                        Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __outcome {
+                        panic!("{}", e);
+                    }
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn string_pattern_alphabet_and_length() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z0-9]{0,20}", &mut rng);
+            assert!(s.len() <= 20);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+        for _ in 0..50 {
+            let s = Strategy::generate(&"[a-c]{1,3}", &mut rng);
+            assert!((1..=3).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let strat = prop_oneof![
+            9 => Just(true),
+            1 => Just(false),
+        ];
+        let mut rng = TestRng::seed_from_u64(2);
+        let trues = (0..1_000)
+            .filter(|_| Strategy::generate(&strat, &mut rng))
+            .count();
+        assert!((800..1_000).contains(&trues), "trues {trues}");
+    }
+
+    #[test]
+    fn vec_strategy_length_in_range() {
+        let strat = crate::collection::vec(any::<u8>(), 1..8);
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((1..8).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_roundtrip(
+            xs in crate::collection::vec(any::<u16>(), 1..10),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!xs.is_empty());
+            let _ = flag;
+            prop_assert_eq!(xs.len(), xs.iter().map(|_| 1usize).sum::<usize>());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in any::<u8>()) {
+            let wide = u16::from(x);
+            prop_assert!(wide < 256);
+        }
+    }
+}

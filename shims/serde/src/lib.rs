@@ -1,0 +1,42 @@
+//! Vendored shim of `serde`: marker traits plus no-op derives.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of config
+//! structs for forward compatibility, but never actually serializes them (no
+//! `serde_json`/`bincode` in the dependency tree). The shim therefore only
+//! needs the trait names to exist and the derives to produce impls; the
+//! `#[serde(...)]` helper attributes are accepted and ignored.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+macro_rules! impl_for_primitives {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl Deserialize for $t {}
+        )*
+    };
+}
+
+impl_for_primitives!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<T: Deserialize> Deserialize for Box<T> {}
+impl Serialize for &str {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<K: Deserialize, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<K: Deserialize, V: Deserialize> Deserialize for std::collections::HashMap<K, V> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}

@@ -1,0 +1,45 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde shim.
+//!
+//! Parses just enough of the item (`struct`/`enum` keyword followed by the
+//! type name) to emit `impl serde::Serialize for Name {}`. Generic derived
+//! types are not supported — the workspace derives only on plain structs and
+//! enums. `#[serde(...)]` helper attributes are declared so field/variant
+//! annotations like `#[serde(skip, default)]` parse, then ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the type identifier: the token following `struct` or `enum`.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+fn emit(input: TokenStream, trait_path: &str) -> TokenStream {
+    let name = type_name(&input).expect("derive target must be a struct or enum");
+    format!("impl {trait_path} for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
+
+/// Derives the shim `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, "::serde::Serialize")
+}
+
+/// Derives the shim `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, "::serde::Deserialize")
+}
