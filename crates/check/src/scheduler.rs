@@ -179,6 +179,13 @@ const ABORT_MSG: &str = "dcs-check: execution aborted";
 thread_local! {
     /// Set while the current OS thread is a virtual thread of an execution.
     static CONTEXT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+
+    /// Sticky: set the first time this OS thread becomes a virtual thread,
+    /// never cleared. A managed thread clears `CONTEXT` before it exits, but
+    /// its remaining thread-local destructors (e.g. the EBR local handle)
+    /// still run instrumented operations; those must keep degrading to raw
+    /// std behavior, not trip [`assert_not_foreign`].
+    static WAS_MANAGED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
 fn current_ctx() -> Option<(Arc<Execution>, usize)> {
@@ -190,13 +197,70 @@ pub fn in_execution() -> bool {
     CONTEXT.with(|c| c.borrow().is_some())
 }
 
+/// Count of executions currently running in this process. Used by
+/// [`assert_not_foreign`] to detect instrumented operations escaping the
+/// virtual scheduler. (The exploration lock serializes executions, so this
+/// is effectively 0 or 1; a counter keeps the accounting honest anyway.)
+static ACTIVE_EXECUTIONS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Decrements [`ACTIVE_EXECUTIONS`] on drop, so a panicking `run_one` can
+/// never leave the counter stuck high.
+struct ActiveGuard;
+
+impl ActiveGuard {
+    fn enter() -> Self {
+        ACTIVE_EXECUTIONS.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        ActiveGuard
+    }
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        ACTIVE_EXECUTIONS.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+/// Debug-build trap for the silent-degrade footgun: an instrumented shim
+/// operation running on an OS thread the scheduler does not manage *while an
+/// execution is active*. That thread was almost certainly spawned with
+/// `std::thread::spawn` from inside a scenario — its operations run with
+/// real, unexplored concurrency and the schedule silently loses coverage
+/// (and determinism, since the foreign thread races the virtual ones).
+///
+/// Panicking the foreign thread surfaces the bug at the first escaped
+/// operation instead. Release builds skip the check: the counter read would
+/// tax every uninstrumented-path shim call in benchmarks.
+#[inline]
+pub(crate) fn assert_not_foreign() {
+    #[cfg(debug_assertions)]
+    if ACTIVE_EXECUTIONS.load(std::sync::atomic::Ordering::SeqCst) > 0
+        // `try_with`: this can run from thread-local destructors after the
+        // flag itself was dropped; be permissive then (a managed thread in
+        // teardown), never abort inside TLS destruction.
+        && !WAS_MANAGED.try_with(|f| f.get()).unwrap_or(true)
+    {
+        panic!(
+            "dcs-check: instrumented operation on a thread outside the virtual scheduler \
+             while an execution is active. Scenario code must spawn threads with \
+             `dcs_check::thread::spawn`, not `std::thread::spawn` — a std thread runs \
+             unscheduled and silently degrades the exploration. (Unit tests that use \
+             instrumented types outside `explore` are fine; they only trip this if they \
+             run concurrently with an execution in the same process.)"
+        );
+    }
+}
+
 /// The scheduling hook every instrumented shim operation calls.
 ///
-/// Outside an execution this is a thread-local read and nothing more.
+/// Outside an execution this is a thread-local read and nothing more —
+/// except in debug builds, where a concurrent active execution means this
+/// thread escaped the scheduler; see [`assert_not_foreign`].
 #[inline]
 pub fn schedule_point() {
     if let Some((exec, me)) = current_ctx() {
         exec.yield_at(me);
+    } else {
+        assert_not_foreign();
     }
 }
 
@@ -420,6 +484,7 @@ where
         .name(format!("dcs-check-vt{id}"))
         .spawn(move || {
             CONTEXT.with(|c| *c.borrow_mut() = Some((exec2.clone(), id)));
+            WAS_MANAGED.with(|f| f.set(true));
             exec2.wait_until_elected(id);
             let outcome = catch_unwind(AssertUnwindSafe(f));
             match outcome {
@@ -442,7 +507,11 @@ where
 /// Serializes executions process-wide. Scenarios routinely share process
 /// globals (the default EBR collector); two concurrent executions would
 /// perturb each other's schedules and break determinism.
-fn exploration_lock() -> &'static Mutex<()> {
+///
+/// `pub(crate)` so unit tests that exercise shims *outside* an execution can
+/// hold it too — otherwise a concurrently running execution in the same test
+/// process would (correctly) trip [`assert_not_foreign`] on them.
+pub(crate) fn exploration_lock() -> &'static Mutex<()> {
     static LOCK: std::sync::OnceLock<Mutex<()>> = std::sync::OnceLock::new();
     LOCK.get_or_init(|| Mutex::new(()))
 }
@@ -452,6 +521,7 @@ fn run_one<F>(seed: u64, config: &Config, scenario: &F) -> Result<u64, Failure>
 where
     F: Fn() + Sync,
 {
+    let _active = ActiveGuard::enter();
     let exec = Arc::new(Execution::new(seed, config.policy, config.max_steps));
     let root = exec.register_thread();
     debug_assert_eq!(root, 0);
@@ -460,6 +530,7 @@ where
     std::thread::scope(|s| {
         s.spawn(|| {
             CONTEXT.with(|c| *c.borrow_mut() = Some((exec.clone(), root)));
+            WAS_MANAGED.with(|f| f.set(true));
             let outcome = catch_unwind(AssertUnwindSafe(scenario));
             if let Err(p) = outcome {
                 let msg = Execution::panic_payload_to_string(&*p);
@@ -585,6 +656,12 @@ mod tests {
 
     #[test]
     fn schedule_point_outside_execution_is_noop() {
+        // Hold the exploration lock: sibling tests in this binary run
+        // executions concurrently, and an outside-execution shim call while
+        // one is active is exactly what assert_not_foreign rejects.
+        let _serial = exploration_lock()
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
         assert!(!in_execution());
         schedule_point();
     }

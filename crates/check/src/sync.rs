@@ -303,6 +303,7 @@ impl<T: ?Sized> Mutex<T> {
     /// during cleanup and abort the process instead of reporting the seed.
     pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
         if !crate::scheduler::in_execution() {
+            crate::scheduler::assert_not_foreign();
             return match self.inner.lock() {
                 Ok(g) => Ok(MutexGuard { inner: g }),
                 Err(p) => Ok(MutexGuard {
@@ -361,6 +362,250 @@ impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Instrumented locks with the **parking_lot API shape** (`lock()` returns
+/// the guard directly, `try_*` return `Option`, no poisoning), so crates
+/// built on the `parking_lot` shim — `dcs-lsm`, `dcs-llama` — can swap their
+/// locks through a `sync` facade without touching call sites.
+///
+/// Acquisition follows the same cooperative discipline as the std-shaped
+/// [`Mutex`](super::Mutex): inside an execution the thread loops
+/// `schedule point → try-acquire` (a blocking acquire would park the only
+/// runnable OS thread and deadlock the scheduler); outside one the
+/// operations block on the underlying `std` primitive like parking_lot
+/// would, swallowing poison since parking_lot has none.
+pub mod pl {
+    use super::schedule_point;
+    use std::sync::TryLockError;
+
+    /// Instrumented counterpart of `parking_lot::Mutex`.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    /// RAII guard for [`Mutex`]; wraps the std guard.
+    pub struct MutexGuard<'a, T: ?Sized> {
+        inner: std::sync::MutexGuard<'a, T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex (const, like parking_lot).
+        pub const fn new(value: T) -> Self {
+            Mutex {
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.inner
+                .into_inner()
+                .unwrap_or_else(|poison| poison.into_inner())
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the lock; cooperative inside an execution.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            if !crate::scheduler::in_execution() {
+                crate::scheduler::assert_not_foreign();
+                return match self.inner.lock() {
+                    Ok(g) => MutexGuard { inner: g },
+                    Err(p) => MutexGuard {
+                        inner: p.into_inner(),
+                    },
+                };
+            }
+            loop {
+                schedule_point();
+                match self.inner.try_lock() {
+                    Ok(g) => return MutexGuard { inner: g },
+                    Err(TryLockError::Poisoned(p)) => {
+                        return MutexGuard {
+                            inner: p.into_inner(),
+                        }
+                    }
+                    Err(TryLockError::WouldBlock) => continue,
+                }
+            }
+        }
+
+        /// Attempts the lock without blocking (schedule point).
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            schedule_point();
+            match self.inner.try_lock() {
+                Ok(g) => Some(MutexGuard { inner: g }),
+                Err(TryLockError::Poisoned(p)) => Some(MutexGuard {
+                    inner: p.into_inner(),
+                }),
+                Err(TryLockError::WouldBlock) => None,
+            }
+        }
+
+        /// Mutable access without locking (exclusive borrow).
+        pub fn get_mut(&mut self) -> &mut T {
+            match self.inner.get_mut() {
+                Ok(v) => v,
+                Err(p) => p.into_inner(),
+            }
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    /// Instrumented counterpart of `parking_lot::RwLock`.
+    ///
+    /// Readers may hold their guard across schedule points (e.g. an LSM read
+    /// path holding the state lock while touching instrumented atomics); a
+    /// writer looping on `try_write` stays live because the readers remain
+    /// runnable and eventually release.
+    #[derive(Debug, Default)]
+    pub struct RwLock<T: ?Sized> {
+        inner: std::sync::RwLock<T>,
+    }
+
+    /// Shared-read RAII guard for [`RwLock`].
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        inner: std::sync::RwLockReadGuard<'a, T>,
+    }
+
+    /// Exclusive-write RAII guard for [`RwLock`].
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        inner: std::sync::RwLockWriteGuard<'a, T>,
+    }
+
+    impl<T> RwLock<T> {
+        /// Creates a new reader-writer lock (const, like parking_lot).
+        pub const fn new(value: T) -> Self {
+            RwLock {
+                inner: std::sync::RwLock::new(value),
+            }
+        }
+
+        /// Consumes the lock, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.inner
+                .into_inner()
+                .unwrap_or_else(|poison| poison.into_inner())
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquires shared read access; cooperative inside an execution.
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            if !crate::scheduler::in_execution() {
+                crate::scheduler::assert_not_foreign();
+                return match self.inner.read() {
+                    Ok(g) => RwLockReadGuard { inner: g },
+                    Err(p) => RwLockReadGuard {
+                        inner: p.into_inner(),
+                    },
+                };
+            }
+            loop {
+                schedule_point();
+                match self.inner.try_read() {
+                    Ok(g) => return RwLockReadGuard { inner: g },
+                    Err(TryLockError::Poisoned(p)) => {
+                        return RwLockReadGuard {
+                            inner: p.into_inner(),
+                        }
+                    }
+                    Err(TryLockError::WouldBlock) => continue,
+                }
+            }
+        }
+
+        /// Acquires exclusive write access; cooperative inside an execution.
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            if !crate::scheduler::in_execution() {
+                crate::scheduler::assert_not_foreign();
+                return match self.inner.write() {
+                    Ok(g) => RwLockWriteGuard { inner: g },
+                    Err(p) => RwLockWriteGuard {
+                        inner: p.into_inner(),
+                    },
+                };
+            }
+            loop {
+                schedule_point();
+                match self.inner.try_write() {
+                    Ok(g) => return RwLockWriteGuard { inner: g },
+                    Err(TryLockError::Poisoned(p)) => {
+                        return RwLockWriteGuard {
+                            inner: p.into_inner(),
+                        }
+                    }
+                    Err(TryLockError::WouldBlock) => continue,
+                }
+            }
+        }
+
+        /// Attempts shared read access without blocking (schedule point).
+        pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+            schedule_point();
+            match self.inner.try_read() {
+                Ok(g) => Some(RwLockReadGuard { inner: g }),
+                Err(TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
+                    inner: p.into_inner(),
+                }),
+                Err(TryLockError::WouldBlock) => None,
+            }
+        }
+
+        /// Attempts exclusive write access without blocking (schedule point).
+        pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+            schedule_point();
+            match self.inner.try_write() {
+                Ok(g) => Some(RwLockWriteGuard { inner: g }),
+                Err(TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
+                    inner: p.into_inner(),
+                }),
+                Err(TryLockError::WouldBlock) => None,
+            }
+        }
+
+        /// Mutable access without locking (exclusive borrow).
+        pub fn get_mut(&mut self) -> &mut T {
+            match self.inner.get_mut() {
+                Ok(v) => v,
+                Err(p) => p.into_inner(),
+            }
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +613,9 @@ mod tests {
 
     #[test]
     fn atomics_behave_like_std_outside_execution() {
+        let _serial = crate::scheduler::exploration_lock()
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
         let a = AtomicU64::new(5);
         assert_eq!(a.load(Ordering::Relaxed), 5);
         a.store(7, Ordering::Release);
@@ -389,10 +637,75 @@ mod tests {
 
     #[test]
     fn mutex_std_api_shape() {
+        let _serial = crate::scheduler::exploration_lock()
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
         let m = Mutex::new(1);
         *m.lock().unwrap() += 1;
         assert_eq!(*m.lock().unwrap(), 2);
         assert!(m.try_lock().is_ok());
+    }
+
+    #[test]
+    fn pl_shims_match_parking_lot_api_shape() {
+        let _serial = crate::scheduler::exploration_lock()
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        let m = pl::Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+        assert_eq!(m.into_inner(), 2);
+
+        let rw = pl::RwLock::new(vec![1u8]);
+        rw.write().push(2);
+        assert_eq!(rw.read().len(), 2);
+        {
+            let r1 = rw.read();
+            let r2 = rw.try_read().expect("shared readers coexist");
+            assert_eq!(*r1, *r2);
+            assert!(rw.try_write().is_none(), "writer excluded by readers");
+        }
+        assert!(rw.try_write().is_some());
+        assert_eq!(rw.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn pl_rwlock_excludes_under_scheduler() {
+        crate::explore("pl-rwlock-exclusion", 50, || {
+            let rw = Arc::new(pl::RwLock::new(0u64));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let rw = rw.clone();
+                handles.push(crate::thread::spawn(move || {
+                    for _ in 0..3 {
+                        let mut g = rw.write();
+                        let v = *g;
+                        crate::thread::yield_now();
+                        *g = v + 1;
+                    }
+                }));
+            }
+            let reader = {
+                let rw = rw.clone();
+                crate::thread::spawn(move || {
+                    // Monotonicity: concurrent reads under the shared lock
+                    // must never observe the counter going backwards.
+                    let mut last = 0;
+                    for _ in 0..4 {
+                        let v = *rw.read();
+                        assert!(v >= last, "counter went backwards");
+                        last = v;
+                        crate::thread::yield_now();
+                    }
+                })
+            };
+            for h in handles {
+                h.join().unwrap();
+            }
+            reader.join().unwrap();
+            assert_eq!(*rw.read(), 6);
+        });
     }
 
     #[test]

@@ -33,6 +33,10 @@ where
     if scheduler::in_execution() {
         JoinHandle::Managed(scheduler::spawn_managed(f).expect("active execution"))
     } else {
+        // Spawning from a thread the scheduler does not manage while an
+        // execution is active would create yet another unscheduled thread;
+        // trap it (debug builds) rather than degrade silently.
+        scheduler::assert_not_foreign();
         JoinHandle::Native(std::thread::spawn(f))
     }
 }

@@ -1,0 +1,46 @@
+//! The silent-degrade footgun, demonstrated: a scenario that spawns a thread
+//! with `std::thread::spawn` instead of `dcs_check::thread::spawn` puts that
+//! thread *outside* the virtual scheduler. Its instrumented operations run
+//! with real, unexplored concurrency — the seed no longer determines the
+//! schedule and the exploration silently loses coverage.
+//!
+//! Debug builds now trap the first escaped operation. This lives in its own
+//! integration binary: the panic fires on a foreign OS thread, and keeping it
+//! out of the main scenario binaries avoids its stderr noise interleaving
+//! with theirs.
+
+use dcs_check::sync::AtomicU64;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+#[test]
+#[cfg_attr(
+    not(debug_assertions),
+    ignore = "foreign-thread assert is debug-builds-only"
+)]
+#[should_panic(expected = "outside the virtual scheduler")]
+fn std_spawn_inside_scenario_is_detected() {
+    dcs_check::explore("foreign-spawn", 1, || {
+        let c = Arc::new(AtomicU64::new(0));
+        // Touch the shim from the managed root first so the run is not a
+        // vacuous zero-schedule-point pass.
+        c.fetch_add(1, Ordering::SeqCst);
+
+        let c2 = c.clone();
+        // BUG (deliberate): std::thread::spawn bypasses the scheduler.
+        let h = std::thread::spawn(move || {
+            // First instrumented op on the foreign thread → debug assert.
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        let err = h.join().expect_err("foreign thread must have panicked");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "foreign thread panicked with non-string payload".into());
+        // Re-raise on the managed root so `explore` reports it as the
+        // scenario failure (the foreign thread's own panic unwinds a thread
+        // the harness never observes).
+        panic!("{msg}");
+    });
+}

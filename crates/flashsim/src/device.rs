@@ -394,6 +394,31 @@ impl FlashDevice {
         lost
     }
 
+    /// Simulate a power failure that *tears* the in-flight write: like
+    /// [`FlashDevice::crash`], but the open segment keeps up to `tail_keep`
+    /// bytes of its non-durable tail — a partially persisted append, as a
+    /// real device may leave after losing power mid-write. Recovery code
+    /// must treat that tail as untrusted (torn frames, bad CRCs). Returns
+    /// the number of bytes discarded.
+    pub fn crash_torn(&self, tail_keep: usize) -> u64 {
+        let mut st = self.state.lock();
+        let open = st.open;
+        let mut lost = 0u64;
+        for (id, seg) in st.segments.iter_mut().enumerate() {
+            let Some(seg) = seg else { continue };
+            let keep = if open == Some(id as SegmentId) {
+                seg.written.min(seg.durable + tail_keep)
+            } else {
+                seg.durable
+            };
+            lost += (seg.written - keep) as u64;
+            seg.written = keep;
+            seg.durable = keep;
+        }
+        st.open = None;
+        lost
+    }
+
     /// Free segments remaining.
     pub fn free_segments(&self) -> usize {
         self.state.lock().free.len()
@@ -523,6 +548,25 @@ mod tests {
         assert_eq!(lost, 8);
         assert_eq!(d.read(a1, 7).unwrap(), b"durable");
         assert!(d.read(a2, 8).is_err());
+    }
+
+    #[test]
+    fn crash_torn_keeps_a_partial_tail() {
+        let d = test_device();
+        let a1 = d.append(b"durable").unwrap();
+        d.sync();
+        let a2 = d.append(b"volatile").unwrap();
+        // A torn crash persists only the first 3 bytes of the tail.
+        let lost = d.crash_torn(3);
+        assert_eq!(lost, 5);
+        assert_eq!(d.read(a1, 7).unwrap(), b"durable");
+        assert_eq!(d.read(a2, 3).unwrap(), b"vol");
+        assert!(d.read(a2, 8).is_err(), "torn bytes must be gone");
+        // With a huge tail_keep everything written survives.
+        let d = test_device();
+        let a = d.append(b"volatile").unwrap();
+        assert_eq!(d.crash_torn(1 << 20), 0);
+        assert_eq!(d.read(a, 8).unwrap(), b"volatile");
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Adapters: one trait over the three concurrent stores, a recording
+//! wrapper that produces checkable histories, and a deliberately broken
+//! wrapper that demonstrates the checker rejecting real bugs.
+
+use crate::history::{Op, Recorder, Ret};
+use crate::wgl::{check_history, ScanSemantics};
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The common surface of the concurrent key-value stores under test.
+///
+/// Implementations must be usable from many threads concurrently — that is
+/// the property the linearizability checker exercises.
+pub trait ConcurrentMap: Send + Sync + 'static {
+    fn put(&self, key: &[u8], value: &[u8]);
+    fn get(&self, key: &[u8]) -> Option<Bytes>;
+    fn delete(&self, key: &[u8]);
+    /// Entries in `[start, end)`, in key order.
+    fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Vec<(Bytes, Bytes)>;
+    /// What this store's scans promise; decides the checking model.
+    fn scan_semantics(&self) -> ScanSemantics;
+    fn name(&self) -> &'static str;
+}
+
+impl ConcurrentMap for dcs_bwtree::BwTree {
+    fn put(&self, key: &[u8], value: &[u8]) {
+        dcs_bwtree::BwTree::put(
+            self,
+            Bytes::copy_from_slice(key),
+            Bytes::copy_from_slice(value),
+        );
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Bytes> {
+        dcs_bwtree::BwTree::get(self, key)
+    }
+
+    fn delete(&self, key: &[u8]) {
+        dcs_bwtree::BwTree::delete(self, Bytes::copy_from_slice(key));
+    }
+
+    fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Vec<(Bytes, Bytes)> {
+        self.range(start, end)
+            .map(|r| r.expect("bwtree scan failed"))
+            .collect()
+    }
+
+    fn scan_semantics(&self) -> ScanSemantics {
+        // B-link leaf walk: each leaf is snapshotted atomically, the range
+        // as a whole is not (see crates/bwtree/src/iter.rs).
+        ScanSemantics::PerKey
+    }
+
+    fn name(&self) -> &'static str {
+        "dcs-bwtree"
+    }
+}
+
+impl ConcurrentMap for dcs_masstree::MassTree {
+    fn put(&self, key: &[u8], value: &[u8]) {
+        self.insert(Bytes::copy_from_slice(key), Bytes::copy_from_slice(value));
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Bytes> {
+        dcs_masstree::MassTree::get(self, key)
+    }
+
+    fn delete(&self, key: &[u8]) {
+        self.remove(key);
+    }
+
+    fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Vec<(Bytes, Bytes)> {
+        dcs_masstree::MassTree::scan(self, start, end)
+    }
+
+    fn scan_semantics(&self) -> ScanSemantics {
+        ScanSemantics::PerKey
+    }
+
+    fn name(&self) -> &'static str {
+        "dcs-masstree"
+    }
+}
+
+impl ConcurrentMap for dcs_lsm::LsmTree {
+    fn put(&self, key: &[u8], value: &[u8]) {
+        dcs_lsm::LsmTree::put(self, key.to_vec(), value.to_vec()).expect("lsm put failed");
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Bytes> {
+        dcs_lsm::LsmTree::get(self, key).expect("lsm get failed")
+    }
+
+    fn delete(&self, key: &[u8]) {
+        dcs_lsm::LsmTree::delete(self, key.to_vec()).expect("lsm delete failed");
+    }
+
+    fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Vec<(Bytes, Bytes)> {
+        dcs_lsm::LsmTree::scan(self, start, end).expect("lsm scan failed")
+    }
+
+    fn scan_semantics(&self) -> ScanSemantics {
+        // The LSM scan merges memtable and tables under the state lock —
+        // a point-in-time view of the whole range.
+        ScanSemantics::Snapshot
+    }
+
+    fn name(&self) -> &'static str {
+        "dcs-lsm"
+    }
+}
+
+/// A store plus a [`Recorder`]: every operation is timestamped, and
+/// [`Recorded::check`] runs the linearizability checker over everything
+/// recorded since the last check (a *window*).
+///
+/// Windows must be self-contained: the checker's sequential model starts
+/// empty, so each window must only touch keys that were absent when the
+/// window opened (fresh keys, or a store created at window start).
+pub struct Recorded<M: ConcurrentMap> {
+    map: M,
+    recorder: Recorder,
+}
+
+impl<M: ConcurrentMap> Recorded<M> {
+    pub fn new(map: M) -> Self {
+        Recorded {
+            map,
+            recorder: Recorder::new(),
+        }
+    }
+
+    /// The wrapped store, for unrecorded access (setup, audits).
+    pub fn map(&self) -> &M {
+        &self.map
+    }
+
+    pub fn get(&self, thread: usize, key: &[u8]) -> Option<Bytes> {
+        let token = self.recorder.invoke(
+            thread,
+            Op::Get {
+                key: Bytes::copy_from_slice(key),
+            },
+        );
+        let value = self.map.get(key);
+        self.recorder.complete(token, Ret::Value(value.clone()));
+        value
+    }
+
+    pub fn put(&self, thread: usize, key: &[u8], value: &[u8]) {
+        let token = self.recorder.invoke(
+            thread,
+            Op::Put {
+                key: Bytes::copy_from_slice(key),
+                value: Bytes::copy_from_slice(value),
+            },
+        );
+        self.map.put(key, value);
+        self.recorder.complete(token, Ret::Done);
+    }
+
+    pub fn delete(&self, thread: usize, key: &[u8]) {
+        let token = self.recorder.invoke(
+            thread,
+            Op::Delete {
+                key: Bytes::copy_from_slice(key),
+            },
+        );
+        self.map.delete(key);
+        self.recorder.complete(token, Ret::Done);
+    }
+
+    pub fn scan(&self, thread: usize, start: &[u8], end: Option<&[u8]>) -> Vec<(Bytes, Bytes)> {
+        let token = self.recorder.invoke(
+            thread,
+            Op::Scan {
+                start: Bytes::copy_from_slice(start),
+                end: end.map(Bytes::copy_from_slice),
+            },
+        );
+        let entries = self.map.scan(start, end);
+        self.recorder.complete(token, Ret::Entries(entries.clone()));
+        entries
+    }
+
+    /// Drain the recorded window and check it, panicking with the minimized
+    /// violating history on failure. All recording threads must have been
+    /// joined (a pending operation also panics). Under
+    /// `dcs_check::explore_with` the panic propagates into the failure
+    /// report, which carries the reproducing schedule seed.
+    pub fn check(&self, context: &str) {
+        let history = self.recorder.take();
+        if let Err(violation) = check_history(&history, self.map.scan_semantics()) {
+            panic!(
+                "{context}: non-linearizable history observed on {}:\n{violation}",
+                self.map.name()
+            );
+        }
+    }
+}
+
+/// A deliberately broken wrapper: `get` results are cached per key and the
+/// cache is **never invalidated by writes**, so a read that follows a
+/// concurrent (or even completed) write can return the stale cached value.
+/// Exists to prove the checker detects real stale-read bugs — see the
+/// `should_panic` demo in `tests/deterministic.rs`. Never use outside
+/// tests.
+pub struct StaleReadMap<M: ConcurrentMap> {
+    inner: M,
+    cache: Mutex<HashMap<Vec<u8>, Option<Bytes>>>,
+}
+
+impl<M: ConcurrentMap> StaleReadMap<M> {
+    pub fn new(inner: M) -> Self {
+        StaleReadMap {
+            inner,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<M: ConcurrentMap> ConcurrentMap for StaleReadMap<M> {
+    fn put(&self, key: &[u8], value: &[u8]) {
+        // BUG (planted): the cached entry for `key` is not invalidated.
+        self.inner.put(key, value);
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Bytes> {
+        if let Some(cached) = self.cache.lock().unwrap().get(key) {
+            return cached.clone();
+        }
+        let value = self.inner.get(key);
+        self.cache
+            .lock()
+            .unwrap()
+            .insert(key.to_vec(), value.clone());
+        value
+    }
+
+    fn delete(&self, key: &[u8]) {
+        // BUG (planted): same as put.
+        self.inner.delete(key);
+    }
+
+    fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Vec<(Bytes, Bytes)> {
+        self.inner.scan(start, end)
+    }
+
+    fn scan_semantics(&self) -> ScanSemantics {
+        self.inner.scan_semantics()
+    }
+
+    fn name(&self) -> &'static str {
+        "stale-read-cache"
+    }
+}

@@ -1,0 +1,265 @@
+//! Concurrent-history recording.
+//!
+//! A [`Recorder`] stamps each operation's invocation and response with
+//! tickets drawn from one global atomic counter. The tickets induce the
+//! real-time partial order the checker needs: operation A *precedes* B iff
+//! A's response ticket is smaller than B's invocation ticket; operations
+//! whose ticket intervals overlap are concurrent and may be linearized in
+//! either order.
+//!
+//! The invocation ticket is drawn before the store operation starts and
+//! the response ticket after it finishes, so the recorded interval always
+//! *contains* the operation's true duration. Widening an interval can only
+//! make more histories acceptable — the recorder may miss a violation that
+//! a tighter clock would catch, but it never reports a false one.
+
+use bytes::Bytes;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A key-value operation, as invoked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Point lookup.
+    Get { key: Bytes },
+    /// Blind write.
+    Put { key: Bytes, value: Bytes },
+    /// Blind delete.
+    Delete { key: Bytes },
+    /// Range scan over `[start, end)`; `end = None` is unbounded above.
+    Scan { start: Bytes, end: Option<Bytes> },
+}
+
+/// An operation's observed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ret {
+    /// Response of a [`Op::Get`] (or of a per-key scan observation).
+    Value(Option<Bytes>),
+    /// Response of a [`Op::Put`] / [`Op::Delete`] (nothing observable).
+    Done,
+    /// Response of a [`Op::Scan`]: entries in key order.
+    Entries(Vec<(Bytes, Bytes)>),
+}
+
+/// A completed operation with its invocation/response tickets.
+#[derive(Debug, Clone)]
+pub struct Completed {
+    /// Caller-supplied thread tag (display only).
+    pub thread: usize,
+    /// What was invoked.
+    pub op: Op,
+    /// What it returned.
+    pub ret: Ret,
+    /// Ticket drawn immediately before the operation started.
+    pub invoked: u64,
+    /// Ticket drawn immediately after the operation returned.
+    pub returned: u64,
+}
+
+/// Handle returned by [`Recorder::invoke`], consumed by
+/// [`Recorder::complete`].
+#[derive(Debug)]
+pub struct OpToken(usize);
+
+struct Slot {
+    thread: usize,
+    op: Op,
+    invoked: u64,
+    done: Option<(Ret, u64)>,
+}
+
+/// Records a concurrent history of key-value operations.
+///
+/// Uses plain `std` synchronization on purpose: under the `dcs-check`
+/// virtual scheduler, uninstrumented primitives execute atomically between
+/// schedule points, so recording never perturbs the schedule being
+/// explored.
+#[derive(Default)]
+pub struct Recorder {
+    clock: AtomicU64,
+    slots: Mutex<Vec<Slot>>,
+}
+
+impl Recorder {
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Record an invocation. Call immediately before the store operation.
+    pub fn invoke(&self, thread: usize, op: Op) -> OpToken {
+        let invoked = self.clock.fetch_add(1, Ordering::SeqCst);
+        let mut slots = self.slots.lock().unwrap();
+        slots.push(Slot {
+            thread,
+            op,
+            invoked,
+            done: None,
+        });
+        OpToken(slots.len() - 1)
+    }
+
+    /// Record a response. Call immediately after the store operation.
+    pub fn complete(&self, token: OpToken, ret: Ret) {
+        let returned = self.clock.fetch_add(1, Ordering::SeqCst);
+        let mut slots = self.slots.lock().unwrap();
+        let slot = &mut slots[token.0];
+        assert!(slot.done.is_none(), "operation completed twice");
+        slot.done = Some((ret, returned));
+    }
+
+    /// Number of operations recorded so far (completed or pending).
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain the history. Panics if any invoked operation never completed —
+    /// the checker has no crash-tolerant mode, so callers must join all
+    /// worker threads first.
+    pub fn take(&self) -> Vec<Completed> {
+        let slots = std::mem::take(&mut *self.slots.lock().unwrap());
+        slots
+            .into_iter()
+            .map(|s| {
+                let (ret, returned) = s
+                    .done
+                    .unwrap_or_else(|| panic!("pending operation in history: {}", s.op));
+                Completed {
+                    thread: s.thread,
+                    op: s.op,
+                    ret,
+                    invoked: s.invoked,
+                    returned,
+                }
+            })
+            .collect()
+    }
+}
+
+fn fmt_bytes(f: &mut fmt::Formatter<'_>, b: &Bytes) -> fmt::Result {
+    if let Ok(s) = std::str::from_utf8(b) {
+        write!(f, "{s:?}")
+    } else {
+        write!(f, "{:02x?}", &b[..])
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Get { key } => {
+                write!(f, "get(")?;
+                fmt_bytes(f, key)?;
+                write!(f, ")")
+            }
+            Op::Put { key, value } => {
+                write!(f, "put(")?;
+                fmt_bytes(f, key)?;
+                write!(f, ", ")?;
+                fmt_bytes(f, value)?;
+                write!(f, ")")
+            }
+            Op::Delete { key } => {
+                write!(f, "delete(")?;
+                fmt_bytes(f, key)?;
+                write!(f, ")")
+            }
+            Op::Scan { start, end } => {
+                write!(f, "scan([")?;
+                fmt_bytes(f, start)?;
+                write!(f, ", ")?;
+                match end {
+                    Some(e) => fmt_bytes(f, e)?,
+                    None => write!(f, "∞")?,
+                }
+                write!(f, "))")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Ret {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ret::Value(Some(v)) => {
+                write!(f, "Some(")?;
+                fmt_bytes(f, v)?;
+                write!(f, ")")
+            }
+            Ret::Value(None) => write!(f, "None"),
+            Ret::Done => write!(f, "ok"),
+            Ret::Entries(es) => {
+                write!(f, "[")?;
+                for (i, (k, v)) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    fmt_bytes(f, k)?;
+                    write!(f, "=")?;
+                    fmt_bytes(f, v)?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Completed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t{} [{:>4},{:>4}]  {} -> {}",
+            self.thread, self.invoked, self.returned, self.op, self.ret
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tickets_bracket_operations() {
+        let r = Recorder::new();
+        let t = r.invoke(
+            0,
+            Op::Put {
+                key: Bytes::from("k"),
+                value: Bytes::from("v"),
+            },
+        );
+        r.complete(t, Ret::Done);
+        let t = r.invoke(
+            1,
+            Op::Get {
+                key: Bytes::from("k"),
+            },
+        );
+        r.complete(t, Ret::Value(Some(Bytes::from("v"))));
+        let h = r.take();
+        assert_eq!(h.len(), 2);
+        assert!(h[0].invoked < h[0].returned);
+        assert!(
+            h[0].returned < h[1].invoked,
+            "sequential ops must be ordered"
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "pending operation")]
+    fn pending_operation_rejected() {
+        let r = Recorder::new();
+        let _t = r.invoke(
+            0,
+            Op::Get {
+                key: Bytes::from("k"),
+            },
+        );
+        let _ = r.take();
+    }
+}

@@ -1,0 +1,45 @@
+//! Linearizability checking for the concurrent storage layers.
+//!
+//! The paper's data caching systems (Deuteronomy's Bw-tree/LLAMA stack,
+//! the RocksDB-style LSM, Masstree) are all latch-free or fine-grained
+//! concurrent structures whose correctness contract is *linearizability*:
+//! every operation appears to take effect atomically at some instant
+//! between its invocation and its response. `dcs-check` (the deterministic
+//! interleaving checker) can explore schedules and catch crashes or shadow
+//! heap violations, but it cannot by itself decide whether the *values*
+//! operations returned were consistent. This crate closes that gap:
+//!
+//! * [`Recorder`] / [`Recorded`] — wrap a store and timestamp every
+//!   operation's invocation and response with tickets from a global atomic
+//!   counter, producing a concurrent history.
+//! * [`check_history`] — the Wing & Gong linearizability checker: a
+//!   memoized search for a sequential order of the completed operations
+//!   that respects real-time precedence and a sequential key-value model.
+//!   Histories without scans (and stores with per-key scan semantics) are
+//!   checked **P-compositionally**: a history over a key-value map is
+//!   linearizable iff its per-key projections are, which keeps the search
+//!   tractable.
+//! * [`ConcurrentMap`] — the adapter trait implemented for
+//!   [`dcs_bwtree::BwTree`], [`dcs_masstree::MassTree`] and
+//!   [`dcs_lsm::LsmTree`], declaring each store's scan semantics
+//!   ([`ScanSemantics::PerKey`] for the B-link-style trees, whose range
+//!   scans are only atomic per leaf; [`ScanSemantics::Snapshot`] for the
+//!   LSM, whose scans read a point-in-time view).
+//! * [`StaleReadMap`] — a deliberately broken wrapper (a read cache that
+//!   is never invalidated by writers) used to demonstrate that the checker
+//!   actually rejects non-linearizable behaviour; see
+//!   `tests/deterministic.rs`.
+//!
+//! Histories are gathered two ways: under `dcs-check`'s virtual scheduler
+//! (seeded, replayable — a violation panics with the schedule seed) and
+//! from real OS threads in bounded windows (`tests/stress.rs`). Both paths
+//! require the history to start from an **empty** store (or a per-window
+//! fresh key space), because the sequential model starts empty.
+
+mod adapter;
+mod history;
+mod wgl;
+
+pub use adapter::{ConcurrentMap, Recorded, StaleReadMap};
+pub use history::{Completed, Op, OpToken, Recorder, Ret};
+pub use wgl::{check_history, ScanSemantics, Violation};

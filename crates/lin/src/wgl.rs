@@ -1,0 +1,417 @@
+//! The Wing & Gong linearizability checker, P-compositional per key.
+//!
+//! [`check_history`] searches for a total order of the completed operations
+//! that (a) respects real-time precedence — if A returned before B was
+//! invoked, A comes first — and (b) replays correctly against a sequential
+//! key-value model started from the **empty** map. The search is the
+//! classic Wing & Gong recursion with the Lowe memoization: a set of
+//! `(linearized-ops bitmask, model state)` pairs already proven dead is
+//! never revisited, which turns the factorial search into one over distinct
+//! configurations.
+//!
+//! Scan semantics decide the model:
+//!
+//! * [`ScanSemantics::Snapshot`] — scans are atomic multi-key reads, so
+//!   keys are *not* independent and the whole history is checked against a
+//!   single ordered-map model.
+//! * [`ScanSemantics::PerKey`] — scans only promise that each returned
+//!   entry was live at some instant within the scan (B-link-style leaf
+//!   walks). The history is then checked **per key** (linearizability is
+//!   compositional: a history over independent objects is linearizable iff
+//!   each per-object projection is), with each scan projected to one
+//!   observation per key it could have seen.
+//!
+//! On failure the violating (sub)history is greedily minimized — ops whose
+//! removal keeps the history non-linearizable are dropped — before being
+//! returned, so the report shows only the contradiction.
+
+use crate::history::{Completed, Op, Ret};
+use bytes::Bytes;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::ops::Bound;
+
+/// What a store's range scans promise; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanSemantics {
+    /// Scans read an atomic point-in-time view of the whole range.
+    Snapshot,
+    /// Scans observe each key atomically, but not the range as a whole.
+    PerKey,
+}
+
+/// A non-linearizable history, minimized.
+#[derive(Debug)]
+pub struct Violation {
+    /// The key whose projection failed, for per-key checks; `None` when the
+    /// whole-history (snapshot) model failed.
+    pub partition: Option<Bytes>,
+    /// Minimal subhistory that is still non-linearizable, in invocation
+    /// order. Scan ops in a per-key violation appear as their projected
+    /// per-key observations.
+    pub history: Vec<Completed>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.partition {
+            Some(k) => writeln!(
+                f,
+                "no sequential order of these operations on key {:?} exists:",
+                String::from_utf8_lossy(k)
+            )?,
+            None => writeln!(f, "no sequential order of these operations exists:")?,
+        }
+        let mut ops: Vec<&Completed> = self.history.iter().collect();
+        ops.sort_by_key(|c| c.invoked);
+        for c in ops {
+            writeln!(f, "  {c}")?;
+        }
+        write!(
+            f,
+            "(intervals [invoked,returned] overlap ⇒ either order is allowed)"
+        )
+    }
+}
+
+/// Check one complete history (all operations responded) against the
+/// sequential key-value model, starting from the empty map.
+pub fn check_history(history: &[Completed], scans: ScanSemantics) -> Result<(), Violation> {
+    match scans {
+        ScanSemantics::Snapshot => {
+            if linearizable_snapshot(history) {
+                Ok(())
+            } else {
+                Err(Violation {
+                    partition: None,
+                    history: minimize(history.to_vec(), linearizable_snapshot),
+                })
+            }
+        }
+        ScanSemantics::PerKey => {
+            for (key, ops) in partition_by_key(history) {
+                if !linearizable_register(&ops) {
+                    return Err(Violation {
+                        partition: Some(key),
+                        history: minimize(ops, linearizable_register),
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Whole-history model: an ordered map, scans atomic.
+fn linearizable_snapshot(ops: &[Completed]) -> bool {
+    wgl(ops, BTreeMap::new(), &apply_map)
+}
+
+/// Per-key model: a single register holding `Option<value>`.
+fn linearizable_register(ops: &[Completed]) -> bool {
+    wgl(ops, None, &apply_register)
+}
+
+fn apply_map(state: &BTreeMap<Bytes, Bytes>, op: &Op) -> (BTreeMap<Bytes, Bytes>, Ret) {
+    match op {
+        Op::Get { key } => (state.clone(), Ret::Value(state.get(key).cloned())),
+        Op::Put { key, value } => {
+            let mut next = state.clone();
+            next.insert(key.clone(), value.clone());
+            (next, Ret::Done)
+        }
+        Op::Delete { key } => {
+            let mut next = state.clone();
+            next.remove(key);
+            (next, Ret::Done)
+        }
+        Op::Scan { start, end } => {
+            let upper = match end {
+                Some(e) => Bound::Excluded(e.clone()),
+                None => Bound::Unbounded,
+            };
+            let entries: Vec<(Bytes, Bytes)> = state
+                .range((Bound::Included(start.clone()), upper))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            (state.clone(), Ret::Entries(entries))
+        }
+    }
+}
+
+fn apply_register(state: &Option<Bytes>, op: &Op) -> (Option<Bytes>, Ret) {
+    match op {
+        Op::Get { .. } => (state.clone(), Ret::Value(state.clone())),
+        Op::Put { value, .. } => (Some(value.clone()), Ret::Done),
+        Op::Delete { .. } => (None, Ret::Done),
+        Op::Scan { .. } => unreachable!("scans are projected before per-key checking"),
+    }
+}
+
+/// Split a history into per-key projections. Scans are projected to one
+/// `Get`-shaped observation per key of the universe inside their range:
+/// present keys observe their value, absent keys observe `None`. The
+/// universe is every key named by a point operation plus every key any
+/// scan returned — a key no point op ever names and no scan ever returns
+/// is trivially linearizable and needs no partition.
+fn partition_by_key(history: &[Completed]) -> BTreeMap<Bytes, Vec<Completed>> {
+    let mut universe: BTreeSet<Bytes> = BTreeSet::new();
+    for c in history {
+        match &c.op {
+            Op::Get { key } | Op::Put { key, .. } | Op::Delete { key } => {
+                universe.insert(key.clone());
+            }
+            Op::Scan { .. } => {
+                if let Ret::Entries(entries) = &c.ret {
+                    for (k, _) in entries {
+                        universe.insert(k.clone());
+                    }
+                }
+            }
+        }
+    }
+    let mut parts: BTreeMap<Bytes, Vec<Completed>> = BTreeMap::new();
+    for c in history {
+        match &c.op {
+            Op::Get { key } | Op::Put { key, .. } | Op::Delete { key } => {
+                parts.entry(key.clone()).or_default().push(c.clone());
+            }
+            Op::Scan { start, end } => {
+                let Ret::Entries(entries) = &c.ret else {
+                    panic!("scan completed with a non-entries response: {}", c.ret);
+                };
+                let found: HashMap<&Bytes, &Bytes> = entries.iter().map(|(k, v)| (k, v)).collect();
+                for key in &universe {
+                    let in_range = key >= start && end.as_ref().is_none_or(|e| key < e);
+                    if !in_range {
+                        continue;
+                    }
+                    parts.entry(key.clone()).or_default().push(Completed {
+                        thread: c.thread,
+                        op: Op::Get { key: key.clone() },
+                        ret: Ret::Value(found.get(key).map(|v| (*v).clone())),
+                        invoked: c.invoked,
+                        returned: c.returned,
+                    });
+                }
+            }
+        }
+    }
+    parts
+}
+
+/// On a failed check, greedily drop operations whose removal keeps the
+/// history non-linearizable, until no single removal does.
+fn minimize(mut ops: Vec<Completed>, lin: impl Fn(&[Completed]) -> bool) -> Vec<Completed> {
+    loop {
+        let mut shrunk = false;
+        for i in 0..ops.len() {
+            let mut trial = ops.clone();
+            trial.remove(i);
+            if !lin(&trial) {
+                ops = trial;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return ops;
+        }
+    }
+}
+
+/// Wing & Gong search with Lowe's `(mask, state)` memoization. `true` iff
+/// a legal linearization of all ops exists.
+fn wgl<S, F>(ops: &[Completed], init: S, apply: &F) -> bool
+where
+    S: Clone + Eq + Hash,
+    F: Fn(&S, &Op) -> (S, Ret),
+{
+    let n = ops.len();
+    assert!(
+        n <= 64,
+        "linearizability window of {n} ops exceeds 64; check shorter windows \
+         (call `Recorded::check` more often)"
+    );
+    if n == 0 {
+        return true;
+    }
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut failed: HashSet<(u64, S)> = HashSet::new();
+    dfs(ops, apply, full, 0, init, &mut failed)
+}
+
+fn dfs<S, F>(
+    ops: &[Completed],
+    apply: &F,
+    full: u64,
+    mask: u64,
+    state: S,
+    failed: &mut HashSet<(u64, S)>,
+) -> bool
+where
+    S: Clone + Eq + Hash,
+    F: Fn(&S, &Op) -> (S, Ret),
+{
+    if mask == full {
+        return true;
+    }
+    if !failed.insert((mask, state.clone())) {
+        return false;
+    }
+    // An op may linearize next only if no *other pending* op already
+    // returned before it was invoked (real-time order). Tickets are unique,
+    // so `invoked > min(pending returned)` is exactly "preceded by a
+    // pending op".
+    let mut min_ret = u64::MAX;
+    for (i, c) in ops.iter().enumerate() {
+        if mask & (1 << i) == 0 {
+            min_ret = min_ret.min(c.returned);
+        }
+    }
+    for (i, c) in ops.iter().enumerate() {
+        if mask & (1 << i) != 0 || c.invoked > min_ret {
+            continue;
+        }
+        let (next, expect) = apply(&state, &c.op);
+        if expect == c.ret && dfs(ops, apply, full, mask | (1 << i), next, failed) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::from(s.to_owned())
+    }
+
+    fn put(thread: usize, key: &str, value: &str, iv: u64, rt: u64) -> Completed {
+        Completed {
+            thread,
+            op: Op::Put {
+                key: b(key),
+                value: b(value),
+            },
+            ret: Ret::Done,
+            invoked: iv,
+            returned: rt,
+        }
+    }
+
+    fn get(thread: usize, key: &str, saw: Option<&str>, iv: u64, rt: u64) -> Completed {
+        Completed {
+            thread,
+            op: Op::Get { key: b(key) },
+            ret: Ret::Value(saw.map(b)),
+            invoked: iv,
+            returned: rt,
+        }
+    }
+
+    fn scan(thread: usize, saw: &[(&str, &str)], iv: u64, rt: u64) -> Completed {
+        Completed {
+            thread,
+            op: Op::Scan {
+                start: b(""),
+                end: None,
+            },
+            ret: Ret::Entries(saw.iter().map(|(k, v)| (b(k), b(v))).collect()),
+            invoked: iv,
+            returned: rt,
+        }
+    }
+
+    #[test]
+    fn sequential_history_linearizes() {
+        let h = vec![put(0, "k", "1", 0, 1), get(0, "k", Some("1"), 2, 3)];
+        check_history(&h, ScanSemantics::PerKey).unwrap();
+        check_history(&h, ScanSemantics::Snapshot).unwrap();
+    }
+
+    #[test]
+    fn stale_read_after_acknowledged_write_is_rejected() {
+        // get strictly follows the put in real time yet misses its value.
+        let h = vec![put(0, "k", "1", 0, 1), get(1, "k", None, 2, 3)];
+        let v = check_history(&h, ScanSemantics::PerKey).unwrap_err();
+        assert_eq!(v.partition, Some(b("k")));
+        assert_eq!(v.history.len(), 2, "both ops are needed for the conflict");
+        check_history(&h, ScanSemantics::Snapshot).unwrap_err();
+    }
+
+    #[test]
+    fn overlapping_ops_linearize_in_either_order() {
+        // get overlaps the put, so observing the pre-state is legal.
+        let h = vec![put(0, "k", "1", 0, 2), get(1, "k", None, 1, 3)];
+        check_history(&h, ScanSemantics::PerKey).unwrap();
+    }
+
+    #[test]
+    fn snapshot_scan_must_be_atomic_but_per_key_projection_passes() {
+        // put(a) overlaps the scan's start, put(b) overlaps its middle; the
+        // scan returns b but not a. Per key each observation is fine (a
+        // read before put(a), b read after put(b)); under snapshot
+        // semantics no single instant contains b without a, because any
+        // order placing the scan after put(b) also places it after put(a).
+        let h = vec![
+            put(0, "a", "1", 1, 3),
+            put(0, "b", "1", 4, 5),
+            scan(1, &[("b", "1")], 2, 6),
+        ];
+        check_history(&h, ScanSemantics::PerKey).unwrap();
+        let v = check_history(&h, ScanSemantics::Snapshot).unwrap_err();
+        assert_eq!(v.partition, None);
+    }
+
+    #[test]
+    fn violation_is_minimized() {
+        // Unrelated traffic on other keys must not appear in the report.
+        let h = vec![
+            get(0, "x", None, 0, 1),
+            put(0, "k", "1", 4, 5),
+            get(1, "k", None, 6, 7),
+            put(2, "y", "3", 8, 9),
+        ];
+        let v = check_history(&h, ScanSemantics::Snapshot).unwrap_err();
+        assert_eq!(v.history.len(), 2);
+        let shown = format!("{v}");
+        assert!(shown.contains("put(\"k\", \"1\")"), "{shown}");
+        assert!(
+            !shown.contains("\"x\""),
+            "unrelated key leaked in:\n{shown}"
+        );
+    }
+
+    #[test]
+    fn deleted_key_reads_none() {
+        let h = vec![
+            put(0, "k", "1", 0, 1),
+            Completed {
+                thread: 0,
+                op: Op::Delete { key: b("k") },
+                ret: Ret::Done,
+                invoked: 2,
+                returned: 3,
+            },
+            get(1, "k", None, 4, 5),
+        ];
+        check_history(&h, ScanSemantics::PerKey).unwrap();
+        // Seeing the value after the delete returned is a violation.
+        let stale = vec![
+            put(0, "k", "1", 0, 1),
+            Completed {
+                thread: 0,
+                op: Op::Delete { key: b("k") },
+                ret: Ret::Done,
+                invoked: 2,
+                returned: 3,
+            },
+            get(1, "k", Some("1"), 4, 5),
+        ];
+        check_history(&stale, ScanSemantics::PerKey).unwrap_err();
+    }
+}

@@ -1,0 +1,198 @@
+//! Seeded linearizability scenarios under the deterministic scheduler.
+//!
+//! Each scenario runs the store under many virtual-thread schedules
+//! (`dcs_check::explore_with`); every schedule's history is checked with
+//! the WGL checker. A violation panics inside the execution, and the
+//! harness re-panics with the reproducing seed — `dcs_check::replay(seed,
+//! policy, ..)` re-runs the exact schedule.
+//!
+//! The final test plants a stale-read bug ([`StaleReadMap`]) and asserts
+//! the checker rejects it: the panic carries the minimized
+//! non-linearizable history plus the seed.
+
+use dcs_bwtree::{BwTree, BwTreeConfig};
+use dcs_check::{explore_with, Config};
+use dcs_flashsim::{DeviceConfig, FlashDevice};
+use dcs_lin::{Recorded, StaleReadMap};
+use dcs_lsm::{LsmConfig, LsmTree};
+use dcs_masstree::MassTree;
+use std::sync::Arc;
+
+fn seeds(n: u64) -> Config {
+    Config {
+        seeds: 0..n,
+        ..Config::default()
+    }
+}
+
+/// A tiny LSM so memtable rotation / flush happen mid-scenario.
+fn small_lsm() -> LsmTree {
+    let device = Arc::new(FlashDevice::new(DeviceConfig::small_test()));
+    LsmTree::new(
+        device,
+        LsmConfig {
+            memtable_bytes: 64,
+            l0_compaction_trigger: 2,
+            ..LsmConfig::default()
+        },
+    )
+}
+
+#[test]
+fn bwtree_concurrent_put_get() {
+    explore_with("lin-bwtree-put-get", seeds(30), || {
+        let rec = Arc::new(Recorded::new(BwTree::in_memory(BwTreeConfig::default())));
+        let r1 = rec.clone();
+        let w1 = dcs_check::thread::spawn(move || {
+            r1.put(1, b"alpha", b"1");
+            let _ = r1.get(1, b"beta");
+            r1.put(1, b"alpha", b"2");
+        });
+        let r2 = rec.clone();
+        let w2 = dcs_check::thread::spawn(move || {
+            r2.put(2, b"beta", b"1");
+            let _ = r2.get(2, b"alpha");
+        });
+        let _ = rec.get(0, b"alpha");
+        w1.join().unwrap();
+        w2.join().unwrap();
+        let _ = rec.get(0, b"alpha");
+        rec.check("bwtree put/get");
+    });
+}
+
+#[test]
+fn bwtree_delete_vs_scan() {
+    explore_with("lin-bwtree-delete-scan", seeds(30), || {
+        let rec = Arc::new(Recorded::new(BwTree::in_memory(BwTreeConfig::default())));
+        let r1 = rec.clone();
+        let w1 = dcs_check::thread::spawn(move || {
+            r1.put(1, b"k1", b"a");
+            r1.delete(1, b"k2");
+            r1.put(1, b"k3", b"c");
+        });
+        let r2 = rec.clone();
+        let w2 = dcs_check::thread::spawn(move || {
+            r2.put(2, b"k2", b"b");
+            let _ = r2.scan(2, b"k", Some(b"l"));
+        });
+        let _ = rec.scan(0, b"k", None);
+        w1.join().unwrap();
+        w2.join().unwrap();
+        rec.check("bwtree delete vs scan");
+    });
+}
+
+#[test]
+fn masstree_concurrent_insert_get() {
+    explore_with("lin-masstree-insert-get", seeds(30), || {
+        let rec = Arc::new(Recorded::new(MassTree::new()));
+        let r1 = rec.clone();
+        let w1 = dcs_check::thread::spawn(move || {
+            r1.put(1, b"key-one", b"1");
+            let _ = r1.get(1, b"key-two");
+            r1.put(1, b"key-two", b"3");
+        });
+        let r2 = rec.clone();
+        let w2 = dcs_check::thread::spawn(move || {
+            r2.put(2, b"key-two", b"2");
+            let _ = r2.get(2, b"key-one");
+        });
+        let _ = rec.get(0, b"key-two");
+        w1.join().unwrap();
+        w2.join().unwrap();
+        rec.check("masstree insert/get");
+    });
+}
+
+#[test]
+fn masstree_remove_vs_scan() {
+    explore_with("lin-masstree-remove-scan", seeds(30), || {
+        let rec = Arc::new(Recorded::new(MassTree::new()));
+        let r1 = rec.clone();
+        let w1 = dcs_check::thread::spawn(move || {
+            r1.put(1, b"m1", b"a");
+            r1.put(1, b"m2", b"b");
+            r1.delete(1, b"m1");
+        });
+        let r2 = rec.clone();
+        let w2 = dcs_check::thread::spawn(move || {
+            let _ = r2.scan(2, b"m", Some(b"n"));
+            let _ = r2.get(2, b"m1");
+        });
+        w1.join().unwrap();
+        w2.join().unwrap();
+        rec.check("masstree remove vs scan");
+    });
+}
+
+#[test]
+fn lsm_put_get_across_memtable_rotation() {
+    explore_with("lin-lsm-put-get", seeds(20), || {
+        let rec = Arc::new(Recorded::new(small_lsm()));
+        let r1 = rec.clone();
+        // Values sized so two puts overflow the 64-byte memtable: the
+        // rotation + flush happen while the other threads read.
+        let w1 = dcs_check::thread::spawn(move || {
+            r1.put(1, b"l1", &[b'x'; 40]);
+            r1.put(1, b"l2", &[b'y'; 40]);
+        });
+        let r2 = rec.clone();
+        let w2 = dcs_check::thread::spawn(move || {
+            let _ = r2.get(2, b"l1");
+            r2.delete(2, b"l1");
+            let _ = r2.get(2, b"l2");
+        });
+        let _ = rec.get(0, b"l1");
+        w1.join().unwrap();
+        w2.join().unwrap();
+        rec.check("lsm put/get across rotation");
+    });
+}
+
+#[test]
+fn lsm_snapshot_scan_vs_writer() {
+    explore_with("lin-lsm-scan-writer", seeds(20), || {
+        let rec = Arc::new(Recorded::new(small_lsm()));
+        let r1 = rec.clone();
+        let w1 = dcs_check::thread::spawn(move || {
+            r1.put(1, b"s1", &[b'a'; 40]);
+            r1.put(1, b"s2", &[b'b'; 40]);
+            r1.delete(1, b"s1");
+        });
+        let r2 = rec.clone();
+        let w2 = dcs_check::thread::spawn(move || {
+            let _ = r2.scan(2, b"s", Some(b"t"));
+            let _ = r2.scan(2, b"s", None);
+        });
+        w1.join().unwrap();
+        w2.join().unwrap();
+        rec.check("lsm snapshot scan vs writer");
+    });
+}
+
+/// The demo the whole crate exists for: a planted stale-read bug (a read
+/// cache never invalidated by writes) must be caught, and the panic must
+/// carry the minimized violating history and the reproducing seed.
+#[test]
+#[should_panic(expected = "non-linearizable")]
+fn planted_stale_read_bug_is_caught_with_seed() {
+    explore_with("lin-stale-read-demo", seeds(1), || {
+        let rec = Arc::new(Recorded::new(StaleReadMap::new(BwTree::in_memory(
+            BwTreeConfig::default(),
+        ))));
+        // Prime the cache with the old value...
+        rec.put(0, b"k", b"old");
+        let _ = rec.get(0, b"k");
+        // ...then let a writer update the key. The broken wrapper never
+        // invalidates, so the final read returns "old" after "new" was
+        // acknowledged — non-linearizable in every schedule.
+        let r1 = rec.clone();
+        let w = dcs_check::thread::spawn(move || {
+            r1.put(1, b"k", b"new");
+        });
+        w.join().unwrap();
+        let _ = rec.get(0, b"k");
+        rec.check("stale-read demo");
+    });
+}

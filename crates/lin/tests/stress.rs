@@ -1,0 +1,91 @@
+//! Real-thread linearizability stress: OS threads hammer each store in
+//! bounded windows, and every window's history is checked with WGL.
+//!
+//! Windows keep histories small enough for the checker (< 64 ops) and use
+//! a fresh key space per round (`w{round}-…` prefixes) so each window
+//! starts from logically empty state, matching the sequential model.
+//! Unlike `tests/deterministic.rs` these runs are not replayable — they
+//! exercise whatever interleavings the real scheduler produces, including
+//! ones the virtual scheduler's schedule-point granularity cannot reach.
+
+use dcs_bwtree::{BwTree, BwTreeConfig};
+use dcs_flashsim::{DeviceConfig, FlashDevice};
+use dcs_lin::{ConcurrentMap, Recorded};
+use dcs_lsm::{LsmConfig, LsmTree};
+use dcs_masstree::MassTree;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::sync::Arc;
+
+const THREADS: usize = 3;
+const OPS_PER_THREAD: usize = 10;
+const ROUNDS: usize = 12;
+
+/// One window: `THREADS` threads × `OPS_PER_THREAD` random ops over a
+/// 4-key pool private to this round, then a full history check.
+fn stress_round<M: ConcurrentMap>(rec: &Arc<Recorded<M>>, round: usize, scans: bool) {
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let rec = Arc::clone(rec);
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64((round * 31 + t) as u64);
+                for i in 0..OPS_PER_THREAD {
+                    let key = format!("w{round}-k{}", rng.gen_range(0..4u32));
+                    match rng.gen_range(0..10u32) {
+                        0..=4 => {
+                            let _ = rec.get(t, key.as_bytes());
+                        }
+                        5..=7 => {
+                            let value = format!("t{t}i{i}");
+                            rec.put(t, key.as_bytes(), value.as_bytes());
+                        }
+                        8 => rec.delete(t, key.as_bytes()),
+                        _ => {
+                            if scans {
+                                let start = format!("w{round}-");
+                                let end = format!("w{round}-z");
+                                let _ = rec.scan(t, start.as_bytes(), Some(end.as_bytes()));
+                            } else {
+                                let _ = rec.get(t, key.as_bytes());
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    rec.check(&format!("stress round {round}"));
+}
+
+#[test]
+fn bwtree_stress_windows_are_linearizable() {
+    let rec = Arc::new(Recorded::new(BwTree::in_memory(BwTreeConfig::default())));
+    for round in 0..ROUNDS {
+        stress_round(&rec, round, true);
+    }
+}
+
+#[test]
+fn masstree_stress_windows_are_linearizable() {
+    let rec = Arc::new(Recorded::new(MassTree::new()));
+    for round in 0..ROUNDS {
+        stress_round(&rec, round, true);
+    }
+}
+
+#[test]
+fn lsm_stress_windows_are_linearizable() {
+    let device = Arc::new(FlashDevice::new(DeviceConfig::small_test()));
+    // Small memtable so rotation, flush, and L0 compaction all happen
+    // while the stress threads run.
+    let rec = Arc::new(Recorded::new(LsmTree::new(
+        device,
+        LsmConfig {
+            memtable_bytes: 256,
+            l0_compaction_trigger: 2,
+            ..LsmConfig::default()
+        },
+    )));
+    for round in 0..ROUNDS {
+        stress_round(&rec, round, true);
+    }
+}

@@ -49,8 +49,9 @@ mod cache;
 mod codec;
 mod lss;
 mod recover;
+mod sync;
 
 pub use cache::{CacheManager, CacheManagerConfig, CacheStats, EvictionPolicy};
 pub use codec::{compress, decompress, Codec, CodecError};
-pub use lss::{LogStructuredStore, LssConfig, LssStats};
+pub use lss::{LogStructuredStore, LssAuditReport, LssConfig, LssStats};
 pub use recover::{recover, RecoveredState};

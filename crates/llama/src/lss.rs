@@ -1,10 +1,14 @@
 //! The log-structured store.
 
 use crate::codec::Codec;
+use crate::sync::{AtomicU64 as SyncAtomicU64, Mutex};
 use dcs_bwtree::{PageId, PageImage, PageStore, StoreError};
 use dcs_flashsim::{DeviceError, FlashAddress, FlashDevice, SegmentId};
-use parking_lot::Mutex;
 use std::collections::HashMap;
+// Stats stay on plain std atomics even in instrumented builds: monotonic
+// counters admit no interleaving worth exploring (same convention as
+// dcs-bwtree's stats). The `Ordering` type is shared — the check shims
+// re-export std's.
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -14,6 +18,48 @@ const FRAME_MAGIC: u32 = 0x4C4C_4D41;
 const FRAME_HEADER: usize = 4 + 8 + 8 + 8 + 4 + 8;
 /// `prev` encoding of "no previous part".
 const NO_PREV: u64 = u64::MAX;
+
+/// Shadow-heap tag for a part LSN. Tokens are logical, not pointers, so the
+/// instrumented build tracks their retire lifecycle through the same shadow
+/// heap the EBR hooks use, keyed by a synthetic "address" with bit 63 set —
+/// user-space heap addresses never have it, so token slots can't collide
+/// with real allocations tracked by `dcs-ebr`.
+#[cfg(feature = "check")]
+fn shadow_token(lsn: u64) -> *const u8 {
+    (((1u64 << 63) | lsn) as usize) as *const u8
+}
+
+/// Shadow event: a part was created (written into the buffer or recovered).
+fn token_alloc(lsn: u64) {
+    #[cfg(feature = "check")]
+    dcs_check::shadow::on_alloc(shadow_token(lsn));
+    #[cfg(not(feature = "check"))]
+    let _ = lsn;
+}
+
+/// Shadow event: a part was superseded (retired; readable until GC).
+fn token_retire(lsn: u64) {
+    #[cfg(feature = "check")]
+    dcs_check::shadow::on_retire(shadow_token(lsn));
+    #[cfg(not(feature = "check"))]
+    let _ = lsn;
+}
+
+/// Shadow event: GC dropped a dead part from the offset table.
+fn token_free(lsn: u64) {
+    #[cfg(feature = "check")]
+    dcs_check::shadow::on_free(shadow_token(lsn));
+    #[cfg(not(feature = "check"))]
+    let _ = lsn;
+}
+
+/// Shadow event: a part's payload was read through its token.
+fn token_access(lsn: u64) {
+    #[cfg(feature = "check")]
+    dcs_check::shadow::on_access(shadow_token(lsn));
+    #[cfg(not(feature = "check"))]
+    let _ = lsn;
+}
 
 fn fnv64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
@@ -129,6 +175,19 @@ pub struct LssStats {
     pub rollups: u64,
 }
 
+/// Summary returned by a successful [`LogStructuredStore::audit`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LssAuditReport {
+    /// Parts tracked in the offset table (live + superseded-but-retained).
+    pub parts: usize,
+    /// Parts not superseded by a newer write.
+    pub live_parts: usize,
+    /// Pages with at least one live part.
+    pub pages: usize,
+    /// Parts still in the write buffer (not yet flushed).
+    pub buffered_parts: usize,
+}
+
 #[derive(Default)]
 struct StatsInner {
     parts_written: AtomicU64,
@@ -147,7 +206,7 @@ pub struct LogStructuredStore {
     device: Arc<FlashDevice>,
     config: LssConfig,
     inner: Mutex<Inner>,
-    next_lsn: AtomicU64,
+    next_lsn: SyncAtomicU64,
     stats: StatsInner,
 }
 
@@ -169,7 +228,7 @@ impl LogStructuredStore {
                 segments: HashMap::new(),
                 synced_watermark: 0,
             }),
-            next_lsn: AtomicU64::new(0),
+            next_lsn: SyncAtomicU64::new(0),
             stats: StatsInner::default(),
         }
     }
@@ -223,6 +282,7 @@ impl LogStructuredStore {
         chain_len: u32,
     ) {
         let offset = Self::encode_frame(&mut inner.buffer, lsn, pid, prev, payload);
+        token_alloc(lsn);
         inner.buffered.push(lsn);
         inner.parts.insert(
             lsn,
@@ -315,6 +375,7 @@ impl LogStructuredStore {
                 if let Some(meta) = inner.parts.get_mut(&lsn) {
                     if meta.superseded_by.is_none() {
                         meta.superseded_by = Some(new_base_lsn);
+                        token_retire(lsn);
                         if let Location::Flash(addr) = meta.loc {
                             if let Some(seg) = inner.segments.get_mut(&addr.segment) {
                                 seg.live_bytes = seg
@@ -335,6 +396,7 @@ impl LogStructuredStore {
             .get(&lsn)
             .ok_or(StoreError::UnknownToken(lsn))?
             .clone();
+        token_access(lsn);
         let payload = match meta.loc {
             Location::Buffer(off) => {
                 self.stats.buffer_hits.fetch_add(1, Ordering::Relaxed);
@@ -417,9 +479,18 @@ impl LogStructuredStore {
             Self::install_relocated(&mut inner, addr, &blob, &placed);
         }
         // Drop durably-dead parts that lived in the victim segment.
-        inner.parts.retain(|_, m| {
-            !matches!(m.loc, Location::Flash(a) if a.segment == victim) || m.gc_live(watermark)
-        });
+        let dead: Vec<u64> = inner
+            .parts
+            .iter()
+            .filter(|(_, m)| {
+                matches!(m.loc, Location::Flash(a) if a.segment == victim) && !m.gc_live(watermark)
+            })
+            .map(|(&lsn, _)| lsn)
+            .collect();
+        for lsn in dead {
+            inner.parts.remove(&lsn);
+            token_free(lsn);
+        }
         inner.segments.remove(&victim);
         self.device.trim_segment(victim);
         self.stats
@@ -489,6 +560,223 @@ impl LogStructuredStore {
             .iter()
             .filter_map(|(&pid, lsns)| lsns.last().map(|&l| (pid, l)))
             .collect()
+    }
+
+    /// Structural audit of the offset tables: every part the store claims to
+    /// hold must be backed by a coherent frame at its recorded location, and
+    /// the page table / segment accounting must agree with the parts table.
+    /// Returns a summary on success and the first violation otherwise.
+    /// O(total live bytes) — a test/debug tool, not a production call.
+    ///
+    /// Checked invariants:
+    /// * `synced_watermark ≤ next_lsn`, and every part's LSN is below
+    ///   `next_lsn`;
+    /// * frame coherence: at each part's recorded buffer offset or flash
+    ///   address sits a frame whose magic, LSN, PID, prev pointer, length,
+    ///   and payload CRC match the part's metadata (a stale offset table
+    ///   here is how a page store silently serves the wrong page);
+    /// * the `buffered` list and the set of buffer-located parts agree;
+    /// * `per_pid` lists are strictly ascending, reference live
+    ///   (non-superseded) parts of the right page, and each listed part's
+    ///   `prev` chain resolves within the parts table with consistent
+    ///   `chain_len` accounting;
+    /// * segment accounting bounds: recounted live frame bytes ≤ recorded
+    ///   `live_bytes` ≤ `total_bytes` for every segment (GC relocation keeps
+    ///   superseded-but-GC-live parts, so recorded live bytes may exceed the
+    ///   strict recount but must never undercount it).
+    pub fn audit(&self) -> Result<LssAuditReport, String> {
+        let inner = self.inner.lock();
+        let next = self.next_lsn.load(Ordering::SeqCst);
+        if inner.synced_watermark > next {
+            return Err(format!(
+                "synced watermark {} beyond next LSN {next}",
+                inner.synced_watermark
+            ));
+        }
+        let mut report = LssAuditReport {
+            parts: inner.parts.len(),
+            ..LssAuditReport::default()
+        };
+        let mut seg_live_recount: HashMap<SegmentId, usize> = HashMap::new();
+        let mut buffer_located = 0usize;
+        for (&lsn, meta) in &inner.parts {
+            if lsn >= next {
+                return Err(format!("part {lsn} at or beyond next LSN {next}"));
+            }
+            // Frame coherence at the recorded location.
+            let (header, payload) = match meta.loc {
+                Location::Buffer(off) => {
+                    buffer_located += 1;
+                    let end = off + FRAME_HEADER + meta.len as usize;
+                    if end > inner.buffer.len() {
+                        return Err(format!("part {lsn}: buffer offset out of range"));
+                    }
+                    (
+                        inner.buffer[off..off + FRAME_HEADER].to_vec(),
+                        inner.buffer[off + FRAME_HEADER..end].to_vec(),
+                    )
+                }
+                Location::Flash(addr) => {
+                    if !inner.segments.contains_key(&addr.segment) {
+                        return Err(format!(
+                            "part {lsn}: lives in untracked segment {}",
+                            addr.segment
+                        ));
+                    }
+                    let header = self
+                        .device
+                        .read(addr, FRAME_HEADER)
+                        .map_err(|e| format!("part {lsn}: header read failed: {e}"))?;
+                    let payload = self
+                        .device
+                        .read(
+                            FlashAddress {
+                                segment: addr.segment,
+                                offset: addr.offset + FRAME_HEADER as u32,
+                            },
+                            meta.len as usize,
+                        )
+                        .map_err(|e| format!("part {lsn}: payload read failed: {e}"))?;
+                    if meta.superseded_by.is_none() {
+                        *seg_live_recount.entry(addr.segment).or_insert(0) +=
+                            FRAME_HEADER + meta.len as usize;
+                    }
+                    (header, payload)
+                }
+            };
+            let magic = u32::from_le_bytes(header[0..4].try_into().expect("4"));
+            let h_lsn = u64::from_le_bytes(header[4..12].try_into().expect("8"));
+            let h_pid = u64::from_le_bytes(header[12..20].try_into().expect("8"));
+            let h_prev = u64::from_le_bytes(header[20..28].try_into().expect("8"));
+            let h_len = u32::from_le_bytes(header[28..32].try_into().expect("4"));
+            let h_crc = u64::from_le_bytes(header[32..40].try_into().expect("8"));
+            if magic != FRAME_MAGIC {
+                return Err(format!("part {lsn}: bad frame magic at recorded location"));
+            }
+            if h_lsn != lsn
+                || h_pid != meta.pid
+                || h_prev != meta.prev.unwrap_or(NO_PREV)
+                || h_len != meta.len
+            {
+                return Err(format!(
+                    "part {lsn}: frame header disagrees with offset table \
+                     (lsn {h_lsn}, pid {h_pid}, prev {h_prev:#x}, len {h_len})"
+                ));
+            }
+            if fnv64(&payload) != h_crc {
+                return Err(format!("part {lsn}: payload CRC mismatch"));
+            }
+            if meta.superseded_by.is_none() {
+                report.live_parts += 1;
+            }
+        }
+        if buffer_located != inner.buffered.len() {
+            return Err(format!(
+                "{buffer_located} parts claim buffer locations but {} are listed as buffered",
+                inner.buffered.len()
+            ));
+        }
+        for &lsn in &inner.buffered {
+            match inner.parts.get(&lsn) {
+                Some(m) if matches!(m.loc, Location::Buffer(_)) => {}
+                Some(_) => return Err(format!("buffered part {lsn} has a flash location")),
+                None => return Err(format!("buffered part {lsn} missing from parts table")),
+            }
+        }
+        report.buffered_parts = inner.buffered.len();
+        // Page table coherence.
+        report.pages = inner.per_pid.len();
+        for (&pid, lsns) in &inner.per_pid {
+            if lsns.is_empty() {
+                return Err(format!("page {pid}: empty live-part list"));
+            }
+            for w in lsns.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("page {pid}: live parts not strictly ascending"));
+                }
+            }
+            for &lsn in lsns {
+                let Some(meta) = inner.parts.get(&lsn) else {
+                    return Err(format!("page {pid}: listed part {lsn} missing"));
+                };
+                if meta.pid != pid {
+                    return Err(format!(
+                        "page {pid}: listed part {lsn} belongs to page {}",
+                        meta.pid
+                    ));
+                }
+                if meta.superseded_by.is_some() {
+                    return Err(format!("page {pid}: listed part {lsn} is superseded"));
+                }
+                if let Some(prev) = meta.prev {
+                    let Some(prev_meta) = inner.parts.get(&prev) else {
+                        return Err(format!(
+                            "page {pid}: part {lsn} chains to missing part {prev}"
+                        ));
+                    };
+                    if prev_meta.pid != pid {
+                        return Err(format!(
+                            "page {pid}: part {lsn} chains into page {}",
+                            prev_meta.pid
+                        ));
+                    }
+                    if meta.chain_len != prev_meta.chain_len + 1 {
+                        return Err(format!(
+                            "page {pid}: part {lsn} chain length {} vs prev {}",
+                            meta.chain_len, prev_meta.chain_len
+                        ));
+                    }
+                }
+            }
+        }
+        // Segment accounting bounds.
+        for (&seg, info) in &inner.segments {
+            let recount = seg_live_recount.get(&seg).copied().unwrap_or(0);
+            if info.live_bytes > info.total_bytes {
+                return Err(format!(
+                    "segment {seg}: live bytes {} exceed total {}",
+                    info.live_bytes, info.total_bytes
+                ));
+            }
+            if recount > info.live_bytes {
+                return Err(format!(
+                    "segment {seg}: {recount} live frame bytes recounted, only {} recorded",
+                    info.live_bytes
+                ));
+            }
+        }
+        Ok(report)
+    }
+
+    /// Order-independent digest of the store's *logical* state: parts table
+    /// (without physical locations), page table, watermark, and next LSN.
+    /// Two stores recovered from the same device bytes must produce equal
+    /// fingerprints — recovery idempotence.
+    pub fn fingerprint(&self) -> u64 {
+        let inner = self.inner.lock();
+        let mut buf = Vec::new();
+        let mut lsns: Vec<u64> = inner.parts.keys().copied().collect();
+        lsns.sort_unstable();
+        for lsn in lsns {
+            let m = &inner.parts[&lsn];
+            buf.extend_from_slice(&lsn.to_le_bytes());
+            buf.extend_from_slice(&m.pid.to_le_bytes());
+            buf.extend_from_slice(&m.prev.unwrap_or(NO_PREV).to_le_bytes());
+            buf.extend_from_slice(&m.len.to_le_bytes());
+            buf.extend_from_slice(&m.superseded_by.unwrap_or(NO_PREV).to_le_bytes());
+            buf.extend_from_slice(&m.chain_len.to_le_bytes());
+        }
+        let mut pids: Vec<PageId> = inner.per_pid.keys().copied().collect();
+        pids.sort_unstable();
+        for pid in pids {
+            buf.extend_from_slice(&pid.to_le_bytes());
+            for lsn in &inner.per_pid[&pid] {
+                buf.extend_from_slice(&lsn.to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&inner.synced_watermark.to_le_bytes());
+        buf.extend_from_slice(&self.next_lsn.load(Ordering::SeqCst).to_le_bytes());
+        fnv64(&buf)
     }
 
     /// Rebuild a store's tables by scanning a device (crash recovery).
@@ -587,6 +875,7 @@ impl LogStructuredStore {
                     .and_then(|p| inner.parts.get(&p).map(|m| m.chain_len))
                     .unwrap_or(0)
                     + 1;
+                token_alloc(s.lsn);
                 inner.parts.insert(
                     s.lsn,
                     PartMeta {
@@ -713,6 +1002,7 @@ impl PageStore for LogStructuredStore {
         Self::supersede_pid(&mut inner, pid, lsn);
         if let Some(meta) = inner.parts.get_mut(&lsn) {
             meta.superseded_by = Some(lsn);
+            token_retire(lsn);
         }
         inner.per_pid.remove(&pid);
         Ok(())
@@ -942,5 +1232,78 @@ mod tests {
             stats.payload_bytes,
             (small.serialize().len() + big.serialize().len()) as u64
         );
+    }
+
+    #[test]
+    fn audit_passes_through_write_flush_gc_and_recovery() {
+        let device = Arc::new(FlashDevice::new(DeviceConfig {
+            segment_bytes: 4 << 10,
+            segment_count: 16,
+            ..DeviceConfig::small_test()
+        }));
+        let s = LogStructuredStore::new(
+            device.clone(),
+            LssConfig {
+                flush_buffer_bytes: 4 << 10,
+                gc_live_fraction: 0.9,
+                codec: Codec::None,
+                max_flush_chain: 4,
+            },
+        );
+        let t0 = s
+            .write(1, &base_img(&[("stable", "payload")]), None)
+            .unwrap();
+        for i in 0..200u64 {
+            let img = base_img(&[("churn", &format!("v{i}-{}", "y".repeat(64)))]);
+            s.write(2, &img, None).unwrap();
+        }
+        // While parts still sit in the write buffer.
+        let buffered = s.audit().unwrap();
+        assert!(buffered.buffered_parts > 0);
+        s.sync().unwrap();
+        let synced = s.audit().unwrap();
+        assert_eq!(synced.buffered_parts, 0);
+        assert_eq!(synced.pages, 2);
+        assert!(s.gc_all().unwrap() > 0);
+        let after_gc = s.audit().unwrap();
+        assert_eq!(after_gc.live_parts, 2);
+        assert_eq!(s.fetch(1, t0).unwrap(), base_img(&[("stable", "payload")]));
+        drop(s);
+        let s2 = LogStructuredStore::recover_from_device(
+            device,
+            LssConfig {
+                flush_buffer_bytes: 4 << 10,
+                gc_live_fraction: 0.9,
+                codec: Codec::None,
+                max_flush_chain: 4,
+            },
+        )
+        .unwrap();
+        let recovered = s2.audit().unwrap();
+        assert_eq!(recovered.pages, 2);
+    }
+
+    #[test]
+    fn recovery_is_idempotent_by_fingerprint() {
+        let device = Arc::new(FlashDevice::new(DeviceConfig::small_test()));
+        {
+            let s = LogStructuredStore::new(device.clone(), LssConfig::default());
+            let t0 = s.write(1, &base_img(&[("a", "1")]), None).unwrap();
+            s.write(
+                1,
+                &PageImage::delta(vec![DeltaOp::Put(b("b"), b("2"))], None, None),
+                Some(t0),
+            )
+            .unwrap();
+            s.write(7, &base_img(&[("x", "y")]), None).unwrap();
+            s.sync().unwrap();
+        }
+        let r1 =
+            LogStructuredStore::recover_from_device(device.clone(), LssConfig::default()).unwrap();
+        let r2 = LogStructuredStore::recover_from_device(device, LssConfig::default()).unwrap();
+        assert_eq!(r1.fingerprint(), r2.fingerprint());
+        assert_eq!(r1.newest_parts(), r2.newest_parts());
+        r1.audit().unwrap();
+        r2.audit().unwrap();
     }
 }

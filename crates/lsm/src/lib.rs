@@ -35,8 +35,9 @@ mod bloom;
 mod lsm;
 mod memtable;
 mod sstable;
+mod sync;
 
 pub use bloom::BloomFilter;
-pub use lsm::{LsmConfig, LsmError, LsmStats, LsmTree};
+pub use lsm::{LsmAuditReport, LsmConfig, LsmError, LsmStats, LsmTree};
 pub use memtable::Memtable;
 pub use sstable::SsTable;

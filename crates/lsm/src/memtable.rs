@@ -1,7 +1,7 @@
 //! The in-memory tree where all updates are first "accepted" (§6.1).
 
+use crate::sync::{AtomicUsize, Ordering, RwLock};
 use bytes::Bytes;
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 
 /// A record state in the memtable: a value or a tombstone.
@@ -19,7 +19,7 @@ pub(crate) enum MemValue {
 /// §6.3).
 pub struct Memtable {
     map: RwLock<BTreeMap<Bytes, MemValue>>,
-    bytes: std::sync::atomic::AtomicUsize,
+    bytes: AtomicUsize,
 }
 
 impl Memtable {
@@ -27,13 +27,12 @@ impl Memtable {
     pub fn new() -> Self {
         Memtable {
             map: RwLock::new(BTreeMap::new()),
-            bytes: std::sync::atomic::AtomicUsize::new(0),
+            bytes: AtomicUsize::new(0),
         }
     }
 
     /// Upsert a value.
     pub fn put(&self, key: Bytes, value: Bytes) {
-        use std::sync::atomic::Ordering;
         let (klen, vlen) = (key.len(), value.len());
         let mut map = self.map.write();
         match map.insert(key, MemValue::Put(value)) {
@@ -55,8 +54,7 @@ impl Memtable {
         let delta = key.len();
         let mut map = self.map.write();
         if map.insert(key, MemValue::Tombstone).is_none() {
-            self.bytes
-                .fetch_add(delta, std::sync::atomic::Ordering::Relaxed);
+            self.bytes.fetch_add(delta, Ordering::Relaxed);
         }
     }
 
@@ -72,7 +70,7 @@ impl Memtable {
 
     /// Approximate payload bytes.
     pub fn approx_bytes(&self) -> usize {
-        self.bytes.load(std::sync::atomic::Ordering::Relaxed)
+        self.bytes.load(Ordering::Relaxed)
     }
 
     /// Number of entries (including tombstones).

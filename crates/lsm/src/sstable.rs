@@ -119,6 +119,12 @@ impl SsTable {
     }
 
     /// Whether `key` falls within this run's key range.
+    /// Whether the bloom filter admits `key` (audit support: every key
+    /// actually stored must pass its own filter).
+    pub(crate) fn bloom_may_contain(&self, key: &[u8]) -> bool {
+        self.bloom.may_contain(key)
+    }
+
     pub(crate) fn covers(&self, key: &[u8]) -> bool {
         self.first_key.as_ref() <= key && key <= self.last_key.as_ref()
     }

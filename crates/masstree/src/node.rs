@@ -170,11 +170,17 @@ impl Drop for Layer {
 /// # Safety
 /// Caller must have exclusive access to the subtree.
 pub(crate) unsafe fn free_subtree(node: *mut Node) {
+    // SAFETY: the caller guarantees exclusive access, and every node
+    // pointer in a layer was created by `Box::into_raw` on allocation, so
+    // reclaiming it with `Box::from_raw` exactly once is sound.
     let boxed = unsafe { Box::from_raw(node) };
     if let Node::Interior(ref i) = *boxed {
         for c in &i.children {
             let p = c.load(Ordering::SeqCst);
             if !p.is_null() {
+                // SAFETY: children of an exclusively-owned interior node
+                // are themselves exclusively owned; each child pointer is
+                // distinct, so no double free.
                 unsafe { free_subtree(p) };
             }
         }

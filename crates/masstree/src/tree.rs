@@ -65,6 +65,8 @@ impl MassTree {
             stats: StatsInner::default(),
         };
         // Charge the initial empty root.
+        // SAFETY: `Layer::new_empty` just stored a valid, non-null root
+        // pointer, and no other thread can hold the tree yet.
         t.mem
             .add(unsafe { &*t.layer0.root.load(Ordering::SeqCst) }.approx_bytes());
         t
@@ -318,6 +320,8 @@ impl MassTree {
     fn build_layer_with_two(&self, s1: Bytes, v1: Bytes, s2: Bytes, v2: Bytes) -> Layer {
         debug_assert_ne!(s1, s2);
         let layer = Layer::new_empty();
+        // SAFETY: `Layer::new_empty` just stored a valid, non-null root, and
+        // the layer is unpublished — no other thread can reach it.
         self.mem
             .add(unsafe { &*layer.root.load(Ordering::SeqCst) }.approx_bytes());
         // Insert both records layer-locally. This recursion terminates: the
@@ -353,6 +357,8 @@ impl MassTree {
                         layer_ref = next.clone();
                         offset += 8;
                         // Continue the loop borrowing the Arc we keep alive.
+                        // SAFETY: `layer_ref` holds the Arc for the rest of
+                        // this iteration, so the pointee outlives the borrow.
                         cur = unsafe { &*(Arc::as_ptr(&layer_ref)) };
                         let _ = &layer_ref;
                         continue;
@@ -402,6 +408,8 @@ impl MassTree {
         // SAFETY: exclusive (unpublished layer).
         self.mem.sub(unsafe { &*old }.approx_bytes());
         layer.root.store(new.into_raw(), Ordering::SeqCst);
+        // SAFETY: the layer is unpublished, so `old` (its detached former
+        // root) is exclusively owned here and freed exactly once.
         unsafe { free_subtree(old) };
     }
 
@@ -464,8 +472,9 @@ impl MassTree {
             entries: right_entries,
         })
         .into_raw();
-        // SAFETY: fresh nodes.
+        // SAFETY: `left` was just allocated by `into_raw` and not yet published.
         self.mem.add(unsafe { &*left }.approx_bytes());
+        // SAFETY: `right` was just allocated by `into_raw` and not yet published.
         self.mem.add(unsafe { &*right }.approx_bytes());
 
         if self.insert_into_parents(
@@ -481,9 +490,12 @@ impl MassTree {
         ) {
             true
         } else {
-            // SAFETY: never published.
+            // SAFETY: `left` was never published, so we still own it exclusively.
             self.mem.sub(unsafe { &*left }.approx_bytes());
+            // SAFETY: `right` was never published, so we still own it exclusively.
             self.mem.sub(unsafe { &*right }.approx_bytes());
+            // SAFETY: both nodes came from `Box::into_raw` above and were
+            // never published; reclaiming each exactly once is sound.
             unsafe {
                 drop(Box::from_raw(left));
                 drop(Box::from_raw(right));
@@ -653,8 +665,9 @@ impl MassTree {
             let left_children = children[..m + 1].to_vec();
             let p_left = publish_interior(left_keys, left_children).into_raw();
             let p_right = publish_interior(right_keys, right_children).into_raw();
-            // SAFETY: fresh nodes.
+            // SAFETY: `p_left` was just allocated by `into_raw` and not yet published.
             self.mem.add(unsafe { &*p_left }.approx_bytes());
+            // SAFETY: `p_right` was just allocated by `into_raw` and not yet published.
             self.mem.add(unsafe { &*p_right }.approx_bytes());
             if self.insert_into_parents(
                 layer,
@@ -672,9 +685,12 @@ impl MassTree {
                 self.retire_node(old_child, guard);
                 true
             } else {
-                // SAFETY: never published.
+                // SAFETY: `p_left` was never published, so we still own it exclusively.
                 self.mem.sub(unsafe { &*p_left }.approx_bytes());
+                // SAFETY: `p_right` was never published, so we still own it exclusively.
                 self.mem.sub(unsafe { &*p_right }.approx_bytes());
+                // SAFETY: both nodes came from `Box::into_raw` above and were
+                // never published; reclaiming each exactly once is sound.
                 unsafe {
                     drop(Box::from_raw(p_left));
                     drop(Box::from_raw(p_right));
@@ -726,6 +742,8 @@ impl std::fmt::Debug for MassTree {
 // SAFETY: all interior mutability is via atomics and mutexes; raw node
 // pointers are managed by the EBR protocol.
 unsafe impl Send for MassTree {}
+// SAFETY: shared access goes through atomics, per-node locks, and EBR
+// guards; no `&self` method hands out unsynchronized mutable state.
 unsafe impl Sync for MassTree {}
 
 #[cfg(test)]

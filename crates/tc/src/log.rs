@@ -7,9 +7,25 @@
 //! updated-record cache.
 
 use bytes::Bytes;
-use dcs_flashsim::FlashDevice;
+use dcs_flashsim::{FlashAddress, FlashDevice};
 use parking_lot::Mutex;
 use std::sync::Arc;
+
+/// Frame magic: `b"TCLG"`.
+const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"TCLG");
+/// Frame header: magic (4) + batch sequence (8) + payload length (4) +
+/// payload checksum (8).
+const FRAME_HEADER: usize = 4 + 8 + 4 + 8;
+
+/// FNV-1a, the log's payload checksum (shared convention with the LSS).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// One redo record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +56,29 @@ impl LogRecord {
             None => out.push(0),
         }
     }
+
+    /// Parse one record from `buf[*pos..]`, advancing `pos`. `None` on any
+    /// truncation (recovery treats it as a torn payload).
+    fn deserialize_from(buf: &[u8], pos: &mut usize) -> Option<LogRecord> {
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = buf.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        let ts = u64::from_le_bytes(take(pos, 8)?.try_into().ok()?);
+        let klen = u32::from_le_bytes(take(pos, 4)?.try_into().ok()?) as usize;
+        let key = Bytes::copy_from_slice(take(pos, klen)?);
+        let tag = take(pos, 1)?[0];
+        let value = match tag {
+            0 => None,
+            1 => {
+                let vlen = u32::from_le_bytes(take(pos, 4)?.try_into().ok()?) as usize;
+                Some(Bytes::copy_from_slice(take(pos, vlen)?))
+            }
+            _ => return None,
+        };
+        Some(LogRecord { ts, key, value })
+    }
 }
 
 struct LogInner {
@@ -47,6 +86,11 @@ struct LogInner {
     records: Vec<LogRecord>,
     /// Records up to this index are durable.
     durable_upto: usize,
+    /// Records up to this index have been written to the device (possibly
+    /// without a barrier); always ≥ `durable_upto` on a device-backed log.
+    appended_upto: usize,
+    /// Sequence number of the next frame written to the device.
+    next_batch_seq: u64,
     bytes: usize,
 }
 
@@ -58,14 +102,20 @@ pub struct RecoveryLog {
 }
 
 impl RecoveryLog {
+    fn empty_inner() -> LogInner {
+        LogInner {
+            records: Vec::new(),
+            durable_upto: 0,
+            appended_upto: 0,
+            next_batch_seq: 0,
+            bytes: 0,
+        }
+    }
+
     /// A log kept only in memory (tests / volatile mode).
     pub fn in_memory() -> Self {
         RecoveryLog {
-            inner: Mutex::new(LogInner {
-                records: Vec::new(),
-                durable_upto: 0,
-                bytes: 0,
-            }),
+            inner: Mutex::new(Self::empty_inner()),
             device: None,
         }
     }
@@ -73,11 +123,7 @@ impl RecoveryLog {
     /// A log that flushes to `device`.
     pub fn on_device(device: Arc<FlashDevice>) -> Self {
         RecoveryLog {
-            inner: Mutex::new(LogInner {
-                records: Vec::new(),
-                durable_upto: 0,
-                bytes: 0,
-            }),
+            inner: Mutex::new(Self::empty_inner()),
             device: Some(device),
         }
     }
@@ -93,27 +139,124 @@ impl RecoveryLog {
         inner.records.len() as u64 - 1
     }
 
-    /// Flush undurable records to the device (one large append), retaining
-    /// them in memory. No-op for in-memory logs.
+    /// Write the not-yet-appended records to the device as framed batches
+    /// (each: magic, batch sequence, length, checksum, payload) and issue a
+    /// durability barrier. After `Ok`, everything appended — including by
+    /// earlier [`RecoveryLog::flush_nobarrier`] calls — is durable and will
+    /// be returned by [`RecoveryLog::recover_from_device`]. Records stay
+    /// resident in memory (§6.3: the log doubles as the updated-record
+    /// cache). No-op for in-memory logs.
     pub fn flush(&self) -> Result<(), dcs_flashsim::DeviceError> {
         let mut inner = self.inner.lock();
-        if inner.durable_upto == inner.records.len() {
-            return Ok(());
-        }
         if let Some(device) = &self.device {
-            let mut buf = Vec::new();
-            for r in &inner.records[inner.durable_upto..] {
-                r.serialize_into(&mut buf);
-            }
-            // Large appends may exceed a segment; chunk them.
-            let seg = device.config().segment_bytes;
-            for chunk in buf.chunks(seg) {
-                device.append(chunk)?;
-            }
+            Self::append_frames(device, &mut inner)?;
+            // The barrier makes every appended frame durable at once.
             device.sync();
         }
+        inner.appended_upto = inner.records.len();
         inner.durable_upto = inner.records.len();
         Ok(())
+    }
+
+    /// Write the not-yet-appended records to the device **without a
+    /// durability barrier**: the data is queued at the device but not
+    /// acknowledged, so a crash may persist any prefix of it (or none).
+    /// `undurable()` therefore does not shrink — only [`RecoveryLog::flush`]
+    /// acknowledges durability. Models a buffered write racing a power cut
+    /// in the crash-consistency tests.
+    pub fn flush_nobarrier(&self) -> Result<(), dcs_flashsim::DeviceError> {
+        let mut inner = self.inner.lock();
+        if let Some(device) = &self.device {
+            Self::append_frames(device, &mut inner)?;
+            inner.appended_upto = inner.records.len();
+        }
+        Ok(())
+    }
+
+    /// Frame and append `records[appended_upto..]`. Batches split at record
+    /// boundaries so every frame (header + payload) fits one device segment.
+    fn append_frames(
+        device: &FlashDevice,
+        inner: &mut LogInner,
+    ) -> Result<(), dcs_flashsim::DeviceError> {
+        let max_payload = device.config().segment_bytes - FRAME_HEADER;
+        let mut start = inner.appended_upto;
+        while start < inner.records.len() {
+            let mut payload = Vec::new();
+            let mut end = start;
+            while end < inner.records.len() {
+                let r = &inner.records[end];
+                assert!(
+                    r.serialized_len() <= max_payload,
+                    "log record larger than a device segment"
+                );
+                if payload.len() + r.serialized_len() > max_payload {
+                    break;
+                }
+                r.serialize_into(&mut payload);
+                end += 1;
+            }
+            let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+            frame.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+            frame.extend_from_slice(&inner.next_batch_seq.to_le_bytes());
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&fnv64(&payload).to_le_bytes());
+            frame.extend_from_slice(&payload);
+            device.append(&frame)?;
+            inner.next_batch_seq += 1;
+            start = end;
+        }
+        Ok(())
+    }
+
+    /// Scan a (dedicated) log device and return every durably framed record
+    /// in original append order. Each segment is read frame by frame,
+    /// stopping at the first torn, corrupt, or foreign frame — exactly what
+    /// a power cut mid-write leaves behind; batches are then ordered by
+    /// their sequence number (frames may land in any segment order) and
+    /// deduplicated, so records never acknowledged by a barrier either
+    /// appear as a consistent prefix of their batch stream or not at all.
+    pub fn recover_from_device(device: &FlashDevice) -> Vec<LogRecord> {
+        let mut batches: Vec<(u64, Vec<LogRecord>)> = Vec::new();
+        for segment in 0..device.config().segment_count as dcs_flashsim::SegmentId {
+            let mut offset = 0u32;
+            loop {
+                let addr = FlashAddress { segment, offset };
+                let Ok(header) = device.read(addr, FRAME_HEADER) else {
+                    break; // end of written extent (or unused segment)
+                };
+                let magic = u32::from_le_bytes(header[0..4].try_into().expect("4"));
+                if magic != FRAME_MAGIC {
+                    break; // foreign or zeroed bytes: stop trusting this segment
+                }
+                let seq = u64::from_le_bytes(header[4..12].try_into().expect("8"));
+                let len = u32::from_le_bytes(header[12..16].try_into().expect("4")) as usize;
+                let crc = u64::from_le_bytes(header[16..24].try_into().expect("8"));
+                let payload_addr = FlashAddress {
+                    segment,
+                    offset: offset + FRAME_HEADER as u32,
+                };
+                let Ok(payload) = device.read(payload_addr, len) else {
+                    break; // torn frame: header persisted, payload did not
+                };
+                if fnv64(&payload) != crc {
+                    break; // corrupt payload
+                }
+                let mut records = Vec::new();
+                let mut pos = 0usize;
+                while pos < payload.len() {
+                    match LogRecord::deserialize_from(&payload, &mut pos) {
+                        Some(r) => records.push(r),
+                        None => break,
+                    }
+                }
+                batches.push((seq, records));
+                offset += (FRAME_HEADER + len) as u32;
+            }
+        }
+        batches.sort_by_key(|(seq, _)| *seq);
+        batches.dedup_by_key(|(seq, _)| *seq);
+        batches.into_iter().flat_map(|(_, rs)| rs).collect()
     }
 
     /// Look up the newest logged value for `key` visible at `read_ts`.
@@ -166,20 +309,26 @@ impl RecoveryLog {
     pub fn trim_below(&self, horizon: u64) {
         let mut inner = self.inner.lock();
         let durable = inner.durable_upto;
+        let appended = inner.appended_upto;
         let mut kept = Vec::new();
         let mut kept_bytes = 0usize;
         let mut new_durable = 0usize;
+        let mut new_appended = 0usize;
         for (i, r) in inner.records.iter().enumerate() {
             if r.ts >= horizon || i >= durable {
                 kept_bytes += r.serialized_len();
                 if i < durable {
                     new_durable += 1;
                 }
+                if i < appended {
+                    new_appended += 1;
+                }
                 kept.push(r.clone());
             }
         }
         inner.records = kept;
         inner.durable_upto = new_durable;
+        inner.appended_upto = new_appended;
         inner.bytes = kept_bytes;
     }
 }
@@ -254,6 +403,72 @@ mod tests {
         assert_eq!(log.lookup(b"mid", 100), Some(Some(Bytes::from("y"))));
         assert_eq!(log.lookup(b"new", 100), Some(Some(Bytes::from("z"))));
         assert_eq!(log.undurable(), 1);
+    }
+
+    #[test]
+    fn recovery_returns_flushed_records_in_order() {
+        let device = Arc::new(FlashDevice::new(DeviceConfig::small_test()));
+        let log = RecoveryLog::on_device(device.clone());
+        log.append_group(&[rec(1, "a", Some("1")), rec(1, "b", Some("2"))]);
+        log.flush().unwrap();
+        log.append_group(&[rec(2, "a", None)]);
+        log.flush().unwrap();
+        let recovered = RecoveryLog::recover_from_device(&device);
+        assert_eq!(
+            recovered,
+            vec![
+                rec(1, "a", Some("1")),
+                rec(1, "b", Some("2")),
+                rec(2, "a", None)
+            ]
+        );
+    }
+
+    #[test]
+    fn recovery_ignores_unacknowledged_torn_tail() {
+        let device = Arc::new(FlashDevice::new(DeviceConfig::small_test()));
+        let log = RecoveryLog::on_device(device.clone());
+        log.append_group(&[rec(1, "acked", Some("v"))]);
+        log.flush().unwrap();
+        log.append_group(&[rec(2, "inflight", Some("w"))]);
+        log.flush_nobarrier().unwrap();
+        assert_eq!(log.undurable(), 1, "nobarrier must not acknowledge");
+        // Power cut persists only 5 bytes of the in-flight frame: not even
+        // a whole header survives.
+        device.crash_torn(5);
+        let recovered = RecoveryLog::recover_from_device(&device);
+        assert_eq!(recovered, vec![rec(1, "acked", Some("v"))]);
+    }
+
+    #[test]
+    fn recovery_drops_frame_with_torn_payload() {
+        let device = Arc::new(FlashDevice::new(DeviceConfig::small_test()));
+        let log = RecoveryLog::on_device(device.clone());
+        log.append_group(&[rec(1, "acked", Some("v"))]);
+        log.flush().unwrap();
+        log.append_group(&[rec(2, "inflight", Some("wwwwwwwwwwwwwwww"))]);
+        log.flush_nobarrier().unwrap();
+        // The header persists but the payload is cut short.
+        device.crash_torn(FRAME_HEADER + 3);
+        let recovered = RecoveryLog::recover_from_device(&device);
+        assert_eq!(recovered, vec![rec(1, "acked", Some("v"))]);
+    }
+
+    #[test]
+    fn large_flush_splits_frames_at_record_boundaries() {
+        let device = Arc::new(FlashDevice::new(DeviceConfig {
+            segment_bytes: 256,
+            ..DeviceConfig::small_test()
+        }));
+        let log = RecoveryLog::on_device(device.clone());
+        let big = "x".repeat(100);
+        let group: Vec<LogRecord> = (0..6)
+            .map(|i| rec(i, &format!("k{i}"), Some(&big)))
+            .collect();
+        log.append_group(&group);
+        log.flush().unwrap();
+        assert!(device.stats().writes > 1, "must have split into frames");
+        assert_eq!(RecoveryLog::recover_from_device(&device), group);
     }
 
     #[test]

@@ -250,7 +250,13 @@ impl TransactionalStore {
                 }
             }
         }
-        let commit_ts = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        // Choose the commit timestamp without publishing it yet: the clock
+        // only advances *after* the versions are installed below, so a
+        // transaction can never begin with `read_ts == commit_ts` while the
+        // old state is still visible (which would slip past first-committer-
+        // wins validation and lose this update). `commit_lock` serializes
+        // committers, so load-then-store cannot race another commit.
+        let commit_ts = self.clock.load(Ordering::SeqCst) + 1;
         // Redo-log the group.
         let records: Vec<LogRecord> = txn
             .writes
@@ -273,6 +279,8 @@ impl TransactionalStore {
             }
             self.stats.blind_posts.fetch_add(1, Ordering::Relaxed);
         }
+        // Publication point: new transactions may now observe `commit_ts`.
+        self.clock.store(commit_ts, Ordering::SeqCst);
         let committed = self.stats.committed.fetch_add(1, Ordering::Relaxed) + 1;
         if committed.is_multiple_of(self.config.group_commit_every) {
             self.log
