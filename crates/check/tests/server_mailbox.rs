@@ -1,0 +1,187 @@
+//! Deterministic interleaving scenarios for the serving layer's shard
+//! mailbox (`dcs-server` built with its `check` feature).
+//!
+//! The mailbox is the serving layer's acceptance point: once `send`
+//! returns `Ok`, that request has been *accepted* and the server promises
+//! to execute it — even if shutdown begins immediately after. These seeds
+//! explore concurrent producers racing the drain-on-shutdown consumer and
+//! a close() from a third thread, checking under every interleaving that
+//!
+//! * the set of drained items is exactly the set of acked sends — nothing
+//!   accepted is dropped by shutdown, nothing rejected sneaks in;
+//! * a full mailbox answers `Busy` immediately (producers always finish:
+//!   the send path cannot block or hang);
+//! * the mailbox's own accounting (accepted/drained/rejected counters)
+//!   agrees with what the threads observed.
+
+use dcs_check::{explore_with, Config};
+use dcs_server::mailbox::{Mailbox, SendError};
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+/// Outcome sets shared by the scenario threads. The scheduler serializes
+/// virtual threads, so a std mutex here never actually contends; the
+/// interleaving-sensitive state is all inside the instrumented mailbox.
+#[derive(Default)]
+struct Ledger {
+    acked: Mutex<BTreeSet<u64>>,
+    busy: Mutex<BTreeSet<u64>>,
+    closed: Mutex<BTreeSet<u64>>,
+    drained: Mutex<BTreeSet<u64>>,
+}
+
+/// Two producers race a draining consumer and a shutdown thread over a
+/// capacity-2 mailbox. Every accepted send must be drained; every send
+/// must resolve to exactly one of acked/busy/closed.
+#[test]
+fn concurrent_enqueue_vs_drain_on_shutdown() {
+    explore_with(
+        "server-mailbox-shutdown",
+        Config {
+            seeds: 0..60,
+            ..Config::default()
+        },
+        || {
+            let mb = Arc::new(Mailbox::new(2));
+            let ledger = Arc::new(Ledger::default());
+
+            let producers: Vec<_> = (0..2u64)
+                .map(|p| {
+                    let mb = mb.clone();
+                    let ledger = ledger.clone();
+                    dcs_check::thread::spawn(move || {
+                        for i in 0..3u64 {
+                            let id = p * 100 + i;
+                            match mb.send(id) {
+                                Ok(()) => {
+                                    ledger.acked.lock().unwrap().insert(id);
+                                }
+                                Err(SendError::Busy(v)) => {
+                                    ledger.busy.lock().unwrap().insert(v);
+                                }
+                                Err(SendError::Closed(v)) => {
+                                    ledger.closed.lock().unwrap().insert(v);
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+
+            let consumer = {
+                let mb = mb.clone();
+                let ledger = ledger.clone();
+                dcs_check::thread::spawn(move || {
+                    let mut batch = Vec::new();
+                    while mb.recv_batch(2, &mut batch) {
+                        let mut drained = ledger.drained.lock().unwrap();
+                        for id in batch.drain(..) {
+                            assert!(drained.insert(id), "item {id} drained twice");
+                        }
+                    }
+                })
+            };
+
+            let closer = {
+                let mb = mb.clone();
+                dcs_check::thread::spawn(move || mb.close())
+            };
+
+            for p in producers {
+                p.join().unwrap();
+            }
+            closer.join().unwrap();
+            // Producers are done and the mailbox is closed, so the consumer
+            // terminates once it has drained the remainder.
+            consumer.join().unwrap();
+
+            let acked = ledger.acked.lock().unwrap();
+            let busy = ledger.busy.lock().unwrap();
+            let closed = ledger.closed.lock().unwrap();
+            let drained = ledger.drained.lock().unwrap();
+
+            // Acceptance contract: drained == acked, exactly.
+            assert_eq!(
+                *drained, *acked,
+                "acked-but-dropped or drained-but-unacked items"
+            );
+            // Every send resolved exactly one way.
+            assert_eq!(acked.len() + busy.len() + closed.len(), 6);
+            assert!(acked.is_disjoint(&busy) && acked.is_disjoint(&closed));
+
+            // The mailbox's own books agree with the observers'.
+            let stats = mb.stats();
+            assert_eq!(stats.accepted, acked.len() as u64);
+            assert_eq!(stats.drained, drained.len() as u64);
+            assert_eq!(stats.rejected_busy, busy.len() as u64);
+            assert_eq!(stats.rejected_closed, closed.len() as u64);
+            assert_eq!(stats.accepted, stats.drained, "no accepted item lost");
+            assert!(stats.depth_high_water <= 2, "capacity breached");
+        },
+    );
+}
+
+/// A capacity-1 mailbox under producer pressure with no consumer running
+/// until the producers finish: sends past the high-water mark must return
+/// `Busy` immediately — the producer threads always run to completion, and
+/// afterwards a late drain still delivers exactly the accepted items.
+#[test]
+fn full_mailbox_returns_busy_without_blocking() {
+    explore_with(
+        "server-mailbox-busy",
+        Config {
+            seeds: 0..40,
+            ..Config::default()
+        },
+        || {
+            let mb = Arc::new(Mailbox::new(1));
+            let ledger = Arc::new(Ledger::default());
+
+            let producers: Vec<_> = (0..3u64)
+                .map(|p| {
+                    let mb = mb.clone();
+                    let ledger = ledger.clone();
+                    dcs_check::thread::spawn(move || {
+                        for i in 0..2u64 {
+                            let id = p * 10 + i;
+                            match mb.send(id) {
+                                Ok(()) => {
+                                    ledger.acked.lock().unwrap().insert(id);
+                                }
+                                Err(SendError::Busy(v)) => {
+                                    ledger.busy.lock().unwrap().insert(v);
+                                }
+                                Err(SendError::Closed(_)) => {
+                                    unreachable!("nothing closes this mailbox early")
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            // If a full mailbox parked its senders instead of answering
+            // BUSY, these joins would deadlock the scenario (and the
+            // scheduler would flag it); completion *is* the property.
+            for p in producers {
+                p.join().unwrap();
+            }
+
+            // With capacity 1 and no consumer, at least one send each from
+            // the later producers must have been refused.
+            let acked = ledger.acked.lock().unwrap().clone();
+            let busy = ledger.busy.lock().unwrap().clone();
+            assert_eq!(acked.len() + busy.len(), 6);
+            assert!(!busy.is_empty(), "six sends into capacity 1 must shed");
+            assert!(!acked.is_empty(), "the first send always fits");
+
+            mb.close();
+            let mut batch = Vec::new();
+            let mut drained = BTreeSet::new();
+            while mb.recv_batch(4, &mut batch) {
+                drained.extend(batch.drain(..));
+            }
+            assert_eq!(drained, acked, "late drain delivers exactly the acked set");
+            assert!(mb.stats().depth_high_water <= 1);
+        },
+    );
+}

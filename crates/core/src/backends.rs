@@ -3,12 +3,84 @@
 //! wrapped in newtypes (`KvStore` and the stores live in different
 //! crates).
 
-use crate::store::CachingStore;
+use crate::store::{CachingStore, StoreBuilder};
 use bytes::Bytes;
-use dcs_bwtree::BwTree;
-use dcs_lsm::LsmTree;
+use dcs_bwtree::{BwTree, BwTreeConfig};
+use dcs_lsm::{LsmConfig, LsmTree};
 use dcs_masstree::MassTree;
 use dcs_workload::{KvStore, StoreFailure};
+use std::sync::Arc;
+
+/// The serveable store families, by name. This is the single place that
+/// knows how to construct a workload-ready instance of each store, so the
+/// serving layer, benches, and tests all build backends the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The paper's cost-governed caching store (`dcs-core`).
+    Caching,
+    /// The latch-free Bw-tree comparator.
+    BwTree,
+    /// The Masstree comparator.
+    MassTree,
+    /// The LSM comparator over the flash simulator.
+    Lsm,
+}
+
+impl BackendKind {
+    /// All kinds, for enumeration in benches and CI matrices.
+    pub const ALL: [BackendKind; 4] = [
+        BackendKind::Caching,
+        BackendKind::BwTree,
+        BackendKind::MassTree,
+        BackendKind::Lsm,
+    ];
+
+    /// Parse a CLI name (`caching`, `bwtree`, `masstree`, `lsm`).
+    pub fn parse(name: &str) -> Option<BackendKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "caching" => Some(BackendKind::Caching),
+            "bwtree" => Some(BackendKind::BwTree),
+            "masstree" => Some(BackendKind::MassTree),
+            "lsm" => Some(BackendKind::Lsm),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Caching => "caching",
+            BackendKind::BwTree => "bwtree",
+            BackendKind::MassTree => "masstree",
+            BackendKind::Lsm => "lsm",
+        }
+    }
+
+    /// Build one workload-ready store instance (test-scale configuration).
+    pub fn build(&self) -> Arc<dyn KvStore + Send + Sync> {
+        match self {
+            BackendKind::Caching => Arc::new(StoreBuilder::small_test().build()),
+            BackendKind::BwTree => Arc::new(BwTreeBackend(BwTree::in_memory(
+                BwTreeConfig::small_pages(),
+            ))),
+            BackendKind::MassTree => Arc::new(MassTreeBackend(MassTree::new())),
+            BackendKind::Lsm => Arc::new(LsmBackend(LsmTree::new(
+                Arc::new(dcs_flashsim::FlashDevice::new(dcs_flashsim::DeviceConfig {
+                    segment_count: 1024,
+                    ..dcs_flashsim::DeviceConfig::small_test()
+                })),
+                LsmConfig::default(),
+            ))),
+        }
+    }
+
+    /// Build `n` independent instances — one per shard of a shared-nothing
+    /// serving layer (each owns a disjoint key range, so they never share
+    /// state).
+    pub fn build_shards(&self, n: usize) -> Vec<Arc<dyn KvStore + Send + Sync>> {
+        (0..n).map(|_| self.build()).collect()
+    }
+}
 
 /// Workload adapter for a [`BwTree`].
 pub struct BwTreeBackend(pub BwTree);
@@ -37,13 +109,15 @@ impl KvStore for CachingStore {
     }
 
     fn kv_scan(&self, start: &[u8], limit: usize) -> Result<usize, StoreFailure> {
-        Ok(self
-            .tree()
+        // Count without materializing: scans only report how many records
+        // they produced, so collecting the key/value pairs first was pure
+        // allocation overhead.
+        self.tree()
             .range(start, None)
             .take(limit)
-            .map(|r| r.map_err(|e| StoreFailure(e.to_string())))
-            .collect::<Result<Vec<_>, _>>()?
-            .len())
+            .try_fold(0, |n, r| {
+                r.map(|_| n + 1).map_err(|e| StoreFailure(e.to_string()))
+            })
     }
 
     fn kv_blind_update(&self, key: Vec<u8>, value: Vec<u8>) -> Result<(), StoreFailure> {
@@ -71,13 +145,9 @@ impl KvStore for BwTreeBackend {
     }
 
     fn kv_scan(&self, start: &[u8], limit: usize) -> Result<usize, StoreFailure> {
-        Ok(self
-            .0
-            .range(start, None)
-            .take(limit)
-            .map(|r| r.map_err(|e| StoreFailure(e.to_string())))
-            .collect::<Result<Vec<_>, _>>()?
-            .len())
+        self.0.range(start, None).take(limit).try_fold(0, |n, r| {
+            r.map(|_| n + 1).map_err(|e| StoreFailure(e.to_string()))
+        })
     }
 
     fn kv_blind_update(&self, key: Vec<u8>, value: Vec<u8>) -> Result<(), StoreFailure> {

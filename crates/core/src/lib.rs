@@ -47,7 +47,7 @@
 mod backends;
 mod store;
 
-pub use backends::{BwTreeBackend, LsmBackend, MassTreeBackend};
+pub use backends::{BackendKind, BwTreeBackend, LsmBackend, MassTreeBackend};
 pub use store::{CachingStore, Policy, StoreBuilder, StoreStats};
 
 // Re-export the component crates so downstream users need one dependency.

@@ -1,0 +1,275 @@
+//! Per-shard serving metrics: op counts, batch sizes, queue depth, and
+//! latency histograms with percentile extraction.
+//!
+//! Latencies land in power-of-two nanosecond buckets (64 of them cover
+//! 1 ns ..= ~18 s), so recording is one atomic increment and percentile
+//! queries interpolate within the winning bucket — bounded error (< 2× at
+//! the bucket edge, far less with interpolation), zero allocation, safe to
+//! share across threads.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+const BUCKETS: usize = 64;
+
+/// A concurrent, fixed-footprint latency histogram over nanoseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    total: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Percentile summary extracted from a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean latency in nanoseconds.
+    pub mean_nanos: f64,
+    /// Median.
+    pub p50_nanos: f64,
+    /// 95th percentile.
+    pub p95_nanos: f64,
+    /// 99th percentile.
+    pub p99_nanos: f64,
+    /// Largest single sample.
+    pub max_nanos: u64,
+}
+
+impl LatencyHistogram {
+    /// A fresh histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, nanos: u64) {
+        let bucket = (64 - nanos.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds at quantile `q` in [0,1], linearly interpolated inside
+    /// the winning power-of-two bucket. 0 with no samples.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.total.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            let c = c.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lo = if i == 0 { 1u64 } else { 1u64 << i };
+                let hi = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                let frac = (rank - seen) as f64 / c as f64;
+                // Interpolating toward the bucket's upper edge can pass the
+                // largest sample actually seen; never report beyond it.
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return est.min(self.max_nanos.load(Ordering::Relaxed) as f64);
+            }
+            seen += c;
+        }
+        self.max_nanos.load(Ordering::Relaxed) as f64
+    }
+
+    /// Extract the percentile summary.
+    pub fn summary(&self) -> LatencySummary {
+        let count = self.total.load(Ordering::Relaxed);
+        LatencySummary {
+            count,
+            mean_nanos: if count == 0 {
+                0.0
+            } else {
+                self.sum_nanos.load(Ordering::Relaxed) as f64 / count as f64
+            },
+            p50_nanos: self.quantile(0.50),
+            p95_nanos: self.quantile(0.95),
+            p99_nanos: self.quantile(0.99),
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Live counters for one shard. All fields are updated by the shard worker
+/// and its feeding connections; `snapshot` is safe any time.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Reads (GET) served.
+    pub gets: AtomicU64,
+    /// Upserts (PUT) applied.
+    pub puts: AtomicU64,
+    /// Deletes applied.
+    pub deletes: AtomicU64,
+    /// Scans served.
+    pub scans: AtomicU64,
+    /// Read-modify-writes applied.
+    pub rmws: AtomicU64,
+    /// Requests refused with BUSY at this shard's mailbox.
+    pub busy_rejections: AtomicU64,
+    /// Batches drained from the mailbox.
+    pub batches: AtomicU64,
+    /// Operations across all drained batches.
+    pub batched_ops: AtomicU64,
+    /// Largest single batch.
+    pub max_batch: AtomicUsize,
+    /// Group commits issued (one WAL flush each).
+    pub group_commits: AtomicU64,
+    /// Write records carried by those group commits.
+    pub group_committed_records: AtomicU64,
+    /// Read-class latency (GET/SCAN), mailbox-entry to reply.
+    pub read_latency: LatencyHistogram,
+    /// Write-class latency (PUT/DELETE/RMW), mailbox-entry to reply — this
+    /// includes the group-commit flush wait.
+    pub write_latency: LatencyHistogram,
+}
+
+/// Point-in-time copy of a shard's counters, with latency summaries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardSnapshot {
+    /// GETs served.
+    pub gets: u64,
+    /// PUTs applied.
+    pub puts: u64,
+    /// Deletes applied.
+    pub deletes: u64,
+    /// Scans served.
+    pub scans: u64,
+    /// RMWs applied.
+    pub rmws: u64,
+    /// BUSY rejections at the mailbox.
+    pub busy_rejections: u64,
+    /// Batches drained.
+    pub batches: u64,
+    /// Ops across drained batches.
+    pub batched_ops: u64,
+    /// Largest batch.
+    pub max_batch: usize,
+    /// Mailbox depth high-water mark.
+    pub depth_high_water: usize,
+    /// Group commits (WAL flushes).
+    pub group_commits: u64,
+    /// Records across group commits.
+    pub group_committed_records: u64,
+    /// Read-class latency summary.
+    pub read_latency: LatencySummary,
+    /// Write-class latency summary.
+    pub write_latency: LatencySummary,
+}
+
+impl ShardMetrics {
+    /// Mean ops per drained batch.
+    pub fn mean_batch(&self) -> f64 {
+        let b = self.batches.load(Ordering::Relaxed);
+        if b == 0 {
+            0.0
+        } else {
+            self.batched_ops.load(Ordering::Relaxed) as f64 / b as f64
+        }
+    }
+
+    /// Copy the counters out (depth high-water supplied by the mailbox).
+    pub fn snapshot(&self, depth_high_water: usize) -> ShardSnapshot {
+        ShardSnapshot {
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            rmws: self.rmws.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_ops: self.batched_ops.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            depth_high_water,
+            group_commits: self.group_commits.load(Ordering::Relaxed),
+            group_committed_records: self.group_committed_records.load(Ordering::Relaxed),
+            read_latency: self.read_latency.summary(),
+            write_latency: self.write_latency.summary(),
+        }
+    }
+}
+
+impl ShardSnapshot {
+    /// All operations executed by this shard.
+    pub fn total_ops(&self) -> u64 {
+        self.gets + self.puts + self.deletes + self.scans + self.rmws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_order_and_bound() {
+        let h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 1000); // 1 µs .. 1 ms
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert!(s.p50_nanos <= s.p95_nanos && s.p95_nanos <= s.p99_nanos);
+        assert!(s.p99_nanos <= s.max_nanos as f64);
+        assert_eq!(s.max_nanos, 1_000_000);
+        // p50 of a uniform 1µs..1ms spread lands around 500µs; power-of-two
+        // buckets bound the error to the bucket width.
+        assert!(
+            (260_000.0..=1_000_000.0).contains(&s.p50_nanos),
+            "p50 {}",
+            s.p50_nanos
+        );
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn extreme_samples_do_not_panic() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) > 0.0);
+    }
+
+    #[test]
+    fn shard_snapshot_totals() {
+        let m = ShardMetrics::default();
+        m.gets.store(5, Ordering::Relaxed);
+        m.puts.store(3, Ordering::Relaxed);
+        m.rmws.store(2, Ordering::Relaxed);
+        let s = m.snapshot(7);
+        assert_eq!(s.total_ops(), 10);
+        assert_eq!(s.depth_high_water, 7);
+    }
+}

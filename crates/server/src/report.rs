@@ -1,0 +1,213 @@
+//! `BENCH_server.json`: the load generator's machine-readable report.
+//!
+//! The workspace's serde shim is marker-traits only, so the JSON is emitted
+//! by hand — the format below is what CI parses (nonzero throughput gate)
+//! and what `EXPERIMENTS.md` cites for the wire-level vs. in-process
+//! comparison.
+
+use crate::metrics::{LatencySummary, ShardSnapshot};
+
+/// Per-operation-kind latency/throughput line.
+#[derive(Debug, Clone)]
+pub struct OpReport {
+    /// Operation kind name (`get`, `put`, `rmw`, `scan`, ...).
+    pub kind: String,
+    /// Completed operations of this kind.
+    pub count: u64,
+    /// BUSY rejections observed for this kind.
+    pub busy: u64,
+    /// Errors observed for this kind.
+    pub errors: u64,
+    /// End-to-end latency summary (client-side; open loop measures from
+    /// the scheduled arrival, so coordinated omission is included).
+    pub latency: LatencySummary,
+}
+
+/// The full report written to `BENCH_server.json`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Backend name (`caching`, `bwtree`, `masstree`, `lsm`).
+    pub backend: String,
+    /// `open` or `closed`.
+    pub mode: String,
+    /// Shards serving.
+    pub shards: usize,
+    /// Client connections.
+    pub connections: usize,
+    /// Records loaded before the measured run.
+    pub records: u64,
+    /// Value payload bytes.
+    pub value_len: usize,
+    /// Open-loop target rate (ops/s; 0 for closed loop).
+    pub target_rate: f64,
+    /// Operations issued during the measured run.
+    pub ops_issued: u64,
+    /// Operations answered (any response, including BUSY/error).
+    pub ops_completed: u64,
+    /// Wall-clock seconds of the measured run.
+    pub duration_secs: f64,
+    /// Completed (non-BUSY, non-error) ops per second.
+    pub throughput_ops_per_sec: f64,
+    /// Per-kind breakdown.
+    pub ops: Vec<OpReport>,
+    /// Per-shard server-side counters at shutdown.
+    pub shard_snapshots: Vec<ShardSnapshot>,
+    /// Writes acknowledged by the server during the run.
+    pub acked_writes: u64,
+    /// Distinct acked keys re-read from the backends after drain shutdown.
+    pub verified_keys: u64,
+    /// Acked keys missing after shutdown — must be zero.
+    pub missing_keys: u64,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".into()
+    }
+}
+
+fn latency_json(l: &LatencySummary) -> String {
+    format!(
+        "{{\"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+        l.count,
+        num(l.mean_nanos / 1000.0),
+        num(l.p50_nanos / 1000.0),
+        num(l.p95_nanos / 1000.0),
+        num(l.p99_nanos / 1000.0),
+        num(l.max_nanos as f64 / 1000.0),
+    )
+}
+
+impl BenchReport {
+    /// Serialize to a JSON document.
+    pub fn to_json(&self) -> String {
+        let ops: Vec<String> = self
+            .ops
+            .iter()
+            .map(|o| {
+                format!(
+                    "    {{\"kind\": \"{}\", \"count\": {}, \"busy\": {}, \"errors\": {}, \"latency\": {}}}",
+                    esc(&o.kind),
+                    o.count,
+                    o.busy,
+                    o.errors,
+                    latency_json(&o.latency)
+                )
+            })
+            .collect();
+        let shards: Vec<String> = self
+            .shard_snapshots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                format!(
+                    "    {{\"shard\": {}, \"ops\": {}, \"busy_rejections\": {}, \"batches\": {}, \"mean_batch\": {}, \"max_batch\": {}, \"queue_depth_high_water\": {}, \"group_commits\": {}, \"group_committed_records\": {}, \"read_latency\": {}, \"write_latency\": {}}}",
+                    i,
+                    s.total_ops(),
+                    s.busy_rejections,
+                    s.batches,
+                    num(if s.batches == 0 { 0.0 } else { s.batched_ops as f64 / s.batches as f64 }),
+                    s.max_batch,
+                    s.depth_high_water,
+                    s.group_commits,
+                    s.group_committed_records,
+                    latency_json(&s.read_latency),
+                    latency_json(&s.write_latency),
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"server\",\n  \"backend\": \"{}\",\n  \"mode\": \"{}\",\n  \"shards\": {},\n  \"connections\": {},\n  \"records\": {},\n  \"value_len\": {},\n  \"target_rate\": {},\n  \"ops_issued\": {},\n  \"ops_completed\": {},\n  \"duration_secs\": {},\n  \"throughput_ops_per_sec\": {},\n  \"ops\": [\n{}\n  ],\n  \"shards_detail\": [\n{}\n  ],\n  \"verification\": {{\"acked_writes\": {}, \"verified_keys\": {}, \"missing_keys\": {}}}\n}}\n",
+            esc(&self.backend),
+            esc(&self.mode),
+            self.shards,
+            self.connections,
+            self.records,
+            self.value_len,
+            num(self.target_rate),
+            self.ops_issued,
+            self.ops_completed,
+            num(self.duration_secs),
+            num(self.throughput_ops_per_sec),
+            ops.join(",\n"),
+            shards.join(",\n"),
+            self.acked_writes,
+            self.verified_keys,
+            self.missing_keys,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_wellformed_enough() {
+        let report = BenchReport {
+            backend: "caching".into(),
+            mode: "open".into(),
+            shards: 4,
+            connections: 2,
+            records: 1000,
+            value_len: 100,
+            target_rate: 50_000.0,
+            ops_issued: 10,
+            ops_completed: 10,
+            duration_secs: 1.5,
+            throughput_ops_per_sec: 6.667,
+            ops: vec![OpReport {
+                kind: "get".into(),
+                count: 10,
+                busy: 1,
+                errors: 0,
+                latency: LatencySummary::default(),
+            }],
+            shard_snapshots: vec![ShardSnapshot::default()],
+            acked_writes: 5,
+            verified_keys: 5,
+            missing_keys: 0,
+        };
+        let json = report.to_json();
+        // Balanced braces/brackets and the fields CI greps for.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"throughput_ops_per_sec\": 6.667"));
+        assert!(json.contains("\"missing_keys\": 0"));
+        assert!(json.contains("\"kind\": \"get\""));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_numbers_sanitized() {
+        assert_eq!(num(f64::NAN), "0.0");
+        assert_eq!(num(f64::INFINITY), "0.0");
+    }
+}

@@ -1,0 +1,564 @@
+//! Shard-per-thread request execution with write batching and group
+//! commit.
+//!
+//! The key space is **range-partitioned** by a [`Partitioner`]: shard `i`
+//! owns `[split[i-1], split[i])` and serves it from its own backend store
+//! instance (shared-nothing — no cross-shard locks on the data path).
+//! A connection reader routes each request to the owning shard's bounded
+//! [`Mailbox`]; the shard worker drains the mailbox in batches and:
+//!
+//! 1. executes reads immediately (replying as it goes),
+//! 2. applies writes to the backend but **defers their replies**,
+//! 3. appends all of the batch's redo records to the shard's TC WAL with
+//!    one [`RecoveryLog::commit_batch`] — a single durability barrier —
+//! 4. then releases the deferred write acks.
+//!
+//! So a write is acknowledged only once it is durable, yet `batch_max`
+//! writes share one barrier: group commit. Scans that exhaust the owning
+//! shard's range continue read-only into higher shards' stores (weakly
+//! consistent across the boundary, exactly like a scan racing concurrent
+//! writers on a single store).
+
+use crate::mailbox::{Mailbox, SendError};
+use crate::metrics::ShardMetrics;
+use crate::protocol::{Request, Response};
+use bytes::Bytes;
+use dcs_tc::{LogRecord, RecoveryLog};
+use dcs_workload::KvStore;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Where a shard posts a finished request's response.
+///
+/// Implemented by the server's per-connection state; tests substitute a
+/// collecting sink. Implementations must never block: the shard worker
+/// calls this on its only thread.
+pub trait ReplySink: Send + Sync {
+    /// Deliver the response for request `id`.
+    fn deliver(&self, id: u64, resp: Response);
+}
+
+/// One routed request waiting in a shard mailbox.
+pub struct Mail {
+    /// Client request id (echoed in the response frame).
+    pub id: u64,
+    /// The decoded operation.
+    pub req: Request,
+    /// Where the response goes.
+    pub reply: Arc<dyn ReplySink>,
+    /// When the request entered the mailbox (latency measurement origin).
+    pub enqueued: Instant,
+}
+
+/// Lexicographic range partitioning of the key space.
+///
+/// `splits` are the shard boundaries: shard 0 owns keys below `splits[0]`,
+/// shard `i` owns `[splits[i-1], splits[i])`, the last shard owns the tail.
+#[derive(Debug, Clone)]
+pub struct Partitioner {
+    splits: Vec<Vec<u8>>,
+}
+
+impl Partitioner {
+    /// A single shard owning everything.
+    pub fn single() -> Self {
+        Partitioner { splits: Vec::new() }
+    }
+
+    /// Partition at explicit, strictly ascending split keys
+    /// (`splits.len() + 1` shards).
+    pub fn from_splits(splits: Vec<Vec<u8>>) -> Self {
+        assert!(
+            splits.windows(2).all(|w| w[0] < w[1]),
+            "split keys must be strictly ascending"
+        );
+        Partitioner { splits }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.splits.len() + 1
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        self.splits.partition_point(|s| s.as_slice() <= key)
+    }
+
+    /// The smallest key shard `i` owns (empty key for shard 0).
+    pub fn lower_bound(&self, i: usize) -> &[u8] {
+        if i == 0 {
+            b""
+        } else {
+            &self.splits[i - 1]
+        }
+    }
+}
+
+/// Per-shard tunables.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Mailbox capacity: the backpressure high-water mark.
+    pub mailbox_capacity: usize,
+    /// Most operations drained (and group-committed) per batch.
+    pub batch_max: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            mailbox_capacity: 1024,
+            batch_max: 64,
+        }
+    }
+}
+
+/// One shard: a key range, its backend store, its mailbox, its WAL.
+pub struct Shard {
+    /// Shard index within the server.
+    pub index: usize,
+    mailbox: Mailbox<Mail>,
+    metrics: ShardMetrics,
+    backend: Arc<dyn KvStore + Send + Sync>,
+    /// All shards' backends, for read-only scan continuation.
+    all_backends: Arc<Vec<Arc<dyn KvStore + Send + Sync>>>,
+    partitioner: Arc<Partitioner>,
+    wal: Arc<RecoveryLog>,
+    /// Per-shard redo timestamp (monotone within the shard's WAL).
+    wal_ts: AtomicU64,
+    batch_max: usize,
+}
+
+impl Shard {
+    /// Assemble a shard. `backends[index]` is this shard's own store.
+    pub fn new(
+        index: usize,
+        config: &ShardConfig,
+        backends: Arc<Vec<Arc<dyn KvStore + Send + Sync>>>,
+        partitioner: Arc<Partitioner>,
+        wal: Arc<RecoveryLog>,
+    ) -> Self {
+        Shard {
+            index,
+            mailbox: Mailbox::new(config.mailbox_capacity),
+            metrics: ShardMetrics::default(),
+            backend: backends[index].clone(),
+            all_backends: backends,
+            partitioner,
+            wal,
+            wal_ts: AtomicU64::new(1),
+            batch_max: config.batch_max.max(1),
+        }
+    }
+
+    /// The shard's mailbox (senders route requests here).
+    pub fn mailbox(&self) -> &Mailbox<Mail> {
+        &self.mailbox
+    }
+
+    /// The shard's live metrics.
+    pub fn metrics(&self) -> &ShardMetrics {
+        &self.metrics
+    }
+
+    /// The shard's WAL.
+    pub fn wal(&self) -> &Arc<RecoveryLog> {
+        &self.wal
+    }
+
+    /// Route `mail` into the mailbox, answering BUSY / shutdown errors
+    /// directly on rejection.
+    pub fn offer(&self, mail: Mail) {
+        match self.mailbox.send(mail) {
+            Ok(()) => {}
+            Err(SendError::Busy(mail)) => {
+                self.metrics.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                mail.reply.deliver(mail.id, Response::Busy);
+            }
+            Err(SendError::Closed(mail)) => {
+                mail.reply
+                    .deliver(mail.id, Response::Err("server shutting down".into()));
+            }
+        }
+    }
+
+    /// The worker loop: drain batches until the mailbox is closed *and*
+    /// empty, then issue a final WAL barrier. Run on a dedicated thread.
+    pub fn run(&self) {
+        let mut batch: Vec<Mail> = Vec::with_capacity(self.batch_max);
+        while self.mailbox.recv_batch(self.batch_max, &mut batch) {
+            self.process_batch(&mut batch);
+        }
+        // Drained after close: one last barrier so every acknowledged write
+        // is durable before the server reports shutdown complete.
+        let _ = self.wal.commit_batch(&[]);
+    }
+
+    fn process_batch(&self, batch: &mut Vec<Mail>) {
+        self.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .batched_ops
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.metrics
+            .max_batch
+            .fetch_max(batch.len(), Ordering::Relaxed);
+        let mut wal_records: Vec<LogRecord> = Vec::new();
+        let mut deferred: Vec<(Mail, Response)> = Vec::new();
+        for mail in batch.drain(..) {
+            match &mail.req {
+                Request::Get { key } => {
+                    self.metrics.gets.fetch_add(1, Ordering::Relaxed);
+                    let resp = match self.backend.kv_get(key) {
+                        Ok(v) => Response::Value(v),
+                        Err(e) => Response::Err(e.to_string()),
+                    };
+                    self.reply_read(mail, resp);
+                }
+                Request::Scan { start, limit } => {
+                    self.metrics.scans.fetch_add(1, Ordering::Relaxed);
+                    let resp = match self.scan_from(start, *limit as usize) {
+                        Ok(n) => Response::Count(n as u64),
+                        Err(e) => Response::Err(e),
+                    };
+                    self.reply_read(mail, resp);
+                }
+                Request::Put { key, value } => {
+                    self.metrics.puts.fetch_add(1, Ordering::Relaxed);
+                    let resp = match self.backend.kv_put(key.clone(), value.clone()) {
+                        Ok(()) => {
+                            wal_records.push(self.redo(key, Some(value)));
+                            Response::Ok
+                        }
+                        Err(e) => Response::Err(e.to_string()),
+                    };
+                    deferred.push((mail, resp));
+                }
+                Request::Delete { key } => {
+                    self.metrics.deletes.fetch_add(1, Ordering::Relaxed);
+                    let resp = match self.backend.kv_delete(key.clone()) {
+                        Ok(()) => {
+                            wal_records.push(self.redo(key, None));
+                            Response::Ok
+                        }
+                        Err(e) => Response::Err(e.to_string()),
+                    };
+                    deferred.push((mail, resp));
+                }
+                Request::Rmw { key, value } => {
+                    self.metrics.rmws.fetch_add(1, Ordering::Relaxed);
+                    // Atomic at the shard: the worker is the only writer of
+                    // this key range, so read-append-write cannot race.
+                    let resp = match self.backend.kv_get(key) {
+                        Ok(cur) => {
+                            let mut new = cur.unwrap_or_default();
+                            new.extend_from_slice(value);
+                            match self.backend.kv_put(key.clone(), new.clone()) {
+                                Ok(()) => {
+                                    wal_records.push(self.redo(key, Some(&new)));
+                                    Response::Ok
+                                }
+                                Err(e) => Response::Err(e.to_string()),
+                            }
+                        }
+                        Err(e) => Response::Err(e.to_string()),
+                    };
+                    deferred.push((mail, resp));
+                }
+            }
+        }
+        // Group commit: one barrier covers every write in the batch. Only
+        // then are the write acks released — an acked write is durable.
+        if !wal_records.is_empty() {
+            self.metrics.group_commits.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .group_committed_records
+                .fetch_add(wal_records.len() as u64, Ordering::Relaxed);
+            if let Err(e) = self.wal.commit_batch(&wal_records) {
+                let msg = format!("group commit failed: {e}");
+                for (mail, _) in deferred.drain(..) {
+                    let id = mail.id;
+                    mail.reply.deliver(id, Response::Err(msg.clone()));
+                }
+            }
+        }
+        for (mail, resp) in deferred {
+            self.metrics
+                .write_latency
+                .record(mail.enqueued.elapsed().as_nanos() as u64);
+            mail.reply.deliver(mail.id, resp);
+        }
+    }
+
+    fn reply_read(&self, mail: Mail, resp: Response) {
+        self.metrics
+            .read_latency
+            .record(mail.enqueued.elapsed().as_nanos() as u64);
+        mail.reply.deliver(mail.id, resp);
+    }
+
+    fn redo(&self, key: &[u8], value: Option<&[u8]>) -> LogRecord {
+        LogRecord {
+            ts: self.wal_ts.fetch_add(1, Ordering::Relaxed),
+            key: Bytes::copy_from_slice(key),
+            value: value.map(Bytes::copy_from_slice),
+        }
+    }
+
+    /// Count up to `limit` records from `start`, continuing read-only into
+    /// higher shards when this shard's range runs out.
+    fn scan_from(&self, start: &[u8], limit: usize) -> Result<usize, String> {
+        let mut remaining = limit;
+        let mut count = 0usize;
+        let first = self.partitioner.shard_of(start).max(self.index);
+        for s in first..self.all_backends.len() {
+            if remaining == 0 {
+                break;
+            }
+            let from: &[u8] = if s == first {
+                start
+            } else {
+                self.partitioner.lower_bound(s)
+            };
+            let n = self.all_backends[s]
+                .kv_scan(from, remaining)
+                .map_err(|e| e.to_string())?;
+            count += n;
+            remaining = remaining.saturating_sub(n);
+        }
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_workload::StoreFailure;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct MapStore(Mutex<BTreeMap<Vec<u8>, Vec<u8>>>);
+
+    impl KvStore for MapStore {
+        fn kv_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreFailure> {
+            Ok(self.0.lock().unwrap().get(key).cloned())
+        }
+        fn kv_put(&self, key: Vec<u8>, value: Vec<u8>) -> Result<(), StoreFailure> {
+            self.0.lock().unwrap().insert(key, value);
+            Ok(())
+        }
+        fn kv_delete(&self, key: Vec<u8>) -> Result<(), StoreFailure> {
+            self.0.lock().unwrap().remove(&key);
+            Ok(())
+        }
+        fn kv_scan(&self, start: &[u8], limit: usize) -> Result<usize, StoreFailure> {
+            Ok(self
+                .0
+                .lock()
+                .unwrap()
+                .range(start.to_vec()..)
+                .take(limit)
+                .count())
+        }
+    }
+
+    #[derive(Default)]
+    struct CollectSink(Mutex<Vec<(u64, Response)>>);
+
+    impl ReplySink for CollectSink {
+        fn deliver(&self, id: u64, resp: Response) {
+            self.0.lock().unwrap().push((id, resp));
+        }
+    }
+
+    type SharedBackends = Arc<Vec<Arc<dyn KvStore + Send + Sync>>>;
+
+    fn two_shards() -> (Arc<Shard>, Arc<Shard>, SharedBackends) {
+        let backends: SharedBackends = Arc::new(vec![
+            Arc::new(MapStore::default()),
+            Arc::new(MapStore::default()),
+        ]);
+        let part = Arc::new(Partitioner::from_splits(vec![b"m".to_vec()]));
+        let cfg = ShardConfig::default();
+        let s0 = Arc::new(Shard::new(
+            0,
+            &cfg,
+            backends.clone(),
+            part.clone(),
+            Arc::new(RecoveryLog::in_memory()),
+        ));
+        let s1 = Arc::new(Shard::new(
+            1,
+            &cfg,
+            backends.clone(),
+            part,
+            Arc::new(RecoveryLog::in_memory()),
+        ));
+        (s0, s1, backends)
+    }
+
+    fn mail(id: u64, req: Request, sink: &Arc<CollectSink>) -> Mail {
+        Mail {
+            id,
+            req,
+            reply: sink.clone() as Arc<dyn ReplySink>,
+            enqueued: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn partitioner_routes_ranges() {
+        let p = Partitioner::from_splits(vec![b"g".to_vec(), b"p".to_vec()]);
+        assert_eq!(p.shards(), 3);
+        assert_eq!(p.shard_of(b""), 0);
+        assert_eq!(p.shard_of(b"f"), 0);
+        assert_eq!(p.shard_of(b"g"), 1, "split key belongs to the right");
+        assert_eq!(p.shard_of(b"o"), 1);
+        assert_eq!(p.shard_of(b"p"), 2);
+        assert_eq!(p.shard_of(b"zzz"), 2);
+        assert_eq!(p.lower_bound(0), b"");
+        assert_eq!(p.lower_bound(2), b"p");
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_splits_panic() {
+        let _ = Partitioner::from_splits(vec![b"z".to_vec(), b"a".to_vec()]);
+    }
+
+    #[test]
+    fn batch_executes_and_group_commits() {
+        let (s0, _s1, backends) = two_shards();
+        let sink = Arc::new(CollectSink::default());
+        s0.offer(mail(
+            1,
+            Request::Put {
+                key: b"a".to_vec(),
+                value: b"1".to_vec(),
+            },
+            &sink,
+        ));
+        s0.offer(mail(
+            2,
+            Request::Put {
+                key: b"b".to_vec(),
+                value: b"2".to_vec(),
+            },
+            &sink,
+        ));
+        s0.offer(mail(3, Request::Get { key: b"a".to_vec() }, &sink));
+        s0.mailbox().close();
+        s0.run();
+        let replies = sink.0.lock().unwrap();
+        // Reads reply inline, writes after the group commit; all three
+        // answered.
+        assert_eq!(replies.len(), 3);
+        assert!(replies
+            .iter()
+            .any(|(id, r)| *id == 3 && *r == Response::Value(Some(b"1".to_vec()))));
+        assert!(replies.iter().filter(|(_, r)| *r == Response::Ok).count() == 2);
+        // One batch, one group commit carrying both writes, both in the WAL.
+        assert_eq!(s0.metrics().group_commits.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            s0.metrics().group_committed_records.load(Ordering::Relaxed),
+            2
+        );
+        assert_eq!(s0.wal().len(), 2);
+        assert_eq!(backends[0].kv_get(b"a").unwrap(), Some(b"1".to_vec()));
+    }
+
+    #[test]
+    fn rmw_appends_atomically() {
+        let (s0, _s1, backends) = two_shards();
+        let sink = Arc::new(CollectSink::default());
+        s0.offer(mail(
+            1,
+            Request::Put {
+                key: b"k".to_vec(),
+                value: b"ab".to_vec(),
+            },
+            &sink,
+        ));
+        s0.offer(mail(
+            2,
+            Request::Rmw {
+                key: b"k".to_vec(),
+                value: b"cd".to_vec(),
+            },
+            &sink,
+        ));
+        s0.mailbox().close();
+        s0.run();
+        assert_eq!(backends[0].kv_get(b"k").unwrap(), Some(b"abcd".to_vec()));
+        // The RMW's WAL record carries the merged value (redo-complete).
+        let records = s0.wal().records_from(0);
+        assert_eq!(records.last().unwrap().value.as_deref(), Some(&b"abcd"[..]));
+    }
+
+    #[test]
+    fn scan_continues_across_shards() {
+        let (s0, s1, backends) = two_shards();
+        // 3 keys below the "m" split, 3 above.
+        for k in [b"a", b"b", b"c"] {
+            backends[0].kv_put(k.to_vec(), b"v".to_vec()).unwrap();
+        }
+        for k in [b"p", b"q", b"r"] {
+            backends[1].kv_put(k.to_vec(), b"v".to_vec()).unwrap();
+        }
+        let sink = Arc::new(CollectSink::default());
+        s0.offer(mail(
+            9,
+            Request::Scan {
+                start: b"b".to_vec(),
+                limit: 4,
+            },
+            &sink,
+        ));
+        s0.mailbox().close();
+        s0.run();
+        // b, c from shard 0, then p, q from shard 1.
+        assert_eq!(sink.0.lock().unwrap()[0], (9, Response::Count(4)));
+        // A scan routed to the tail shard stays there.
+        let sink2 = Arc::new(CollectSink::default());
+        s1.offer(mail(
+            10,
+            Request::Scan {
+                start: b"q".to_vec(),
+                limit: 10,
+            },
+            &sink2,
+        ));
+        s1.mailbox().close();
+        s1.run();
+        assert_eq!(sink2.0.lock().unwrap()[0], (10, Response::Count(2)));
+    }
+
+    #[test]
+    fn busy_and_closed_answered_not_dropped() {
+        let backends: Arc<Vec<Arc<dyn KvStore + Send + Sync>>> =
+            Arc::new(vec![Arc::new(MapStore::default())]);
+        let cfg = ShardConfig {
+            mailbox_capacity: 1,
+            batch_max: 8,
+        };
+        let shard = Shard::new(
+            0,
+            &cfg,
+            backends,
+            Arc::new(Partitioner::single()),
+            Arc::new(RecoveryLog::in_memory()),
+        );
+        let sink = Arc::new(CollectSink::default());
+        shard.offer(mail(1, Request::Get { key: b"k".to_vec() }, &sink));
+        shard.offer(mail(2, Request::Get { key: b"k".to_vec() }, &sink));
+        assert_eq!(sink.0.lock().unwrap().as_slice(), &[(2, Response::Busy)]);
+        assert_eq!(shard.metrics().busy_rejections.load(Ordering::Relaxed), 1);
+        shard.mailbox().close();
+        shard.offer(mail(3, Request::Get { key: b"k".to_vec() }, &sink));
+        assert!(matches!(sink.0.lock().unwrap()[1], (3, Response::Err(_))));
+        shard.run();
+        // The accepted request was still served after close.
+        assert_eq!(sink.0.lock().unwrap().len(), 3);
+    }
+}

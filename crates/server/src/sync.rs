@@ -1,0 +1,28 @@
+//! Synchronization facade: `std::sync` in normal builds, the `dcs-check`
+//! instrumented shims when the `check` feature is on.
+//!
+//! Only the **mailbox** routes through this facade — it is the one piece of
+//! the serving layer whose interleavings (concurrent enqueue vs. drain vs.
+//! close) are worth exploring deterministically. The TCP plumbing uses real
+//! OS threads and blocking I/O and is exercised by integration tests, not
+//! the scheduler.
+//!
+//! Both `Mutex` flavours are std-shaped (`lock() -> LockResult<..>`), so
+//! call sites compile unchanged. Blocking differs: the normal build parks
+//! on a `Condvar`, while the check build — where parking the only runnable
+//! OS thread would deadlock the scheduler — spins cooperatively through
+//! [`yield_thread`], each iteration a schedule point.
+
+#[cfg(feature = "check")]
+pub use dcs_check::sync::Mutex;
+
+#[cfg(not(feature = "check"))]
+pub use std::sync::Mutex;
+
+/// Cooperative yield for the checker build's wait loops: a schedule point
+/// inside an execution. The normal build parks on condvars instead and
+/// never spins, so this only exists under the feature.
+#[cfg(feature = "check")]
+pub fn yield_thread() {
+    dcs_check::thread::yield_now();
+}

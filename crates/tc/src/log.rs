@@ -158,6 +158,38 @@ impl RecoveryLog {
         Ok(())
     }
 
+    /// Group commit: append a whole batch of redo records (many requests'
+    /// writes gathered by a caller such as a server shard) and make the log
+    /// durable with **one** device barrier. Returns the log sequence number
+    /// of the last record, or `None` for an empty batch (which still
+    /// flushes any earlier un-flushed appends — a drain-time barrier).
+    ///
+    /// This is the serving layer's WAL entry point: acknowledging the batch
+    /// only after `commit_batch` returns gives every acked write the same
+    /// durability as [`RecoveryLog::flush`] at 1/batch-size the barriers.
+    pub fn commit_batch(
+        &self,
+        records: &[LogRecord],
+    ) -> Result<Option<u64>, dcs_flashsim::DeviceError> {
+        let mut inner = self.inner.lock();
+        let lsn = if records.is_empty() {
+            None
+        } else {
+            for r in records {
+                inner.bytes += r.serialized_len();
+                inner.records.push(r.clone());
+            }
+            Some(inner.records.len() as u64 - 1)
+        };
+        if let Some(device) = &self.device {
+            Self::append_frames(device, &mut inner)?;
+            device.sync();
+        }
+        inner.appended_upto = inner.records.len();
+        inner.durable_upto = inner.records.len();
+        Ok(lsn)
+    }
+
     /// Write the not-yet-appended records to the device **without a
     /// durability barrier**: the data is queued at the device but not
     /// acknowledged, so a crash may persist any prefix of it (or none).
@@ -376,6 +408,26 @@ mod tests {
         // Idempotent flush.
         log.flush().unwrap();
         assert_eq!(device.stats().writes, 1);
+    }
+
+    #[test]
+    fn commit_batch_is_one_barrier_and_durable() {
+        let device = Arc::new(FlashDevice::new(DeviceConfig::small_test()));
+        let log = RecoveryLog::on_device(device.clone());
+        let batch: Vec<LogRecord> = (0..10)
+            .map(|i| rec(i, &format!("k{i}"), Some("v")))
+            .collect();
+        let syncs_before = device.stats().syncs;
+        let lsn = log.commit_batch(&batch).unwrap();
+        assert_eq!(lsn, Some(9));
+        assert_eq!(device.stats().syncs, syncs_before + 1, "one barrier");
+        assert_eq!(log.undurable(), 0);
+        assert_eq!(RecoveryLog::recover_from_device(&device), batch);
+        // Empty batch: still a barrier for earlier un-flushed appends.
+        log.append_group(&[rec(99, "tail", Some("t"))]);
+        assert_eq!(log.commit_batch(&[]).unwrap(), None);
+        assert_eq!(log.undurable(), 0);
+        assert_eq!(RecoveryLog::recover_from_device(&device).len(), 11);
     }
 
     #[test]

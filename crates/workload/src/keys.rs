@@ -43,6 +43,17 @@ pub fn value_for(id: u64, version: u32, len: usize) -> Vec<u8> {
     v
 }
 
+/// Evenly-spaced split keys partitioning `record_count` encoded ids into
+/// `shards` contiguous ranges (`shards - 1` splits, for a serving layer's
+/// range partitioner). Inserts beyond `record_count` land in the last
+/// shard, matching YCSB's append-at-the-top insert pattern.
+pub fn range_splits(record_count: u64, shards: usize) -> Vec<Vec<u8>> {
+    assert!(shards > 0, "need at least one shard");
+    (1..shards as u64)
+        .map(|i| encode(record_count * i / shards as u64).to_vec())
+        .collect()
+}
+
 /// Extract `(id, version)` from a payload made by [`value_for`].
 pub fn parse_value(v: &[u8]) -> Option<(u64, u32)> {
     if v.len() < 12 {
@@ -97,5 +108,21 @@ mod tests {
     #[test]
     fn values_differ_by_version() {
         assert_ne!(value_for(1, 0, 50), value_for(1, 1, 50));
+    }
+
+    #[test]
+    fn range_splits_partition_evenly() {
+        let splits = range_splits(1000, 4);
+        assert_eq!(splits.len(), 3);
+        assert_eq!(
+            splits,
+            vec![
+                encode(250).to_vec(),
+                encode(500).to_vec(),
+                encode(750).to_vec()
+            ]
+        );
+        assert!(splits.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(range_splits(1000, 1), Vec::<Vec<u8>>::new());
     }
 }
