@@ -65,4 +65,4 @@ pub use page::{DeltaOp, PageImage};
 pub use stats::TreeStats;
 pub use store::{MemStore, NullStore, PageStore, StoreError};
 pub use tree::FlushKind;
-pub use tree::{BwTree, PageInfo, RecoveredPage, ResidencyState, TreeError};
+pub use tree::{BwTree, PageInfo, RecoveredPage, ResidencyState, TreeError, TryGetAsync};

@@ -69,6 +69,23 @@ pub enum FlushKind {
     EvictAll,
 }
 
+/// Outcome of a non-blocking point lookup ([`BwTree::try_get_async`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TryGetAsync {
+    /// Answered entirely from memory.
+    Hit(Option<Bytes>),
+    /// The owning leaf's base is flash-resident: fetch durable state
+    /// `token` of page `pid` from the page store, install it with
+    /// [`BwTree::install_fetched`], and re-probe with
+    /// [`BwTree::resume_get`].
+    NeedFetch {
+        /// The flash-resident leaf.
+        pid: PageId,
+        /// Its newest durable token.
+        token: u64,
+    },
+}
+
 /// Point-in-time description of one page, for cache managers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PageInfo {
@@ -528,6 +545,132 @@ impl BwTree {
     /// in-memory trees). Use [`BwTree::try_get`] when the store can fail.
     pub fn get(&self, key: &[u8]) -> Option<Bytes> {
         self.try_get(key).expect("page store failure")
+    }
+
+    /// Non-blocking point lookup: answered from memory, or halted at the
+    /// first flash-resident leaf. On [`TryGetAsync::NeedFetch`] the caller
+    /// fetches the page image itself (possibly asynchronously, overlapping
+    /// other work), installs it with [`BwTree::install_fetched`], and
+    /// re-probes with [`BwTree::resume_get`].
+    ///
+    /// Counts one logical get; a hit additionally counts one main-memory
+    /// operation, matching [`BwTree::try_get`].
+    pub fn try_get_async(&self, key: &[u8]) -> TryGetAsync {
+        bump!(self.stats, gets);
+        self.probe_get(key, true)
+    }
+
+    /// Re-probe after [`BwTree::install_fetched`]. Does **not** count a new
+    /// logical get (the original [`BwTree::try_get_async`] did); a hit here
+    /// counts no main-memory op either — the install already charged the
+    /// secondary-storage op, as the blocking miss path does.
+    pub fn resume_get(&self, key: &[u8]) -> TryGetAsync {
+        self.probe_get(key, false)
+    }
+
+    fn probe_get(&self, key: &[u8], count_hit: bool) -> TryGetAsync {
+        let guard = dcs_ebr::pin();
+        let vt = self.vtime();
+        let mut pid = self.find_leaf(key, &guard);
+        self.mapping.touch(pid, vt);
+        loop {
+            let head = self.mapping.load(pid);
+            if head.is_null() {
+                pid = self.find_leaf(key, &guard);
+                continue;
+            }
+            // SAFETY: guard held since before the load.
+            let result = unsafe { search_leaf(head, key) };
+            match result {
+                LeafSearch::Found {
+                    value,
+                    from_delta_over_flash,
+                } => {
+                    if from_delta_over_flash {
+                        bump!(self.stats, record_cache_hits);
+                    }
+                    if count_hit {
+                        bump!(self.stats, mm_ops);
+                    }
+                    return TryGetAsync::Hit(Some(value));
+                }
+                LeafSearch::Deleted | LeafSearch::Missing => {
+                    if count_hit {
+                        bump!(self.stats, mm_ops);
+                    }
+                    return TryGetAsync::Hit(None);
+                }
+                LeafSearch::GoRight(r) => {
+                    pid = r;
+                    self.mapping.touch(pid, vt);
+                }
+                LeafSearch::NeedFetch { token } => return TryGetAsync::NeedFetch { pid, token },
+            }
+        }
+    }
+
+    /// Install an externally fetched page image as `pid`'s new in-memory
+    /// base, preserving unflushed deltas above it — the asynchronous
+    /// counterpart of the blocking fetch inside [`BwTree::try_get`].
+    ///
+    /// Returns `false` without installing when the chain moved on (fetched
+    /// token superseded by a newer flush, page became resident, or the CAS
+    /// raced): the caller simply re-probes with [`BwTree::resume_get`],
+    /// which re-fetches if still needed. Counts one fetch and one
+    /// secondary-storage op either way — an I/O happened.
+    pub fn install_fetched(&self, pid: PageId, token: u64, img: PageImage) -> bool {
+        bump!(self.stats, fetches);
+        bump!(self.stats, ss_ops);
+        let guard = dcs_ebr::pin();
+        let head = self.mapping.load(pid);
+        if head.is_null() {
+            return false;
+        }
+        // The image is only installable while the chain's durable state is
+        // still exactly `token`.
+        // SAFETY: guard held since before the load.
+        let current = unsafe {
+            match analyze_leaf_chain(head) {
+                LeafChainInfo::FlashBase { durable_token, .. } => Some(durable_token),
+                _ => None,
+            }
+        };
+        if current != Some(token) {
+            return false;
+        }
+        // Clone unflushed deltas above the topmost marker, as the blocking
+        // fetch does; everything below is contained in the image.
+        let mut deltas: Vec<&Node> = Vec::new();
+        // SAFETY: guard held.
+        unsafe {
+            for node in chain_iter(head) {
+                match node {
+                    Node::FlushMarker { .. } | Node::FlashBase { .. } => break,
+                    Node::LeafBase(_) | Node::InnerBase(_) => return false,
+                    _ => deltas.push(node),
+                }
+            }
+        }
+        let base = Node::LeafBase(LeafBase {
+            entries: img.entries,
+            high_key: img.high_key,
+            right: img.right,
+            stored: Some(token),
+        })
+        .into_raw();
+        let mut new_head = base;
+        for node in deltas.into_iter().rev() {
+            new_head = clone_delta(node, new_head);
+        }
+        if self.mapping.cas(pid, head, new_head) {
+            // SAFETY: old chain atomically unlinked.
+            unsafe { retire_chain(&guard, head) };
+            true
+        } else {
+            // SAFETY: new chain never published.
+            unsafe { free_chain_now(new_head) };
+            false
+        }
     }
 
     fn finish_read(&self, fetched: bool) {
@@ -2211,6 +2354,73 @@ mod tests {
             ResidencyState::Resident
         );
         assert!(t.stats().ss_ops >= 1);
+    }
+
+    #[test]
+    fn async_get_roundtrip_matches_sync_counts() {
+        let store = Arc::new(MemStore::new());
+        let t = BwTree::with_store(BwTreeConfig::default(), store.clone());
+        for i in 0..20u32 {
+            let (k, v) = kv(i);
+            t.put(k, v);
+        }
+        let leaf = t.pages().into_iter().find(|p| p.is_leaf).unwrap();
+        t.evict_page(leaf.pid).unwrap();
+
+        // Resident-path probe is a plain hit.
+        let (k3, v3) = kv(3);
+        let probe = t.try_get_async(&k3);
+        let TryGetAsync::NeedFetch { pid, token } = probe else {
+            panic!("evicted page must need a fetch, got {probe:?}");
+        };
+        assert_eq!(pid, leaf.pid);
+        // Caller-side fetch + install, then resume.
+        let img = store.fetch(pid, token).unwrap();
+        assert!(t.install_fetched(pid, token, img));
+        assert_eq!(t.resume_get(&k3), TryGetAsync::Hit(Some(v3)));
+
+        // One logical get, one fetch, one secondary-storage op, no
+        // main-memory op — exactly what the blocking miss path counts.
+        let s = t.stats();
+        assert_eq!(s.gets, 1);
+        assert_eq!(s.fetches, 1);
+        assert_eq!(s.ss_ops, 1);
+        assert_eq!(s.mm_ops - 20, 0, "only the 20 loading puts");
+
+        // Now resident: the async probe hits directly.
+        let (k4, v4) = kv(4);
+        assert_eq!(t.try_get_async(&k4), TryGetAsync::Hit(Some(v4)));
+        assert_eq!(t.stats().mm_ops - 20, 1);
+    }
+
+    #[test]
+    fn install_fetched_rejects_stale_token() {
+        let store = Arc::new(MemStore::new());
+        let t = BwTree::with_store(BwTreeConfig::default(), store.clone());
+        for i in 0..10u32 {
+            let (k, v) = kv(i);
+            t.put(k, v);
+        }
+        let leaf = t.pages().into_iter().find(|p| p.is_leaf).unwrap();
+        t.evict_page(leaf.pid).unwrap();
+        let TryGetAsync::NeedFetch { pid, token } = t.try_get_async(&kv(2).0) else {
+            panic!("expected fetch");
+        };
+        let img = store.fetch(pid, token).unwrap();
+        // A concurrent writer dirties and re-flushes the page, superseding
+        // the token before our install lands.
+        t.blind_update(kv(2).0, b("newer"));
+        let token2 = t.flush_page(pid, FlushKind::EvictAll).unwrap();
+        assert_ne!(token, token2);
+        assert!(!t.install_fetched(pid, token, img), "stale install refused");
+        // Resume sees the page still flash-resident at the new token.
+        let TryGetAsync::NeedFetch { token: t3, .. } = t.resume_get(&kv(2).0) else {
+            panic!("still evicted");
+        };
+        assert_eq!(t3, token2);
+        let img2 = store.fetch(pid, token2).unwrap();
+        assert!(t.install_fetched(pid, token2, img2));
+        assert_eq!(t.resume_get(&kv(2).0), TryGetAsync::Hit(Some(b("newer"))));
     }
 
     #[test]

@@ -254,7 +254,7 @@ pub(crate) fn assert_not_foreign() {
 ///
 /// Outside an execution this is a thread-local read and nothing more —
 /// except in debug builds, where a concurrent active execution means this
-/// thread escaped the scheduler; see [`assert_not_foreign`].
+/// thread escaped the scheduler; see `assert_not_foreign`.
 #[inline]
 pub fn schedule_point() {
     if let Some((exec, me)) = current_ctx() {

@@ -368,7 +368,7 @@ impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
 /// locks through a `sync` facade without touching call sites.
 ///
 /// Acquisition follows the same cooperative discipline as the std-shaped
-/// [`Mutex`](super::Mutex): inside an execution the thread loops
+/// [`Mutex`]: inside an execution the thread loops
 /// `schedule point → try-acquire` (a blocking acquire would park the only
 /// runnable OS thread and deadlock the scheduler); outside one the
 /// operations block on the underlying `std` primitive like parking_lot

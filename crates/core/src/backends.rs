@@ -3,12 +3,12 @@
 //! wrapped in newtypes (`KvStore` and the stores live in different
 //! crates).
 
-use crate::store::{CachingStore, StoreBuilder};
+use crate::store::{CachingStore, StoreBuilder, SubmittedGet};
 use bytes::Bytes;
 use dcs_bwtree::{BwTree, BwTreeConfig};
-use dcs_lsm::{LsmConfig, LsmTree};
+use dcs_lsm::{LsmConfig, LsmGet, LsmTree};
 use dcs_masstree::MassTree;
-use dcs_workload::{KvStore, StoreFailure};
+use dcs_workload::{AsyncGet, AsyncKvStore, CompletedGet, KvStore, StoreFailure};
 use std::sync::Arc;
 
 /// The serveable store families, by name. This is the single place that
@@ -58,19 +58,63 @@ impl BackendKind {
 
     /// Build one workload-ready store instance (test-scale configuration).
     pub fn build(&self) -> Arc<dyn KvStore + Send + Sync> {
+        self.build_with(BackendOpts::default()).kv
+    }
+
+    /// Build one instance with explicit options, returning both the
+    /// blocking handle and (for the flash-backed stores) the asynchronous
+    /// submit/poll handle.
+    pub fn build_with(&self, opts: BackendOpts) -> BuiltBackend {
+        let device_config = |mut c: dcs_flashsim::DeviceConfig| {
+            c.segment_count = 1024;
+            c.wall_read_latency = opts.wall_read_latency;
+            c
+        };
         match self {
-            BackendKind::Caching => Arc::new(StoreBuilder::small_test().build()),
-            BackendKind::BwTree => Arc::new(BwTreeBackend(BwTree::in_memory(
-                BwTreeConfig::small_pages(),
-            ))),
-            BackendKind::MassTree => Arc::new(MassTreeBackend(MassTree::new())),
-            BackendKind::Lsm => Arc::new(LsmBackend(LsmTree::new(
-                Arc::new(dcs_flashsim::FlashDevice::new(dcs_flashsim::DeviceConfig {
-                    segment_count: 1024,
-                    ..dcs_flashsim::DeviceConfig::small_test()
-                })),
-                LsmConfig::default(),
-            ))),
+            BackendKind::Caching => {
+                let mut b = StoreBuilder::small_test();
+                b.device = device_config(b.device);
+                if let Some(budget) = opts.memory_budget {
+                    b.memory_budget = budget;
+                }
+                let store = Arc::new(b.build());
+                BuiltBackend {
+                    kv: store.clone(),
+                    device: Some(store.device().clone()),
+                    async_kv: Some(store),
+                }
+            }
+            BackendKind::BwTree => {
+                let t = Arc::new(BwTreeBackend(
+                    BwTree::in_memory(BwTreeConfig::small_pages()),
+                ));
+                BuiltBackend {
+                    kv: t.clone(),
+                    async_kv: Some(t),
+                    device: None,
+                }
+            }
+            BackendKind::MassTree => {
+                let t = Arc::new(MassTreeBackend(MassTree::new()));
+                BuiltBackend {
+                    kv: t.clone(),
+                    async_kv: Some(t),
+                    device: None,
+                }
+            }
+            BackendKind::Lsm => {
+                let t = Arc::new(LsmBackend(LsmTree::new(
+                    Arc::new(dcs_flashsim::FlashDevice::new(device_config(
+                        dcs_flashsim::DeviceConfig::small_test(),
+                    ))),
+                    LsmConfig::default(),
+                )));
+                BuiltBackend {
+                    kv: t.clone(),
+                    device: Some(t.0.device().clone()),
+                    async_kv: Some(t),
+                }
+            }
         }
     }
 
@@ -80,6 +124,38 @@ impl BackendKind {
     pub fn build_shards(&self, n: usize) -> Vec<Arc<dyn KvStore + Send + Sync>> {
         (0..n).map(|_| self.build()).collect()
     }
+
+    /// [`BackendKind::build_shards`] with explicit options and async
+    /// handles.
+    pub fn build_shards_with(&self, n: usize, opts: BackendOpts) -> Vec<BuiltBackend> {
+        (0..n).map(|_| self.build_with(opts)).collect()
+    }
+}
+
+/// Construction options for [`BackendKind::build_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BackendOpts {
+    /// Override the caching store's in-memory budget (bytes). `None` keeps
+    /// the test-scale default.
+    pub memory_budget: Option<usize>,
+    /// Wall-clock nanoseconds each device read takes to become visible
+    /// (injected device latency; virtual-clock accounting is unchanged).
+    pub wall_read_latency: u64,
+}
+
+/// A constructed backend: the blocking [`KvStore`] handle plus, where the
+/// store supports it, the non-blocking [`AsyncKvStore`] handle over the
+/// same instance. Two fields because Rust 1.75 cannot upcast
+/// `Arc<dyn AsyncKvStore>` to `Arc<dyn KvStore>`.
+pub struct BuiltBackend {
+    /// Blocking operations (always available).
+    pub kv: Arc<dyn KvStore + Send + Sync>,
+    /// Submit/poll point reads, when the backend implements them.
+    pub async_kv: Option<Arc<dyn AsyncKvStore + Send + Sync>>,
+    /// The simulated flash device under the store, when there is one —
+    /// lets harnesses read [`dcs_flashsim::DeviceStats`] (achieved I/O
+    /// depth, submit charges) without knowing the concrete store type.
+    pub device: Option<Arc<dcs_flashsim::FlashDevice>>,
 }
 
 /// Workload adapter for a [`BwTree`].
@@ -203,6 +279,96 @@ impl KvStore for LsmBackend {
     }
 }
 
+fn vecify(
+    v: Result<Option<Bytes>, impl std::fmt::Display>,
+) -> Result<Option<Vec<u8>>, StoreFailure> {
+    v.map(|o| o.map(|b| b.to_vec()))
+        .map_err(|e| StoreFailure(e.to_string()))
+}
+
+impl AsyncKvStore for CachingStore {
+    fn kv_get_submit(&self, key: &[u8]) -> Result<AsyncGet, StoreFailure> {
+        match self
+            .get_submit(key)
+            .map_err(|e| StoreFailure(e.to_string()))?
+        {
+            SubmittedGet::Ready(v) => Ok(AsyncGet::Ready(v.map(|b| b.to_vec()))),
+            SubmittedGet::Pending(token) => Ok(AsyncGet::Pending(token)),
+        }
+    }
+
+    fn kv_poll(&self, out: &mut Vec<CompletedGet>) -> usize {
+        let mut finished = Vec::new();
+        let n = self.poll_gets(&mut finished);
+        out.extend(finished.into_iter().map(|g| CompletedGet {
+            token: g.token,
+            result: vecify(g.result),
+        }));
+        n
+    }
+
+    fn kv_inflight(&self) -> usize {
+        self.gets_inflight()
+    }
+}
+
+impl AsyncKvStore for LsmBackend {
+    fn kv_get_submit(&self, key: &[u8]) -> Result<AsyncGet, StoreFailure> {
+        match self
+            .0
+            .get_submit(key)
+            .map_err(|e| StoreFailure(e.to_string()))?
+        {
+            LsmGet::Ready(v) => Ok(AsyncGet::Ready(v.map(|b| b.to_vec()))),
+            LsmGet::Pending(token) => Ok(AsyncGet::Pending(token)),
+        }
+    }
+
+    fn kv_poll(&self, out: &mut Vec<CompletedGet>) -> usize {
+        let mut finished = Vec::new();
+        let n = self.0.poll_gets(&mut finished);
+        out.extend(finished.into_iter().map(|g| CompletedGet {
+            token: g.token,
+            result: vecify(g.result),
+        }));
+        n
+    }
+
+    fn kv_inflight(&self) -> usize {
+        self.0.gets_inflight()
+    }
+}
+
+// The in-memory comparators never touch the device on a read: every get is
+// `Ready`, so the async surface is the blocking one.
+impl AsyncKvStore for BwTreeBackend {
+    fn kv_get_submit(&self, key: &[u8]) -> Result<AsyncGet, StoreFailure> {
+        Ok(AsyncGet::Ready(self.kv_get(key)?))
+    }
+
+    fn kv_poll(&self, _out: &mut Vec<CompletedGet>) -> usize {
+        0
+    }
+
+    fn kv_inflight(&self) -> usize {
+        0
+    }
+}
+
+impl AsyncKvStore for MassTreeBackend {
+    fn kv_get_submit(&self, key: &[u8]) -> Result<AsyncGet, StoreFailure> {
+        Ok(AsyncGet::Ready(self.kv_get(key)?))
+    }
+
+    fn kv_poll(&self, _out: &mut Vec<CompletedGet>) -> usize {
+        0
+    }
+
+    fn kv_inflight(&self) -> usize {
+        0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +393,46 @@ mod tests {
                 counts.read_hits,
                 counts.reads
             );
+        }
+    }
+
+    #[test]
+    fn async_handles_agree_with_blocking_path() {
+        for kind in BackendKind::ALL {
+            let built = kind.build_with(BackendOpts::default());
+            let a = built.async_kv.as_ref().expect("every backend has async");
+            for i in 0..500u32 {
+                built
+                    .kv
+                    .kv_put(
+                        format!("k{i:05}").into_bytes(),
+                        format!("v{i}").into_bytes(),
+                    )
+                    .unwrap();
+            }
+            let mut out = Vec::new();
+            for i in (0..600u32).step_by(7) {
+                let key = format!("k{i:05}").into_bytes();
+                let expected = built.kv.kv_get(&key).unwrap();
+                match a.kv_get_submit(&key).unwrap() {
+                    dcs_workload::AsyncGet::Ready(v) => {
+                        assert_eq!(v, expected, "{}: key {i}", kind.name())
+                    }
+                    dcs_workload::AsyncGet::Pending(token) => {
+                        out.clear();
+                        while a.kv_inflight() > 0 {
+                            a.kv_poll(&mut out);
+                        }
+                        let f = out.iter().find(|f| f.token == token).expect("completed");
+                        assert_eq!(
+                            f.result.clone().unwrap(),
+                            expected,
+                            "{}: key {i}",
+                            kind.name()
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -47,8 +47,10 @@
 mod backends;
 mod store;
 
-pub use backends::{BackendKind, BwTreeBackend, LsmBackend, MassTreeBackend};
-pub use store::{CachingStore, Policy, StoreBuilder, StoreStats};
+pub use backends::{
+    BackendKind, BackendOpts, BuiltBackend, BwTreeBackend, LsmBackend, MassTreeBackend,
+};
+pub use store::{CachingStore, FinishedGet, Policy, StoreBuilder, StoreStats, SubmittedGet};
 
 // Re-export the component crates so downstream users need one dependency.
 pub use dcs_bwtree as bwtree;

@@ -1,14 +1,16 @@
 //! The caching-store facade.
 
 use bytes::Bytes;
-use dcs_bwtree::{BwTree, BwTreeConfig, TreeError, TreeStats};
+use dcs_bwtree::{BwTree, BwTreeConfig, PageId, TreeError, TreeStats, TryGetAsync};
 use dcs_costmodel::{breakeven, HardwareCatalog};
 use dcs_flashsim::{DeviceConfig, DeviceStats, FlashDevice, VirtualClock};
 use dcs_llama::{
-    CacheManager, CacheManagerConfig, CacheStats, Codec, EvictionPolicy, LogStructuredStore,
-    LssConfig, LssStats,
+    CacheManager, CacheManagerConfig, CacheStats, Codec, EvictionPolicy, FetchSubmit,
+    LogStructuredStore, LssConfig, LssStats,
 };
 use dcs_tc::{TcConfig, TransactionalStore};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -146,8 +148,47 @@ impl StoreBuilder {
             sweep_every_ops: self.sweep_every_ops,
             ops_since_sweep: AtomicU64::new(0),
             hardware: self.hardware,
+            misses: Mutex::new(MissTable::default()),
         }
     }
+}
+
+/// Outcome of a non-blocking [`CachingStore::get_submit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmittedGet {
+    /// Served from memory — a cache hit, or a definitive miss that needed
+    /// no I/O.
+    Ready(Option<Bytes>),
+    /// A flash fetch is in flight; the token identifies this miss in later
+    /// [`CachingStore::poll_gets`] completions.
+    Pending(u64),
+}
+
+/// A completed miss, reaped by [`CachingStore::poll_gets`].
+#[derive(Debug)]
+pub struct FinishedGet {
+    /// The token [`CachingStore::get_submit`] returned.
+    pub token: u64,
+    /// The read's final outcome.
+    pub result: Result<Option<Bytes>, TreeError>,
+}
+
+/// One in-flight miss: enough context to install the fetched image and
+/// re-probe the tree when the device completes.
+struct PendingMiss {
+    key: Vec<u8>,
+    pid: PageId,
+    token: u64,
+    miss_token: u64,
+}
+
+/// All in-flight misses, keyed by the LSS fetch id currently serving each.
+/// A multi-part chain whose continuation resubmits keeps its `miss_token`
+/// across fetch ids, so the caller's handle never changes.
+#[derive(Default)]
+struct MissTable {
+    next_token: u64,
+    by_fetch: HashMap<u64, PendingMiss>,
 }
 
 /// Aggregated counters across all layers.
@@ -183,6 +224,7 @@ pub struct CachingStore {
     sweep_every_ops: u64,
     ops_since_sweep: AtomicU64,
     hardware: HardwareCatalog,
+    misses: Mutex<MissTable>,
 }
 
 impl CachingStore {
@@ -196,6 +238,137 @@ impl CachingStore {
         let r = self.tree.try_get(key);
         self.tick();
         r
+    }
+
+    /// Begin a non-blocking point lookup. Cache hits (and misses resolved
+    /// from the LSS write buffer) return [`SubmittedGet::Ready`]
+    /// immediately; a read that needs flash submits the fetch to the
+    /// device queue pair and returns [`SubmittedGet::Pending`] — the
+    /// caller keeps doing other work and reaps the result later with
+    /// [`CachingStore::poll_gets`].
+    pub fn get_submit(&self, key: &[u8]) -> Result<SubmittedGet, TreeError> {
+        let r = self.get_submit_inner(key);
+        self.tick();
+        r
+    }
+
+    fn get_submit_inner(&self, key: &[u8]) -> Result<SubmittedGet, TreeError> {
+        let mut probe = self.tree.try_get_async(key);
+        loop {
+            match probe {
+                TryGetAsync::Hit(v) => return Ok(SubmittedGet::Ready(v)),
+                TryGetAsync::NeedFetch { pid, token } => {
+                    match self.lss.fetch_submit(token).map_err(TreeError::Store)? {
+                        FetchSubmit::Ready(img) => {
+                            // A raced install loses harmlessly: the winner's
+                            // image is equivalent, and the re-probe below
+                            // sees whatever won.
+                            let _ = self.tree.install_fetched(pid, token, img);
+                        }
+                        FetchSubmit::Pending(fetch_id) => {
+                            let mut t = self.misses.lock();
+                            let miss_token = t.next_token;
+                            t.next_token += 1;
+                            t.by_fetch.insert(
+                                fetch_id,
+                                PendingMiss {
+                                    key: key.to_vec(),
+                                    pid,
+                                    token,
+                                    miss_token,
+                                },
+                            );
+                            return Ok(SubmittedGet::Pending(miss_token));
+                        }
+                    }
+                }
+            }
+            probe = self.tree.resume_get(key);
+        }
+    }
+
+    /// Reap every miss whose device I/O has completed: install the fetched
+    /// page image, re-probe the tree, and push a [`FinishedGet`] per
+    /// resolved read. A multi-part flash chain that needs another hop stays
+    /// pending under the same token. Non-blocking; returns reads resolved.
+    pub fn poll_gets(&self, out: &mut Vec<FinishedGet>) -> usize {
+        let mut fetched = Vec::new();
+        self.lss.poll_fetches(&mut fetched);
+        let mut resolved = 0;
+        for c in fetched {
+            let Some(miss) = self.misses.lock().by_fetch.remove(&c.fetch_id) else {
+                // Not a miss of ours (e.g. a caller driving the LSS queue
+                // directly); nothing to resolve.
+                continue;
+            };
+            let outcome = match c.result {
+                Ok(img) => {
+                    let _ = self.tree.install_fetched(miss.pid, miss.token, img);
+                    self.finish_miss(&miss)
+                }
+                // The fetch failed — but a concurrent writer may have
+                // superseded the token (rollup, GC) and installed the page
+                // behind us. A resume that hits still answers the read.
+                Err(e) => match self.tree.resume_get(&miss.key) {
+                    TryGetAsync::Hit(v) => Some(Ok(v)),
+                    TryGetAsync::NeedFetch { .. } => Some(Err(TreeError::Store(e))),
+                },
+            };
+            // No tick() here: the operation already ticked at submit, and
+            // the sweep cadence must not depend on which path served it.
+            if let Some(result) = outcome {
+                out.push(FinishedGet {
+                    token: miss.miss_token,
+                    result,
+                });
+                resolved += 1;
+            }
+        }
+        resolved
+    }
+
+    /// Resume a miss after its fetch completed. `Some(result)` resolves the
+    /// read; `None` means a further fetch went pending (chain continuation
+    /// or a token superseded mid-install) under the same miss token.
+    fn finish_miss(&self, miss: &PendingMiss) -> Option<Result<Option<Bytes>, TreeError>> {
+        loop {
+            match self.tree.resume_get(&miss.key) {
+                TryGetAsync::Hit(v) => return Some(Ok(v)),
+                TryGetAsync::NeedFetch { pid, token } => match self.lss.fetch_submit(token) {
+                    Err(e) => return Some(Err(TreeError::Store(e))),
+                    Ok(FetchSubmit::Ready(img)) => {
+                        let _ = self.tree.install_fetched(pid, token, img);
+                    }
+                    Ok(FetchSubmit::Pending(fetch_id)) => {
+                        self.misses.lock().by_fetch.insert(
+                            fetch_id,
+                            PendingMiss {
+                                key: miss.key.clone(),
+                                pid,
+                                token,
+                                miss_token: miss.miss_token,
+                            },
+                        );
+                        return None;
+                    }
+                },
+            }
+        }
+    }
+
+    /// Misses currently in flight on the device.
+    pub fn gets_inflight(&self) -> usize {
+        self.misses.lock().by_fetch.len()
+    }
+
+    /// Block (spinning out any wall-clock device latency) until every
+    /// in-flight miss resolves into `out`.
+    pub fn drain_gets(&self, out: &mut Vec<FinishedGet>) {
+        while self.gets_inflight() > 0 {
+            if self.poll_gets(out) == 0 {
+                std::thread::yield_now();
+            }
+        }
     }
 
     /// Upsert (a blind update at the data component).
@@ -392,6 +565,76 @@ mod tests {
             assert_eq!(s.get(&k), Some(v), "key {i}");
         }
         assert!(s.stats().tree.ss_ops > 0, "reads should have faulted");
+    }
+
+    #[test]
+    fn async_get_roundtrip_under_eviction() {
+        let mut b = StoreBuilder::small_test();
+        b.memory_budget = 64 << 10;
+        b.sweep_every_ops = 256;
+        let s = b.build();
+        for i in 0..5000u32 {
+            let (k, v) = kv(i);
+            s.put(k, v);
+        }
+        assert!(s.stats().cache.pages_evicted > 0, "no evictions happened");
+        // Submit a window of reads (many will need flash), then drain.
+        let mut pending = HashMap::new();
+        let mut misses = 0;
+        for i in (0..5000u32).step_by(97) {
+            let (k, v) = kv(i);
+            match s.get_submit(&k).unwrap() {
+                SubmittedGet::Ready(got) => assert_eq!(got, Some(v), "key {i} (ready)"),
+                SubmittedGet::Pending(token) => {
+                    misses += 1;
+                    pending.insert(token, (i, v));
+                }
+            }
+        }
+        assert!(misses > 0, "evicted keys should go pending");
+        let mut out = Vec::new();
+        s.drain_gets(&mut out);
+        assert_eq!(out.len(), pending.len());
+        for f in out {
+            let (i, v) = &pending[&f.token];
+            assert_eq!(f.result.unwrap(), Some(v.clone()), "key {i}");
+        }
+        assert_eq!(s.gets_inflight(), 0);
+        assert!(s.stats().tree.ss_ops > 0, "misses should count as ss ops");
+    }
+
+    #[test]
+    fn async_get_counts_match_sync_counts() {
+        // Two identical stores, same accesses: one via the blocking path,
+        // one via submit+drain. The per-layer counters must agree.
+        let build = || {
+            let mut b = StoreBuilder::small_test();
+            b.memory_budget = 64 << 10;
+            b.sweep_every_ops = 256;
+            b.build()
+        };
+        let (sync_s, async_s) = (build(), build());
+        for s in [&sync_s, &async_s] {
+            for i in 0..4000u32 {
+                let (k, v) = kv(i);
+                s.put(k, v);
+            }
+        }
+        let probe: Vec<u32> = (0..4000u32).step_by(113).collect();
+        for &i in &probe {
+            assert_eq!(sync_s.get(&kv(i).0), Some(kv(i).1));
+        }
+        let mut out = Vec::new();
+        for &i in &probe {
+            if let SubmittedGet::Pending(_) = async_s.get_submit(&kv(i).0).unwrap() {
+                async_s.drain_gets(&mut out);
+            }
+        }
+        let (a, b) = (sync_s.stats().tree, async_s.stats().tree);
+        assert_eq!(a.gets, b.gets, "gets diverge");
+        assert_eq!(a.ss_ops, b.ss_ops, "ss_ops diverge");
+        assert_eq!(a.mm_ops, b.mm_ops, "mm_ops diverge");
+        assert_eq!(a.fetches, b.fetches, "fetches diverge");
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod breakeven;
 pub mod catalog;
 pub mod curves;
 pub mod figures;
+pub mod miss_service;
 pub mod mixed;
 pub mod mm_vs_caching;
 pub mod render;

@@ -1,0 +1,291 @@
+//! §7-style what-if grounded in measurement: blocking vs polled miss
+//! service.
+//!
+//! The serving layer's load generator emits `BENCH_server.json` with a
+//! `miss_service` block (wire-level latency of device-served GETs) and an
+//! `io_depth` block (achieved device queue depth). This module *consumes*
+//! those measured numbers in the cost model: the ratio of measured miss
+//! service time to raw device latency is the queueing expansion a miss
+//! suffers on its way through the shard, and it inflates the paper's `R`
+//! factor (§2.1) the same way a slow I/O path does in Figure 7. Rendering
+//! Figure-1-style relative-performance curves at the sync-measured and
+//! async-measured effective `R` shows what the polled engine buys in the
+//! model's own currency, not just in latency histograms.
+//!
+//! The JSON consumed here is the hand-emitted format of
+//! `dcs-server::BenchReport::to_json`; the tiny extractor below leans on
+//! that known shape (top-level `io_depth`/`miss_service` precede the
+//! per-shard arrays) rather than being a general JSON parser.
+
+use crate::figures::{linspace, Series};
+use crate::mixed;
+
+/// The slice of a `BENCH_server.json` document this figure consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissServiceMeasurement {
+    /// `"sync"` (blocking miss path) or `"async"` (parked-miss path).
+    pub miss_mode: String,
+    /// Injected device read latency, nanoseconds (`--device-latency`).
+    pub device_latency_nanos: u64,
+    /// Completed wire operations per second.
+    pub throughput_ops_per_sec: f64,
+    /// Device-served GETs observed across all shards.
+    pub misses: u64,
+    /// High-water mark of concurrently parked misses on any shard.
+    pub parked_peak: u64,
+    /// Mean wire-level latency of a device-served GET, microseconds.
+    pub miss_mean_us: f64,
+    /// p95 wire-level latency of a device-served GET, microseconds.
+    pub miss_p95_us: f64,
+    /// Worst per-shard p95 of memory-served GETs, microseconds — the
+    /// latency hits pay while misses are in flight on the same shard.
+    pub hit_p95_us: f64,
+    /// Mean achieved device queue depth while any I/O was outstanding.
+    pub io_depth_mean: f64,
+    /// Peak achieved device queue depth.
+    pub io_depth_max: u64,
+}
+
+impl MissServiceMeasurement {
+    /// Queueing expansion of a miss: measured mean service time over the
+    /// raw device read latency. 1.0 means misses ran at device speed;
+    /// a blocking path serving a burst of `k` misses approaches
+    /// `(k + 1) / 2`. Falls back to 1.0 when the report carries no
+    /// injected latency or no misses.
+    pub fn expansion(&self) -> f64 {
+        let device_us = self.device_latency_nanos as f64 / 1000.0;
+        if device_us <= 0.0 || self.misses == 0 || self.miss_mean_us <= 0.0 {
+            return 1.0;
+        }
+        (self.miss_mean_us / device_us).max(1.0)
+    }
+
+    /// The paper's `R` adjusted by the measured queueing expansion:
+    /// what an SS operation *actually* cost in this run, relative to an
+    /// MM operation, given `r_device` for an unqueued device read.
+    pub fn effective_r(&self, r_device: f64) -> f64 {
+        r_device * self.expansion()
+    }
+}
+
+/// Measured sync-over-async improvement on the p95 of miss service.
+pub fn p95_speedup(sync: &MissServiceMeasurement, asynch: &MissServiceMeasurement) -> f64 {
+    if asynch.miss_p95_us <= 0.0 {
+        return 1.0;
+    }
+    sync.miss_p95_us / asynch.miss_p95_us
+}
+
+/// The figure: relative performance vs SS-fraction `F` (Equation 2) at
+/// the ideal `R` and at the effective `R` measured under each miss mode.
+/// The polled engine's curve sits between the ideal and the blocking
+/// curve; the gap at the run's actual `F` is the modelled cost of
+/// serving misses one at a time.
+pub fn miss_service_curves(
+    r_device: f64,
+    sync: &MissServiceMeasurement,
+    asynch: &MissServiceMeasurement,
+    samples: usize,
+) -> Vec<Series> {
+    let xs = linspace(0.0, 1.0, samples);
+    let ideal = r_device;
+    let r_sync = sync.effective_r(r_device);
+    let r_async = asynch.effective_r(r_device);
+    vec![
+        Series::sample(format!("ideal device (R = {ideal:.1})"), &xs, move |f| {
+            mixed::relative_performance(f, ideal)
+        }),
+        Series::sample(
+            format!("polled miss service (R = {r_async:.1})"),
+            &xs,
+            move |f| mixed::relative_performance(f, r_async),
+        ),
+        Series::sample(
+            format!("blocking miss service (R = {r_sync:.1})"),
+            &xs,
+            move |f| mixed::relative_performance(f, r_sync),
+        ),
+    ]
+}
+
+/// Pull one measurement out of a `BENCH_server.json` document.
+///
+/// Returns `None` when a required field is missing or malformed — e.g.
+/// a report from a build predating the async engine.
+pub fn parse_bench_server(json: &str) -> Option<MissServiceMeasurement> {
+    let miss_mode = string_field(json, "miss_mode")?;
+    let device_latency_nanos = number_field(json, "device_latency_nanos")? as u64;
+    let throughput_ops_per_sec = number_field(json, "throughput_ops_per_sec")?;
+
+    // Top-level blocks come before the `ops`/`shards_detail` arrays, so
+    // the first occurrence of each key is the aggregate one.
+    let io_depth = object_after(json, "io_depth")?;
+    let io_depth_mean = number_field(io_depth, "mean")?;
+    let io_depth_max = number_field(io_depth, "max")? as u64;
+
+    let miss_service = object_after(json, "miss_service")?;
+    let misses = number_field(miss_service, "misses")? as u64;
+    let parked_peak = number_field(miss_service, "parked_peak")? as u64;
+    let miss_mean_us = number_field(miss_service, "mean_us")?;
+    let miss_p95_us = number_field(miss_service, "p95_us")?;
+
+    // Memory-served GET latency lives per shard; take the worst p95.
+    let mut hit_p95_us: f64 = 0.0;
+    let mut rest = json;
+    while let Some(block) = object_after(rest, "read_latency") {
+        hit_p95_us = hit_p95_us.max(number_field(block, "p95_us")?);
+        rest = &rest[rest.find("\"read_latency\"")? + "\"read_latency\"".len()..];
+    }
+
+    Some(MissServiceMeasurement {
+        miss_mode,
+        device_latency_nanos,
+        throughput_ops_per_sec,
+        misses,
+        parked_peak,
+        miss_mean_us,
+        miss_p95_us,
+        hit_p95_us,
+        io_depth_mean,
+        io_depth_max,
+    })
+}
+
+/// The text after `"key":`, trimmed, or `None` if the key is absent.
+fn after_key<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = doc.find(&needle)?;
+    let rest = doc[at + needle.len()..].trim_start();
+    let rest = rest.strip_prefix(':')?;
+    Some(rest.trim_start())
+}
+
+/// First number after `"key":`.
+fn number_field(doc: &str, key: &str) -> Option<f64> {
+    let rest = after_key(doc, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '-' || c == '+' || c == '.' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// First quoted string after `"key":`. The emitter escapes quotes, so a
+/// bare `"` terminates the value.
+fn string_field(doc: &str, key: &str) -> Option<String> {
+    let rest = after_key(doc, key)?.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// The balanced `{...}` object after `"key":`.
+fn object_after<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let rest = after_key(doc, key)?;
+    if !rest.starts_with('{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trimmed-down document in the exact shape `BenchReport::to_json`
+    /// emits (same key order, same nesting).
+    fn doc(mode: &str, miss_mean: f64, miss_p95: f64, depth_mean: f64) -> String {
+        format!(
+            r#"{{
+  "bench": "server",
+  "backend": "caching",
+  "mode": "open",
+  "miss_mode": "{mode}",
+  "device_latency_nanos": 400000,
+  "throughput_ops_per_sec": 2900.123,
+  "io_depth": {{"samples": 120, "mean": {depth_mean}, "max": 9, "buckets": [[1, 100], [2, 20]]}},
+  "miss_service": {{"misses": 500, "parked_peak": 8, "latency": {{"count": 500, "mean_us": {miss_mean}, "p50_us": 400.0, "p95_us": {miss_p95}, "p99_us": 5000.0, "max_us": 6000.0}}}},
+  "ops": [
+    {{"kind": "get", "count": 4000, "busy": 0, "errors": 0, "latency": {{"count": 4000, "mean_us": 90.0, "p50_us": 80.0, "p95_us": 700.0, "p99_us": 900.0, "max_us": 1000.0}}}}
+  ],
+  "shards_detail": [
+    {{"shard": 0, "misses": 250, "parked_peak": 8, "read_latency": {{"count": 1700, "mean_us": 50.0, "p50_us": 40.0, "p95_us": 120.0, "p99_us": 150.0, "max_us": 200.0}}, "write_latency": {{"count": 0, "mean_us": 0.0, "p50_us": 0.0, "p95_us": 0.0, "p99_us": 0.0, "max_us": 0.0}}, "miss_service": {{"count": 250, "mean_us": {miss_mean}, "p50_us": 400.0, "p95_us": {miss_p95}, "p99_us": 5000.0, "max_us": 6000.0}}}},
+    {{"shard": 1, "misses": 250, "parked_peak": 5, "read_latency": {{"count": 1700, "mean_us": 55.0, "p50_us": 45.0, "p95_us": 129.0, "p99_us": 160.0, "max_us": 210.0}}, "write_latency": {{"count": 0, "mean_us": 0.0, "p50_us": 0.0, "p95_us": 0.0, "p99_us": 0.0, "max_us": 0.0}}, "miss_service": {{"count": 250, "mean_us": {miss_mean}, "p50_us": 400.0, "p95_us": {miss_p95}, "p99_us": 5000.0, "max_us": 6000.0}}}}
+  ]
+}}
+"#
+        )
+    }
+
+    #[test]
+    fn parses_the_report_shape() {
+        let m = parse_bench_server(&doc("async", 900.0, 2218.0, 1.276)).unwrap();
+        assert_eq!(m.miss_mode, "async");
+        assert_eq!(m.device_latency_nanos, 400_000);
+        assert_eq!(m.misses, 500);
+        assert_eq!(m.parked_peak, 8);
+        assert!((m.miss_mean_us - 900.0).abs() < 1e-9);
+        assert!((m.miss_p95_us - 2218.0).abs() < 1e-9);
+        assert!((m.io_depth_mean - 1.276).abs() < 1e-9);
+        assert_eq!(m.io_depth_max, 9);
+        // Worst shard p95, not the first one.
+        assert!((m.hit_p95_us - 129.0).abs() < 1e-9);
+        assert!((m.throughput_ops_per_sec - 2900.123).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_reports_without_the_new_fields() {
+        assert!(parse_bench_server("{\"bench\": \"server\"}").is_none());
+    }
+
+    #[test]
+    fn expansion_inflates_r_for_the_blocking_mode() {
+        // Device read is 400 µs; blocking misses averaged 1600 µs
+        // (4× queueing expansion), polled misses 480 µs (1.2×).
+        let sync = parse_bench_server(&doc("sync", 1600.0, 4503.0, 1.001)).unwrap();
+        let asynch = parse_bench_server(&doc("async", 480.0, 2218.0, 1.276)).unwrap();
+        assert!((sync.expansion() - 4.0).abs() < 1e-9);
+        assert!((asynch.expansion() - 1.2).abs() < 1e-9);
+        assert!(sync.effective_r(10.0) > asynch.effective_r(10.0));
+        assert!(p95_speedup(&sync, &asynch) > 2.0);
+    }
+
+    #[test]
+    fn curves_order_ideal_above_polled_above_blocking() {
+        let sync = parse_bench_server(&doc("sync", 1600.0, 4503.0, 1.001)).unwrap();
+        let asynch = parse_bench_server(&doc("async", 480.0, 2218.0, 1.276)).unwrap();
+        let curves = miss_service_curves(10.0, &sync, &asynch, 21);
+        assert_eq!(curves.len(), 3);
+        // Skip F = 0 where all three coincide at 1.0.
+        for i in 1..21 {
+            let (ideal, polled, blocking) = (
+                curves[0].points[i].1,
+                curves[1].points[i].1,
+                curves[2].points[i].1,
+            );
+            assert!(
+                ideal >= polled && polled > blocking,
+                "at F = {}: ideal {ideal}, polled {polled}, blocking {blocking}",
+                curves[0].points[i].0
+            );
+        }
+    }
+
+    #[test]
+    fn zero_injected_latency_degrades_to_the_ideal_curve() {
+        let mut m = parse_bench_server(&doc("async", 480.0, 2218.0, 1.276)).unwrap();
+        m.device_latency_nanos = 0;
+        assert!((m.expansion() - 1.0).abs() < 1e-9);
+        assert!((m.effective_r(9.0) - 9.0).abs() < 1e-9);
+    }
+}

@@ -30,6 +30,19 @@ pub struct DeviceConfig {
     /// completion time. Disable for pure CPU-cost measurements where the
     /// clock is driven externally.
     pub advance_clock_on_io: bool,
+    /// Device submission-queue depth: the most read I/Os one
+    /// [`crate::IoQueuePair`] may have in flight. Submissions past this
+    /// bound are refused with [`crate::SubmitError::QueueFull`]; callers
+    /// fall back to blocking (the bounded-SQ degradation mode).
+    pub queue_depth: usize,
+    /// *Wall-clock* latency of a read I/O, in nanoseconds (0 = none).
+    ///
+    /// The virtual clock models cost accounting; this knob additionally
+    /// delays completion visibility in real time, so experiments about
+    /// *overlap* (does a slow miss block unrelated work?) observe genuine
+    /// concurrency. Blocking reads sleep it; async completions only become
+    /// pollable once it has elapsed.
+    pub wall_read_latency: Nanos,
 }
 
 impl DeviceConfig {
@@ -43,6 +56,8 @@ impl DeviceConfig {
             max_iops: 2.0e5,
             io_path: IoPathModel::default(),
             advance_clock_on_io: true,
+            queue_depth: 32,
+            wall_read_latency: 0,
         }
     }
 
@@ -56,6 +71,8 @@ impl DeviceConfig {
             max_iops: 1.0e6,
             io_path: crate::path::IoPathKind::Free.model(),
             advance_clock_on_io: true,
+            queue_depth: 8,
+            wall_read_latency: 0,
         }
     }
 

@@ -133,8 +133,49 @@ pub struct FlashDevice {
     state: Mutex<DeviceState>,
     /// Virtual time at which the device queue frees up.
     busy_until: AtomicU64,
+    /// Read I/Os submitted but not yet completed (achieved io depth).
+    inflight_reads: AtomicU64,
     stats: StatsInner,
     injector: FailureInjector,
+}
+
+/// A read I/O between submission and completion.
+///
+/// The data (or error) is **latched at submit time** — simulated DMA: the
+/// device captured the bytes when the command was issued, so a later GC
+/// relocation or trim of the segment cannot corrupt an in-flight read.
+/// Virtual-clock advancement, completion-path CPU, and read accounting are
+/// deferred to [`FlashDevice::complete_read`].
+#[derive(Debug)]
+pub(crate) struct PendingRead {
+    /// Outcome decided at submit: data copy, or the error the blocking
+    /// path would have returned.
+    latched: Result<Vec<u8>, DeviceError>,
+    /// Virtual completion time (None when the submit failed before
+    /// occupying a device queue slot).
+    virtual_done: Option<Nanos>,
+    /// Wall-clock completion visibility (None when `wall_read_latency` 0).
+    wall_deadline: Option<std::time::Instant>,
+}
+
+impl PendingRead {
+    /// Completion is visible in wall-clock time (virtual time is advanced
+    /// by `complete_read`, not waited on).
+    pub(crate) fn wall_ready(&self) -> bool {
+        self.wall_deadline
+            .map(|d| std::time::Instant::now() >= d)
+            .unwrap_or(true)
+    }
+
+    /// Sleep until the completion is wall-visible (blocking callers only).
+    pub(crate) fn wall_wait(&self) {
+        if let Some(deadline) = self.wall_deadline {
+            let now = std::time::Instant::now();
+            if deadline > now {
+                std::thread::sleep(deadline - now);
+            }
+        }
+    }
 }
 
 impl FlashDevice {
@@ -156,6 +197,7 @@ impl FlashDevice {
             clock,
             state: Mutex::new(state),
             busy_until: AtomicU64::new(0),
+            inflight_reads: AtomicU64::new(0),
             stats: StatsInner::default(),
             injector: FailureInjector::disabled(),
         }
@@ -211,6 +253,7 @@ impl FlashDevice {
             });
         }
         self.config.io_path.run_submit();
+        self.stats.record_submit_charge();
 
         let addr = {
             let mut st = self.state.lock();
@@ -242,6 +285,8 @@ impl FlashDevice {
         };
 
         let done = self.schedule_io(self.config.write_latency);
+        self.stats
+            .record_depth(self.inflight_reads.load(Ordering::SeqCst) + 1);
         if self.config.advance_clock_on_io {
             self.clock.advance_to(done);
         }
@@ -263,6 +308,7 @@ impl FlashDevice {
             });
         }
         self.config.io_path.run_submit();
+        self.stats.record_submit_charge();
         let addr = {
             let mut st = self.state.lock();
             let id = st.free.pop().ok_or(DeviceError::Full)?;
@@ -279,6 +325,8 @@ impl FlashDevice {
             }
         };
         let done = self.schedule_io(self.config.write_latency);
+        self.stats
+            .record_depth(self.inflight_reads.load(Ordering::SeqCst) + 1);
         if self.config.advance_clock_on_io {
             self.clock.advance_to(done);
         }
@@ -289,38 +337,119 @@ impl FlashDevice {
     }
 
     /// Read `len` bytes at `addr`. Charges one read I/O.
+    ///
+    /// A thin submit+poll wrapper over the asynchronous engine: the command
+    /// is submitted, the caller sleeps out any wall-clock latency, and the
+    /// completion is reaped inline — identical costs and error behaviour to
+    /// the historical blocking implementation.
     pub fn read(&self, addr: FlashAddress, len: usize) -> Result<Vec<u8>, DeviceError> {
-        self.config.io_path.run_submit();
+        let pending = self.submit_read(addr, len, true);
+        pending.wall_wait();
+        self.complete_read(pending)
+    }
+
+    /// Submit one read command: charge submit-path CPU (unless the caller
+    /// amortized it over a batch), latch the outcome (simulated DMA — see
+    /// [`PendingRead`]), and occupy a device queue slot.
+    ///
+    /// Error outcomes are latched without occupying a queue slot, exactly
+    /// mirroring the blocking path's early returns.
+    pub(crate) fn submit_read(
+        &self,
+        addr: FlashAddress,
+        len: usize,
+        charge_submit: bool,
+    ) -> PendingRead {
+        if charge_submit {
+            self.config.io_path.run_submit();
+            self.stats.record_submit_charge();
+        }
         if self.injector.should_fail_read() {
             self.stats.record_injected_failure();
-            return Err(DeviceError::InjectedFailure);
+            return PendingRead {
+                latched: Err(DeviceError::InjectedFailure),
+                virtual_done: None,
+                wall_deadline: None,
+            };
         }
-
-        let data = {
+        let latched = {
             let st = self.state.lock();
-            let seg = st
+            match st
                 .segments
                 .get(addr.segment as usize)
                 .and_then(|s| s.as_ref())
-                .ok_or(DeviceError::BadAddress(addr))?;
-            let start = addr.offset as usize;
-            if start + len > seg.written {
-                return Err(DeviceError::ShortSegment {
-                    addr,
-                    len,
-                    written: seg.written,
-                });
+            {
+                None => Err(DeviceError::BadAddress(addr)),
+                Some(seg) => {
+                    let start = addr.offset as usize;
+                    if start + len > seg.written {
+                        Err(DeviceError::ShortSegment {
+                            addr,
+                            len,
+                            written: seg.written,
+                        })
+                    } else {
+                        Ok(seg.data[start..start + len].to_vec())
+                    }
+                }
             }
-            seg.data[start..start + len].to_vec()
         };
-
+        if latched.is_err() {
+            return PendingRead {
+                latched,
+                virtual_done: None,
+                wall_deadline: None,
+            };
+        }
         let done = self.schedule_io(self.config.read_latency);
+        let depth = self.inflight_reads.fetch_add(1, Ordering::SeqCst) + 1;
+        self.stats.record_depth(depth);
+        let wall_deadline = if self.config.wall_read_latency > 0 {
+            Some(
+                std::time::Instant::now()
+                    + std::time::Duration::from_nanos(self.config.wall_read_latency),
+            )
+        } else {
+            None
+        };
+        PendingRead {
+            latched,
+            virtual_done: Some(done),
+            wall_deadline,
+        }
+    }
+
+    /// Complete a previously submitted read: advance the virtual clock to
+    /// its completion time, charge completion-path CPU, and account the
+    /// read. Error completions charge nothing further, as the blocking
+    /// path's early returns did.
+    pub(crate) fn complete_read(&self, pending: PendingRead) -> Result<Vec<u8>, DeviceError> {
+        let PendingRead {
+            latched,
+            virtual_done,
+            ..
+        } = pending;
+        let Some(done) = virtual_done else {
+            return latched;
+        };
+        self.inflight_reads.fetch_sub(1, Ordering::SeqCst);
         if self.config.advance_clock_on_io {
             self.clock.advance_to(done);
         }
         self.config.io_path.run_complete();
-        self.stats.record_read(len as u64);
-        Ok(data)
+        // Failed reads never occupy a slot, so `latched` is always `Ok`
+        // today; stay total anyway.
+        if let Ok(data) = &latched {
+            self.stats.record_read(data.len() as u64);
+        }
+        latched
+    }
+
+    /// Charge one submit-path CPU cost: the per-batch doorbell an
+    /// [`crate::IoQueuePair`] rings once for a whole batch of submissions.
+    pub(crate) fn charge_submit(&self) {
+        self.config.io_path.run_submit();
+        self.stats.record_submit_charge();
     }
 
     /// Number of bytes written into `segment` (0 if trimmed/never used).

@@ -40,16 +40,19 @@
 mod clock;
 mod config;
 mod device;
+mod engine;
 mod inject;
 mod path;
 mod stats;
+mod sync;
 
 pub use clock::VirtualClock;
 pub use config::DeviceConfig;
 pub use device::{DeviceError, FlashAddress, FlashDevice, SegmentId};
+pub use engine::{IoCompletion, IoQueuePair, IoRequest, IoTicket, SubmitError};
 pub use inject::FailureInjector;
 pub use path::{calibrate_work_rate, do_cpu_work, IoPathKind, IoPathModel};
-pub use stats::DeviceStats;
+pub use stats::{DeviceStats, IoDepthStats, IO_DEPTH_BUCKETS};
 
 /// Nanoseconds, the unit of the virtual clock.
 pub type Nanos = u64;

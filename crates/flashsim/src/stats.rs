@@ -3,8 +3,10 @@
 use crate::Nanos;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Linear io-depth buckets: depth `d` lands in bucket `min(d, MAX) - 1`.
+pub const IO_DEPTH_BUCKETS: usize = 64;
+
 /// Internal atomic counters.
-#[derive(Default)]
 pub(crate) struct StatsInner {
     reads: AtomicU64,
     writes: AtomicU64,
@@ -13,6 +15,30 @@ pub(crate) struct StatsInner {
     trims: AtomicU64,
     syncs: AtomicU64,
     injected_failures: AtomicU64,
+    submit_charges: AtomicU64,
+    depth_samples: AtomicU64,
+    depth_sum: AtomicU64,
+    depth_max: AtomicU64,
+    depth_buckets: [AtomicU64; IO_DEPTH_BUCKETS],
+}
+
+impl Default for StatsInner {
+    fn default() -> Self {
+        StatsInner {
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            trims: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+            injected_failures: AtomicU64::new(0),
+            submit_charges: AtomicU64::new(0),
+            depth_samples: AtomicU64::new(0),
+            depth_sum: AtomicU64::new(0),
+            depth_max: AtomicU64::new(0),
+            depth_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 impl StatsInner {
@@ -33,6 +59,21 @@ impl StatsInner {
     pub(crate) fn record_injected_failure(&self) {
         self.injected_failures.fetch_add(1, Ordering::Relaxed);
     }
+    /// Record one execution of the submit-path CPU cost. A batch submission
+    /// records once for many I/Os — the amortization the counter exposes.
+    pub(crate) fn record_submit_charge(&self) {
+        self.submit_charges.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Record the achieved io depth observed while scheduling one I/O:
+    /// how many I/Os (including this one) the device held concurrently.
+    pub(crate) fn record_depth(&self, depth: u64) {
+        let depth = depth.max(1);
+        let bucket = (depth as usize).min(IO_DEPTH_BUCKETS) - 1;
+        self.depth_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.depth_samples.fetch_add(1, Ordering::Relaxed);
+        self.depth_sum.fetch_add(depth, Ordering::Relaxed);
+        self.depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
 
     pub(crate) fn snapshot(&self, now: Nanos, busy_until: Nanos) -> DeviceStats {
         DeviceStats {
@@ -43,9 +84,65 @@ impl StatsInner {
             trims: self.trims.load(Ordering::Relaxed),
             syncs: self.syncs.load(Ordering::Relaxed),
             injected_failures: self.injected_failures.load(Ordering::Relaxed),
+            submit_charges: self.submit_charges.load(Ordering::Relaxed),
             virtual_now: now,
             busy_until,
+            io_depth: IoDepthStats {
+                samples: self.depth_samples.load(Ordering::Relaxed),
+                sum: self.depth_sum.load(Ordering::Relaxed),
+                max: self.depth_max.load(Ordering::Relaxed),
+                buckets: std::array::from_fn(|i| self.depth_buckets[i].load(Ordering::Relaxed)),
+            },
         }
+    }
+}
+
+/// Achieved-io-depth histogram: one sample per scheduled I/O, recording how
+/// many I/Os the device held concurrently at that moment. A blocking caller
+/// produces a flat depth-1 line; an async submitter driving the queue pair
+/// shows the real concurrency the paper's SPDK-style engine is meant to
+/// create.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoDepthStats {
+    /// I/Os sampled (= I/Os scheduled on the device queue).
+    pub samples: u64,
+    /// Sum of sampled depths (for the mean).
+    pub sum: u64,
+    /// Deepest concurrency observed.
+    pub max: u64,
+    /// `buckets[i]` counts samples at depth `i + 1` (last bucket saturates).
+    pub buckets: [u64; IO_DEPTH_BUCKETS],
+}
+
+impl Default for IoDepthStats {
+    fn default() -> Self {
+        IoDepthStats {
+            samples: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; IO_DEPTH_BUCKETS],
+        }
+    }
+}
+
+impl IoDepthStats {
+    /// Mean achieved depth (0 with no samples).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    /// `(depth, count)` pairs for the non-empty buckets.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (i as u64 + 1, c))
+            .collect()
     }
 }
 
@@ -66,10 +163,15 @@ pub struct DeviceStats {
     pub syncs: u64,
     /// Reads failed by the failure injector.
     pub injected_failures: u64,
+    /// Submit-path CPU charges executed. Equal to `total_ios` for blocking
+    /// callers; smaller when batched submission amortizes the doorbell.
+    pub submit_charges: u64,
     /// Virtual clock at snapshot time.
     pub virtual_now: Nanos,
     /// Virtual time until which the device queue is occupied.
     pub busy_until: Nanos,
+    /// Achieved-io-depth histogram (cumulative since device creation).
+    pub io_depth: IoDepthStats,
 }
 
 impl DeviceStats {
@@ -96,8 +198,12 @@ impl DeviceStats {
             trims: self.trims - earlier.trims,
             syncs: self.syncs - earlier.syncs,
             injected_failures: self.injected_failures - earlier.injected_failures,
+            submit_charges: self.submit_charges - earlier.submit_charges,
             virtual_now: self.virtual_now,
             busy_until: self.busy_until,
+            // Like virtual_now/busy_until, the histogram is carried
+            // cumulatively rather than differenced.
+            io_depth: self.io_depth,
         }
     }
 }

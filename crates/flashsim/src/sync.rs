@@ -1,0 +1,7 @@
+//! Synchronization facade for the I/O engine.
+//!
+//! Re-exports [`dcs_syncshim`]'s parking_lot-shaped primitives so the
+//! queue-pair state is visible to the deterministic interleaving checker
+//! when the `check` feature is enabled.
+
+pub use dcs_syncshim::pl;

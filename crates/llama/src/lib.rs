@@ -53,5 +53,7 @@ mod sync;
 
 pub use cache::{CacheManager, CacheManagerConfig, CacheStats, EvictionPolicy};
 pub use codec::{compress, decompress, Codec, CodecError};
-pub use lss::{LogStructuredStore, LssAuditReport, LssConfig, LssStats};
+pub use lss::{
+    CompletedFetch, FetchSubmit, LogStructuredStore, LssAuditReport, LssConfig, LssStats,
+};
 pub use recover::{recover, RecoveredState};

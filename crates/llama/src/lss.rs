@@ -3,7 +3,9 @@
 use crate::codec::Codec;
 use crate::sync::{AtomicU64 as SyncAtomicU64, Mutex};
 use dcs_bwtree::{PageId, PageImage, PageStore, StoreError};
-use dcs_flashsim::{DeviceError, FlashAddress, FlashDevice, SegmentId};
+use dcs_flashsim::{
+    DeviceError, FlashAddress, FlashDevice, IoQueuePair, IoRequest, SegmentId, SubmitError,
+};
 use std::collections::HashMap;
 // Stats stay on plain std atomics even in instrumented builds: monotonic
 // counters admit no interleaving worth exploring (same convention as
@@ -201,6 +203,61 @@ struct StatsInner {
     rollups: AtomicU64,
 }
 
+/// Outcome of [`LogStructuredStore::fetch_submit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FetchSubmit {
+    /// Every part of the chain was buffer-resident: the folded image is
+    /// available immediately, no device read was needed.
+    Ready(PageImage),
+    /// At least one part needs a device read; it has been submitted on the
+    /// store's I/O queue pair. The id keys the eventual
+    /// [`LogStructuredStore::poll_fetches`] completion.
+    Pending(u64),
+}
+
+/// One finished asynchronous fetch, reaped by
+/// [`LogStructuredStore::poll_fetches`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedFetch {
+    /// The id [`FetchSubmit::Pending`] carried.
+    pub fetch_id: u64,
+    /// The folded page image, or the error the blocking
+    /// [`PageStore::fetch`] would have returned.
+    pub result: Result<PageImage, StoreError>,
+}
+
+/// An asynchronous fetch between submit and completion: the chain walk
+/// (newest → oldest part) paused at a flash-resident part whose read is in
+/// flight on the queue pair.
+struct AsyncFetch {
+    /// The originally requested token (for error reporting).
+    token: u64,
+    /// Parts decoded so far, newest first.
+    imgs: Vec<PageImage>,
+    /// The part whose device read is in flight.
+    awaiting: u64,
+    /// Its `prev` link, captured at submit (the walk continues there once
+    /// the read lands, unless the part turns out to be a base image).
+    awaiting_prev: Option<u64>,
+}
+
+#[derive(Default)]
+struct AsyncFetches {
+    next_id: u64,
+    pending: HashMap<u64, AsyncFetch>,
+}
+
+/// A step of the asynchronous chain walk.
+enum WalkStep {
+    /// Chain fully decoded; the folded image.
+    Done(PageImage),
+    /// A device read was submitted; the walk resumes on its completion.
+    Submitted {
+        awaiting: u64,
+        awaiting_prev: Option<u64>,
+    },
+}
+
 /// Log-structured page store over a flash device. See the crate docs.
 pub struct LogStructuredStore {
     device: Arc<FlashDevice>,
@@ -208,6 +265,9 @@ pub struct LogStructuredStore {
     inner: Mutex<Inner>,
     next_lsn: SyncAtomicU64,
     stats: StatsInner,
+    /// SPDK-style queue pair for asynchronous part fetches.
+    qp: IoQueuePair,
+    fetches: Mutex<AsyncFetches>,
 }
 
 impl LogStructuredStore {
@@ -218,6 +278,7 @@ impl LogStructuredStore {
             "flush buffer must fit in one device segment"
         );
         LogStructuredStore {
+            qp: IoQueuePair::new(device.clone()),
             device,
             config,
             inner: Mutex::new(Inner {
@@ -230,6 +291,7 @@ impl LogStructuredStore {
             }),
             next_lsn: SyncAtomicU64::new(0),
             stats: StatsInner::default(),
+            fetches: Mutex::new(AsyncFetches::default()),
         }
     }
 
@@ -905,24 +967,18 @@ impl LogStructuredStore {
 }
 
 impl LogStructuredStore {
-    /// Materialize the full image for `token` (caller holds the lock).
-    fn fetch_locked(&self, inner: &Inner, token: u64) -> Result<PageImage, StoreError> {
-        // Walk the part chain newest → oldest, then fold oldest-up.
-        let mut imgs: Vec<PageImage> = Vec::new();
-        let mut cur = Some(token);
-        while let Some(lsn) = cur {
-            let (meta, payload) = self.read_part(inner, lsn)?;
-            let raw = self
-                .config
-                .codec
-                .decode(&payload)
-                .map_err(|e| StoreError::Io(format!("corrupt compressed part {lsn}: {e}")))?;
-            let img = PageImage::deserialize(&raw)
-                .map_err(|e| StoreError::Io(format!("corrupt part {lsn}: {e}")))?;
-            let is_base = !img.is_delta;
-            imgs.push(img);
-            cur = if is_base { None } else { meta.prev };
-        }
+    /// Decode one part's payload into a page image.
+    fn decode_part(&self, lsn: u64, payload: &[u8]) -> Result<PageImage, StoreError> {
+        let raw = self
+            .config
+            .codec
+            .decode(payload)
+            .map_err(|e| StoreError::Io(format!("corrupt compressed part {lsn}: {e}")))?;
+        PageImage::deserialize(&raw).map_err(|e| StoreError::Io(format!("corrupt part {lsn}: {e}")))
+    }
+
+    /// Fold a fully decoded chain (newest first) into one image.
+    fn fold_parts(token: u64, mut imgs: Vec<PageImage>) -> Result<PageImage, StoreError> {
         let mut base = imgs.pop().ok_or(StoreError::UnknownToken(token))?;
         if base.is_delta {
             return Err(StoreError::Io(format!(
@@ -933,6 +989,206 @@ impl LogStructuredStore {
             base.apply_delta(&delta);
         }
         Ok(base)
+    }
+
+    /// Materialize the full image for `token` (caller holds the lock).
+    fn fetch_locked(&self, inner: &Inner, token: u64) -> Result<PageImage, StoreError> {
+        // Walk the part chain newest → oldest, then fold oldest-up.
+        let mut imgs: Vec<PageImage> = Vec::new();
+        let mut cur = Some(token);
+        while let Some(lsn) = cur {
+            let (meta, payload) = self.read_part(inner, lsn)?;
+            let img = self.decode_part(lsn, &payload)?;
+            let is_base = !img.is_delta;
+            imgs.push(img);
+            cur = if is_base { None } else { meta.prev };
+        }
+        Self::fold_parts(token, imgs)
+    }
+
+    // ------------------------------------------------------------------
+    // Asynchronous fetch: submit / poll over the store's queue pair
+    // ------------------------------------------------------------------
+
+    /// Begin fetching the full image for `token` without blocking on the
+    /// device: buffer-resident parts decode inline, the first flash-resident
+    /// part's read is submitted on the store's [`IoQueuePair`] and the chain
+    /// walk resumes per completion in [`LogStructuredStore::poll_fetches`].
+    ///
+    /// Errors detectable at submit (unknown token, corrupt buffered part)
+    /// surface immediately; I/O errors arrive with the completion. When the
+    /// submission queue is momentarily full the read degrades to a blocking
+    /// one — correctness never depends on a free slot.
+    pub fn fetch_submit(&self, token: u64) -> Result<FetchSubmit, StoreError> {
+        let fetch_id = {
+            let mut f = self.fetches.lock();
+            let id = f.next_id;
+            f.next_id += 1;
+            id
+        };
+        let mut imgs = Vec::new();
+        match self.walk_fetch(fetch_id, token, Some(token), &mut imgs)? {
+            WalkStep::Done(img) => Ok(FetchSubmit::Ready(img)),
+            WalkStep::Submitted {
+                awaiting,
+                awaiting_prev,
+            } => {
+                self.fetches.lock().pending.insert(
+                    fetch_id,
+                    AsyncFetch {
+                        token,
+                        imgs,
+                        awaiting,
+                        awaiting_prev,
+                    },
+                );
+                Ok(FetchSubmit::Pending(fetch_id))
+            }
+        }
+    }
+
+    /// Advance the chain walk from `cur`, decoding buffer parts inline and
+    /// stopping at the first part that needs a device read.
+    fn walk_fetch(
+        &self,
+        fetch_id: u64,
+        token: u64,
+        mut cur: Option<u64>,
+        imgs: &mut Vec<PageImage>,
+    ) -> Result<WalkStep, StoreError> {
+        while let Some(lsn) = cur {
+            // Copy meta (and a buffered payload) out under the table lock;
+            // device I/O happens outside it.
+            let (meta, buffered_payload) = {
+                let inner = self.inner.lock();
+                let meta = inner
+                    .parts
+                    .get(&lsn)
+                    .ok_or(StoreError::UnknownToken(lsn))?
+                    .clone();
+                token_access(lsn);
+                let payload = match meta.loc {
+                    Location::Buffer(off) => {
+                        self.stats.buffer_hits.fetch_add(1, Ordering::Relaxed);
+                        let start = off + FRAME_HEADER;
+                        Some(inner.buffer[start..start + meta.len as usize].to_vec())
+                    }
+                    Location::Flash(_) => None,
+                };
+                (meta, payload)
+            };
+            let payload = match buffered_payload {
+                Some(p) => p,
+                None => {
+                    let Location::Flash(addr) = meta.loc else {
+                        unreachable!("non-buffer part is on flash")
+                    };
+                    let payload_addr = FlashAddress {
+                        segment: addr.segment,
+                        offset: addr.offset + FRAME_HEADER as u32,
+                    };
+                    self.stats.flash_reads.fetch_add(1, Ordering::Relaxed);
+                    match self.qp.submit(IoRequest {
+                        addr: payload_addr,
+                        len: meta.len as usize,
+                        tag: fetch_id,
+                    }) {
+                        Ok(_) => {
+                            return Ok(WalkStep::Submitted {
+                                awaiting: lsn,
+                                awaiting_prev: meta.prev,
+                            })
+                        }
+                        Err(SubmitError::QueueFull { .. }) => {
+                            // Bounded-queue degradation: read synchronously.
+                            self.device
+                                .read(payload_addr, meta.len as usize)
+                                .map_err(device_err)?
+                        }
+                    }
+                }
+            };
+            let img = self.decode_part(lsn, &payload)?;
+            let is_base = !img.is_delta;
+            imgs.push(img);
+            cur = if is_base { None } else { meta.prev };
+        }
+        Ok(WalkStep::Done(Self::fold_parts(
+            token,
+            std::mem::take(imgs),
+        )?))
+    }
+
+    /// Reap completed device reads and advance their chain walks. Fetches
+    /// whose final part landed are pushed into `out`; multi-part chains may
+    /// submit their next read instead and stay pending. Returns how many
+    /// fetches finished. Non-blocking.
+    pub fn poll_fetches(&self, out: &mut Vec<CompletedFetch>) -> usize {
+        let mut comps = Vec::new();
+        self.qp.poll_completions(&mut comps);
+        let mut finished = 0;
+        for c in comps {
+            let fetch_id = c.tag;
+            let Some(mut st) = self.fetches.lock().pending.remove(&fetch_id) else {
+                debug_assert!(false, "completion for unknown fetch {fetch_id}");
+                continue;
+            };
+            let step = c.result.map_err(device_err).and_then(|payload| {
+                let img = self.decode_part(st.awaiting, &payload)?;
+                let is_base = !img.is_delta;
+                st.imgs.push(img);
+                let cur = if is_base { None } else { st.awaiting_prev };
+                self.walk_fetch(fetch_id, st.token, cur, &mut st.imgs)
+            });
+            match step {
+                Ok(WalkStep::Done(img)) => {
+                    finished += 1;
+                    out.push(CompletedFetch {
+                        fetch_id,
+                        result: Ok(img),
+                    });
+                }
+                Ok(WalkStep::Submitted {
+                    awaiting,
+                    awaiting_prev,
+                }) => {
+                    st.awaiting = awaiting;
+                    st.awaiting_prev = awaiting_prev;
+                    self.fetches.lock().pending.insert(fetch_id, st);
+                }
+                Err(e) => {
+                    finished += 1;
+                    out.push(CompletedFetch {
+                        fetch_id,
+                        result: Err(e),
+                    });
+                }
+            }
+        }
+        finished
+    }
+
+    /// Fetches submitted but not yet completed.
+    pub fn fetches_inflight(&self) -> usize {
+        self.fetches.lock().pending.len()
+    }
+
+    /// Block (sleeping out any wall-clock device latency) until every
+    /// in-flight fetch has completed, reaping them into `out`. Shutdown
+    /// paths use this so no parked request is ever abandoned.
+    pub fn drain_fetches(&self, out: &mut Vec<CompletedFetch>) {
+        while self.fetches_inflight() > 0 {
+            if self.poll_fetches(out) > 0 {
+                continue;
+            }
+            // Nothing wall-ready yet: yield rather than spin hot.
+            std::thread::yield_now();
+        }
+    }
+
+    /// The store's I/O queue pair (diagnostics and tests).
+    pub fn io_queue(&self) -> &IoQueuePair {
+        &self.qp
     }
 }
 
@@ -1096,6 +1352,75 @@ mod tests {
         assert_eq!(img.entries.len(), 3);
         // Two parts ⇒ two flash reads (the I/O cost of delta chains).
         assert_eq!(s.stats().flash_reads, 2);
+    }
+
+    #[test]
+    fn fetch_submit_ready_from_buffer() {
+        let s = test_store();
+        let img = base_img(&[("a", "1")]);
+        let t = s.write(1, &img, None).unwrap();
+        // Not yet flushed: the async path resolves without any device read.
+        match s.fetch_submit(t).unwrap() {
+            FetchSubmit::Ready(got) => assert_eq!(got, img),
+            FetchSubmit::Pending(_) => panic!("buffered part must be ready"),
+        }
+        assert_eq!(s.device().stats().reads, 0);
+        assert_eq!(s.fetches_inflight(), 0);
+    }
+
+    #[test]
+    fn fetch_submit_poll_multi_part_chain() {
+        let s = test_store();
+        let t0 = s
+            .write(1, &base_img(&[("a", "1"), ("b", "2")]), None)
+            .unwrap();
+        let d = PageImage::delta(vec![DeltaOp::Put(b("c"), b("3"))], None, None);
+        let t1 = s.write(1, &d, Some(t0)).unwrap();
+        s.flush().unwrap();
+        let FetchSubmit::Pending(id) = s.fetch_submit(t1).unwrap() else {
+            panic!("flash-resident chain must go async");
+        };
+        assert_eq!(s.fetches_inflight(), 1);
+        let mut out = Vec::new();
+        // Two parts ⇒ the first completion resubmits for the base; drain
+        // until the fold lands.
+        s.drain_fetches(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].fetch_id, id);
+        let img = out[0].result.as_ref().unwrap();
+        assert_eq!(img.entries.len(), 3);
+        // Same I/O accounting as the blocking path.
+        assert_eq!(s.stats().flash_reads, 2);
+        assert_eq!(s.device().stats().reads, 2);
+        // And the folded image matches the blocking fetch.
+        assert_eq!(*img, s.fetch(1, t1).unwrap());
+    }
+
+    #[test]
+    fn concurrent_fetches_share_the_queue_pair() {
+        let s = test_store();
+        let mut tokens = Vec::new();
+        for pid in 0..4u64 {
+            let img = base_img(&[("k", &format!("value-{pid}"))]);
+            tokens.push((pid, s.write(pid, &img, None).unwrap()));
+        }
+        s.flush().unwrap();
+        let mut ids = Vec::new();
+        for (_, t) in &tokens {
+            match s.fetch_submit(*t).unwrap() {
+                FetchSubmit::Pending(id) => ids.push(id),
+                FetchSubmit::Ready(_) => panic!("flushed parts must go async"),
+            }
+        }
+        assert_eq!(s.fetches_inflight(), 4);
+        // All four reads were concurrently in flight on the device.
+        assert_eq!(s.device().stats().io_depth.max, 4);
+        let mut out = Vec::new();
+        s.drain_fetches(&mut out);
+        assert_eq!(out.len(), 4);
+        for c in &out {
+            assert!(c.result.is_ok());
+        }
     }
 
     #[test]

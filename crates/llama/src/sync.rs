@@ -1,19 +1,13 @@
-//! Synchronization facade: `parking_lot` / `std::sync::atomic` in normal
-//! builds, the `dcs-check` instrumented shims when the `check` feature is
-//! on. The shims turn the store's lock acquisitions and the LSN allocator
-//! into schedule points of the deterministic interleaving checker; see
-//! `crates/check`.
+//! Synchronization facade, re-exported from the workspace-shared
+//! `dcs-syncshim`: `parking_lot` / `std::sync::atomic` in normal builds,
+//! the `dcs-check` instrumented shims when the `check` feature is on (the
+//! feature forwards to `dcs-syncshim/check`). The shims turn the store's
+//! lock acquisitions and the LSN allocator into schedule points of the
+//! deterministic interleaving checker; see `crates/check`.
 //!
 //! Stats counters deliberately stay on plain `std` atomics (see `lss.rs`) —
 //! instrumenting monotonic counters would only inflate the schedule space
 //! without adding any interleaving of interest.
 
-#[cfg(feature = "check")]
-pub use dcs_check::sync::pl::Mutex;
-#[cfg(feature = "check")]
-pub use dcs_check::sync::AtomicU64;
-
-#[cfg(not(feature = "check"))]
-pub use parking_lot::Mutex;
-#[cfg(not(feature = "check"))]
-pub use std::sync::atomic::AtomicU64;
+pub use dcs_syncshim::atomic::AtomicU64;
+pub use dcs_syncshim::pl::Mutex;

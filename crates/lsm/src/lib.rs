@@ -38,6 +38,6 @@ mod sstable;
 mod sync;
 
 pub use bloom::BloomFilter;
-pub use lsm::{LsmAuditReport, LsmConfig, LsmError, LsmStats, LsmTree};
+pub use lsm::{LsmAuditReport, LsmConfig, LsmError, LsmFinishedGet, LsmGet, LsmStats, LsmTree};
 pub use memtable::Memtable;
 pub use sstable::SsTable;

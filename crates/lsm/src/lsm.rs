@@ -2,9 +2,9 @@
 
 use crate::memtable::Memtable;
 use crate::sstable::{SsTable, TableValue};
-use crate::sync::RwLock;
+use crate::sync::{Mutex, RwLock};
 use bytes::Bytes;
-use dcs_flashsim::{DeviceError, FlashDevice, SegmentId};
+use dcs_flashsim::{DeviceError, FlashDevice, IoQueuePair, IoRequest, SegmentId, SubmitError};
 use std::collections::HashMap;
 // Stats and id allocation stay on plain std atomics even in instrumented
 // builds: monotonic counters admit no interleaving worth exploring, and
@@ -116,6 +116,44 @@ struct State {
     seg_tables: HashMap<SegmentId, usize>,
 }
 
+/// Outcome of a non-blocking [`LsmTree::get_submit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LsmGet {
+    /// Answered without device I/O (memtable hit, or every table filtered
+    /// by fences and bloom filters).
+    Ready(Option<Bytes>),
+    /// Candidate-block reads are in flight; the token identifies this read
+    /// in later [`LsmTree::poll_gets`] completions.
+    Pending(u64),
+}
+
+/// A completed asynchronous read, reaped by [`LsmTree::poll_gets`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LsmFinishedGet {
+    /// The token [`LsmTree::get_submit`] returned.
+    pub token: u64,
+    /// The read's final outcome.
+    pub result: Result<Option<Bytes>, LsmError>,
+}
+
+/// One in-flight speculative read: every candidate table's block was
+/// submitted at once, and the result is decided in table priority order
+/// once all blocks are back.
+struct PendingGet {
+    key: Vec<u8>,
+    /// Candidate tables newest-first, each paired with its block once read.
+    candidates: Vec<(Arc<SsTable>, Option<Vec<u8>>)>,
+    /// Outstanding ticket → candidate index.
+    tickets: HashMap<u64, usize>,
+    failure: Option<LsmError>,
+}
+
+#[derive(Default)]
+struct AsyncGets {
+    next_token: u64,
+    pending: HashMap<u64, PendingGet>,
+}
+
 /// A leveled LSM tree over the simulated flash device. See the crate docs.
 pub struct LsmTree {
     device: Arc<FlashDevice>,
@@ -123,6 +161,12 @@ pub struct LsmTree {
     state: RwLock<State>,
     next_table_id: AtomicU64,
     stats: StatsInner,
+    /// Queue pair for asynchronous point reads.
+    get_qp: IoQueuePair,
+    /// Separate queue pair for compaction prefetch, so a compaction drain
+    /// never reaps a point read's completion.
+    compact_qp: IoQueuePair,
+    async_gets: Mutex<AsyncGets>,
 }
 
 impl LsmTree {
@@ -130,6 +174,8 @@ impl LsmTree {
     pub fn new(device: Arc<FlashDevice>, config: LsmConfig) -> Self {
         let levels = (0..config.max_levels).map(|_| Vec::new()).collect();
         LsmTree {
+            get_qp: IoQueuePair::new(device.clone()),
+            compact_qp: IoQueuePair::new(device.clone()),
             device,
             config,
             state: RwLock::new(State {
@@ -139,6 +185,7 @@ impl LsmTree {
             }),
             next_table_id: AtomicU64::new(0),
             stats: StatsInner::default(),
+            async_gets: Mutex::new(AsyncGets::default()),
         }
     }
 
@@ -244,6 +291,157 @@ impl LsmTree {
             Some(TableValue::Put(v)) => Some(v),
             Some(TableValue::Tombstone) | None => None,
         })
+    }
+
+    /// Begin a non-blocking point lookup. Memtable hits and bloom-filtered
+    /// misses resolve immediately; otherwise the sparse-index blocks of
+    /// *every* candidate table are submitted to the device queue pair in
+    /// one batch (a speculative parallel read: extra read I/O traded for a
+    /// single device round trip of latency) and the read resolves in a
+    /// later [`LsmTree::poll_gets`].
+    ///
+    /// The read linearizes at submit: it answers from the tables and
+    /// memtable as of this call.
+    pub fn get_submit(&self, key: &[u8]) -> Result<LsmGet, LsmError> {
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        let state = self.state.read();
+        if let Some(answer) = state.memtable.get(key) {
+            self.stats.memtable_hits.fetch_add(1, Ordering::Relaxed);
+            self.stats.mm_ops.fetch_add(1, Ordering::Relaxed);
+            return Ok(LsmGet::Ready(answer));
+        }
+        // Candidate tables newest-first, with the block each would read.
+        let mut cands: Vec<(Arc<SsTable>, usize, usize)> = Vec::new();
+        for (li, level) in state.levels.iter().enumerate() {
+            if li == 0 {
+                for t in level {
+                    if let Some((s, e)) = t.block_interval(key) {
+                        cands.push((t.clone(), s, e));
+                    }
+                }
+            } else {
+                let idx = level.partition_point(|t| t.last_key.as_ref() < key);
+                if let Some(t) = level.get(idx) {
+                    if let Some((s, e)) = t.block_interval(key) {
+                        cands.push((t.clone(), s, e));
+                    }
+                }
+            }
+        }
+        drop(state);
+        if cands.is_empty() {
+            self.stats.mm_ops.fetch_add(1, Ordering::Relaxed);
+            return Ok(LsmGet::Ready(None));
+        }
+        let token = {
+            let mut gets = self.async_gets.lock();
+            let t = gets.next_token;
+            gets.next_token += 1;
+            t
+        };
+        let reqs: Vec<IoRequest> = cands
+            .iter()
+            .map(|(t, s, e)| IoRequest {
+                addr: t.block_addr(*s),
+                len: e - s,
+                tag: token,
+            })
+            .collect();
+        match self.get_qp.submit_batch(&reqs) {
+            Ok(tickets) => {
+                let pending = PendingGet {
+                    key: key.to_vec(),
+                    candidates: cands.into_iter().map(|(t, _, _)| (t, None)).collect(),
+                    tickets: tickets.iter().enumerate().map(|(i, t)| (t.0, i)).collect(),
+                    failure: None,
+                };
+                self.async_gets.lock().pending.insert(token, pending);
+                Ok(LsmGet::Pending(token))
+            }
+            // Device queue saturated: degrade to the blocking probe order
+            // (stop at the first table that answers). Correctness never
+            // depends on a free queue slot.
+            Err(SubmitError::QueueFull { .. }) => {
+                let mut result = None;
+                for (t, s, e) in &cands {
+                    let block = self.device.read(t.block_addr(*s), e - s)?;
+                    if let Some(v) = SsTable::search_block(&block, key) {
+                        result = Some(v);
+                        break;
+                    }
+                }
+                self.stats.ss_ops.fetch_add(1, Ordering::Relaxed);
+                Ok(LsmGet::Ready(match result {
+                    Some(TableValue::Put(v)) => Some(v),
+                    Some(TableValue::Tombstone) | None => None,
+                }))
+            }
+        }
+    }
+
+    /// Reap every asynchronous read whose candidate blocks have all
+    /// arrived, resolving each in table priority order (newest candidate
+    /// wins). Non-blocking; returns reads resolved.
+    pub fn poll_gets(&self, out: &mut Vec<LsmFinishedGet>) -> usize {
+        let mut comps = Vec::new();
+        self.get_qp.poll_completions(&mut comps);
+        if comps.is_empty() {
+            return 0;
+        }
+        let mut resolved = 0;
+        let mut gets = self.async_gets.lock();
+        for c in comps {
+            let Some(g) = gets.pending.get_mut(&c.tag) else {
+                continue;
+            };
+            let Some(idx) = g.tickets.remove(&c.ticket.0) else {
+                continue;
+            };
+            match c.result {
+                Ok(buf) => g.candidates[idx].1 = Some(buf),
+                Err(e) => {
+                    g.failure.get_or_insert(e.into());
+                }
+            }
+            if !g.tickets.is_empty() {
+                continue;
+            }
+            let g = gets.pending.remove(&c.tag).expect("pending get present");
+            let result = match g.failure {
+                Some(e) => Err(e),
+                None => {
+                    self.stats.ss_ops.fetch_add(1, Ordering::Relaxed);
+                    let found = g.candidates.iter().find_map(|(_, block)| {
+                        SsTable::search_block(block.as_deref().expect("block read"), &g.key)
+                    });
+                    Ok(match found {
+                        Some(TableValue::Put(v)) => Some(v),
+                        Some(TableValue::Tombstone) | None => None,
+                    })
+                }
+            };
+            out.push(LsmFinishedGet {
+                token: c.tag,
+                result,
+            });
+            resolved += 1;
+        }
+        resolved
+    }
+
+    /// Asynchronous reads currently in flight.
+    pub fn gets_inflight(&self) -> usize {
+        self.async_gets.lock().pending.len()
+    }
+
+    /// Block (spinning out any wall-clock device latency) until every
+    /// in-flight read resolves into `out`.
+    pub fn drain_gets(&self, out: &mut Vec<LsmFinishedGet>) {
+        while self.gets_inflight() > 0 {
+            if self.poll_gets(out) == 0 {
+                std::thread::yield_now();
+            }
+        }
     }
 
     /// Scan `[start, end)` in key order, merged across all components.
@@ -526,10 +724,15 @@ impl LsmTree {
 
         // Merge: newest source wins per key. Upper L0 runs are newest-first
         // already; deeper sources are older than upper by construction.
+        // Input runs are prefetched through the queue pair so the device
+        // works on many reads at once instead of one blocking round trip
+        // per table.
+        let inputs: Vec<Arc<SsTable>> = upper.iter().chain(overlapping.iter()).cloned().collect();
+        let contents = self.read_tables_prefetched(&inputs)?;
         let mut merged: std::collections::BTreeMap<Bytes, TableValue> =
             std::collections::BTreeMap::new();
-        for t in upper.iter().chain(overlapping.iter()) {
-            for (k, v) in t.read_all(&self.device)? {
+        for all in contents {
+            for (k, v) in all {
                 merged.entry(k).or_insert(v);
             }
         }
@@ -569,6 +772,72 @@ impl LsmTree {
             self.retire_table(state, t);
         }
         Ok(())
+    }
+
+    /// Read every table's full run through the compaction queue pair:
+    /// batches are submitted as deep as the device queue allows (one
+    /// doorbell charge per batch), completions reaped as they land. Falls
+    /// back to smaller batches — ultimately single submissions plus a
+    /// reaping spin — when the queue is contended.
+    fn read_tables_prefetched(
+        &self,
+        tables: &[Arc<SsTable>],
+    ) -> Result<Vec<Vec<(Bytes, TableValue)>>, LsmError> {
+        let mut results: Vec<Option<Vec<(Bytes, TableValue)>>> =
+            (0..tables.len()).map(|_| None).collect();
+        let mut tickets: HashMap<u64, usize> = HashMap::new();
+        let mut next = 0usize;
+        let mut first_err: Option<LsmError> = None;
+        let mut comps = Vec::new();
+        while next < tables.len() || !tickets.is_empty() {
+            // Submit the largest batch that fits under the queue depth.
+            let mut chunk = tables.len() - next;
+            while chunk > 0 {
+                let reqs: Vec<IoRequest> = tables[next..next + chunk]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| IoRequest {
+                        addr: t.base_addr(),
+                        len: t.len,
+                        tag: (next + i) as u64,
+                    })
+                    .collect();
+                match self.compact_qp.submit_batch(&reqs) {
+                    Ok(ts) => {
+                        for (i, ticket) in ts.iter().enumerate() {
+                            tickets.insert(ticket.0, next + i);
+                        }
+                        next += chunk;
+                        chunk = tables.len() - next;
+                    }
+                    Err(SubmitError::QueueFull { .. }) => chunk /= 2,
+                }
+            }
+            comps.clear();
+            if self.compact_qp.poll_completions(&mut comps) == 0 && !tickets.is_empty() {
+                std::thread::yield_now();
+            }
+            for c in comps.drain(..) {
+                let Some(idx) = tickets.remove(&c.ticket.0) else {
+                    continue;
+                };
+                match c.result {
+                    Ok(buf) => results[idx] = Some(SsTable::parse_all(&buf, tables[idx].entries)),
+                    Err(e) => {
+                        // Finish reaping what is in flight, then fail.
+                        first_err.get_or_insert(e.into());
+                        next = tables.len();
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every submitted read resolved"))
+            .collect())
     }
 
     /// Number of runs per level (diagnostics).
@@ -954,6 +1223,90 @@ mod tests {
         assert!(report.tables > 0, "flushed data should live in tables");
         assert!(report.entries > 0);
         assert!(t.stats().compactions > 0, "scenario should compact");
+    }
+
+    #[test]
+    fn async_get_matches_sync_across_levels() {
+        let t = test_tree();
+        for i in 0..3000u32 {
+            let (k, v) = kv(i);
+            t.put(k, v).unwrap();
+        }
+        for i in (0..3000u32).step_by(7) {
+            t.delete(kv(i).0).unwrap();
+        }
+        t.flush().unwrap();
+        // Submit a window of reads, then poll them all to completion and
+        // compare with the blocking path.
+        let mut expected = HashMap::new();
+        let mut pending = HashMap::new();
+        for i in (0..3000u32).step_by(111) {
+            let (k, _) = kv(i);
+            match t.get_submit(&k).unwrap() {
+                LsmGet::Ready(v) => {
+                    assert_eq!(v, t.get(&k).unwrap(), "key {i} (ready)");
+                }
+                LsmGet::Pending(token) => {
+                    expected.insert(token, t.get(&k).unwrap());
+                    pending.insert(token, i);
+                }
+            }
+        }
+        assert!(!pending.is_empty(), "flushed keys should need I/O");
+        let mut out = Vec::new();
+        t.drain_gets(&mut out);
+        assert_eq!(out.len(), pending.len());
+        for f in out {
+            let i = pending[&f.token];
+            assert_eq!(f.result.unwrap(), expected[&f.token], "key {i}");
+        }
+        assert_eq!(t.gets_inflight(), 0);
+    }
+
+    #[test]
+    fn async_get_tombstone_shadows_older_level() {
+        let t = test_tree();
+        for i in 0..500u32 {
+            let (k, v) = kv(i);
+            t.put(k, v).unwrap();
+        }
+        t.flush().unwrap();
+        t.delete(kv(42).0).unwrap();
+        t.flush().unwrap();
+        let mut out = Vec::new();
+        match t.get_submit(&kv(42).0).unwrap() {
+            LsmGet::Ready(v) => assert_eq!(v, None),
+            LsmGet::Pending(token) => {
+                t.drain_gets(&mut out);
+                let f = out.iter().find(|f| f.token == token).expect("completed");
+                assert_eq!(f.result.clone().unwrap(), None, "tombstone must win");
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_reads_raise_io_depth() {
+        let t = test_tree();
+        for i in 0..4000u32 {
+            let (k, v) = kv(i);
+            t.put(k, v).unwrap();
+        }
+        t.flush().unwrap();
+        let mut tokens = 0;
+        for i in (0..4000u32).step_by(301) {
+            if let LsmGet::Pending(_) = t.get_submit(&kv(i).0).unwrap() {
+                tokens += 1;
+            }
+        }
+        let mut out = Vec::new();
+        t.drain_gets(&mut out);
+        assert_eq!(out.len(), tokens);
+        // Several block reads per submit window were in flight at once.
+        assert!(
+            t.device().stats().io_depth.max > 1,
+            "speculative submits should overlap I/O: {:?}",
+            t.device().stats().io_depth.max
+        );
     }
 
     #[test]

@@ -134,17 +134,14 @@ impl SsTable {
         !(self.last_key.as_ref() < first || last < self.first_key.as_ref())
     }
 
-    /// Point lookup: bloom check, then at most one device read of the
-    /// sparse-index interval containing the key.
-    ///
-    /// Returns `(result, did_io)`.
-    pub(crate) fn get(
-        &self,
-        device: &FlashDevice,
-        key: &[u8],
-    ) -> Result<(Option<TableValue>, bool), dcs_flashsim::DeviceError> {
+    /// The byte interval `[start, end)` of the sparse-index block that
+    /// could hold `key`, or `None` when the range fence or bloom filter
+    /// proves the key absent without I/O. Feeds both the blocking
+    /// [`SsTable::get`] and the async submit path, which turns the interval
+    /// into an [`dcs_flashsim::IoRequest`] via [`SsTable::block_addr`].
+    pub(crate) fn block_interval(&self, key: &[u8]) -> Option<(usize, usize)> {
         if !self.covers(key) || !self.bloom.may_contain(key) {
-            return Ok((None, false));
+            return None;
         }
         // Sparse index: find the interval whose first key ≤ key.
         let slot = self
@@ -157,23 +154,60 @@ impl SsTable {
             .get(slot + 1)
             .map(|(_, off)| *off as usize)
             .unwrap_or(self.len);
-        let block = device.read(
-            FlashAddress {
-                segment: self.addr.segment,
-                offset: self.addr.offset + start as u32,
-            },
-            end - start,
-        )?;
+        Some((start, end))
+    }
+
+    /// Flash address of byte `start` within this run.
+    pub(crate) fn block_addr(&self, start: usize) -> FlashAddress {
+        FlashAddress {
+            segment: self.addr.segment,
+            offset: self.addr.offset + start as u32,
+        }
+    }
+
+    /// Address of the run's first byte (whole-run reads).
+    pub(crate) fn base_addr(&self) -> FlashAddress {
+        self.addr
+    }
+
+    /// Search one sparse-index block (as read from the device) for `key`.
+    pub(crate) fn search_block(block: &[u8], key: &[u8]) -> Option<TableValue> {
         let mut pos = 0usize;
-        while let Some((k, v)) = read_entry(&block, &mut pos) {
+        while let Some((k, v)) = read_entry(block, &mut pos) {
             if k.as_ref() == key {
-                return Ok((Some(v), true));
+                return Some(v);
             }
             if k.as_ref() > key {
                 break;
             }
         }
-        Ok((None, true))
+        None
+    }
+
+    /// Point lookup: bloom check, then at most one device read of the
+    /// sparse-index interval containing the key.
+    ///
+    /// Returns `(result, did_io)`.
+    pub(crate) fn get(
+        &self,
+        device: &FlashDevice,
+        key: &[u8],
+    ) -> Result<(Option<TableValue>, bool), dcs_flashsim::DeviceError> {
+        let Some((start, end)) = self.block_interval(key) else {
+            return Ok((None, false));
+        };
+        let block = device.read(self.block_addr(start), end - start)?;
+        Ok((Self::search_block(&block, key), true))
+    }
+
+    /// Decode a whole serialized run (as read from the device).
+    pub(crate) fn parse_all(buf: &[u8], capacity: usize) -> Vec<(Bytes, TableValue)> {
+        let mut out = Vec::with_capacity(capacity);
+        let mut pos = 0usize;
+        while let Some(e) = read_entry(buf, &mut pos) {
+            out.push(e);
+        }
+        out
     }
 
     /// Read the whole run back (for compaction and scans).
@@ -182,12 +216,7 @@ impl SsTable {
         device: &FlashDevice,
     ) -> Result<Vec<(Bytes, TableValue)>, dcs_flashsim::DeviceError> {
         let buf = device.read(self.addr, self.len)?;
-        let mut out = Vec::with_capacity(self.entries);
-        let mut pos = 0usize;
-        while let Some(e) = read_entry(&buf, &mut pos) {
-            out.push(e);
-        }
-        Ok(out)
+        Ok(Self::parse_all(&buf, self.entries))
     }
 
     /// The flash segment holding this run.

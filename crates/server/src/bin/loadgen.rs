@@ -13,13 +13,13 @@
 //!     --backend caching --mode open --rate 50000
 //! ```
 
-use dcs_core::BackendKind;
+use dcs_core::{BackendKind, BackendOpts};
 use dcs_server::mailbox::Mailbox;
 use dcs_server::metrics::LatencyHistogram;
 use dcs_server::protocol::{Request, Response};
-use dcs_server::report::{BenchReport, OpReport};
-use dcs_server::shard::Partitioner;
-use dcs_server::{Client, ClientConfig, Server, ServerConfig, Ticket};
+use dcs_server::report::{BenchReport, IoDepthReport, MissServiceReport, OpReport};
+use dcs_server::shard::{MissMode, Partitioner};
+use dcs_server::{Client, ClientConfig, Server, ServerConfig, ShardBackend, Ticket};
 use dcs_workload::{keys, Arrivals, KeyDist, OpKind, OpMix, WorkloadSpec};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,6 +40,9 @@ struct Args {
     workload: String,
     seed: u64,
     out: String,
+    miss_mode: MissMode,
+    device_latency: u64,
+    memory_budget: Option<usize>,
 }
 
 impl Default for Args {
@@ -57,6 +60,9 @@ impl Default for Args {
             workload: "mixed".into(),
             seed: 42,
             out: "BENCH_server.json".into(),
+            miss_mode: MissMode::Async,
+            device_latency: 0,
+            memory_budget: None,
         }
     }
 }
@@ -83,7 +89,13 @@ fn parse_args() -> Args {
                  --value-len BYTES                       (default 100)\n\
                  --workload mixed|a|b|c|d|e|f            (default mixed)\n\
                  --seed N                                (default 42)\n\
-                 --out PATH                              (default BENCH_server.json)"
+                 --out PATH                              (default BENCH_server.json)\n\
+                 --miss-mode sync|async                  (default async; how a\n\
+                    shard services cache misses on async-capable backends)\n\
+                 --device-latency NANOS                  (default 0; injected\n\
+                    wall-clock latency per device read)\n\
+                 --memory-budget BYTES                   (caching backend only;\n\
+                    shrink to force a cold cache and real misses)"
             );
             std::process::exit(0);
         }
@@ -109,6 +121,14 @@ fn parse_args() -> Args {
             "--workload" => args.workload = value.clone(),
             "--seed" => args.seed = value.parse().expect("--seed"),
             "--out" => args.out = value.clone(),
+            "--miss-mode" => {
+                args.miss_mode = MissMode::parse(value).unwrap_or_else(|| {
+                    eprintln!("--miss-mode must be sync or async, got '{value}'");
+                    std::process::exit(2);
+                })
+            }
+            "--device-latency" => args.device_latency = value.parse().expect("--device-latency"),
+            "--memory-budget" => args.memory_budget = Some(value.parse().expect("--memory-budget")),
             other => {
                 eprintln!("unknown flag '{other}' (try --help)");
                 std::process::exit(2);
@@ -427,7 +447,15 @@ fn main() {
         args.ops
     );
 
-    let backends = args.backend.build_shards(args.shards);
+    let built = args.backend.build_shards_with(
+        args.shards,
+        BackendOpts {
+            memory_budget: args.memory_budget,
+            wall_read_latency: args.device_latency,
+        },
+    );
+    let backends: Vec<Arc<dyn dcs_workload::KvStore + Send + Sync>> =
+        built.iter().map(|b| b.kv.clone()).collect();
     let partitioner = if args.shards == 1 {
         Partitioner::single()
     } else {
@@ -449,10 +477,23 @@ fn main() {
         let issued = run_inproc(&args, &backends, &partitioner, &spec, &harness);
         (issued, run_start.elapsed(), Vec::new())
     } else {
-        let server = Server::start(
-            backends.clone(),
+        let config = ServerConfig {
+            shard: dcs_server::ShardConfig {
+                miss_mode: args.miss_mode,
+                ..dcs_server::ShardConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        let server = Server::start_with(
+            built
+                .iter()
+                .map(|b| ShardBackend {
+                    kv: b.kv.clone(),
+                    async_kv: b.async_kv.clone(),
+                })
+                .collect(),
             partitioner.clone(),
-            ServerConfig::default(),
+            config,
         )
         .expect("start server");
         let client = Arc::new(
@@ -500,9 +541,32 @@ fn main() {
         .map(|s| s.count.load(Ordering::Relaxed))
         .sum();
     let throughput = completed as f64 / duration.as_secs_f64().max(1e-9);
+    // Aggregate the achieved-io-depth histograms across shard devices
+    // (the in-memory comparators have no device and report zeros).
+    let mut depth = dcs_flashsim::IoDepthStats::default();
+    for b in &built {
+        if let Some(device) = &b.device {
+            let s = device.stats().io_depth;
+            depth.samples += s.samples;
+            depth.sum += s.sum;
+            depth.max = depth.max.max(s.max);
+            for (i, c) in s.buckets.iter().enumerate() {
+                depth.buckets[i] += c;
+            }
+        }
+    }
+    let io_depth = IoDepthReport {
+        samples: depth.samples,
+        mean: depth.mean(),
+        max: depth.max,
+        buckets: depth.nonzero_buckets(),
+    };
+    let miss_service = MissServiceReport::from_snapshots(&shard_snapshots);
     let bench = BenchReport {
         backend: args.backend.name().into(),
         mode: args.mode.clone(),
+        miss_mode: args.miss_mode.name().into(),
+        device_latency_nanos: args.device_latency,
         shards: args.shards,
         connections: args.conns,
         records: args.records,
@@ -524,6 +588,8 @@ fn main() {
             })
             .collect(),
         shard_snapshots,
+        io_depth,
+        miss_service,
         acked_writes: acked.len() as u64,
         verified_keys: acked.len() as u64 - missing,
         missing_keys: missing,

@@ -39,6 +39,6 @@ pub use client::{Client, ClientConfig, ClientError, Ticket};
 pub use mailbox::{Mailbox, MailboxStats, SendError};
 pub use metrics::{LatencyHistogram, LatencySummary, ShardMetrics, ShardSnapshot};
 pub use protocol::{Frame, ProtoError, Request, Response};
-pub use report::{BenchReport, OpReport};
-pub use server::{Server, ServerConfig, ServerReport};
-pub use shard::{Mail, Partitioner, ReplySink, Shard, ShardConfig};
+pub use report::{BenchReport, IoDepthReport, MissServiceReport, OpReport};
+pub use server::{Server, ServerConfig, ServerReport, ShardBackend};
+pub use shard::{Mail, MissMode, Partitioner, ReplySink, Shard, ShardConfig};

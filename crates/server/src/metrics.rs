@@ -68,7 +68,7 @@ impl LatencyHistogram {
         self.total.load(Ordering::Relaxed)
     }
 
-    /// Nanoseconds at quantile `q` in [0,1], linearly interpolated inside
+    /// Nanoseconds at quantile `q` in `[0, 1]`, linearly interpolated inside
     /// the winning power-of-two bucket. 0 with no samples.
     pub fn quantile(&self, q: f64) -> f64 {
         let total = self.total.load(Ordering::Relaxed);
@@ -144,11 +144,21 @@ pub struct ShardMetrics {
     pub group_commits: AtomicU64,
     /// Write records carried by those group commits.
     pub group_committed_records: AtomicU64,
+    /// GETs that missed the cache and went to the device (async submit
+    /// returned a pending token).
+    pub misses_submitted: AtomicU64,
+    /// Most misses parked concurrently (async miss mode only; a blocking
+    /// shard never holds more than one).
+    pub parked_peak: AtomicUsize,
     /// Read-class latency (GET/SCAN), mailbox-entry to reply.
     pub read_latency: LatencyHistogram,
     /// Write-class latency (PUT/DELETE/RMW), mailbox-entry to reply — this
     /// includes the group-commit flush wait.
     pub write_latency: LatencyHistogram,
+    /// Miss-service latency: mailbox-entry to reply for GETs that needed a
+    /// device fetch. `read_latency` keeps only the memory-served requests,
+    /// so the two histograms are the paper's hit vs. miss split.
+    pub miss_latency: LatencyHistogram,
 }
 
 /// Point-in-time copy of a shard's counters, with latency summaries.
@@ -178,10 +188,16 @@ pub struct ShardSnapshot {
     pub group_commits: u64,
     /// Records across group commits.
     pub group_committed_records: u64,
-    /// Read-class latency summary.
+    /// GETs that went to the device.
+    pub misses: u64,
+    /// Most misses parked concurrently.
+    pub parked_peak: usize,
+    /// Read-class latency summary (memory-served requests only).
     pub read_latency: LatencySummary,
     /// Write-class latency summary.
     pub write_latency: LatencySummary,
+    /// Miss-service latency summary (device-served GETs).
+    pub miss_latency: LatencySummary,
 }
 
 impl ShardMetrics {
@@ -210,8 +226,11 @@ impl ShardMetrics {
             depth_high_water,
             group_commits: self.group_commits.load(Ordering::Relaxed),
             group_committed_records: self.group_committed_records.load(Ordering::Relaxed),
+            misses: self.misses_submitted.load(Ordering::Relaxed),
+            parked_peak: self.parked_peak.load(Ordering::Relaxed),
             read_latency: self.read_latency.summary(),
             write_latency: self.write_latency.summary(),
+            miss_latency: self.miss_latency.summary(),
         }
     }
 }

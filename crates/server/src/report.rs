@@ -7,6 +7,60 @@
 
 use crate::metrics::{LatencySummary, ShardSnapshot};
 
+/// Achieved-io-depth histogram aggregated across the shards' devices.
+///
+/// A blocking read path pins this at depth 1; the async engine's parked
+/// misses and speculative batch reads push it higher — this is the
+/// report's direct evidence of device-level concurrency.
+#[derive(Debug, Clone, Default)]
+pub struct IoDepthReport {
+    /// I/Os sampled across all shard devices.
+    pub samples: u64,
+    /// Mean achieved depth.
+    pub mean: f64,
+    /// Deepest concurrency observed on any shard device.
+    pub max: u64,
+    /// `(depth, count)` pairs for the non-empty buckets.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Aggregated miss-service accounting across shards.
+#[derive(Debug, Clone, Default)]
+pub struct MissServiceReport {
+    /// GETs that needed a device fetch.
+    pub misses: u64,
+    /// Most misses parked concurrently on any one shard.
+    pub parked_peak: usize,
+    /// Miss-service latency. Counts and means are exact sums/weighted
+    /// means over the shards; the percentiles are the worst shard's
+    /// (a conservative upper bound — power-of-two histograms cannot be
+    /// merged after summarization).
+    pub latency: LatencySummary,
+}
+
+impl MissServiceReport {
+    /// Aggregate the per-shard snapshots' miss accounting.
+    pub fn from_snapshots(shards: &[ShardSnapshot]) -> Self {
+        let mut out = MissServiceReport::default();
+        let mut weighted_mean = 0.0;
+        for s in shards {
+            out.misses += s.misses;
+            out.parked_peak = out.parked_peak.max(s.parked_peak);
+            let l = &s.miss_latency;
+            out.latency.count += l.count;
+            weighted_mean += l.mean_nanos * l.count as f64;
+            out.latency.p50_nanos = out.latency.p50_nanos.max(l.p50_nanos);
+            out.latency.p95_nanos = out.latency.p95_nanos.max(l.p95_nanos);
+            out.latency.p99_nanos = out.latency.p99_nanos.max(l.p99_nanos);
+            out.latency.max_nanos = out.latency.max_nanos.max(l.max_nanos);
+        }
+        if out.latency.count > 0 {
+            out.latency.mean_nanos = weighted_mean / out.latency.count as f64;
+        }
+        out
+    }
+}
+
 /// Per-operation-kind latency/throughput line.
 #[derive(Debug, Clone)]
 pub struct OpReport {
@@ -30,6 +84,10 @@ pub struct BenchReport {
     pub backend: String,
     /// `open` or `closed`.
     pub mode: String,
+    /// Cache-miss servicing discipline (`sync` or `async`).
+    pub miss_mode: String,
+    /// Injected wall-clock device read latency (nanoseconds; 0 = none).
+    pub device_latency_nanos: u64,
     /// Shards serving.
     pub shards: usize,
     /// Client connections.
@@ -52,6 +110,10 @@ pub struct BenchReport {
     pub ops: Vec<OpReport>,
     /// Per-shard server-side counters at shutdown.
     pub shard_snapshots: Vec<ShardSnapshot>,
+    /// Achieved-io-depth histogram across shard devices.
+    pub io_depth: IoDepthReport,
+    /// Aggregated miss-service accounting.
+    pub miss_service: MissServiceReport,
     /// Writes acknowledged by the server during the run.
     pub acked_writes: u64,
     /// Distinct acked keys re-read from the backends after drain shutdown.
@@ -119,7 +181,7 @@ impl BenchReport {
             .enumerate()
             .map(|(i, s)| {
                 format!(
-                    "    {{\"shard\": {}, \"ops\": {}, \"busy_rejections\": {}, \"batches\": {}, \"mean_batch\": {}, \"max_batch\": {}, \"queue_depth_high_water\": {}, \"group_commits\": {}, \"group_committed_records\": {}, \"read_latency\": {}, \"write_latency\": {}}}",
+                    "    {{\"shard\": {}, \"ops\": {}, \"busy_rejections\": {}, \"batches\": {}, \"mean_batch\": {}, \"max_batch\": {}, \"queue_depth_high_water\": {}, \"group_commits\": {}, \"group_committed_records\": {}, \"misses\": {}, \"parked_peak\": {}, \"read_latency\": {}, \"write_latency\": {}, \"miss_service\": {}}}",
                     i,
                     s.total_ops(),
                     s.busy_rejections,
@@ -129,15 +191,39 @@ impl BenchReport {
                     s.depth_high_water,
                     s.group_commits,
                     s.group_committed_records,
+                    s.misses,
+                    s.parked_peak,
                     latency_json(&s.read_latency),
                     latency_json(&s.write_latency),
+                    latency_json(&s.miss_latency),
                 )
             })
             .collect();
+        let depth_buckets: Vec<String> = self
+            .io_depth
+            .buckets
+            .iter()
+            .map(|(d, c)| format!("[{d}, {c}]"))
+            .collect();
+        let io_depth = format!(
+            "{{\"samples\": {}, \"mean\": {}, \"max\": {}, \"buckets\": [{}]}}",
+            self.io_depth.samples,
+            num(self.io_depth.mean),
+            self.io_depth.max,
+            depth_buckets.join(", "),
+        );
+        let miss_service = format!(
+            "{{\"misses\": {}, \"parked_peak\": {}, \"latency\": {}}}",
+            self.miss_service.misses,
+            self.miss_service.parked_peak,
+            latency_json(&self.miss_service.latency),
+        );
         format!(
-            "{{\n  \"bench\": \"server\",\n  \"backend\": \"{}\",\n  \"mode\": \"{}\",\n  \"shards\": {},\n  \"connections\": {},\n  \"records\": {},\n  \"value_len\": {},\n  \"target_rate\": {},\n  \"ops_issued\": {},\n  \"ops_completed\": {},\n  \"duration_secs\": {},\n  \"throughput_ops_per_sec\": {},\n  \"ops\": [\n{}\n  ],\n  \"shards_detail\": [\n{}\n  ],\n  \"verification\": {{\"acked_writes\": {}, \"verified_keys\": {}, \"missing_keys\": {}}}\n}}\n",
+            "{{\n  \"bench\": \"server\",\n  \"backend\": \"{}\",\n  \"mode\": \"{}\",\n  \"miss_mode\": \"{}\",\n  \"device_latency_nanos\": {},\n  \"shards\": {},\n  \"connections\": {},\n  \"records\": {},\n  \"value_len\": {},\n  \"target_rate\": {},\n  \"ops_issued\": {},\n  \"ops_completed\": {},\n  \"duration_secs\": {},\n  \"throughput_ops_per_sec\": {},\n  \"io_depth\": {},\n  \"miss_service\": {},\n  \"ops\": [\n{}\n  ],\n  \"shards_detail\": [\n{}\n  ],\n  \"verification\": {{\"acked_writes\": {}, \"verified_keys\": {}, \"missing_keys\": {}}}\n}}\n",
             esc(&self.backend),
             esc(&self.mode),
+            esc(&self.miss_mode),
+            self.device_latency_nanos,
             self.shards,
             self.connections,
             self.records,
@@ -147,6 +233,8 @@ impl BenchReport {
             self.ops_completed,
             num(self.duration_secs),
             num(self.throughput_ops_per_sec),
+            io_depth,
+            miss_service,
             ops.join(",\n"),
             shards.join(",\n"),
             self.acked_writes,
@@ -165,6 +253,8 @@ mod tests {
         let report = BenchReport {
             backend: "caching".into(),
             mode: "open".into(),
+            miss_mode: "async".into(),
+            device_latency_nanos: 200_000,
             shards: 4,
             connections: 2,
             records: 1000,
@@ -182,6 +272,17 @@ mod tests {
                 latency: LatencySummary::default(),
             }],
             shard_snapshots: vec![ShardSnapshot::default()],
+            io_depth: IoDepthReport {
+                samples: 100,
+                mean: 2.5,
+                max: 8,
+                buckets: vec![(1, 60), (4, 40)],
+            },
+            miss_service: MissServiceReport {
+                misses: 7,
+                parked_peak: 3,
+                latency: LatencySummary::default(),
+            },
             acked_writes: 5,
             verified_keys: 5,
             missing_keys: 0,
@@ -197,6 +298,49 @@ mod tests {
         assert!(json.contains("\"throughput_ops_per_sec\": 6.667"));
         assert!(json.contains("\"missing_keys\": 0"));
         assert!(json.contains("\"kind\": \"get\""));
+        assert!(json.contains("\"miss_mode\": \"async\""));
+        assert!(json.contains("\"io_depth\": {\"samples\": 100"));
+        assert!(json.contains("\"buckets\": [[1, 60], [4, 40]]"));
+        assert!(json.contains("\"miss_service\": {\"misses\": 7, \"parked_peak\": 3"));
+    }
+
+    #[test]
+    fn miss_service_aggregates_conservatively() {
+        let a = ShardSnapshot {
+            misses: 10,
+            parked_peak: 2,
+            miss_latency: LatencySummary {
+                count: 10,
+                mean_nanos: 100.0,
+                p50_nanos: 90.0,
+                p95_nanos: 150.0,
+                p99_nanos: 180.0,
+                max_nanos: 200,
+            },
+            ..ShardSnapshot::default()
+        };
+        let b = ShardSnapshot {
+            misses: 30,
+            parked_peak: 5,
+            miss_latency: LatencySummary {
+                count: 30,
+                mean_nanos: 300.0,
+                p50_nanos: 280.0,
+                p95_nanos: 350.0,
+                p99_nanos: 390.0,
+                max_nanos: 400,
+            },
+            ..ShardSnapshot::default()
+        };
+        let agg = MissServiceReport::from_snapshots(&[a, b]);
+        assert_eq!(agg.misses, 40);
+        assert_eq!(agg.parked_peak, 5);
+        assert_eq!(agg.latency.count, 40);
+        // Weighted mean: (10*100 + 30*300) / 40 = 250.
+        assert!((agg.latency.mean_nanos - 250.0).abs() < 1e-9);
+        // Percentiles: the worst shard's.
+        assert_eq!(agg.latency.p95_nanos, 350.0);
+        assert_eq!(agg.latency.max_nanos, 400);
     }
 
     #[test]

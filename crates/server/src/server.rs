@@ -22,7 +22,7 @@ use crate::metrics::ShardSnapshot;
 use crate::protocol::{decode_frame, encode_to_vec, Frame, ProtoError, Response};
 use crate::shard::{Mail, Partitioner, ReplySink, Shard, ShardConfig};
 use dcs_tc::RecoveryLog;
-use dcs_workload::KvStore;
+use dcs_workload::{AsyncKvStore, KvStore};
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -45,6 +45,26 @@ impl Default for ServerConfig {
             shard: ShardConfig::default(),
             durable_wal: true,
         }
+    }
+}
+
+/// One shard's store handles: the blocking [`KvStore`] plus, when the
+/// store supports submit/poll reads, the [`AsyncKvStore`] over the same
+/// instance (two fields because `Arc<dyn AsyncKvStore>` cannot be upcast
+/// on this toolchain). Mirrors `dcs_core::BuiltBackend` without making
+/// this crate depend on the concrete store types.
+pub struct ShardBackend {
+    /// Blocking operations (always required).
+    pub kv: Arc<dyn KvStore + Send + Sync>,
+    /// Non-blocking point reads, when available; enables the shard's
+    /// miss-mode machinery.
+    pub async_kv: Option<Arc<dyn AsyncKvStore + Send + Sync>>,
+}
+
+impl ShardBackend {
+    /// A blocking-only backend (GETs always take the synchronous path).
+    pub fn blocking(kv: Arc<dyn KvStore + Send + Sync>) -> Self {
+        ShardBackend { kv, async_kv: None }
     }
 }
 
@@ -128,9 +148,24 @@ pub struct Server {
 
 impl Server {
     /// Bind to `127.0.0.1:0` and start serving `backends` (one per shard
-    /// of `partitioner`).
+    /// of `partitioner`) through the blocking read path.
     pub fn start(
         backends: Vec<Arc<dyn KvStore + Send + Sync>>,
+        partitioner: Partitioner,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Self::start_with(
+            backends.into_iter().map(ShardBackend::blocking).collect(),
+            partitioner,
+            config,
+        )
+    }
+
+    /// [`Server::start`] with full shard backends: stores that supply an
+    /// async handle get submit/poll GETs, governed by
+    /// [`ShardConfig::miss_mode`](crate::shard::ShardConfig::miss_mode).
+    pub fn start_with(
+        backends: Vec<ShardBackend>,
         partitioner: Partitioner,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
@@ -139,13 +174,19 @@ impl Server {
             partitioner.shards(),
             "one backend per shard"
         );
+        let mut async_handles = Vec::with_capacity(backends.len());
+        let mut kv_backends = Vec::with_capacity(backends.len());
+        for b in backends {
+            kv_backends.push(b.kv);
+            async_handles.push(b.async_kv);
+        }
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let listener_addr = listener.local_addr()?;
-        let backends = Arc::new(backends);
+        let backends = Arc::new(kv_backends);
         let partitioner = Arc::new(partitioner);
         let mut shards = Vec::with_capacity(backends.len());
         let mut shard_threads = Vec::with_capacity(backends.len());
-        for i in 0..backends.len() {
+        for (i, async_kv) in async_handles.into_iter().enumerate() {
             let wal = if config.durable_wal {
                 let device = dcs_flashsim::FlashDevice::new(dcs_flashsim::DeviceConfig {
                     segment_count: 4096,
@@ -155,13 +196,10 @@ impl Server {
             } else {
                 Arc::new(RecoveryLog::in_memory())
             };
-            let shard = Arc::new(Shard::new(
-                i,
-                &config.shard,
-                backends.clone(),
-                partitioner.clone(),
-                wal,
-            ));
+            let shard = Arc::new(
+                Shard::new(i, &config.shard, backends.clone(), partitioner.clone(), wal)
+                    .with_async_backend(async_kv),
+            );
             let worker = shard.clone();
             shard_threads.push(
                 std::thread::Builder::new()

@@ -24,10 +24,11 @@ use crate::metrics::ShardMetrics;
 use crate::protocol::{Request, Response};
 use bytes::Bytes;
 use dcs_tc::{LogRecord, RecoveryLog};
-use dcs_workload::KvStore;
+use dcs_workload::{AsyncGet, AsyncKvStore, CompletedGet, KvStore};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Where a shard posts a finished request's response.
 ///
@@ -96,6 +97,42 @@ impl Partitioner {
     }
 }
 
+/// How a shard services GETs that miss the in-memory cache and need a
+/// device fetch (only meaningful when the backend provides an
+/// [`AsyncKvStore`] handle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MissMode {
+    /// The shard worker stalls on each miss until its fetch completes —
+    /// the classic blocking read path. Every request queued behind the
+    /// miss waits out the device latency.
+    Sync,
+    /// Misses are submitted to the device and the requesting mail is
+    /// *parked* in a per-shard pending-miss table; the worker keeps
+    /// draining its mailbox (serving hits) and acks parked requests out
+    /// of order, by request id, as their fetches complete.
+    #[default]
+    Async,
+}
+
+impl MissMode {
+    /// Parse a CLI name (`sync` / `async`).
+    pub fn parse(name: &str) -> Option<MissMode> {
+        match name.to_ascii_lowercase().as_str() {
+            "sync" => Some(MissMode::Sync),
+            "async" => Some(MissMode::Async),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MissMode::Sync => "sync",
+            MissMode::Async => "async",
+        }
+    }
+}
+
 /// Per-shard tunables.
 #[derive(Debug, Clone)]
 pub struct ShardConfig {
@@ -103,6 +140,8 @@ pub struct ShardConfig {
     pub mailbox_capacity: usize,
     /// Most operations drained (and group-committed) per batch.
     pub batch_max: usize,
+    /// Cache-miss servicing discipline for async-capable backends.
+    pub miss_mode: MissMode,
 }
 
 impl Default for ShardConfig {
@@ -110,6 +149,7 @@ impl Default for ShardConfig {
         ShardConfig {
             mailbox_capacity: 1024,
             batch_max: 64,
+            miss_mode: MissMode::default(),
         }
     }
 }
@@ -121,6 +161,11 @@ pub struct Shard {
     mailbox: Mailbox<Mail>,
     metrics: ShardMetrics,
     backend: Arc<dyn KvStore + Send + Sync>,
+    /// Non-blocking submit/poll handle over the same store, when it has
+    /// one. GETs route through it (hits answer inline, misses go to the
+    /// device) under either [`MissMode`].
+    async_backend: Option<Arc<dyn AsyncKvStore + Send + Sync>>,
+    miss_mode: MissMode,
     /// All shards' backends, for read-only scan continuation.
     all_backends: Arc<Vec<Arc<dyn KvStore + Send + Sync>>>,
     partitioner: Arc<Partitioner>,
@@ -144,12 +189,25 @@ impl Shard {
             mailbox: Mailbox::new(config.mailbox_capacity),
             metrics: ShardMetrics::default(),
             backend: backends[index].clone(),
+            async_backend: None,
+            miss_mode: config.miss_mode,
             all_backends: backends,
             partitioner,
             wal,
             wal_ts: AtomicU64::new(1),
             batch_max: config.batch_max.max(1),
         }
+    }
+
+    /// Attach the non-blocking handle over this shard's own store. With
+    /// one attached, GETs go submit/poll; [`ShardConfig::miss_mode`]
+    /// decides whether a pending miss stalls the worker or is parked.
+    pub fn with_async_backend(
+        mut self,
+        async_backend: Option<Arc<dyn AsyncKvStore + Send + Sync>>,
+    ) -> Self {
+        self.async_backend = async_backend;
+        self
     }
 
     /// The shard's mailbox (senders route requests here).
@@ -186,16 +244,98 @@ impl Shard {
     /// The worker loop: drain batches until the mailbox is closed *and*
     /// empty, then issue a final WAL barrier. Run on a dedicated thread.
     pub fn run(&self) {
+        if let (Some(ab), MissMode::Async) = (&self.async_backend, self.miss_mode) {
+            self.run_async(&ab.clone());
+            return;
+        }
         let mut batch: Vec<Mail> = Vec::with_capacity(self.batch_max);
         while self.mailbox.recv_batch(self.batch_max, &mut batch) {
-            self.process_batch(&mut batch);
+            self.process_batch(&mut batch, None);
         }
         // Drained after close: one last barrier so every acknowledged write
         // is durable before the server reports shutdown complete.
         let _ = self.wal.commit_batch(&[]);
     }
 
-    fn process_batch(&self, batch: &mut Vec<Mail>) {
+    /// The async-miss worker loop. While misses are parked the shard
+    /// switches from blocking receives to non-blocking drains interleaved
+    /// with completion polls, so a device-bound GET never stops the shard
+    /// from serving the requests queued behind it. On shutdown the loop
+    /// keeps polling past the closed mailbox until every parked request
+    /// has been answered — only then does the final WAL barrier run.
+    fn run_async(&self, ab: &Arc<dyn AsyncKvStore + Send + Sync>) {
+        let mut batch: Vec<Mail> = Vec::with_capacity(self.batch_max);
+        let mut parked: HashMap<u64, Mail> = HashMap::new();
+        let mut completions: Vec<CompletedGet> = Vec::new();
+        loop {
+            let more = if parked.is_empty() {
+                self.mailbox.recv_batch(self.batch_max, &mut batch)
+            } else {
+                self.mailbox.try_recv_batch(self.batch_max, &mut batch)
+            };
+            let got_mail = !batch.is_empty();
+            if got_mail {
+                self.process_batch(&mut batch, Some(&mut parked));
+                self.metrics
+                    .parked_peak
+                    .fetch_max(parked.len(), Ordering::Relaxed);
+            }
+            let mut reaped = 0;
+            if !parked.is_empty() {
+                completions.clear();
+                reaped = ab.kv_poll(&mut completions);
+                for c in completions.drain(..) {
+                    // Tokens not in the table cannot arise (each shard owns
+                    // its store instance and is its only GET submitter),
+                    // but losing one here would strand a client forever, so
+                    // tolerate and drop rather than panic.
+                    if let Some(mail) = parked.remove(&c.token) {
+                        self.reply_miss(mail, Self::miss_response(c.result));
+                    }
+                }
+            }
+            if parked.is_empty() {
+                if !more {
+                    break;
+                }
+            } else if !got_mail && reaped == 0 {
+                // Nothing arrived and nothing completed: back off briefly
+                // instead of hot-spinning against wall-clock device latency.
+                std::thread::sleep(Duration::from_micros(20));
+            }
+        }
+        let _ = self.wal.commit_batch(&[]);
+    }
+
+    fn miss_response(result: Result<Option<Vec<u8>>, dcs_workload::StoreFailure>) -> Response {
+        match result {
+            Ok(v) => Response::Value(v),
+            Err(e) => Response::Err(e.to_string()),
+        }
+    }
+
+    /// Sync miss mode: stall the worker until the one in-flight fetch
+    /// completes. This is the blocking baseline the async mode is measured
+    /// against — everything queued behind the miss eats the device latency.
+    fn await_miss(&self, ab: &Arc<dyn AsyncKvStore + Send + Sync>, token: u64) -> Response {
+        let mut completions: Vec<CompletedGet> = Vec::with_capacity(1);
+        loop {
+            completions.clear();
+            if ab.kv_poll(&mut completions) == 0 {
+                std::thread::sleep(Duration::from_micros(5));
+                continue;
+            }
+            for c in completions.drain(..) {
+                // Only one miss is ever in flight on this path, so the
+                // first completion is ours.
+                if c.token == token {
+                    return Self::miss_response(c.result);
+                }
+            }
+        }
+    }
+
+    fn process_batch(&self, batch: &mut Vec<Mail>, parked: Option<&mut HashMap<u64, Mail>>) {
         self.metrics.batches.fetch_add(1, Ordering::Relaxed);
         self.metrics
             .batched_ops
@@ -205,15 +345,41 @@ impl Shard {
             .fetch_max(batch.len(), Ordering::Relaxed);
         let mut wal_records: Vec<LogRecord> = Vec::new();
         let mut deferred: Vec<(Mail, Response)> = Vec::new();
+        let mut parked = parked;
         for mail in batch.drain(..) {
             match &mail.req {
                 Request::Get { key } => {
                     self.metrics.gets.fetch_add(1, Ordering::Relaxed);
-                    let resp = match self.backend.kv_get(key) {
-                        Ok(v) => Response::Value(v),
-                        Err(e) => Response::Err(e.to_string()),
+                    let Some(ab) = &self.async_backend else {
+                        let resp = match self.backend.kv_get(key) {
+                            Ok(v) => Response::Value(v),
+                            Err(e) => Response::Err(e.to_string()),
+                        };
+                        self.reply_read(mail, resp);
+                        continue;
                     };
-                    self.reply_read(mail, resp);
+                    match ab.kv_get_submit(key) {
+                        // Memory-served: answer inline, count as a hit.
+                        Ok(AsyncGet::Ready(v)) => self.reply_read(mail, Response::Value(v)),
+                        Ok(AsyncGet::Pending(token)) => {
+                            self.metrics
+                                .misses_submitted
+                                .fetch_add(1, Ordering::Relaxed);
+                            match parked.as_deref_mut() {
+                                // Async miss mode: park the mail; the run
+                                // loop acks it when the fetch completes.
+                                Some(table) => {
+                                    table.insert(token, mail);
+                                }
+                                // Sync miss mode: stall right here.
+                                None => {
+                                    let resp = self.await_miss(ab, token);
+                                    self.reply_miss(mail, resp);
+                                }
+                            }
+                        }
+                        Err(e) => self.reply_read(mail, Response::Err(e.to_string())),
+                    }
                 }
                 Request::Scan { start, limit } => {
                     self.metrics.scans.fetch_add(1, Ordering::Relaxed);
@@ -293,6 +459,15 @@ impl Shard {
     fn reply_read(&self, mail: Mail, resp: Response) {
         self.metrics
             .read_latency
+            .record(mail.enqueued.elapsed().as_nanos() as u64);
+        mail.reply.deliver(mail.id, resp);
+    }
+
+    /// Answer a GET that needed a device fetch, recording its full
+    /// mailbox-entry-to-reply time in the miss-service histogram.
+    fn reply_miss(&self, mail: Mail, resp: Response) {
+        self.metrics
+            .miss_latency
             .record(mail.enqueued.elapsed().as_nanos() as u64);
         mail.reply.deliver(mail.id, resp);
     }
@@ -534,6 +709,226 @@ mod tests {
         assert_eq!(sink2.0.lock().unwrap()[0], (10, Response::Count(2)));
     }
 
+    /// Async test double: keys starting with `cold` miss and complete only
+    /// after a wall-clock delay; everything else answers inline.
+    struct SlowAsyncStore {
+        inner: MapStore,
+        delay: std::time::Duration,
+        next_token: AtomicU64,
+        pending: Mutex<Vec<(u64, Vec<u8>, Instant)>>,
+    }
+
+    impl SlowAsyncStore {
+        fn new(delay: std::time::Duration) -> Self {
+            SlowAsyncStore {
+                inner: MapStore::default(),
+                delay,
+                next_token: AtomicU64::new(1),
+                pending: Mutex::new(Vec::new()),
+            }
+        }
+    }
+
+    impl KvStore for SlowAsyncStore {
+        fn kv_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreFailure> {
+            self.inner.kv_get(key)
+        }
+        fn kv_put(&self, key: Vec<u8>, value: Vec<u8>) -> Result<(), StoreFailure> {
+            self.inner.kv_put(key, value)
+        }
+        fn kv_delete(&self, key: Vec<u8>) -> Result<(), StoreFailure> {
+            self.inner.kv_delete(key)
+        }
+        fn kv_scan(&self, start: &[u8], limit: usize) -> Result<usize, StoreFailure> {
+            self.inner.kv_scan(start, limit)
+        }
+    }
+
+    impl AsyncKvStore for SlowAsyncStore {
+        fn kv_get_submit(&self, key: &[u8]) -> Result<AsyncGet, StoreFailure> {
+            if key.starts_with(b"cold") {
+                let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+                self.pending.lock().unwrap().push((
+                    token,
+                    key.to_vec(),
+                    Instant::now() + self.delay,
+                ));
+                Ok(AsyncGet::Pending(token))
+            } else {
+                Ok(AsyncGet::Ready(self.inner.kv_get(key)?))
+            }
+        }
+
+        fn kv_poll(&self, out: &mut Vec<CompletedGet>) -> usize {
+            let mut pending = self.pending.lock().unwrap();
+            let now = Instant::now();
+            let mut reaped = 0;
+            pending.retain(|(token, key, ready)| {
+                if *ready <= now {
+                    out.push(CompletedGet {
+                        token: *token,
+                        result: self.inner.kv_get(key),
+                    });
+                    reaped += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            reaped
+        }
+
+        fn kv_inflight(&self) -> usize {
+            self.pending.lock().unwrap().len()
+        }
+    }
+
+    fn slow_shard(miss_mode: MissMode, delay_ms: u64) -> (Arc<Shard>, Arc<SlowAsyncStore>) {
+        let store = Arc::new(SlowAsyncStore::new(std::time::Duration::from_millis(
+            delay_ms,
+        )));
+        store.kv_put(b"cold1".to_vec(), b"c1".to_vec()).unwrap();
+        store.kv_put(b"cold2".to_vec(), b"c2".to_vec()).unwrap();
+        store.kv_put(b"hot".to_vec(), b"h".to_vec()).unwrap();
+        let backends: SharedBackends = Arc::new(vec![store.clone()]);
+        let cfg = ShardConfig {
+            miss_mode,
+            ..ShardConfig::default()
+        };
+        let shard = Arc::new(
+            Shard::new(
+                0,
+                &cfg,
+                backends,
+                Arc::new(Partitioner::single()),
+                Arc::new(RecoveryLog::in_memory()),
+            )
+            .with_async_backend(Some(store.clone())),
+        );
+        (shard, store)
+    }
+
+    #[test]
+    fn async_miss_does_not_block_hits() {
+        let (shard, _store) = slow_shard(MissMode::Async, 80);
+        let sink = Arc::new(CollectSink::default());
+        let worker = {
+            let shard = shard.clone();
+            std::thread::spawn(move || shard.run())
+        };
+        // A cold GET goes to the (slow) device...
+        shard.offer(mail(
+            1,
+            Request::Get {
+                key: b"cold1".to_vec(),
+            },
+            &sink,
+        ));
+        // ...and hits queued behind it must be answered while it is parked.
+        for id in 2..=5 {
+            shard.offer(mail(
+                id,
+                Request::Get {
+                    key: b"hot".to_vec(),
+                },
+                &sink,
+            ));
+        }
+        let t0 = Instant::now();
+        loop {
+            {
+                let replies = sink.0.lock().unwrap();
+                if replies.iter().filter(|(id, _)| *id >= 2).count() == 4 {
+                    // All four hits answered; the miss must still be parked.
+                    assert!(
+                        !replies.iter().any(|(id, _)| *id == 1),
+                        "miss answered before its device delay elapsed"
+                    );
+                    break;
+                }
+            }
+            assert!(
+                t0.elapsed() < std::time::Duration::from_secs(5),
+                "hits stuck"
+            );
+            std::thread::yield_now();
+        }
+        shard.mailbox().close();
+        worker.join().unwrap();
+        let replies = sink.0.lock().unwrap();
+        assert_eq!(replies.len(), 5);
+        // Out-of-order ack: the first-submitted request answered last.
+        assert_eq!(replies.last().unwrap().0, 1);
+        assert!(replies
+            .iter()
+            .any(|(id, r)| *id == 1 && *r == Response::Value(Some(b"c1".to_vec()))));
+        assert_eq!(shard.metrics().misses_submitted.load(Ordering::Relaxed), 1);
+        assert_eq!(shard.metrics().miss_latency.count(), 1);
+        assert_eq!(shard.metrics().read_latency.count(), 4);
+    }
+
+    #[test]
+    fn sync_miss_mode_stalls_in_arrival_order() {
+        let (shard, _store) = slow_shard(MissMode::Sync, 10);
+        let sink = Arc::new(CollectSink::default());
+        shard.offer(mail(
+            1,
+            Request::Get {
+                key: b"cold1".to_vec(),
+            },
+            &sink,
+        ));
+        shard.offer(mail(
+            2,
+            Request::Get {
+                key: b"hot".to_vec(),
+            },
+            &sink,
+        ));
+        shard.mailbox().close();
+        shard.run();
+        let replies = sink.0.lock().unwrap();
+        // Blocking path: the hit waits out the miss ahead of it.
+        assert_eq!(replies[0].0, 1);
+        assert_eq!(replies[1].0, 2);
+        assert_eq!(shard.metrics().misses_submitted.load(Ordering::Relaxed), 1);
+        assert_eq!(shard.metrics().miss_latency.count(), 1);
+    }
+
+    #[test]
+    fn shutdown_drains_parked_misses() {
+        let (shard, store) = slow_shard(MissMode::Async, 40);
+        let sink = Arc::new(CollectSink::default());
+        shard.offer(mail(
+            1,
+            Request::Get {
+                key: b"cold1".to_vec(),
+            },
+            &sink,
+        ));
+        shard.offer(mail(
+            2,
+            Request::Get {
+                key: b"cold2".to_vec(),
+            },
+            &sink,
+        ));
+        shard.mailbox().close();
+        // run() must keep polling past the closed mailbox until both
+        // parked misses are answered.
+        shard.run();
+        let replies = sink.0.lock().unwrap();
+        assert_eq!(replies.len(), 2, "a parked miss was dropped at shutdown");
+        assert!(replies
+            .iter()
+            .any(|(id, r)| *id == 1 && *r == Response::Value(Some(b"c1".to_vec()))));
+        assert!(replies
+            .iter()
+            .any(|(id, r)| *id == 2 && *r == Response::Value(Some(b"c2".to_vec()))));
+        assert_eq!(store.kv_inflight(), 0);
+        assert_eq!(shard.metrics().parked_peak.load(Ordering::Relaxed), 2);
+    }
+
     #[test]
     fn busy_and_closed_answered_not_dropped() {
         let backends: Arc<Vec<Arc<dyn KvStore + Send + Sync>>> =
@@ -541,6 +936,7 @@ mod tests {
         let cfg = ShardConfig {
             mailbox_capacity: 1,
             batch_max: 8,
+            ..ShardConfig::default()
         };
         let shard = Shard::new(
             0,

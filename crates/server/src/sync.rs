@@ -1,11 +1,14 @@
-//! Synchronization facade: `std::sync` in normal builds, the `dcs-check`
-//! instrumented shims when the `check` feature is on.
+//! Synchronization facade, re-exported from the workspace-shared
+//! `dcs-syncshim`: `std::sync` in normal builds, the `dcs-check`
+//! instrumented shims when the `check` feature is on (the feature forwards
+//! to `dcs-syncshim/check`).
 //!
-//! Only the **mailbox** routes through this facade — it is the one piece of
-//! the serving layer whose interleavings (concurrent enqueue vs. drain vs.
-//! close) are worth exploring deterministically. The TCP plumbing uses real
-//! OS threads and blocking I/O and is exercised by integration tests, not
-//! the scheduler.
+//! Only the **mailbox** and the shard's pending-miss bookkeeping route
+//! through this facade — the pieces of the serving layer whose
+//! interleavings (concurrent enqueue vs. drain vs. close, submit vs. poll)
+//! are worth exploring deterministically. The TCP plumbing uses real OS
+//! threads and blocking I/O and is exercised by integration tests, not the
+//! scheduler.
 //!
 //! Both `Mutex` flavours are std-shaped (`lock() -> LockResult<..>`), so
 //! call sites compile unchanged. Blocking differs: the normal build parks
@@ -13,16 +16,10 @@
 //! OS thread would deadlock the scheduler — spins cooperatively through
 //! [`yield_thread`], each iteration a schedule point.
 
-#[cfg(feature = "check")]
-pub use dcs_check::sync::Mutex;
+pub use dcs_syncshim::stdlike::Mutex;
 
-#[cfg(not(feature = "check"))]
-pub use std::sync::Mutex;
-
-/// Cooperative yield for the checker build's wait loops: a schedule point
+/// Cooperative yield for the check build's wait loops: a schedule point
 /// inside an execution. The normal build parks on condvars instead and
 /// never spins, so this only exists under the feature.
 #[cfg(feature = "check")]
-pub fn yield_thread() {
-    dcs_check::thread::yield_now();
-}
+pub use dcs_syncshim::yield_thread;

@@ -5,10 +5,15 @@
 
 use dcs_core::BackendKind;
 use dcs_server::protocol::{Request, Response};
-use dcs_server::{Client, ClientConfig, Partitioner, Server, ServerConfig, ShardConfig};
-use dcs_workload::{keys, KvStore, Runner, StoreFailure, WorkloadSpec};
+use dcs_server::{
+    Client, ClientConfig, MissMode, Partitioner, Server, ServerConfig, ShardBackend, ShardConfig,
+};
+use dcs_workload::{
+    keys, AsyncGet, AsyncKvStore, CompletedGet, KvStore, Runner, StoreFailure, WorkloadSpec,
+};
 use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn start_caching(
     shards: usize,
@@ -157,6 +162,7 @@ fn flood_gets_busy_not_hangs_and_accepted_ops_all_answered() {
             shard: ShardConfig {
                 mailbox_capacity: 4,
                 batch_max: 2,
+                ..ShardConfig::default()
             },
             durable_wal: false,
         },
@@ -205,6 +211,207 @@ fn flood_gets_busy_not_hangs_and_accepted_ops_all_answered() {
     let mb = &report.mailboxes[0];
     assert_eq!(mb.accepted, mb.drained, "no accepted request dropped");
     assert!(mb.depth_high_water <= 4);
+}
+
+/// Async test double with a deterministic miss set: keys starting with
+/// `cold` take a wall-clock device delay; everything else is served from
+/// memory. Lets the wire-level tests control exactly which GETs miss.
+struct ColdKeyStore {
+    map: std::sync::Mutex<std::collections::BTreeMap<Vec<u8>, Vec<u8>>>,
+    delay: Duration,
+    next_token: std::sync::atomic::AtomicU64,
+    pending: std::sync::Mutex<Vec<(u64, Vec<u8>, Instant)>>,
+}
+
+impl ColdKeyStore {
+    fn new(delay: Duration) -> Self {
+        ColdKeyStore {
+            map: Default::default(),
+            delay,
+            next_token: std::sync::atomic::AtomicU64::new(1),
+            pending: Default::default(),
+        }
+    }
+}
+
+impl KvStore for ColdKeyStore {
+    fn kv_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreFailure> {
+        if key.starts_with(b"cold") {
+            std::thread::sleep(self.delay);
+        }
+        Ok(self.map.lock().unwrap().get(key).cloned())
+    }
+    fn kv_put(&self, key: Vec<u8>, value: Vec<u8>) -> Result<(), StoreFailure> {
+        self.map.lock().unwrap().insert(key, value);
+        Ok(())
+    }
+    fn kv_delete(&self, key: Vec<u8>) -> Result<(), StoreFailure> {
+        self.map.lock().unwrap().remove(&key);
+        Ok(())
+    }
+    fn kv_scan(&self, start: &[u8], limit: usize) -> Result<usize, StoreFailure> {
+        Ok(self
+            .map
+            .lock()
+            .unwrap()
+            .range(start.to_vec()..)
+            .take(limit)
+            .count())
+    }
+}
+
+impl AsyncKvStore for ColdKeyStore {
+    fn kv_get_submit(&self, key: &[u8]) -> Result<AsyncGet, StoreFailure> {
+        if key.starts_with(b"cold") {
+            let token = self
+                .next_token
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.pending
+                .lock()
+                .unwrap()
+                .push((token, key.to_vec(), Instant::now() + self.delay));
+            Ok(AsyncGet::Pending(token))
+        } else {
+            Ok(AsyncGet::Ready(self.map.lock().unwrap().get(key).cloned()))
+        }
+    }
+    fn kv_poll(&self, out: &mut Vec<CompletedGet>) -> usize {
+        let mut pending = self.pending.lock().unwrap();
+        let now = Instant::now();
+        let mut reaped = 0;
+        pending.retain(|(token, key, ready)| {
+            if *ready <= now {
+                out.push(CompletedGet {
+                    token: *token,
+                    result: Ok(self.map.lock().unwrap().get(key).cloned()),
+                });
+                reaped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        reaped
+    }
+    fn kv_inflight(&self) -> usize {
+        self.pending.lock().unwrap().len()
+    }
+}
+
+fn start_cold_key_server(miss_mode: MissMode, delay: Duration) -> (Server, Arc<ColdKeyStore>) {
+    let store = Arc::new(ColdKeyStore::new(delay));
+    store.kv_put(b"coldA".to_vec(), b"polar".to_vec()).unwrap();
+    store.kv_put(b"hot".to_vec(), b"lava".to_vec()).unwrap();
+    let server = Server::start_with(
+        vec![ShardBackend {
+            kv: store.clone(),
+            async_kv: Some(store.clone()),
+        }],
+        Partitioner::single(),
+        ServerConfig {
+            shard: ShardConfig {
+                miss_mode,
+                ..ShardConfig::default()
+            },
+            durable_wal: false,
+        },
+    )
+    .unwrap();
+    (server, store)
+}
+
+/// The acceptance scenario for the async miss path, over the wire: a GET
+/// that misses to a slow device must not delay pipelined GETs that hit,
+/// on the *same shard and connection*, and the miss itself is still
+/// answered correctly (out of order, by request id).
+#[test]
+fn slow_miss_does_not_block_hits_over_the_wire() {
+    const DELAY: Duration = Duration::from_millis(300);
+    let (server, store) = start_cold_key_server(MissMode::Async, DELAY);
+    let client = Client::connect(
+        server.addr(),
+        ClientConfig {
+            connections: 1,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+
+    let t0 = Instant::now();
+    let cold = client
+        .submit(Request::Get {
+            key: b"coldA".to_vec(),
+        })
+        .unwrap();
+    let hits: Vec<_> = (0..8)
+        .map(|_| {
+            client
+                .submit(Request::Get {
+                    key: b"hot".to_vec(),
+                })
+                .unwrap()
+        })
+        .collect();
+    for t in hits {
+        assert_eq!(t.wait().unwrap(), Response::Value(Some(b"lava".to_vec())));
+    }
+    let hits_done = t0.elapsed();
+    assert!(
+        hits_done < DELAY,
+        "hits pipelined behind a {DELAY:?} miss took {hits_done:?} — the miss blocked the shard"
+    );
+    assert_eq!(
+        cold.wait().unwrap(),
+        Response::Value(Some(b"polar".to_vec()))
+    );
+    assert!(t0.elapsed() >= DELAY, "miss answered before its fetch");
+
+    client.close();
+    let report = server.shutdown();
+    assert_eq!(report.shards[0].misses, 1);
+    assert_eq!(report.shards[0].miss_latency.count, 1);
+    assert_eq!(store.kv_inflight(), 0);
+}
+
+/// The blocking baseline of the same scenario: in sync miss mode the hits
+/// queued behind the miss wait out the whole device delay.
+#[test]
+fn sync_miss_mode_blocks_queued_hits() {
+    const DELAY: Duration = Duration::from_millis(150);
+    let (server, _store) = start_cold_key_server(MissMode::Sync, DELAY);
+    let client = Client::connect(
+        server.addr(),
+        ClientConfig {
+            connections: 1,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+
+    let t0 = Instant::now();
+    let cold = client
+        .submit(Request::Get {
+            key: b"coldA".to_vec(),
+        })
+        .unwrap();
+    let hit = client
+        .submit(Request::Get {
+            key: b"hot".to_vec(),
+        })
+        .unwrap();
+    assert_eq!(hit.wait().unwrap(), Response::Value(Some(b"lava".to_vec())));
+    assert!(
+        t0.elapsed() >= DELAY,
+        "a hit behind a blocking miss cannot finish before the device"
+    );
+    assert_eq!(
+        cold.wait().unwrap(),
+        Response::Value(Some(b"polar".to_vec()))
+    );
+
+    client.close();
+    let report = server.shutdown();
+    assert_eq!(report.shards[0].misses, 1);
 }
 
 /// The pooled client is a `KvStore`, so the stock workload runner can

@@ -38,6 +38,41 @@ pub trait KvStore {
     }
 }
 
+/// Outcome of a non-blocking point read submitted to an [`AsyncKvStore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsyncGet {
+    /// Served from memory (a cache hit, or a definitive miss that needed no
+    /// I/O): the result is available immediately.
+    Ready(Option<Vec<u8>>),
+    /// A secondary-storage fetch is in flight; the token identifies this
+    /// miss in later [`AsyncKvStore::kv_poll`] completions.
+    Pending(u64),
+}
+
+/// A completed miss, reaped by [`AsyncKvStore::kv_poll`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedGet {
+    /// The token [`AsyncKvStore::kv_get_submit`] returned.
+    pub token: u64,
+    /// The read's final outcome.
+    pub result: Result<Option<Vec<u8>>, StoreFailure>,
+}
+
+/// Non-blocking point reads over a [`KvStore`]: misses are *submitted* and
+/// later *polled*, SPDK-style, so a caller (e.g. a server shard) keeps
+/// serving hits while the device works on the misses.
+pub trait AsyncKvStore: KvStore {
+    /// Begin a point read. Hits (and I/O-free misses) resolve immediately as
+    /// [`AsyncGet::Ready`]; cache misses return [`AsyncGet::Pending`] with a
+    /// token and proceed in the background.
+    fn kv_get_submit(&self, key: &[u8]) -> Result<AsyncGet, StoreFailure>;
+    /// Reap every completed miss into `out`, returning how many were reaped.
+    /// Non-blocking.
+    fn kv_poll(&self, out: &mut Vec<CompletedGet>) -> usize;
+    /// Misses currently in flight.
+    fn kv_inflight(&self) -> usize;
+}
+
 /// Per-kind operation counts from a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunCounts {
