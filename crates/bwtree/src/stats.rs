@@ -35,6 +35,21 @@ macro_rules! bump {
 }
 
 impl StatsInner {
+    /// Count one main-memory operation, mirroring it into the process-wide
+    /// cost ledger. SS ops are deliberately *not* mirrored here: they are
+    /// attributed once, at the flash device every page fetch funnels
+    /// through, so a tree-level mirror would double-count them.
+    pub(crate) fn mm_op(&self) {
+        self.mm_ops.fetch_add(1, Ordering::Relaxed);
+        dcs_telemetry::ledger().mm_op();
+    }
+
+    /// Count one background restructuring (consolidation or SMO) in the
+    /// ledger's maintenance term.
+    pub(crate) fn maintenance(&self) {
+        dcs_telemetry::ledger().maintenance_op();
+    }
+
     pub fn snapshot(&self) -> TreeStats {
         TreeStats {
             gets: self.gets.load(Ordering::Relaxed),

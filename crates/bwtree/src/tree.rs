@@ -590,13 +590,13 @@ impl BwTree {
                         bump!(self.stats, record_cache_hits);
                     }
                     if count_hit {
-                        bump!(self.stats, mm_ops);
+                        self.stats.mm_op();
                     }
                     return TryGetAsync::Hit(Some(value));
                 }
                 LeafSearch::Deleted | LeafSearch::Missing => {
                     if count_hit {
-                        bump!(self.stats, mm_ops);
+                        self.stats.mm_op();
                     }
                     return TryGetAsync::Hit(None);
                 }
@@ -677,7 +677,7 @@ impl BwTree {
         if fetched {
             bump!(self.stats, ss_ops);
         } else {
-            bump!(self.stats, mm_ops);
+            self.stats.mm_op();
         }
     }
 
@@ -785,7 +785,7 @@ impl BwTree {
             };
             let ptr = node.into_raw();
             if self.mapping.cas(pid, head, ptr) {
-                bump!(self.stats, mm_ops);
+                self.stats.mm_op();
                 self.maybe_consolidate_leaf(pid, &guard);
                 return;
             }
@@ -855,6 +855,7 @@ impl BwTree {
         if merged.deltas == 0 {
             return;
         }
+        let _span = dcs_telemetry::span("bwtree.consolidate_leaf", dcs_telemetry::CostClass::Maintenance);
         let new_base = Node::LeafBase(LeafBase {
             entries: merged.entries,
             high_key: merged.high_key,
@@ -864,6 +865,7 @@ impl BwTree {
         .into_raw();
         if self.mapping.cas(pid, head, new_base) {
             bump!(self.stats, consolidations);
+            self.stats.maintenance();
             // SAFETY: old chain unlinked by the CAS.
             unsafe { retire_chain(guard, head) };
             self.maybe_split_leaf(pid, new_base, guard);
@@ -928,6 +930,8 @@ impl BwTree {
             return;
         }
         bump!(self.stats, leaf_splits);
+        self.stats.maintenance();
+        let _span = dcs_telemetry::span("bwtree.leaf_split", dcs_telemetry::CostClass::Maintenance);
         self.post_index_entry(pid, sep, qid, guard);
     }
 
@@ -1043,6 +1047,8 @@ impl BwTree {
             unsafe { drop(Box::from_raw(absorb)) };
         }
         bump!(self.stats, leaf_merges);
+        self.stats.maintenance();
+        let _span = dcs_telemetry::span("bwtree.leaf_merge", dcs_telemetry::CostClass::Maintenance);
 
         // Step 3: remove the parent's routing entry for the dead page.
         self.post_index_delete(right_pid, pid, &sep, guard);
@@ -1315,6 +1321,7 @@ impl BwTree {
         .into_raw();
         if self.mapping.cas(pid, head, new_base) {
             bump!(self.stats, consolidations);
+            self.stats.maintenance();
             // SAFETY: unlinked by CAS.
             unsafe { retire_chain(guard, head) };
             self.maybe_split_inner(pid, new_base, guard);
@@ -1362,6 +1369,8 @@ impl BwTree {
             return;
         }
         bump!(self.stats, inner_splits);
+        self.stats.maintenance();
+        let _span = dcs_telemetry::span("bwtree.inner_split", dcs_telemetry::CostClass::Maintenance);
         self.post_index_entry(pid, sep, qid, guard);
     }
 

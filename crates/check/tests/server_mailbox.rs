@@ -116,7 +116,7 @@ fn concurrent_enqueue_vs_drain_on_shutdown() {
             assert_eq!(stats.rejected_busy, busy.len() as u64);
             assert_eq!(stats.rejected_closed, closed.len() as u64);
             assert_eq!(stats.accepted, stats.drained, "no accepted item lost");
-            assert!(stats.depth_high_water <= 2, "capacity breached");
+            assert!(stats.depth_high_water() <= 2, "capacity breached");
         },
     );
 }
@@ -181,7 +181,7 @@ fn full_mailbox_returns_busy_without_blocking() {
                 drained.extend(batch.drain(..));
             }
             assert_eq!(drained, acked, "late drain delivers exactly the acked set");
-            assert!(mb.stats().depth_high_water <= 1);
+            assert!(mb.stats().depth_high_water() <= 1);
         },
     );
 }

@@ -149,6 +149,8 @@ impl StoreBuilder {
             ops_since_sweep: AtomicU64::new(0),
             hardware: self.hardware,
             misses: Mutex::new(MissTable::default()),
+            reported_dram: AtomicU64::new(0),
+            reported_flash: AtomicU64::new(0),
         }
     }
 }
@@ -225,6 +227,10 @@ pub struct CachingStore {
     ops_since_sweep: AtomicU64,
     hardware: HardwareCatalog,
     misses: Mutex<MissTable>,
+    /// Occupancy this store last contributed to the telemetry gauges.
+    /// Deltas are reported so several shard stores sum correctly.
+    reported_dram: AtomicU64,
+    reported_flash: AtomicU64,
 }
 
 impl CachingStore {
@@ -407,7 +413,7 @@ impl CachingStore {
         }
         let n = self.ops_since_sweep.fetch_add(1, Ordering::Relaxed) + 1;
         if n.is_multiple_of(self.sweep_every_ops) {
-            let _ = self.cache.sweep(&self.tree);
+            let _ = self.sweep();
         }
     }
 
@@ -420,7 +426,22 @@ impl CachingStore {
 
     /// Run one cache-management sweep now. Returns pages evicted.
     pub fn sweep(&self) -> Result<usize, TreeError> {
-        self.cache.sweep(&self.tree)
+        let evicted = self.cache.sweep(&self.tree)?;
+        self.report_occupancy();
+        Ok(evicted)
+    }
+
+    /// Refresh the telemetry occupancy gauges (the rent terms of the cost
+    /// attribution) with this store's current footprints, as a delta
+    /// against what it last reported so shard stores sum process-wide.
+    fn report_occupancy(&self) {
+        let ledger = dcs_telemetry::ledger();
+        let dram = self.tree.footprint_bytes() as u64;
+        let prev = self.reported_dram.swap(dram, Ordering::Relaxed);
+        ledger.add_dram_bytes(dram as i64 - prev as i64);
+        let flash = self.lss.live_bytes() as u64;
+        let prev = self.reported_flash.swap(flash, Ordering::Relaxed);
+        ledger.add_flash_bytes(flash as i64 - prev as i64);
     }
 
     /// Flush all dirty pages and issue a durability barrier: a

@@ -157,8 +157,12 @@ impl Global {
             }
         }
         let n = ready.len() as u64;
-        for d in ready {
-            d.call();
+        if n > 0 {
+            let _span = dcs_telemetry::span("ebr.reclaim_batch", dcs_telemetry::CostClass::Maintenance);
+            dcs_telemetry::ledger().maintenance_op();
+            for d in ready {
+                d.call();
+            }
         }
         self.freed_total.fetch_add(n, Ordering::Relaxed);
     }

@@ -252,6 +252,7 @@ impl FlashDevice {
                 segment_bytes: self.config.segment_bytes,
             });
         }
+        let _span = crate::stats::service_span("flashsim.append", dcs_telemetry::CostClass::SsWrite);
         self.config.io_path.run_submit();
         self.stats.record_submit_charge();
 
@@ -307,6 +308,10 @@ impl FlashDevice {
                 segment_bytes: self.config.segment_bytes,
             });
         }
+        let _span = crate::stats::service_span(
+            "flashsim.append_durable",
+            dcs_telemetry::CostClass::SsWrite,
+        );
         self.config.io_path.run_submit();
         self.stats.record_submit_charge();
         let addr = {
@@ -343,6 +348,7 @@ impl FlashDevice {
     /// completion is reaped inline — identical costs and error behaviour to
     /// the historical blocking implementation.
     pub fn read(&self, addr: FlashAddress, len: usize) -> Result<Vec<u8>, DeviceError> {
+        let _span = crate::stats::service_span("flashsim.read", dcs_telemetry::CostClass::SsRead);
         let pending = self.submit_read(addr, len, true);
         pending.wall_wait();
         self.complete_read(pending)
@@ -503,6 +509,7 @@ impl FlashDevice {
 
     /// Mark all appended data durable (as a flush barrier / FUA would).
     pub fn sync(&self) {
+        let _span = crate::stats::service_span("flashsim.sync", dcs_telemetry::CostClass::Wal);
         let mut st = self.state.lock();
         for seg in st.segments.iter_mut().flatten() {
             seg.durable = seg.written;

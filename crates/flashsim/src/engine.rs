@@ -137,6 +137,7 @@ impl IoQueuePair {
         reqs: &[IoRequest],
         per_request_submit_cost: bool,
     ) -> Result<Vec<IoTicket>, SubmitError> {
+        let _span = crate::stats::service_span("flashsim.qp.submit", dcs_telemetry::CostClass::SsRead);
         let queue_depth = self.device.config().queue_depth.max(1);
         let mut inner = self.inner.lock();
         if inner.pending.len() + reqs.len() > queue_depth {
@@ -179,6 +180,14 @@ impl IoQueuePair {
         // Completion costs are charged outside the queue lock: pollers and
         // submitters should contend on the queue, not on CPU emulation.
         let n = reaped.len();
+        let _span = if n > 0 {
+            Some(crate::stats::service_span(
+                "flashsim.qp.poll",
+                dcs_telemetry::CostClass::SsRead,
+            ))
+        } else {
+            None
+        };
         for (ticket, tag, pending) in reaped {
             out.push(IoCompletion {
                 ticket,

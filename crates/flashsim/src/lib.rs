@@ -52,7 +52,10 @@ pub use device::{DeviceError, FlashAddress, FlashDevice, SegmentId};
 pub use engine::{IoCompletion, IoQueuePair, IoRequest, IoTicket, SubmitError};
 pub use inject::FailureInjector;
 pub use path::{calibrate_work_rate, do_cpu_work, IoPathKind, IoPathModel};
-pub use stats::{DeviceStats, IoDepthStats, IO_DEPTH_BUCKETS};
+pub use stats::DeviceStats;
+// The io-depth histogram is the workspace-shared implementation; the old
+// linear-bucket `IoDepthStats` local copy is gone.
+pub use dcs_telemetry::HistogramSnapshot as IoDepthSnapshot;
 
 /// Nanoseconds, the unit of the virtual clock.
 pub type Nanos = u64;

@@ -1,10 +1,15 @@
 //! Device accounting.
+//!
+//! The achieved-io-depth histogram is the shared
+//! [`dcs_telemetry::Histogram`] — this crate used to carry its own
+//! linear-bucket copy (`IoDepthStats`), one of the two duplicated
+//! histogram implementations `dcs-telemetry` replaced. Snapshots are
+//! [`HistogramSnapshot`]: power-of-two buckets, exact merge across
+//! devices, interpolated percentiles.
 
 use crate::Nanos;
+use dcs_telemetry::{CostClass, Histogram, HistogramSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Linear io-depth buckets: depth `d` lands in bucket `min(d, MAX) - 1`.
-pub const IO_DEPTH_BUCKETS: usize = 64;
 
 /// Internal atomic counters.
 pub(crate) struct StatsInner {
@@ -16,10 +21,7 @@ pub(crate) struct StatsInner {
     syncs: AtomicU64,
     injected_failures: AtomicU64,
     submit_charges: AtomicU64,
-    depth_samples: AtomicU64,
-    depth_sum: AtomicU64,
-    depth_max: AtomicU64,
-    depth_buckets: [AtomicU64; IO_DEPTH_BUCKETS],
+    depth: Histogram,
 }
 
 impl Default for StatsInner {
@@ -33,10 +35,7 @@ impl Default for StatsInner {
             syncs: AtomicU64::new(0),
             injected_failures: AtomicU64::new(0),
             submit_charges: AtomicU64::new(0),
-            depth_samples: AtomicU64::new(0),
-            depth_sum: AtomicU64::new(0),
-            depth_max: AtomicU64::new(0),
-            depth_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            depth: Histogram::new(),
         }
     }
 }
@@ -45,10 +44,15 @@ impl StatsInner {
     pub(crate) fn record_read(&self, bytes: u64) {
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        // The device is the single point every secondary-storage read
+        // funnels through; attribute the paper's SS execution term here
+        // so no layer above can double-count it.
+        dcs_telemetry::ledger().ss_read();
     }
     pub(crate) fn record_write(&self, bytes: u64) {
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        dcs_telemetry::ledger().ss_write();
     }
     pub(crate) fn record_trim(&self) {
         self.trims.fetch_add(1, Ordering::Relaxed);
@@ -67,12 +71,7 @@ impl StatsInner {
     /// Record the achieved io depth observed while scheduling one I/O:
     /// how many I/Os (including this one) the device held concurrently.
     pub(crate) fn record_depth(&self, depth: u64) {
-        let depth = depth.max(1);
-        let bucket = (depth as usize).min(IO_DEPTH_BUCKETS) - 1;
-        self.depth_buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.depth_samples.fetch_add(1, Ordering::Relaxed);
-        self.depth_sum.fetch_add(depth, Ordering::Relaxed);
-        self.depth_max.fetch_max(depth, Ordering::Relaxed);
+        self.depth.record(depth.max(1));
     }
 
     pub(crate) fn snapshot(&self, now: Nanos, busy_until: Nanos) -> DeviceStats {
@@ -87,63 +86,15 @@ impl StatsInner {
             submit_charges: self.submit_charges.load(Ordering::Relaxed),
             virtual_now: now,
             busy_until,
-            io_depth: IoDepthStats {
-                samples: self.depth_samples.load(Ordering::Relaxed),
-                sum: self.depth_sum.load(Ordering::Relaxed),
-                max: self.depth_max.load(Ordering::Relaxed),
-                buckets: std::array::from_fn(|i| self.depth_buckets[i].load(Ordering::Relaxed)),
-            },
+            io_depth: self.depth.snapshot(),
         }
     }
 }
 
-/// Achieved-io-depth histogram: one sample per scheduled I/O, recording how
-/// many I/Os the device held concurrently at that moment. A blocking caller
-/// produces a flat depth-1 line; an async submitter driving the queue pair
-/// shows the real concurrency the paper's SPDK-style engine is meant to
-/// create.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct IoDepthStats {
-    /// I/Os sampled (= I/Os scheduled on the device queue).
-    pub samples: u64,
-    /// Sum of sampled depths (for the mean).
-    pub sum: u64,
-    /// Deepest concurrency observed.
-    pub max: u64,
-    /// `buckets[i]` counts samples at depth `i + 1` (last bucket saturates).
-    pub buckets: [u64; IO_DEPTH_BUCKETS],
-}
-
-impl Default for IoDepthStats {
-    fn default() -> Self {
-        IoDepthStats {
-            samples: 0,
-            sum: 0,
-            max: 0,
-            buckets: [0; IO_DEPTH_BUCKETS],
-        }
-    }
-}
-
-impl IoDepthStats {
-    /// Mean achieved depth (0 with no samples).
-    pub fn mean(&self) -> f64 {
-        if self.samples == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.samples as f64
-        }
-    }
-
-    /// `(depth, count)` pairs for the non-empty buckets.
-    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c != 0)
-            .map(|(i, &c)| (i as u64 + 1, c))
-            .collect()
-    }
+/// A traced span for one device-service action. Shows up nested under
+/// whatever request/maintenance span is open on the calling thread.
+pub(crate) fn service_span(name: &'static str, class: CostClass) -> dcs_telemetry::Span {
+    dcs_telemetry::span(name, class)
 }
 
 /// A point-in-time snapshot of device activity.
@@ -170,8 +121,12 @@ pub struct DeviceStats {
     pub virtual_now: Nanos,
     /// Virtual time until which the device queue is occupied.
     pub busy_until: Nanos,
-    /// Achieved-io-depth histogram (cumulative since device creation).
-    pub io_depth: IoDepthStats,
+    /// Achieved-io-depth histogram (cumulative since device creation):
+    /// one sample per scheduled I/O, recording how many I/Os the device
+    /// held concurrently. A blocking caller produces a flat depth-1
+    /// line; an async submitter driving the queue pair shows the real
+    /// concurrency the paper's SPDK-style engine is meant to create.
+    pub io_depth: HistogramSnapshot,
 }
 
 impl DeviceStats {
@@ -240,5 +195,21 @@ mod tests {
     fn zero_time_zero_iops() {
         let s = DeviceStats::default();
         assert_eq!(s.achieved_iops(), 0.0);
+    }
+
+    #[test]
+    fn depth_histogram_is_shared_type() {
+        let inner = StatsInner::default();
+        inner.record_depth(1);
+        inner.record_depth(4);
+        inner.record_depth(4);
+        let s = inner.snapshot(0, 0);
+        assert_eq!(s.io_depth.count, 3);
+        assert_eq!(s.io_depth.max, 4);
+        assert!((s.io_depth.mean() - 3.0).abs() < 1e-9);
+        // Merging two devices' histograms is exact.
+        let mut merged = s.io_depth;
+        merged.merge(&s.io_depth);
+        assert_eq!(merged.count, 6);
     }
 }

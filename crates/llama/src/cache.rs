@@ -112,6 +112,8 @@ impl CacheManager {
     /// budget by LRU.
     pub fn sweep(&self, tree: &BwTree) -> Result<usize, TreeError> {
         self.sweeps.fetch_add(1, Ordering::Relaxed);
+        let _span = dcs_telemetry::span("llama.cache_sweep", dcs_telemetry::CostClass::Maintenance);
+        dcs_telemetry::ledger().maintenance_op();
         let now = self.clock.now();
         tree.set_vtime(now);
         let mut evicted = 0usize;

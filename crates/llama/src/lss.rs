@@ -364,6 +364,7 @@ impl LogStructuredStore {
         if inner.buffer.is_empty() {
             return Ok(());
         }
+        let _span = dcs_telemetry::span("llama.flush_buffer", dcs_telemetry::CostClass::SsWrite);
         let blob = std::mem::take(&mut inner.buffer);
         let addr = self.device.append(&blob).map_err(device_err)?;
         self.stats.buffers_flushed.fetch_add(1, Ordering::Relaxed);
@@ -508,6 +509,8 @@ impl LogStructuredStore {
         let Some((victim, _)) = victim else {
             return Ok(None);
         };
+        let _span = dcs_telemetry::span("llama.gc_segment", dcs_telemetry::CostClass::Maintenance);
+        dcs_telemetry::ledger().maintenance_op();
         // Relocate live parts under the same LSNs (tokens are logical, so
         // holders are unaffected). The relocated copies go to the device
         // through an immediately durable append of their own — a global
@@ -569,6 +572,13 @@ impl LogStructuredStore {
             n += 1;
         }
         Ok(n)
+    }
+
+    /// Live (not superseded) bytes currently resident on flash — the
+    /// occupancy the paper's flash-rent term integrates over.
+    pub fn live_bytes(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.segments.values().map(|s| s.live_bytes).sum()
     }
 
     /// Storage utilization: live bytes / total flash bytes in use.
@@ -994,6 +1004,7 @@ impl LogStructuredStore {
     /// Materialize the full image for `token` (caller holds the lock).
     fn fetch_locked(&self, inner: &Inner, token: u64) -> Result<PageImage, StoreError> {
         // Walk the part chain newest → oldest, then fold oldest-up.
+        let _span = dcs_telemetry::span("llama.fetch", dcs_telemetry::CostClass::SsRead);
         let mut imgs: Vec<PageImage> = Vec::new();
         let mut cur = Some(token);
         while let Some(lsn) = cur {

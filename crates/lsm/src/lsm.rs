@@ -107,6 +107,16 @@ struct StatsInner {
     segments_reclaimed: AtomicU64,
 }
 
+impl StatsInner {
+    /// Count one main-memory operation, mirroring it into the process-wide
+    /// cost ledger. SS ops are not mirrored here: the flash device is the
+    /// single attribution point for secondary-storage I/O.
+    fn mm_op(&self) {
+        self.mm_ops.fetch_add(1, Ordering::Relaxed);
+        dcs_telemetry::ledger().mm_op();
+    }
+}
+
 struct State {
     memtable: Arc<Memtable>,
     /// `levels[0]` newest-first, overlapping; deeper levels sorted and
@@ -250,7 +260,7 @@ impl LsmTree {
         let state = self.state.read();
         if let Some(answer) = state.memtable.get(key) {
             self.stats.memtable_hits.fetch_add(1, Ordering::Relaxed);
-            self.stats.mm_ops.fetch_add(1, Ordering::Relaxed);
+            self.stats.mm_op();
             return Ok(answer);
         }
         let mut did_io = false;
@@ -285,7 +295,7 @@ impl LsmTree {
         if did_io {
             self.stats.ss_ops.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.stats.mm_ops.fetch_add(1, Ordering::Relaxed);
+            self.stats.mm_op();
         }
         Ok(match result {
             Some(TableValue::Put(v)) => Some(v),
@@ -307,7 +317,7 @@ impl LsmTree {
         let state = self.state.read();
         if let Some(answer) = state.memtable.get(key) {
             self.stats.memtable_hits.fetch_add(1, Ordering::Relaxed);
-            self.stats.mm_ops.fetch_add(1, Ordering::Relaxed);
+            self.stats.mm_op();
             return Ok(LsmGet::Ready(answer));
         }
         // Candidate tables newest-first, with the block each would read.
@@ -330,7 +340,7 @@ impl LsmTree {
         }
         drop(state);
         if cands.is_empty() {
-            self.stats.mm_ops.fetch_add(1, Ordering::Relaxed);
+            self.stats.mm_op();
             return Ok(LsmGet::Ready(None));
         }
         let token = {
@@ -602,6 +612,8 @@ impl LsmTree {
         if state.memtable.approx_bytes() < self.config.memtable_bytes {
             return Ok(());
         }
+        let _span = dcs_telemetry::span("lsm.memtable_rotate", dcs_telemetry::CostClass::Maintenance);
+        dcs_telemetry::ledger().maintenance_op();
         let old = std::mem::replace(&mut state.memtable, Arc::new(Memtable::new()));
         let snapshot = old.snapshot();
         if snapshot.is_empty() {
@@ -619,6 +631,7 @@ impl LsmTree {
     /// Force a flush regardless of size (tests / shutdown).
     pub fn flush(&self) -> Result<(), LsmError> {
         let mut state = self.state.write();
+        let _span = dcs_telemetry::span("lsm.memtable_rotate", dcs_telemetry::CostClass::Maintenance);
         let old = std::mem::replace(&mut state.memtable, Arc::new(Memtable::new()));
         let snapshot = old.snapshot();
         if snapshot.is_empty() {
@@ -694,6 +707,8 @@ impl LsmTree {
     /// with the overlapping runs of level `li + 1`.
     fn compact_level(&self, state: &mut State, li: usize) -> Result<(), LsmError> {
         self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        let _span = dcs_telemetry::span("lsm.compact", dcs_telemetry::CostClass::Maintenance);
+        dcs_telemetry::ledger().maintenance_op();
         let upper: Vec<Arc<SsTable>> = if li == 0 {
             std::mem::take(&mut state.levels[0])
         } else {

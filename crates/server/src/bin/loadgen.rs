@@ -14,10 +14,14 @@
 //! ```
 
 use dcs_core::{BackendKind, BackendOpts};
+use dcs_costmodel::accounting::{price_run, RunProfile};
+use dcs_costmodel::HardwareCatalog;
 use dcs_server::mailbox::Mailbox;
 use dcs_server::metrics::LatencyHistogram;
 use dcs_server::protocol::{Request, Response};
-use dcs_server::report::{BenchReport, IoDepthReport, MissServiceReport, OpReport};
+use dcs_server::report::{
+    BenchReport, CostTerms, IoDepthReport, MissServiceReport, OpReport, TelemetryReport,
+};
 use dcs_server::shard::{MissMode, Partitioner};
 use dcs_server::{Client, ClientConfig, Server, ServerConfig, ShardBackend, Ticket};
 use dcs_workload::{keys, Arrivals, KeyDist, OpKind, OpMix, WorkloadSpec};
@@ -43,6 +47,8 @@ struct Args {
     miss_mode: MissMode,
     device_latency: u64,
     memory_budget: Option<usize>,
+    trace_out: Option<String>,
+    trace_sample: u32,
 }
 
 impl Default for Args {
@@ -63,6 +69,8 @@ impl Default for Args {
             miss_mode: MissMode::Async,
             device_latency: 0,
             memory_budget: None,
+            trace_out: None,
+            trace_sample: 10,
         }
     }
 }
@@ -95,7 +103,11 @@ fn parse_args() -> Args {
                  --device-latency NANOS                  (default 0; injected\n\
                     wall-clock latency per device read)\n\
                  --memory-budget BYTES                   (caching backend only;\n\
-                    shrink to force a cold cache and real misses)"
+                    shrink to force a cold cache and real misses)\n\
+                 --trace-out PATH                        (write a Chrome/Perfetto\n\
+                    trace of the sampled spans after the run)\n\
+                 --trace-sample PERMILLE                 (default 10; root-span\n\
+                    sampling rate, 0..=1000. 1000 traces every request)"
             );
             std::process::exit(0);
         }
@@ -129,6 +141,8 @@ fn parse_args() -> Args {
             }
             "--device-latency" => args.device_latency = value.parse().expect("--device-latency"),
             "--memory-budget" => args.memory_budget = Some(value.parse().expect("--memory-budget")),
+            "--trace-out" => args.trace_out = Some(value.clone()),
+            "--trace-sample" => args.trace_sample = value.parse().expect("--trace-sample"),
             other => {
                 eprintln!("unknown flag '{other}' (try --help)");
                 std::process::exit(2);
@@ -436,6 +450,7 @@ fn run_inproc(
 
 fn main() {
     let args = parse_args();
+    dcs_telemetry::set_sampling_permille(args.trace_sample);
     let spec = spec_for(&args);
     eprintln!(
         "loadgen: backend={} mode={} shards={} conns={} records={} ops={}",
@@ -463,7 +478,7 @@ fn main() {
     };
     let harness = Arc::new(Harness::new());
 
-    let (issued, duration, shard_snapshots) = if args.mode == "inproc" {
+    let (issued, duration, shard_snapshots, cost_before) = if args.mode == "inproc" {
         // In-process baseline: same workload, no wire. Load directly.
         for (key, value) in spec.load_set() {
             let id = keys::decode(&key).expect("load key");
@@ -473,9 +488,10 @@ fn main() {
             harness.acked.lock().unwrap().insert(id);
         }
         eprintln!("loadgen: loaded {} records (in-process)", args.records);
+        let cost_before = dcs_telemetry::ledger().totals();
         let run_start = Instant::now();
         let issued = run_inproc(&args, &backends, &partitioner, &spec, &harness);
-        (issued, run_start.elapsed(), Vec::new())
+        (issued, run_start.elapsed(), Vec::new(), cost_before)
     } else {
         let config = ServerConfig {
             shard: dcs_server::ShardConfig {
@@ -510,6 +526,7 @@ fn main() {
         load_phase(&client, &spec, &harness);
         eprintln!("loadgen: loaded {} records", args.records);
 
+        let cost_before = dcs_telemetry::ledger().totals();
         let run_start = Instant::now();
         let issued = match args.mode.as_str() {
             "open" => run_open(&args, &client, &spec, &harness),
@@ -519,8 +536,11 @@ fn main() {
 
         client.close();
         let report = server.shutdown();
-        (issued, duration, report.shards)
+        (issued, duration, report.shards, cost_before)
     };
+    // Ledger delta over the measured run (shutdown flush included: the
+    // drain is work the run caused). Gauges are the post-run occupancy.
+    let cost = dcs_telemetry::ledger().totals().delta(&cost_before);
 
     // Verification: after the drain-and-flush shutdown, every write the
     // server acknowledged must still be readable from the backends.
@@ -543,25 +563,72 @@ fn main() {
     let throughput = completed as f64 / duration.as_secs_f64().max(1e-9);
     // Aggregate the achieved-io-depth histograms across shard devices
     // (the in-memory comparators have no device and report zeros).
-    let mut depth = dcs_flashsim::IoDepthStats::default();
+    let mut depth = dcs_telemetry::HistogramSnapshot::default();
     for b in &built {
         if let Some(device) = &b.device {
-            let s = device.stats().io_depth;
-            depth.samples += s.samples;
-            depth.sum += s.sum;
-            depth.max = depth.max.max(s.max);
-            for (i, c) in s.buckets.iter().enumerate() {
-                depth.buckets[i] += c;
-            }
+            depth.merge(&device.stats().io_depth);
         }
     }
     let io_depth = IoDepthReport {
-        samples: depth.samples,
+        samples: depth.count,
         mean: depth.mean(),
         max: depth.max,
         buckets: depth.nonzero_buckets(),
     };
     let miss_service = MissServiceReport::from_snapshots(&shard_snapshots);
+
+    // Export the sampled-span timeline before summarizing it, so the
+    // trace stats in the report describe what the file contains.
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, dcs_telemetry::export_chrome_json()).expect("write trace");
+        eprintln!("loadgen: wrote span trace -> {path}");
+    }
+    let tstats = dcs_telemetry::trace_stats();
+
+    // Price the measured run twice: per-term directly from the ledger
+    // counts, and through the cost model's own `price_run` over the same
+    // profile. Agreement (the `reconciled` flag, 10% per-term) certifies
+    // the attribution funnel feeds `dcs_costmodel::accounting` without
+    // drift — every bump site accounted once, none double-counted.
+    let hw = HardwareCatalog::paper();
+    let secs = duration.as_secs_f64();
+    let measured = CostTerms {
+        dram_rent: cost.dram_bytes as f64 * hw.dram_per_byte * secs,
+        flash_rent: cost.flash_bytes as f64 * hw.flash_per_byte * secs,
+        mm_exec: cost.mm_ops as f64 * hw.mm_exec_cost(),
+        ss_exec: cost.ss_ops() as f64 * hw.ss_exec_cost(),
+    };
+    let profile = RunProfile {
+        duration_secs: secs,
+        avg_dram_bytes: cost.dram_bytes as f64,
+        avg_flash_bytes: cost.flash_bytes as f64,
+        mm_ops: cost.mm_ops,
+        ss_ops: cost.ss_ops(),
+    };
+    let priced = price_run(&hw, &profile);
+    let modeled = CostTerms {
+        dram_rent: priced.dram_rent,
+        flash_rent: priced.flash_rent,
+        mm_exec: priced.mm_exec,
+        ss_exec: priced.ss_exec,
+    };
+    let telemetry = TelemetryReport {
+        sampling_permille: dcs_telemetry::sampling_permille(),
+        roots_seen: tstats.roots_seen,
+        roots_sampled: tstats.roots_sampled,
+        events_dropped: tstats.dropped,
+        trace_out: args.trace_out.clone().unwrap_or_default(),
+        mm_ops: cost.mm_ops,
+        ss_reads: cost.ss_reads,
+        ss_writes: cost.ss_writes,
+        wal_barriers: cost.wal_barriers,
+        maintenance_ops: cost.maintenance_ops,
+        avg_dram_bytes: cost.dram_bytes as f64,
+        avg_flash_bytes: cost.flash_bytes as f64,
+        measured,
+        modeled,
+        reconciled: measured.reconciles_with(&modeled, 0.10),
+    };
     let bench = BenchReport {
         backend: args.backend.name().into(),
         mode: args.mode.clone(),
@@ -590,6 +657,7 @@ fn main() {
         shard_snapshots,
         io_depth,
         miss_service,
+        telemetry,
         acked_writes: acked.len() as u64,
         verified_keys: acked.len() as u64 - missing,
         missing_keys: missing,

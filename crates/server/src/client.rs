@@ -264,6 +264,20 @@ impl Client {
         })
     }
 
+    /// Scrape the server's telemetry snapshot (JSON). Answered on the
+    /// connection itself, so it works even when every shard is BUSY.
+    pub fn stats(&self) -> Result<String, ClientError> {
+        match self
+            .submit(Request::Stats {
+                version: crate::protocol::STATS_VERSION,
+            })?
+            .wait()?
+        {
+            Response::Stats(json) => Ok(json),
+            other => Self::unexpected(other),
+        }
+    }
+
     /// Read-modify-write: atomically append `value` to the stored value.
     pub fn rmw(&self, key: &[u8], value: &[u8]) -> Result<(), ClientError> {
         self.retry_busy(|| {

@@ -34,7 +34,10 @@ impl<T> SendError<T> {
     }
 }
 
-/// Counters for one mailbox's lifetime.
+/// Counters for one mailbox's lifetime. The queue-depth distribution is
+/// the shared [`dcs_telemetry`] histogram (one sample per accepted item,
+/// recording the depth it landed at) — this struct used to track only a
+/// hand-rolled high-water mark.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MailboxStats {
     /// Items accepted by `send`.
@@ -45,20 +48,38 @@ pub struct MailboxStats {
     pub rejected_busy: u64,
     /// Sends refused with `Closed`.
     pub rejected_closed: u64,
+    /// Queue-depth distribution, sampled at each accept.
+    pub depth: dcs_telemetry::HistogramSnapshot,
+}
+
+impl MailboxStats {
     /// Deepest queue observed at any accept.
-    pub depth_high_water: usize,
+    pub fn depth_high_water(&self) -> usize {
+        self.depth.max as usize
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: u64,
+    drained: u64,
+    rejected_busy: u64,
+    rejected_closed: u64,
 }
 
 struct Inner<T> {
     queue: VecDeque<T>,
     closed: bool,
-    stats: MailboxStats,
+    stats: Counters,
 }
 
 /// A bounded multi-producer queue drained in batches by one shard worker.
 pub struct Mailbox<T> {
     inner: Mutex<Inner<T>>,
     capacity: usize,
+    /// Depth-at-accept samples. Atomic (outside the queue mutex's state)
+    /// but recorded under the lock so each sample matches one accept.
+    depth: dcs_telemetry::Histogram,
     #[cfg(not(feature = "check"))]
     notempty: std::sync::Condvar,
 }
@@ -71,9 +92,10 @@ impl<T> Mailbox<T> {
             inner: Mutex::new(Inner {
                 queue: VecDeque::new(),
                 closed: false,
-                stats: MailboxStats::default(),
+                stats: Counters::default(),
             }),
             capacity,
+            depth: dcs_telemetry::Histogram::new(),
             #[cfg(not(feature = "check"))]
             notempty: std::sync::Condvar::new(),
         }
@@ -93,10 +115,7 @@ impl<T> Mailbox<T> {
         }
         inner.queue.push_back(item);
         inner.stats.accepted += 1;
-        let depth = inner.queue.len();
-        if depth > inner.stats.depth_high_water {
-            inner.stats.depth_high_water = depth;
-        }
+        self.depth.record(inner.queue.len() as u64);
         drop(inner);
         #[cfg(not(feature = "check"))]
         self.notempty.notify_one();
@@ -190,7 +209,14 @@ impl<T> Mailbox<T> {
 
     /// Counter snapshot.
     pub fn stats(&self) -> MailboxStats {
-        self.inner.lock().unwrap().stats
+        let inner = self.inner.lock().unwrap();
+        MailboxStats {
+            accepted: inner.stats.accepted,
+            drained: inner.stats.drained,
+            rejected_busy: inner.stats.rejected_busy,
+            rejected_closed: inner.stats.rejected_closed,
+            depth: self.depth.snapshot(),
+        }
     }
 }
 

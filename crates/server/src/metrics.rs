@@ -1,122 +1,20 @@
 //! Per-shard serving metrics: op counts, batch sizes, queue depth, and
 //! latency histograms with percentile extraction.
 //!
-//! Latencies land in power-of-two nanosecond buckets (64 of them cover
-//! 1 ns ..= ~18 s), so recording is one atomic increment and percentile
-//! queries interpolate within the winning bucket — bounded error (< 2× at
-//! the bucket edge, far less with interpolation), zero allocation, safe to
-//! share across threads.
+//! The latency histogram is the workspace-shared
+//! [`dcs_telemetry::Histogram`] — this module used to carry its own
+//! power-of-two copy, one of the two duplicates `dcs-telemetry`
+//! replaced. Recording is one atomic increment; percentile queries
+//! interpolate within the winning bucket and clamp to the observed max
+//! (the bias fix lives in the shared crate, pinned there against an
+//! exact-sorted reference).
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-const BUCKETS: usize = 64;
-
-/// A concurrent, fixed-footprint latency histogram over nanoseconds.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    counts: [AtomicU64; BUCKETS],
-    total: AtomicU64,
-    sum_nanos: AtomicU64,
-    max_nanos: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            counts: std::array::from_fn(|_| AtomicU64::new(0)),
-            total: AtomicU64::new(0),
-            sum_nanos: AtomicU64::new(0),
-            max_nanos: AtomicU64::new(0),
-        }
-    }
-}
-
+/// The shared histogram, recording nanoseconds here.
+pub use dcs_telemetry::Histogram as LatencyHistogram;
 /// Percentile summary extracted from a [`LatencyHistogram`].
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct LatencySummary {
-    /// Samples recorded.
-    pub count: u64,
-    /// Mean latency in nanoseconds.
-    pub mean_nanos: f64,
-    /// Median.
-    pub p50_nanos: f64,
-    /// 95th percentile.
-    pub p95_nanos: f64,
-    /// 99th percentile.
-    pub p99_nanos: f64,
-    /// Largest single sample.
-    pub max_nanos: u64,
-}
-
-impl LatencyHistogram {
-    /// A fresh histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Record one sample.
-    pub fn record(&self, nanos: u64) {
-        let bucket = (64 - nanos.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
-        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
-        self.total.fetch_add(1, Ordering::Relaxed);
-        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
-        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
-    }
-
-    /// Samples recorded so far.
-    pub fn count(&self) -> u64 {
-        self.total.load(Ordering::Relaxed)
-    }
-
-    /// Nanoseconds at quantile `q` in `[0, 1]`, linearly interpolated inside
-    /// the winning power-of-two bucket. 0 with no samples.
-    pub fn quantile(&self, q: f64) -> f64 {
-        let total = self.total.load(Ordering::Relaxed);
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, c) in self.counts.iter().enumerate() {
-            let c = c.load(Ordering::Relaxed);
-            if c == 0 {
-                continue;
-            }
-            if seen + c >= rank {
-                let lo = if i == 0 { 1u64 } else { 1u64 << i };
-                let hi = if i >= 63 {
-                    u64::MAX
-                } else {
-                    (1u64 << (i + 1)) - 1
-                };
-                let frac = (rank - seen) as f64 / c as f64;
-                // Interpolating toward the bucket's upper edge can pass the
-                // largest sample actually seen; never report beyond it.
-                let est = lo as f64 + frac * (hi - lo) as f64;
-                return est.min(self.max_nanos.load(Ordering::Relaxed) as f64);
-            }
-            seen += c;
-        }
-        self.max_nanos.load(Ordering::Relaxed) as f64
-    }
-
-    /// Extract the percentile summary.
-    pub fn summary(&self) -> LatencySummary {
-        let count = self.total.load(Ordering::Relaxed);
-        LatencySummary {
-            count,
-            mean_nanos: if count == 0 {
-                0.0
-            } else {
-                self.sum_nanos.load(Ordering::Relaxed) as f64 / count as f64
-            },
-            p50_nanos: self.quantile(0.50),
-            p95_nanos: self.quantile(0.95),
-            p99_nanos: self.quantile(0.99),
-            max_nanos: self.max_nanos.load(Ordering::Relaxed),
-        }
-    }
-}
+pub use dcs_telemetry::HistogramSummary as LatencySummary;
 
 /// Live counters for one shard. All fields are updated by the shard worker
 /// and its feeding connections; `snapshot` is safe any time.
@@ -264,21 +162,6 @@ mod tests {
             "p50 {}",
             s.p50_nanos
         );
-    }
-
-    #[test]
-    fn empty_histogram_is_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.summary(), LatencySummary::default());
-    }
-
-    #[test]
-    fn extreme_samples_do_not_panic() {
-        let h = LatencyHistogram::new();
-        h.record(0);
-        h.record(u64::MAX);
-        assert_eq!(h.count(), 2);
-        assert!(h.quantile(1.0) > 0.0);
     }
 
     #[test]

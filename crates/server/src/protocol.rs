@@ -81,7 +81,19 @@ pub enum Request {
         /// Bytes appended by the modification.
         value: Vec<u8>,
     },
+    /// Scrape the server's telemetry: answered with a
+    /// [`Response::Stats`] JSON registry snapshot. Handled at the
+    /// connection (never routed to a shard), so a live server can be
+    /// observed even when every shard mailbox is saturated.
+    Stats {
+        /// Snapshot-format version the client speaks; the server
+        /// rejects versions it does not know ([`STATS_VERSION`]).
+        version: u8,
+    },
 }
+
+/// The STATS snapshot-format version this build speaks.
+pub const STATS_VERSION: u8 = 1;
 
 impl Request {
     /// The key that routes this request to a shard.
@@ -92,6 +104,8 @@ impl Request {
             | Request::Delete { key }
             | Request::Rmw { key, .. } => key,
             Request::Scan { start, .. } => start,
+            // STATS is connection-level; it never routes to a shard.
+            Request::Stats { .. } => &[],
         }
     }
 
@@ -112,6 +126,7 @@ impl Request {
             Request::Delete { .. } => "delete",
             Request::Scan { .. } => "scan",
             Request::Rmw { .. } => "rmw",
+            Request::Stats { .. } => "stats",
         }
     }
 }
@@ -131,6 +146,9 @@ pub enum Response {
     Busy,
     /// The server failed to execute the request.
     Err(String),
+    /// Telemetry registry snapshot, rendered as JSON (the
+    /// [`dcs_telemetry::RegistrySnapshot::to_json`] shape).
+    Stats(String),
 }
 
 const OP_GET: u8 = 0x01;
@@ -138,11 +156,13 @@ const OP_PUT: u8 = 0x02;
 const OP_DELETE: u8 = 0x03;
 const OP_SCAN: u8 = 0x04;
 const OP_RMW: u8 = 0x05;
+const OP_STATS: u8 = 0x06;
 const RE_VALUE: u8 = 0x81;
 const RE_OK: u8 = 0x82;
 const RE_COUNT: u8 = 0x83;
 const RE_BUSY: u8 = 0x84;
 const RE_ERR: u8 = 0x85;
+const RE_STATS: u8 = 0x86;
 
 /// Why a buffer failed to decode. All of these are fatal for the
 /// connection: once framing is lost there is no way to resynchronize.
@@ -161,6 +181,9 @@ pub enum ProtoError {
     },
     /// Unknown `kind` byte.
     UnknownKind(u8),
+    /// A STATS request speaking a snapshot-format version this build
+    /// does not know.
+    UnknownStatsVersion(u8),
     /// The payload was shorter than its own internal length prefixes claim.
     Truncated,
 }
@@ -174,6 +197,9 @@ impl std::fmt::Display for ProtoError {
                 write!(f, "payload checksum {actual:#x} != header {expected:#x}")
             }
             ProtoError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            ProtoError::UnknownStatsVersion(v) => {
+                write!(f, "unknown STATS version {v} (this build speaks {STATS_VERSION})")
+            }
             ProtoError::Truncated => write!(f, "payload truncated mid-field"),
         }
     }
@@ -266,6 +292,7 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
                 Request::Delete { .. } => OP_DELETE,
                 Request::Scan { .. } => OP_SCAN,
                 Request::Rmw { .. } => OP_RMW,
+                Request::Stats { .. } => OP_STATS,
             },
             *id,
         ),
@@ -276,6 +303,7 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
                 Response::Count(_) => RE_COUNT,
                 Response::Busy => RE_BUSY,
                 Response::Err(_) => RE_ERR,
+                Response::Stats(_) => RE_STATS,
             },
             *id,
         ),
@@ -292,6 +320,7 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
                 put_key(&mut payload, start);
                 payload.extend_from_slice(&limit.to_le_bytes());
             }
+            Request::Stats { version } => payload.push(*version),
         },
         Frame::Response { resp, .. } => match resp {
             Response::Value(v) => match v {
@@ -304,6 +333,7 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
             Response::Ok | Response::Busy => {}
             Response::Count(n) => payload.extend_from_slice(&n.to_le_bytes()),
             Response::Err(msg) => put_val(&mut payload, msg.as_bytes()),
+            Response::Stats(json) => put_val(&mut payload, json.as_bytes()),
         },
     }
     debug_assert!(payload.len() <= MAX_PAYLOAD, "frame payload too large");
@@ -389,6 +419,16 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtoError> {
                 value: c.val()?,
             },
         },
+        OP_STATS => {
+            let version = c.take(1)?[0];
+            if version != STATS_VERSION {
+                return Err(ProtoError::UnknownStatsVersion(version));
+            }
+            Frame::Request {
+                id,
+                req: Request::Stats { version },
+            }
+        }
         RE_VALUE => {
             let present = c.take(1)?[0];
             let v = match present {
@@ -416,6 +456,10 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtoError> {
         RE_ERR => Frame::Response {
             id,
             resp: Response::Err(String::from_utf8_lossy(&c.val()?).into_owned()),
+        },
+        RE_STATS => Frame::Response {
+            id,
+            resp: Response::Stats(String::from_utf8_lossy(&c.val()?).into_owned()),
         },
         other => return Err(ProtoError::UnknownKind(other)),
     };
@@ -481,6 +525,16 @@ mod tests {
             Frame::Response {
                 id: 11,
                 resp: Response::Err("boom".into()),
+            },
+            Frame::Request {
+                id: 12,
+                req: Request::Stats {
+                    version: STATS_VERSION,
+                },
+            },
+            Frame::Response {
+                id: 13,
+                resp: Response::Stats("{\"counters\":{}}".into()),
             },
         ]
     }
@@ -583,6 +637,32 @@ mod tests {
         bytes.extend_from_slice(&fnv64(&payload).to_le_bytes());
         bytes.extend_from_slice(&payload);
         assert_eq!(decode_frame(&bytes), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn stats_unknown_version_rejected() {
+        // An otherwise well-formed STATS frame speaking version 9: the
+        // frame layer (magic, length, checksum) is intact, so the
+        // rejection is the version check itself.
+        let payload = vec![9u8];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.push(0x06);
+        bytes.extend_from_slice(&21u64.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&fnv64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert_eq!(decode_frame(&bytes), Err(ProtoError::UnknownStatsVersion(9)));
+    }
+
+    #[test]
+    fn stats_requests_route_nowhere_and_do_not_write() {
+        let req = Request::Stats {
+            version: STATS_VERSION,
+        };
+        assert!(req.routing_key().is_empty());
+        assert!(!req.is_write());
+        assert_eq!(req.kind_name(), "stats");
     }
 
     #[test]

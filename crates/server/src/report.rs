@@ -61,6 +61,80 @@ impl MissServiceReport {
     }
 }
 
+/// One per-term cost breakdown in the paper's algebra (rent + execution),
+/// in catalog dollars with the lifetime factor dropped as everywhere else.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostTerms {
+    /// DRAM rent over the run.
+    pub dram_rent: f64,
+    /// Flash rent over the run.
+    pub flash_rent: f64,
+    /// Processor cost of the MM operations.
+    pub mm_exec: f64,
+    /// Processor + I/O-capability cost of the SS operations.
+    pub ss_exec: f64,
+}
+
+impl CostTerms {
+    /// Sum of the four terms.
+    pub fn total(&self) -> f64 {
+        self.dram_rent + self.flash_rent + self.mm_exec + self.ss_exec
+    }
+
+    /// True when every term of `self` and `other` agrees within `tol`
+    /// relative (with a small absolute floor so two near-zero terms —
+    /// e.g. flash rent on an in-memory backend — always reconcile).
+    pub fn reconciles_with(&self, other: &CostTerms, tol: f64) -> bool {
+        let close = |a: f64, b: f64| {
+            let scale = a.abs().max(b.abs());
+            (a - b).abs() <= tol * scale + 1e-15
+        };
+        close(self.dram_rent, other.dram_rent)
+            && close(self.flash_rent, other.flash_rent)
+            && close(self.mm_exec, other.mm_exec)
+            && close(self.ss_exec, other.ss_exec)
+    }
+}
+
+/// The unified telemetry block: exact cost-attribution counts from the
+/// process-wide ledger, the per-term costs they price out to, and the
+/// cost model's own `price_run` over the same profile. `reconciled`
+/// asserts the two derivations agree per-term within 10% — the attribution
+/// funnel feeding `dcs_costmodel::accounting` is wired, not drifting.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryReport {
+    /// Root-span sampling rate during the run (permille).
+    pub sampling_permille: u32,
+    /// Root spans seen / actually traced / events dropped to ring bounds.
+    pub roots_seen: u64,
+    /// Root spans that recorded events.
+    pub roots_sampled: u64,
+    /// Span events dropped to per-thread ring bounds.
+    pub events_dropped: u64,
+    /// Where the Chrome/Perfetto trace was written ("" = not requested).
+    pub trace_out: String,
+    /// Measured MM operations (ledger delta over the run).
+    pub mm_ops: u64,
+    /// Measured SS reads.
+    pub ss_reads: u64,
+    /// Measured SS writes.
+    pub ss_writes: u64,
+    /// Measured WAL durability barriers.
+    pub wal_barriers: u64,
+    /// Measured background maintenance actions.
+    pub maintenance_ops: u64,
+    /// DRAM occupancy fed to the rent terms (bytes).
+    pub avg_dram_bytes: f64,
+    /// Flash occupancy fed to the rent terms (bytes).
+    pub avg_flash_bytes: f64,
+    /// Per-term costs priced directly from the ledger counts.
+    pub measured: CostTerms,
+    /// Per-term costs from `dcs_costmodel::accounting::price_run`.
+    pub modeled: CostTerms,
+    /// Every term of `measured` within 10% of `modeled`.
+    pub reconciled: bool,
+}
+
 /// Per-operation-kind latency/throughput line.
 #[derive(Debug, Clone)]
 pub struct OpReport {
@@ -114,6 +188,9 @@ pub struct BenchReport {
     pub io_depth: IoDepthReport,
     /// Aggregated miss-service accounting.
     pub miss_service: MissServiceReport,
+    /// Unified telemetry: span tracing stats plus measured-vs-modeled
+    /// cost attribution in the paper's terms.
+    pub telemetry: TelemetryReport,
     /// Writes acknowledged by the server during the run.
     pub acked_writes: u64,
     /// Distinct acked keys re-read from the backends after drain shutdown.
@@ -144,6 +221,27 @@ fn num(v: f64) -> String {
     } else {
         "0.0".into()
     }
+}
+
+/// Scientific notation for cost terms — catalog dollars are far below the
+/// fixed three decimals `num` keeps.
+fn sci(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6e}")
+    } else {
+        "0.0".into()
+    }
+}
+
+fn cost_terms_json(t: &CostTerms) -> String {
+    format!(
+        "{{\"dram_rent\": {}, \"flash_rent\": {}, \"mm_exec\": {}, \"ss_exec\": {}, \"total\": {}}}",
+        sci(t.dram_rent),
+        sci(t.flash_rent),
+        sci(t.mm_exec),
+        sci(t.ss_exec),
+        sci(t.total()),
+    )
 }
 
 fn latency_json(l: &LatencySummary) -> String {
@@ -218,8 +316,27 @@ impl BenchReport {
             self.miss_service.parked_peak,
             latency_json(&self.miss_service.latency),
         );
+        let t = &self.telemetry;
+        let telemetry = format!(
+            "{{\n    \"sampling_permille\": {},\n    \"spans\": {{\"roots_seen\": {}, \"roots_sampled\": {}, \"events_dropped\": {}}},\n    \"trace_out\": \"{}\",\n    \"cost_counts\": {{\"mm_ops\": {}, \"ss_reads\": {}, \"ss_writes\": {}, \"wal_barriers\": {}, \"maintenance_ops\": {}}},\n    \"avg_dram_bytes\": {},\n    \"avg_flash_bytes\": {},\n    \"cost_attribution\": {{\n      \"measured\": {},\n      \"modeled\": {},\n      \"reconciled_within_10pct\": {}\n    }}\n  }}",
+            t.sampling_permille,
+            t.roots_seen,
+            t.roots_sampled,
+            t.events_dropped,
+            esc(&t.trace_out),
+            t.mm_ops,
+            t.ss_reads,
+            t.ss_writes,
+            t.wal_barriers,
+            t.maintenance_ops,
+            num(t.avg_dram_bytes),
+            num(t.avg_flash_bytes),
+            cost_terms_json(&t.measured),
+            cost_terms_json(&t.modeled),
+            t.reconciled,
+        );
         format!(
-            "{{\n  \"bench\": \"server\",\n  \"backend\": \"{}\",\n  \"mode\": \"{}\",\n  \"miss_mode\": \"{}\",\n  \"device_latency_nanos\": {},\n  \"shards\": {},\n  \"connections\": {},\n  \"records\": {},\n  \"value_len\": {},\n  \"target_rate\": {},\n  \"ops_issued\": {},\n  \"ops_completed\": {},\n  \"duration_secs\": {},\n  \"throughput_ops_per_sec\": {},\n  \"io_depth\": {},\n  \"miss_service\": {},\n  \"ops\": [\n{}\n  ],\n  \"shards_detail\": [\n{}\n  ],\n  \"verification\": {{\"acked_writes\": {}, \"verified_keys\": {}, \"missing_keys\": {}}}\n}}\n",
+            "{{\n  \"bench\": \"server\",\n  \"backend\": \"{}\",\n  \"mode\": \"{}\",\n  \"miss_mode\": \"{}\",\n  \"device_latency_nanos\": {},\n  \"shards\": {},\n  \"connections\": {},\n  \"records\": {},\n  \"value_len\": {},\n  \"target_rate\": {},\n  \"ops_issued\": {},\n  \"ops_completed\": {},\n  \"duration_secs\": {},\n  \"throughput_ops_per_sec\": {},\n  \"io_depth\": {},\n  \"miss_service\": {},\n  \"telemetry\": {},\n  \"ops\": [\n{}\n  ],\n  \"shards_detail\": [\n{}\n  ],\n  \"verification\": {{\"acked_writes\": {}, \"verified_keys\": {}, \"missing_keys\": {}}}\n}}\n",
             esc(&self.backend),
             esc(&self.mode),
             esc(&self.miss_mode),
@@ -235,6 +352,7 @@ impl BenchReport {
             num(self.throughput_ops_per_sec),
             io_depth,
             miss_service,
+            telemetry,
             ops.join(",\n"),
             shards.join(",\n"),
             self.acked_writes,
@@ -283,6 +401,33 @@ mod tests {
                 parked_peak: 3,
                 latency: LatencySummary::default(),
             },
+            telemetry: TelemetryReport {
+                sampling_permille: 10,
+                roots_seen: 1000,
+                roots_sampled: 10,
+                events_dropped: 0,
+                trace_out: "trace.json".into(),
+                mm_ops: 900,
+                ss_reads: 80,
+                ss_writes: 20,
+                wal_barriers: 5,
+                maintenance_ops: 3,
+                avg_dram_bytes: 1.0e6,
+                avg_flash_bytes: 2.0e6,
+                measured: CostTerms {
+                    dram_rent: 1.0e-9,
+                    flash_rent: 2.0e-10,
+                    mm_exec: 3.0e-8,
+                    ss_exec: 4.0e-7,
+                },
+                modeled: CostTerms {
+                    dram_rent: 1.0e-9,
+                    flash_rent: 2.0e-10,
+                    mm_exec: 3.0e-8,
+                    ss_exec: 4.0e-7,
+                },
+                reconciled: true,
+            },
             acked_writes: 5,
             verified_keys: 5,
             missing_keys: 0,
@@ -302,6 +447,33 @@ mod tests {
         assert!(json.contains("\"io_depth\": {\"samples\": 100"));
         assert!(json.contains("\"buckets\": [[1, 60], [4, 40]]"));
         assert!(json.contains("\"miss_service\": {\"misses\": 7, \"parked_peak\": 3"));
+        assert!(json.contains("\"sampling_permille\": 10"));
+        assert!(json.contains("\"reconciled_within_10pct\": true"));
+        assert!(json.contains("\"cost_counts\": {\"mm_ops\": 900"));
+        assert!(json.contains("\"mm_exec\": 3.000000e-8"));
+    }
+
+    #[test]
+    fn cost_terms_reconcile_within_tolerance() {
+        let a = CostTerms {
+            dram_rent: 1.0,
+            flash_rent: 0.0,
+            mm_exec: 10.0,
+            ss_exec: 100.0,
+        };
+        // 5% off on every nonzero term: reconciles at 10%, not at 1%.
+        let b = CostTerms {
+            dram_rent: 1.05,
+            flash_rent: 0.0,
+            mm_exec: 10.5,
+            ss_exec: 105.0,
+        };
+        assert!(a.reconciles_with(&b, 0.10));
+        assert!(!a.reconciles_with(&b, 0.01));
+        // Two zero terms always reconcile (absolute floor).
+        let z = CostTerms::default();
+        assert!(z.reconciles_with(&CostTerms::default(), 0.10));
+        assert!((a.total() - 111.0).abs() < 1e-12);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use crate::mailbox::{Mailbox, MailboxStats};
 use crate::metrics::ShardSnapshot;
-use crate::protocol::{decode_frame, encode_to_vec, Frame, ProtoError, Response};
+use crate::protocol::{decode_frame, encode_to_vec, Frame, ProtoError, Request, Response};
 use crate::shard::{Mail, Partitioner, ReplySink, Shard, ShardConfig};
 use dcs_tc::RecoveryLog;
 use dcs_workload::{AsyncKvStore, KvStore};
@@ -310,7 +310,7 @@ impl Server {
             shards: self
                 .shards
                 .iter()
-                .map(|s| s.metrics().snapshot(s.mailbox().stats().depth_high_water))
+                .map(|s| s.metrics().snapshot(s.mailbox().stats().depth_high_water()))
                 .collect(),
             mailboxes: self.shards.iter().map(|s| s.mailbox().stats()).collect(),
         }
@@ -391,6 +391,13 @@ fn read_loop(
                     match frame {
                         Frame::Request { id, req } => {
                             state.inflight.fetch_add(1, Ordering::SeqCst);
+                            // STATS is answered here on the connection: a
+                            // scrape must work even when every shard
+                            // mailbox is refusing with BUSY.
+                            if matches!(req, Request::Stats { .. }) {
+                                state.deliver(id, Response::Stats(stats_json(shards)));
+                                continue;
+                            }
                             let idx = partitioner.shard_of(req.routing_key());
                             shards[idx].offer(Mail {
                                 id,
@@ -421,6 +428,39 @@ fn read_loop(
     }
     let _ = stream.shutdown(Shutdown::Read);
     state.reader_done();
+}
+
+/// The STATS payload: the process-global telemetry registry plus the
+/// serving layer's own metrics, folded in under `server.*` names so one
+/// scrape shows the whole stack (storage counters arrive via the global
+/// registry's `cost.*` terms and crate counters).
+pub(crate) fn stats_json(shards: &[Arc<Shard>]) -> String {
+    let mut snap = dcs_telemetry::global().snapshot();
+    let mut read = dcs_telemetry::HistogramSnapshot::default();
+    let mut write = dcs_telemetry::HistogramSnapshot::default();
+    let mut miss = dcs_telemetry::HistogramSnapshot::default();
+    let mut depth = dcs_telemetry::HistogramSnapshot::default();
+    let (mut gets, mut puts, mut misses, mut busy) = (0u64, 0u64, 0u64, 0u64);
+    for s in shards {
+        let m = s.metrics();
+        read.merge(&m.read_latency.snapshot());
+        write.merge(&m.write_latency.snapshot());
+        miss.merge(&m.miss_latency.snapshot());
+        depth.merge(&s.mailbox().stats().depth);
+        gets += m.gets.load(Ordering::Relaxed);
+        puts += m.puts.load(Ordering::Relaxed);
+        misses += m.misses_submitted.load(Ordering::Relaxed);
+        busy += m.busy_rejections.load(Ordering::Relaxed);
+    }
+    snap.histograms.insert("server.read_latency_nanos".into(), read);
+    snap.histograms.insert("server.write_latency_nanos".into(), write);
+    snap.histograms.insert("server.miss_latency_nanos".into(), miss);
+    snap.histograms.insert("server.mailbox_depth".into(), depth);
+    snap.counters.insert("server.gets".into(), gets);
+    snap.counters.insert("server.puts".into(), puts);
+    snap.counters.insert("server.misses_submitted".into(), misses);
+    snap.counters.insert("server.busy_rejections".into(), busy);
+    snap.to_json()
 }
 
 fn report_proto_error(state: &ConnState, e: &ProtoError) {

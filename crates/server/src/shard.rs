@@ -411,6 +411,11 @@ impl Shard {
                     };
                     deferred.push((mail, resp));
                 }
+                // STATS never reaches a shard (the connection reader
+                // answers it); a stray one is harmless to refuse.
+                Request::Stats { .. } => {
+                    self.reply_read(mail, Response::Err("stats not routable".into()));
+                }
                 Request::Rmw { key, value } => {
                     self.metrics.rmws.fetch_add(1, Ordering::Relaxed);
                     // Atomic at the shard: the worker is the only writer of
@@ -449,27 +454,57 @@ impl Shard {
             }
         }
         for (mail, resp) in deferred {
-            self.metrics
-                .write_latency
-                .record(mail.enqueued.elapsed().as_nanos() as u64);
+            let waited = mail.enqueued.elapsed().as_nanos() as u64;
+            self.metrics.write_latency.record(waited);
+            // Write spans carry the WAL class: their latency is dominated by
+            // the group-commit barrier they waited on.
+            let _span = Self::request_span(&mail.req, dcs_telemetry::CostClass::Wal, waited);
             mail.reply.deliver(mail.id, resp);
         }
     }
 
     fn reply_read(&self, mail: Mail, resp: Response) {
-        self.metrics
-            .read_latency
-            .record(mail.enqueued.elapsed().as_nanos() as u64);
+        let waited = mail.enqueued.elapsed().as_nanos() as u64;
+        self.metrics.read_latency.record(waited);
+        let _span = Self::request_span(&mail.req, dcs_telemetry::CostClass::Mm, waited);
         mail.reply.deliver(mail.id, resp);
     }
 
     /// Answer a GET that needed a device fetch, recording its full
     /// mailbox-entry-to-reply time in the miss-service histogram.
     fn reply_miss(&self, mail: Mail, resp: Response) {
-        self.metrics
-            .miss_latency
-            .record(mail.enqueued.elapsed().as_nanos() as u64);
+        let waited = mail.enqueued.elapsed().as_nanos() as u64;
+        self.metrics.miss_latency.record(waited);
+        let _span = dcs_telemetry::span_at(
+            "server.get_miss",
+            dcs_telemetry::CostClass::SsRead,
+            dcs_telemetry::now_nanos().saturating_sub(waited),
+        );
         mail.reply.deliver(mail.id, resp);
+    }
+
+    /// The per-request root span, backdated to the request's mailbox entry
+    /// so the exported trace shows queueing + execution end to end. Store
+    /// and device spans recorded on this shard thread during execution fall
+    /// inside its time range, which is how the trace viewer nests them.
+    fn request_span(
+        req: &Request,
+        class: dcs_telemetry::CostClass,
+        elapsed_nanos: u64,
+    ) -> dcs_telemetry::Span {
+        let name = match req {
+            Request::Get { .. } => "server.get",
+            Request::Scan { .. } => "server.scan",
+            Request::Put { .. } => "server.put",
+            Request::Delete { .. } => "server.delete",
+            Request::Rmw { .. } => "server.rmw",
+            Request::Stats { .. } => "server.stats",
+        };
+        dcs_telemetry::span_at(
+            name,
+            class,
+            dcs_telemetry::now_nanos().saturating_sub(elapsed_nanos),
+        )
     }
 
     fn redo(&self, key: &[u8], value: Option<&[u8]>) -> LogRecord {

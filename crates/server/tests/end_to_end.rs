@@ -210,7 +210,7 @@ fn flood_gets_busy_not_hangs_and_accepted_ops_all_answered() {
     assert_eq!(report.shards[0].busy_rejections, busy as u64);
     let mb = &report.mailboxes[0];
     assert_eq!(mb.accepted, mb.drained, "no accepted request dropped");
-    assert!(mb.depth_high_water <= 4);
+    assert!(mb.depth_high_water() <= 4);
 }
 
 /// Async test double with a deterministic miss set: keys starting with

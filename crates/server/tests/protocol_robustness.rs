@@ -7,6 +7,7 @@
 
 use dcs_server::protocol::{
     decode_frame, encode_to_vec, Frame, ProtoError, Request, Response, HEADER_LEN, MAX_PAYLOAD,
+    STATS_VERSION,
 };
 use dcs_server::{Client, ClientConfig, ClientError};
 use rand::rngs::SmallRng;
@@ -58,6 +59,23 @@ fn sample_frames(rng: &mut SmallRng) -> Vec<Frame> {
         Frame::Response {
             id: rng.gen(),
             resp: Response::Err("oh no".into()),
+        },
+        Frame::Request {
+            id: rng.gen(),
+            req: Request::Stats {
+                version: STATS_VERSION,
+            },
+        },
+        Frame::Response {
+            id: rng.gen(),
+            resp: Response::Stats(
+                // A registry snapshot is arbitrary UTF-8 to the wire layer;
+                // include escapes and length variety.
+                format!(
+                    "{{\"counters\":{{\"cost.mm_ops\": {}}},\"gauges\":{{}},\"x\":\"\\\"\\n\"}}",
+                    rng.gen::<u64>()
+                ),
+            ),
         },
     ]
 }
@@ -138,6 +156,112 @@ fn oversized_length_rejected_before_allocation() {
         decode_frame(&bytes),
         Err(ProtoError::Oversized { .. })
     ));
+}
+
+#[test]
+fn stats_unknown_version_rejected_not_panicked() {
+    // The encoder happily writes any version; the decoder must refuse the
+    // ones this build does not speak with a typed error, not a panic and
+    // not a silently-wrong snapshot.
+    for v in [0u8, 2, 7, 255] {
+        let bytes = encode_to_vec(&Frame::Request {
+            id: 42,
+            req: Request::Stats { version: v },
+        });
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(ProtoError::UnknownStatsVersion(v)),
+            "version {v}"
+        );
+        // Every truncation of the same frame stays "incomplete".
+        for cut in 0..bytes.len() {
+            assert!(matches!(decode_frame(&bytes[..cut]), Ok(None)));
+        }
+    }
+    // The version this build speaks round-trips.
+    let bytes = encode_to_vec(&Frame::Request {
+        id: 42,
+        req: Request::Stats {
+            version: STATS_VERSION,
+        },
+    });
+    assert!(matches!(decode_frame(&bytes), Ok(Some(_))));
+}
+
+#[test]
+fn stats_frames_survive_bit_flips_and_oversize() {
+    let mut rng = SmallRng::seed_from_u64(0x57A75);
+    let frames = [
+        Frame::Request {
+            id: 1,
+            req: Request::Stats {
+                version: STATS_VERSION,
+            },
+        },
+        Frame::Response {
+            id: 1,
+            resp: Response::Stats("{\"counters\":{\"cost.ss_reads\": 3}}".into()),
+        },
+    ];
+    for frame in &frames {
+        let clean = encode_to_vec(frame);
+        for _ in 0..300 {
+            let mut bytes = clean.clone();
+            let flips = rng.gen_range(1..4);
+            for _ in 0..flips {
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] ^= 1u8 << rng.gen_range(0..8);
+            }
+            assert_decode_total(&bytes);
+        }
+        // A STATS header advertising a multi-gigabyte snapshot is refused
+        // from the header alone.
+        let mut bytes = clean[..HEADER_LEN].to_vec();
+        bytes[13..17].copy_from_slice(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(ProtoError::Oversized { .. })
+        ));
+    }
+}
+
+/// End-to-end STATS scrape against a real server: the reply is the JSON
+/// registry snapshot, served at the connection level, and it reflects the
+/// traffic that preceded it.
+#[test]
+fn stats_scrape_round_trips_through_a_live_server() {
+    let backends = dcs_core::BackendKind::Caching.build_shards(1);
+    let server = dcs_server::Server::start(
+        backends,
+        dcs_server::Partitioner::single(),
+        dcs_server::ServerConfig {
+            durable_wal: false,
+            ..dcs_server::ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let client = Client::connect(
+        server.addr(),
+        ClientConfig {
+            connections: 1,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    client.put(b"k", b"v").unwrap();
+    assert_eq!(client.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
+    let json = client.stats().unwrap();
+    for needle in [
+        "\"counters\"",
+        "\"histograms\"",
+        "server.read_latency_nanos",
+        "server.mailbox_depth",
+        "\"server.puts\":1",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in {json}");
+    }
+    client.close();
+    server.shutdown();
 }
 
 /// A hand-rolled server that waits for the whole pipeline to arrive,

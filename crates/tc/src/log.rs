@@ -149,6 +149,8 @@ impl RecoveryLog {
     pub fn flush(&self) -> Result<(), dcs_flashsim::DeviceError> {
         let mut inner = self.inner.lock();
         if let Some(device) = &self.device {
+            let _span = dcs_telemetry::span("tc.wal_flush", dcs_telemetry::CostClass::Wal);
+            dcs_telemetry::ledger().wal_barrier();
             Self::append_frames(device, &mut inner)?;
             // The barrier makes every appended frame durable at once.
             device.sync();
@@ -182,6 +184,10 @@ impl RecoveryLog {
             Some(inner.records.len() as u64 - 1)
         };
         if let Some(device) = &self.device {
+            // One barrier covers the whole batch — that amortization is
+            // exactly what the WAL cost term measures.
+            let _span = dcs_telemetry::span("tc.group_commit", dcs_telemetry::CostClass::Wal);
+            dcs_telemetry::ledger().wal_barrier();
             Self::append_frames(device, &mut inner)?;
             device.sync();
         }

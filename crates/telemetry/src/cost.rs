@@ -1,0 +1,268 @@
+//! Cost attribution in the paper's terms.
+//!
+//! The paper prices a run as execution cost plus storage rent (§3,
+//! Equations 4–5): MM operations cost CPU cycles, SS operations
+//! additionally cost I/O capability (`R` times dearer, §2.1), and every
+//! resident byte pays rent for the run's duration. [`CostClass`] tags
+//! each traced span with the term it accrues to, and [`CostLedger`]
+//! keeps the *exact* counts — attribution is never sampled, only the
+//! timeline view is — so `dcs_costmodel::accounting::price_run` can be
+//! fed measured inputs:
+//!
+//! * `mm_op` / `ss_read` / `ss_write` — the execution terms. Call sites
+//!   sit next to the per-crate `mm_ops`/`ss_ops` stat bumps so the two
+//!   derivations cannot drift.
+//! * `set_dram_bytes` / `set_flash_bytes` — occupancy gauges the rent
+//!   terms integrate over (steady-state average; the stores update them
+//!   at sweep/flush boundaries).
+//!
+//! The ledger's counters live in the [`global`](crate::registry::global)
+//! registry under `cost.*` names, so a `STATS` scrape carries the
+//! attribution and merged snapshots sum it exactly.
+
+use crate::registry::{global, Counter, Gauge};
+use std::sync::{Arc, OnceLock};
+
+/// Which paper cost term a span accrues to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostClass {
+    /// Main-memory execution: latch-free ops on cached state.
+    Mm,
+    /// Secondary-storage read: a device fetch on the critical path.
+    SsRead,
+    /// Secondary-storage write: flush/checkpoint/compaction I/O.
+    SsWrite,
+    /// WAL durability barrier (group commit's device sync).
+    Wal,
+    /// Background maintenance: GC, eviction sweeps, consolidation,
+    /// epoch reclamation — CPU that is real but off the request path.
+    Maintenance,
+}
+
+impl CostClass {
+    /// Stable lowercase label (trace category, JSON key).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CostClass::Mm => "mm",
+            CostClass::SsRead => "ss_read",
+            CostClass::SsWrite => "ss_write",
+            CostClass::Wal => "wal",
+            CostClass::Maintenance => "maintenance",
+        }
+    }
+}
+
+/// Exact per-term tallies, pre-resolved to registry handles so
+/// recording is one striped atomic add.
+pub struct CostLedger {
+    mm_ops: Arc<Counter>,
+    ss_reads: Arc<Counter>,
+    ss_writes: Arc<Counter>,
+    wal_barriers: Arc<Counter>,
+    maintenance: Arc<Counter>,
+    dram_bytes: Arc<Gauge>,
+    flash_bytes: Arc<Gauge>,
+}
+
+/// The process-wide ledger, backed by `cost.*` metrics in the global
+/// registry.
+pub fn ledger() -> &'static CostLedger {
+    static LEDGER: OnceLock<CostLedger> = OnceLock::new();
+    LEDGER.get_or_init(|| {
+        let r = global();
+        CostLedger {
+            mm_ops: r.counter("cost.mm_ops"),
+            ss_reads: r.counter("cost.ss_reads"),
+            ss_writes: r.counter("cost.ss_writes"),
+            wal_barriers: r.counter("cost.wal_barriers"),
+            maintenance: r.counter("cost.maintenance_ops"),
+            dram_bytes: r.gauge("cost.dram_bytes"),
+            flash_bytes: r.gauge("cost.flash_bytes"),
+        }
+    })
+}
+
+macro_rules! record {
+    ($this:ident . $field:ident += $n:expr) => {{
+        #[cfg(not(feature = "disabled"))]
+        $this.$field.add($n);
+        #[cfg(feature = "disabled")]
+        let _ = $n;
+    }};
+}
+
+impl CostLedger {
+    /// One main-memory operation executed.
+    #[inline]
+    pub fn mm_op(&self) {
+        record!(self.mm_ops += 1);
+    }
+
+    /// `n` main-memory operations executed.
+    #[inline]
+    pub fn mm_ops(&self, n: u64) {
+        record!(self.mm_ops += n);
+    }
+
+    /// One secondary-storage read performed.
+    #[inline]
+    pub fn ss_read(&self) {
+        record!(self.ss_reads += 1);
+    }
+
+    /// `n` secondary-storage reads performed.
+    #[inline]
+    pub fn ss_reads(&self, n: u64) {
+        record!(self.ss_reads += n);
+    }
+
+    /// One secondary-storage write performed.
+    #[inline]
+    pub fn ss_write(&self) {
+        record!(self.ss_writes += 1);
+    }
+
+    /// One WAL durability barrier issued.
+    #[inline]
+    pub fn wal_barrier(&self) {
+        record!(self.wal_barriers += 1);
+    }
+
+    /// One background maintenance action (sweep, consolidation,
+    /// reclamation batch, compaction).
+    #[inline]
+    pub fn maintenance_op(&self) {
+        record!(self.maintenance += 1);
+    }
+
+    /// Report current DRAM occupancy in bytes.
+    pub fn set_dram_bytes(&self, bytes: u64) {
+        #[cfg(not(feature = "disabled"))]
+        self.dram_bytes.set(bytes as i64);
+        #[cfg(feature = "disabled")]
+        let _ = bytes;
+    }
+
+    /// Report current flash occupancy in bytes.
+    pub fn set_flash_bytes(&self, bytes: u64) {
+        #[cfg(not(feature = "disabled"))]
+        self.flash_bytes.set(bytes as i64);
+        #[cfg(feature = "disabled")]
+        let _ = bytes;
+    }
+
+    /// Adjust DRAM occupancy by a delta. Multi-instance processes (one
+    /// store per shard) report per-store deltas so the gauge holds the
+    /// process-wide sum; `set_dram_bytes` is for single-store runs.
+    pub fn add_dram_bytes(&self, delta: i64) {
+        #[cfg(not(feature = "disabled"))]
+        self.dram_bytes.add(delta);
+        #[cfg(feature = "disabled")]
+        let _ = delta;
+    }
+
+    /// Adjust flash occupancy by a delta (see [`CostLedger::add_dram_bytes`]).
+    pub fn add_flash_bytes(&self, delta: i64) {
+        #[cfg(not(feature = "disabled"))]
+        self.flash_bytes.add(delta);
+        #[cfg(feature = "disabled")]
+        let _ = delta;
+    }
+
+    /// Exact totals so far.
+    pub fn totals(&self) -> CostTotals {
+        CostTotals {
+            mm_ops: self.mm_ops.value(),
+            ss_reads: self.ss_reads.value(),
+            ss_writes: self.ss_writes.value(),
+            wal_barriers: self.wal_barriers.value(),
+            maintenance_ops: self.maintenance.value(),
+            dram_bytes: self.dram_bytes.value().max(0) as u64,
+            flash_bytes: self.flash_bytes.value().max(0) as u64,
+        }
+    }
+}
+
+/// Plain-data copy of the ledger — the measured inputs for
+/// `dcs_costmodel::accounting::RunProfile`. The telemetry crate stays a
+/// dependency leaf, so the conversion lives at the call site (loadgen).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostTotals {
+    /// Main-memory operations executed.
+    pub mm_ops: u64,
+    /// Secondary-storage reads.
+    pub ss_reads: u64,
+    /// Secondary-storage writes.
+    pub ss_writes: u64,
+    /// WAL durability barriers.
+    pub wal_barriers: u64,
+    /// Background maintenance actions.
+    pub maintenance_ops: u64,
+    /// Last reported DRAM occupancy.
+    pub dram_bytes: u64,
+    /// Last reported flash occupancy.
+    pub flash_bytes: u64,
+}
+
+impl CostTotals {
+    /// Operations that performed secondary-storage I/O (the paper's
+    /// `ss_ops` execution term).
+    pub fn ss_ops(&self) -> u64 {
+        self.ss_reads + self.ss_writes
+    }
+
+    /// Everything this ledger saw, per-term deltas against `earlier`
+    /// (gauges are point-in-time and pass through).
+    pub fn delta(&self, earlier: &CostTotals) -> CostTotals {
+        CostTotals {
+            mm_ops: self.mm_ops - earlier.mm_ops,
+            ss_reads: self.ss_reads - earlier.ss_reads,
+            ss_writes: self.ss_writes - earlier.ss_writes,
+            wal_barriers: self.wal_barriers - earlier.wal_barriers,
+            maintenance_ops: self.maintenance_ops - earlier.maintenance_ops,
+            dram_bytes: self.dram_bytes,
+            flash_bytes: self.flash_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(CostClass::Mm.label(), "mm");
+        assert_eq!(CostClass::SsRead.label(), "ss_read");
+        assert_eq!(CostClass::SsWrite.label(), "ss_write");
+        assert_eq!(CostClass::Wal.label(), "wal");
+        assert_eq!(CostClass::Maintenance.label(), "maintenance");
+    }
+
+    #[cfg(not(feature = "disabled"))]
+    #[test]
+    fn ledger_accumulates_and_deltas() {
+        let before = ledger().totals();
+        ledger().mm_ops(10);
+        ledger().ss_read();
+        ledger().ss_write();
+        ledger().wal_barrier();
+        ledger().maintenance_op();
+        let d = ledger().totals().delta(&before);
+        assert_eq!(d.mm_ops, 10);
+        assert_eq!(d.ss_reads, 1);
+        assert_eq!(d.ss_writes, 1);
+        assert_eq!(d.ss_ops(), 2);
+        assert_eq!(d.wal_barriers, 1);
+        assert_eq!(d.maintenance_ops, 1);
+    }
+
+    #[cfg(feature = "disabled")]
+    #[test]
+    fn disabled_ledger_records_nothing() {
+        let before = ledger().totals();
+        ledger().mm_ops(10);
+        ledger().ss_read();
+        assert_eq!(ledger().totals(), before);
+    }
+}

@@ -1,0 +1,344 @@
+//! The one power-of-two histogram.
+//!
+//! Two copies of this structure used to exist — a latency histogram in
+//! `dcs-server::metrics` and an I/O-depth histogram in
+//! `dcs-flashsim::stats` — with diverging percentile behaviour (the
+//! flashsim copy had none at all, and reporting the bucket upper bound
+//! biases every percentile high by up to 2×). This is the single shared
+//! implementation: 64 power-of-two buckets cover `1 ..= ~1.8e19`, so a
+//! sample is one `leading_zeros` and four relaxed atomic ops, and the
+//! structure is safe to share across threads with zero allocation.
+//!
+//! Percentile extraction interpolates **linearly within the winning
+//! bucket** at the mid-rank convention (`(rank − 0.5) / count` of the
+//! bucket span), and clamps the bucket's upper edge to the largest
+//! sample actually observed — without that clamp the top bucket, which
+//! is usually only part-filled, drags p95/p99 toward its far edge. The
+//! unit tests pin p50/p95/p99 against an exact sorted reference.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count: power-of-two buckets over `u64` values.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A concurrent, fixed-footprint power-of-two histogram. Values are
+/// whatever unit the call site records — nanoseconds for latency,
+/// commands for queue depth, pages for batch sizes.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; HIST_BUCKETS],
+    total: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    (64 - value.max(1).leading_zeros() as usize - 1).min(HIST_BUCKETS - 1)
+}
+
+impl Histogram {
+    /// A fresh histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample (zero is clamped into the lowest bucket).
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample recorded so far.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (see [`HistogramSnapshot::quantile`]).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// Extract the percentile summary.
+    pub fn summary(&self) -> HistogramSummary {
+        self.snapshot().summary()
+    }
+
+    /// Point-in-time copy, mergeable across threads and shards.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed)),
+            count: self.total.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`]: merge snapshots from many shards
+/// or devices, then extract percentiles once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (bucket `i` holds `[2^i, 2^(i+1))`).
+    pub counts: [u64; HIST_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest single sample.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            counts: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Fold `other` into `self` (exact: bucket-wise sum, max of maxes).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean sample value; 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Occupied buckets as `(bucket_lower_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (if i == 0 { 1 } else { 1u64 << i }, *c))
+            .collect()
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, linearly interpolated inside
+    /// the winning power-of-two bucket at the mid-rank convention. The
+    /// bucket's upper edge is clamped to the observed max so a
+    /// part-filled top bucket cannot bias percentiles high. 0 with no
+    /// samples.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lo = if i == 0 { 1u64 } else { 1u64 << i };
+                let hi = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                // Samples beyond the observed max cannot exist; interpolate
+                // against the clamped span.
+                let hi = hi.min(self.max).max(lo);
+                let frac = (((rank - seen) as f64) - 0.5) / c as f64;
+                let est = lo as f64 + frac.max(0.0) * (hi - lo) as f64;
+                return est.min(self.max as f64);
+            }
+            seen += c;
+        }
+        self.max as f64
+    }
+
+    /// Extract the percentile summary.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            mean_nanos: self.mean(),
+            p50_nanos: self.quantile(0.50),
+            p95_nanos: self.quantile(0.95),
+            p99_nanos: self.quantile(0.99),
+            max_nanos: self.max,
+        }
+    }
+}
+
+/// Percentile summary extracted from a histogram. Field names say
+/// "nanos" because latency is the dominant use; for other units the
+/// values are simply in the recorded unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean value.
+    pub mean_nanos: f64,
+    /// Median.
+    pub p50_nanos: f64,
+    /// 95th percentile.
+    pub p95_nanos: f64,
+    /// 99th percentile.
+    pub p99_nanos: f64,
+    /// Largest single sample.
+    pub max_nanos: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact percentile (nearest-rank) over a sorted copy.
+    fn exact_quantile(sorted: &[u64], q: f64) -> f64 {
+        let rank = ((q * sorted.len() as f64).ceil().max(1.0) as usize).min(sorted.len());
+        sorted[rank - 1] as f64
+    }
+
+    /// The satellite's pin: interpolated p50/p95/p99 must track an
+    /// exact sorted reference closely on a dense uniform spread —
+    /// including p95/p99, which land in the part-filled top bucket the
+    /// old upper-bound convention biased by up to ~30%.
+    #[test]
+    fn percentiles_pin_against_exact_sorted_reference() {
+        let h = Histogram::new();
+        let data: Vec<u64> = (1..=100_000u64).collect();
+        for &v in &data {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        for &(q, name) in &[(0.50, "p50"), (0.95, "p95"), (0.99, "p99")] {
+            let exact = exact_quantile(&data, q);
+            let est = snap.quantile(q);
+            let rel = (est - exact).abs() / exact;
+            assert!(
+                rel < 0.02,
+                "{name}: est {est} vs exact {exact} (rel err {rel:.4})"
+            );
+        }
+    }
+
+    /// A heavily skewed distribution: most mass in one bucket, a thin
+    /// tail. Interpolation must stay within the winning bucket and
+    /// never exceed the observed max.
+    #[test]
+    fn percentiles_bounded_on_skewed_data() {
+        let h = Histogram::new();
+        let mut data = vec![1_000u64; 990];
+        for i in 0..10u64 {
+            data.push(1_000_000 + i * 7_919);
+        }
+        for &v in &data {
+            h.record(v);
+        }
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        let p50 = snap.quantile(0.50);
+        // p50 falls in bucket [512, 1023]; exact is 1000.
+        assert!((512.0..=1023.0).contains(&p50), "p50 {p50}");
+        let p99 = snap.quantile(0.99);
+        assert!(p99 <= snap.max as f64);
+        assert!(p99 >= exact_quantile(&sorted, 0.50));
+    }
+
+    #[test]
+    fn top_bucket_clamps_to_observed_max() {
+        let h = Histogram::new();
+        // All mass in [65536, 131071] but max observed is 70000: the
+        // old convention reported ≈131071 for p99.
+        for v in 65_536..=70_000u64 {
+            h.record(v);
+        }
+        let p99 = h.quantile(0.99);
+        assert!(p99 <= 70_000.0, "p99 {p99}");
+        assert!(p99 >= 65_536.0);
+        let exact = 65_536.0 + 0.99 * (70_000.0 - 65_536.0);
+        assert!((p99 - exact).abs() / exact < 0.02, "p99 {p99} vs {exact}");
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 1..=1000u64 {
+            if v % 2 == 0 {
+                a.record(v * 3)
+            } else {
+                b.record(v * 3)
+            }
+            all.record(v * 3);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m, all.snapshot());
+    }
+
+    #[test]
+    fn empty_is_zero_and_extremes_do_not_panic() {
+        let h = Histogram::new();
+        assert_eq!(h.summary(), HistogramSummary::default());
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) > 0.0);
+        assert!(h.quantile(1.0) <= u64::MAX as f64);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 1000);
+        }
+        let s = h.summary();
+        assert!(s.p50_nanos <= s.p95_nanos && s.p95_nanos <= s.p99_nanos);
+        assert!(s.p99_nanos <= s.max_nanos as f64);
+    }
+
+    #[test]
+    fn depth_style_small_values() {
+        // The flashsim use: small integer queue depths.
+        let h = Histogram::new();
+        for d in [1u64, 1, 2, 2, 2, 3, 4, 8] {
+            h.record(d);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.max, 8);
+        assert!((s.mean() - 23.0 / 8.0).abs() < 1e-9);
+        let nz = s.nonzero_buckets();
+        assert_eq!(nz[0], (1, 2)); // depth 1
+        assert!(nz.iter().any(|&(lo, _)| lo == 2)); // depths 2..3
+    }
+}

@@ -1,0 +1,340 @@
+//! The process-global metrics registry: named counters, gauges, and
+//! histograms with lock-free recording and cross-thread snapshot/merge.
+//!
+//! Registration (name → handle) takes a mutex, but it happens once per
+//! metric per call site — call sites cache the returned `Arc` handle.
+//! Recording is lock-free:
+//!
+//! * [`Counter`] is **stripe-sharded**: each thread is hashed onto one of
+//!   16 cache-line-padded `AtomicU64` stripes, so concurrent increments
+//!   from different shard threads don't bounce one cache line. Reading
+//!   sums the stripes — monotone, and exact once writers quiesce.
+//! * [`Gauge`] is a single `AtomicI64` (set/add semantics; gauges are
+//!   written rarely — occupancy updates, config echoes).
+//! * Histograms are the shared [`Histogram`](crate::hist::Histogram).
+//!
+//! [`Registry::snapshot`] copies everything into a plain-data
+//! [`RegistrySnapshot`] that merges with other snapshots (multi-process
+//! aggregation) and renders to a stable JSON object — the payload of the
+//! server's `STATS` wire opcode.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+const STRIPES: usize = 16;
+
+/// One cache line per stripe so increments from different threads don't
+/// false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct Stripe(AtomicU64);
+
+/// A monotone counter with stripe-sharded recording.
+pub struct Counter {
+    stripes: [Stripe; STRIPES],
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter").field("value", &self.value()).finish()
+    }
+}
+
+fn stripe_index() -> usize {
+    use std::cell::Cell;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    STRIPE.with(|s| {
+        let mut i = s.get();
+        if i == usize::MAX {
+            i = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
+            s.set(i);
+        }
+        i
+    })
+}
+
+impl Counter {
+    fn new() -> Self {
+        Counter {
+            stripes: std::array::from_fn(|_| Stripe::default()),
+        }
+    }
+
+    /// Add `n` on this thread's stripe.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.stripes[stripe_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Sum of all stripes. Exact once writers quiesce; monotone always.
+    pub fn value(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A point-in-time signed value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the value by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct Maps {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A namespace of metrics. Most code uses the process-global
+/// [`global()`] registry; tests build private ones.
+#[derive(Default)]
+pub struct Registry {
+    maps: Mutex<Maps>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the counter `name`. Cache the handle; this path
+    /// takes the registration mutex.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.maps.lock().unwrap();
+        Arc::clone(
+            m.counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Get-or-create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.maps.lock().unwrap();
+        Arc::clone(
+            m.gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::default())),
+        )
+    }
+
+    /// Get-or-create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.maps.lock().unwrap();
+        Arc::clone(
+            m.histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Copy every metric out. Safe concurrently with recording; each
+    /// counter read is a consistent monotone lower bound.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let m = self.maps.lock().unwrap();
+        RegistrySnapshot {
+            counters: m
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.value()))
+                .collect(),
+            gauges: m
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.value()))
+                .collect(),
+            histograms: m
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// The process-global registry every runtime crate records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Plain-data copy of a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Fold `other` into `self`: counters add, gauges add (occupancies
+    /// from disjoint processes sum), histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+    }
+
+    /// Render as a stable JSON object (keys sorted; histograms as
+    /// summaries plus occupied buckets). This is the `STATS` opcode
+    /// payload.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{k}\":{v}"));
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{k}\":{v}"));
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let sum = h.summary();
+            let buckets: Vec<String> = h
+                .nonzero_buckets()
+                .iter()
+                .map(|(lo, c)| format!("[{lo},{c}]"))
+                .collect();
+            s.push_str(&format!(
+                "\"{k}\":{{\"count\":{},\"mean\":{:.1},\"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1},\"max\":{},\"buckets\":[{}]}}",
+                sum.count,
+                sum.mean_nanos,
+                sum.p50_nanos,
+                sum.p95_nanos,
+                sum.p99_nanos,
+                sum.max_nanos,
+                buckets.join(",")
+            ));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let r = Registry::new();
+        let c = r.counter("ops");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.value(), 80_000);
+        assert_eq!(r.snapshot().counters["ops"], 80_000);
+    }
+
+    #[test]
+    fn get_or_create_returns_same_metric() {
+        let r = Registry::new();
+        r.counter("x").add(3);
+        r.counter("x").add(4);
+        assert_eq!(r.counter("x").value(), 7);
+        r.gauge("g").set(-5);
+        assert_eq!(r.gauge("g").value(), -5);
+        r.histogram("h").record(42);
+        assert_eq!(r.histogram("h").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_merge_adds() {
+        let a = Registry::new();
+        a.counter("ops").add(10);
+        a.gauge("bytes").set(100);
+        a.histogram("lat").record(1000);
+        let b = Registry::new();
+        b.counter("ops").add(5);
+        b.counter("only_b").add(1);
+        b.gauge("bytes").set(50);
+        b.histogram("lat").record(2000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.counters["ops"], 15);
+        assert_eq!(m.counters["only_b"], 1);
+        assert_eq!(m.gauges["bytes"], 150);
+        assert_eq!(m.histograms["lat"].count, 2);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let r = Registry::new();
+        r.counter("b").add(2);
+        r.counter("a").add(1);
+        r.histogram("h").record(7);
+        let j = r.snapshot().to_json();
+        // BTreeMap ordering: "a" before "b".
+        assert!(j.starts_with("{\"counters\":{\"a\":1,\"b\":2}"));
+        assert!(j.contains("\"histograms\":{\"h\":{\"count\":1"));
+        assert!(j.contains("\"buckets\":[[4,1]]"));
+        assert!(j.ends_with("}}"));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        global().counter("test.registry.shared").add(2);
+        global().counter("test.registry.shared").add(3);
+        assert!(global().counter("test.registry.shared").value() >= 5);
+    }
+}
