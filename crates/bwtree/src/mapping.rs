@@ -55,6 +55,8 @@ impl MappingTable {
         if let Some(pid) = self.free_list.lock().unwrap().pop() {
             return pid;
         }
+        // ORDERING: the counter only hands out unique ids; slot
+        // contents are published by the slot's own atomic pointer.
         let pid = self.next_unused.fetch_add(1, Ordering::Relaxed);
         assert!(
             (pid as usize) < self.slots.len(),
@@ -100,6 +102,8 @@ impl MappingTable {
 
     /// Stamp an access time (virtual nanoseconds) onto a page.
     pub fn touch(&self, pid: PageId, vtime: u64) {
+        // ORDERING: advisory LRU stamp; eviction tolerates stale or
+        // racing values, no other memory is published through it.
         self.slots[pid as usize]
             .last_access
             .store(vtime, Ordering::Relaxed);
@@ -107,12 +111,15 @@ impl MappingTable {
 
     /// Last access stamp for a page.
     pub fn last_access(&self, pid: PageId) -> u64 {
+        // ORDERING: advisory LRU stamp, see touch().
         self.slots[pid as usize].last_access.load(Ordering::Relaxed)
     }
 
     /// Highest PID ever allocated (exclusive). Iterating `0..high_water()`
     /// visits every slot that may hold a page.
     pub fn high_water(&self) -> PageId {
+        // ORDERING: monotone watermark; a stale read only makes the
+        // caller scan fewer freshly-allocated (still empty) slots.
         self.next_unused.load(Ordering::Relaxed)
     }
 

@@ -30,6 +30,8 @@ pub(crate) struct StatsInner {
 
 macro_rules! bump {
     ($self:expr, $field:ident) => {
+        // ORDERING: independent monotone counter; only aggregated by
+        // snapshot(), which tolerates being a moment stale.
         $self.$field.fetch_add(1, Ordering::Relaxed)
     };
 }
@@ -40,18 +42,26 @@ impl StatsInner {
     /// attributed once, at the flash device every page fetch funnels
     /// through, so a tree-level mirror would double-count them.
     pub(crate) fn mm_op(&self) {
+        // ORDERING: monotone counter; no other memory depends on it.
         self.mm_ops.fetch_add(1, Ordering::Relaxed);
+        // SPAN: the tree operation that called this mirror holds the
+        // open bwtree.* span; the mirror only forwards the count.
         dcs_telemetry::ledger().mm_op();
     }
 
     /// Count one background restructuring (consolidation or SMO) in the
     /// ledger's maintenance term.
     pub(crate) fn maintenance(&self) {
+        // SPAN: the consolidation/SMO site holds the open maintenance
+        // span; this helper only attributes the ledger count.
         dcs_telemetry::ledger().maintenance_op();
     }
 
     pub fn snapshot(&self) -> TreeStats {
         TreeStats {
+            // ORDERING: independent monotone counters; a snapshot is
+            // allowed to be a torn cross-field view (each field is
+            // individually exact, the set is advisory).
             gets: self.gets.load(Ordering::Relaxed),
             puts: self.puts.load(Ordering::Relaxed),
             deletes: self.deletes.load(Ordering::Relaxed),

@@ -320,11 +320,14 @@ impl BwTree {
     /// Set the virtual time used to stamp page accesses (cache managers
     /// drive this from their clock).
     pub fn set_vtime(&self, nanos: u64) {
+        // ORDERING: advisory access-time source for LRU stamps; no
+        // other memory is published through it.
         self.vtime.store(nanos, Ordering::Relaxed);
     }
 
     /// Current virtual time.
     pub fn vtime(&self) -> u64 {
+        // ORDERING: advisory access-time source, see set_vtime().
         self.vtime.load(Ordering::Relaxed)
     }
 
@@ -855,7 +858,10 @@ impl BwTree {
         if merged.deltas == 0 {
             return;
         }
-        let _span = dcs_telemetry::span("bwtree.consolidate_leaf", dcs_telemetry::CostClass::Maintenance);
+        let _span = dcs_telemetry::span(
+            "bwtree.consolidate_leaf",
+            dcs_telemetry::CostClass::Maintenance,
+        );
         let new_base = Node::LeafBase(LeafBase {
             entries: merged.entries,
             high_key: merged.high_key,
@@ -1370,7 +1376,8 @@ impl BwTree {
         }
         bump!(self.stats, inner_splits);
         self.stats.maintenance();
-        let _span = dcs_telemetry::span("bwtree.inner_split", dcs_telemetry::CostClass::Maintenance);
+        let _span =
+            dcs_telemetry::span("bwtree.inner_split", dcs_telemetry::CostClass::Maintenance);
         self.post_index_entry(pid, sep, qid, guard);
     }
 

@@ -14,7 +14,6 @@ use dcs_workload::{AsyncGet, AsyncKvStore, CompletedGet, KvStore, StoreFailure};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 /// Deterministic async store: `cold*` keys always miss; a miss's
 /// completion is reapable at the very next poll (no wall-clock delay, so
@@ -143,7 +142,7 @@ fn shutdown_answers_every_parked_miss() {
                             id,
                             req: Request::Get { key: key.to_vec() },
                             reply: ledger.clone() as Arc<dyn ReplySink>,
-                            enqueued: Instant::now(),
+                            enqueued: dcs_telemetry::now_nanos(),
                         });
                     }
                     shard.mailbox().close();

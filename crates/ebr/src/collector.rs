@@ -158,12 +158,15 @@ impl Global {
         }
         let n = ready.len() as u64;
         if n > 0 {
-            let _span = dcs_telemetry::span("ebr.reclaim_batch", dcs_telemetry::CostClass::Maintenance);
+            let _span =
+                dcs_telemetry::span("ebr.reclaim_batch", dcs_telemetry::CostClass::Maintenance);
             dcs_telemetry::ledger().maintenance_op();
             for d in ready {
                 d.call();
             }
         }
+        // ORDERING: statistics counter; reclamation safety is carried
+        // by the SeqCst epoch protocol above, not by this count.
         self.freed_total.fetch_add(n, Ordering::Relaxed);
     }
 }
@@ -233,6 +236,8 @@ impl Collector {
     /// Snapshot of collector counters, for observability and tests.
     pub fn stats(&self) -> CollectorStats {
         CollectorStats {
+            // ORDERING: statistics counters; each is individually
+            // exact and the snapshot tolerates a torn cross-field view.
             global_epoch: self.global.epoch.load(Ordering::SeqCst),
             registered: self.global.locals.lock().unwrap().len(),
             deferred_total: self.global.deferred_total.load(Ordering::Relaxed),
@@ -280,6 +285,9 @@ pub struct LocalHandle {
 impl LocalHandle {
     /// Pin the owning thread. See [`crate::pin`].
     pub fn pin(&self) -> Guard {
+        // ORDERING: guard_count is thread-local bookkeeping (only the
+        // owning thread mutates it); visibility to the collector goes
+        // through the SeqCst `state` announcement below.
         let prev = self.local.guard_count.fetch_add(1, Ordering::Relaxed);
         if prev == 0 {
             // Announce the epoch we observe; the fence orders the
@@ -295,6 +303,7 @@ impl LocalHandle {
                 }
             }
         }
+        // ORDERING: statistics counter only.
         self.global.pins_total.fetch_add(1, Ordering::Relaxed);
         Guard::new(self.global.clone(), self.local.clone())
     }
@@ -302,6 +311,7 @@ impl LocalHandle {
 
 impl Drop for LocalHandle {
     fn drop(&mut self) {
+        // ORDERING: owning-thread-local value; see pin().
         debug_assert_eq!(
             self.local.guard_count.load(Ordering::Relaxed),
             0,
@@ -323,6 +333,8 @@ impl Guard {
     /// internal locks may be re-acquired by the caller's thread).
     pub fn defer(&self, f: impl FnOnce() + Send + 'static) {
         let epoch = self.global().epoch.load(Ordering::SeqCst);
+        // ORDERING: statistics counter; the deferred closure itself is
+        // published by the bag mutex below.
         self.global().deferred_total.fetch_add(1, Ordering::Relaxed);
         let mut bag = self.local().bag.lock().unwrap();
         bag.push(Deferred::new(epoch, f));
@@ -366,6 +378,8 @@ impl Guard {
     }
 
     pub(crate) fn unpin(global: &Global, local: &Local) {
+        // ORDERING: owning-thread-local bookkeeping; the unpin that
+        // matters to other threads is the SeqCst `state` store below.
         let prev = local.guard_count.fetch_sub(1, Ordering::Relaxed);
         if prev == 1 {
             local.state.store(0, Ordering::SeqCst);

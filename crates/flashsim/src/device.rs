@@ -252,7 +252,8 @@ impl FlashDevice {
                 segment_bytes: self.config.segment_bytes,
             });
         }
-        let _span = crate::stats::service_span("flashsim.append", dcs_telemetry::CostClass::SsWrite);
+        let _span =
+            crate::stats::service_span("flashsim.append", dcs_telemetry::CostClass::SsWrite);
         self.config.io_path.run_submit();
         self.stats.record_submit_charge();
 

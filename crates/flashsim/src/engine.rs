@@ -137,7 +137,8 @@ impl IoQueuePair {
         reqs: &[IoRequest],
         per_request_submit_cost: bool,
     ) -> Result<Vec<IoTicket>, SubmitError> {
-        let _span = crate::stats::service_span("flashsim.qp.submit", dcs_telemetry::CostClass::SsRead);
+        let _span =
+            crate::stats::service_span("flashsim.qp.submit", dcs_telemetry::CostClass::SsRead);
         let queue_depth = self.device.config().queue_depth.max(1);
         let mut inner = self.inner.lock();
         if inner.pending.len() + reqs.len() > queue_depth {

@@ -47,11 +47,15 @@ impl StatsInner {
         // The device is the single point every secondary-storage read
         // funnels through; attribute the paper's SS execution term here
         // so no layer above can double-count it.
+        // SPAN: the device's completion path holds the open
+        // flashsim.read service span for this request.
         dcs_telemetry::ledger().ss_read();
     }
     pub(crate) fn record_write(&self, bytes: u64) {
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        // SPAN: the device's completion path holds the open
+        // flashsim.write service span for this request.
         dcs_telemetry::ledger().ss_write();
     }
     pub(crate) fn record_trim(&self) {

@@ -1,0 +1,153 @@
+//! The checked-in baseline: existing debt frozen, new violations fail.
+//!
+//! `lint-baseline.txt` holds one line per violation fingerprint with an
+//! occurrence count. Fingerprints deliberately contain no line numbers
+//! (`lint|file|symbol|detail`), so unrelated edits to a file do not
+//! thaw its frozen debt — but *adding* another instance of the same
+//! debt in the same function exceeds the count and fails. Shrinking is
+//! one-way by policy: regenerate with `--update-baseline` after paying
+//! debt down, and review the diff like code.
+
+use crate::lints::Violation;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parsed baseline: fingerprint → allowed occurrence count.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    counts: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Load a baseline file. A missing file is an empty baseline (the
+    /// tree is expected to be clean).
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(format!("cannot read baseline {}: {e}", path.display())),
+        }
+    }
+
+    /// Parse baseline text: `count<TAB>fingerprint` lines, `#` comments.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (count, fp) = line.split_once('\t').ok_or_else(|| {
+                format!("baseline line {}: expected `count<TAB>fingerprint`", ln + 1)
+            })?;
+            let count: usize = count
+                .trim()
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{count}`", ln + 1))?;
+            counts.insert(fp.to_string(), count);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Number of distinct fingerprints.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when nothing is baselined.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Mark `baselined` on every violation the baseline absorbs: up to
+    /// the recorded count per fingerprint, in report order. Returns the
+    /// number of *new* (unabsorbed) violations.
+    pub fn apply(&self, violations: &mut [Violation]) -> usize {
+        let mut remaining = self.counts.clone();
+        let mut new = 0usize;
+        for v in violations.iter_mut() {
+            match remaining.get_mut(&v.fingerprint) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    v.baselined = true;
+                }
+                _ => new += 1,
+            }
+        }
+        new
+    }
+
+    /// Serialize the given violations as a fresh baseline.
+    pub fn render(violations: &[Violation]) -> String {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for v in violations {
+            *counts.entry(v.fingerprint.as_str()).or_default() += 1;
+        }
+        let mut out = String::from(
+            "# dcs-lint baseline: frozen pre-existing violations.\n\
+             # One `count<TAB>fingerprint` per line; fingerprints carry no line\n\
+             # numbers, so edits elsewhere in a file do not thaw its debt.\n\
+             # Regenerate with `cargo run -p dcs-lint -- --update-baseline` and\n\
+             # review the diff: it should only ever shrink.\n",
+        );
+        for (fp, n) in counts {
+            out.push_str(&format!("{n}\t{fp}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(fp: &str) -> Violation {
+        Violation {
+            lint: "x",
+            file: "f".into(),
+            line: 1,
+            symbol: "s".into(),
+            message: "m".into(),
+            fingerprint: fp.into(),
+            baselined: false,
+        }
+    }
+
+    #[test]
+    fn absorbs_up_to_count() {
+        let b = Baseline::parse("2\ta|b|c|d\n").unwrap();
+        let mut vs = vec![v("a|b|c|d"), v("a|b|c|d"), v("a|b|c|d"), v("other")];
+        let new = b.apply(&mut vs);
+        assert_eq!(new, 2);
+        assert!(vs[0].baselined && vs[1].baselined);
+        assert!(!vs[2].baselined && !vs[3].baselined);
+    }
+
+    #[test]
+    fn round_trip() {
+        let vs = vec![v("a|1"), v("a|1"), v("b|2")];
+        let text = Baseline::render(&vs);
+        let b = Baseline::parse(&text).unwrap();
+        let mut vs2 = vs.clone();
+        assert_eq!(b.apply(&mut vs2), 0);
+        assert!(vs2.iter().all(|v| v.baselined));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let b = Baseline::parse("# header\n\n1\tx|y\n").unwrap();
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn bad_lines_error() {
+        assert!(Baseline::parse("no-tab-here\n").is_err());
+        assert!(Baseline::parse("NaN\tfp\n").is_err());
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let b = Baseline::load(Path::new("/nonexistent/baseline.txt")).unwrap();
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,313 @@
+//! `dcs-lint`: workspace-wide static invariant analyzer.
+//!
+//! The dynamic checkers (dcs-check's seeded interleavings, dcs-lin's
+//! history search, miri/TSan) verify what a run *did*; this crate
+//! verifies what the source *can* do, on every commit, in milliseconds.
+//! Six invariants the cost model and the latch-free design depend on
+//! are enforced syntactically:
+//!
+//! | lint | invariant |
+//! |------|-----------|
+//! | `lock-order` | per-crate lock acquisition graph is acyclic |
+//! | `hot-path-alloc` | manifest-registered hot paths reach no allocation/locks |
+//! | `virtual-clock` | `Instant`/`SystemTime` only at allowlisted clock boundaries |
+//! | `panic-path` | wire-path modules never unwrap/panic/index |
+//! | `atomic-ordering` | every `Ordering::Relaxed` carries `// ORDERING:` |
+//! | `span-cost` | every cost-ledger emission sits inside an open span |
+//!
+//! Policy lives in `lint-hotpaths.toml`; pre-existing debt is frozen in
+//! `lint-baseline.txt` so the gate fails only on *new* violations. Any
+//! single finding can be waived in place with an adjacent
+//! `// LINT: allow(<lint-name>): <reason>` comment — the reason is
+//! mandatory, mirroring the SAFETY/ORDERING comment regime.
+//!
+//! Std-only by design: the analyzer hand-rolls its lexer and item
+//! parser (no `syn`/rustc, consistent with the offline shimmed build),
+//! trading full grammar fidelity for zero dependencies. Ambiguity is
+//! resolved toward over-reporting plus explicit waivers.
+
+pub mod baseline;
+pub mod lexer;
+pub mod lints;
+pub mod manifest;
+pub mod report;
+pub mod source;
+
+use baseline::Baseline;
+use lints::{all_lints, Violation};
+use manifest::Manifest;
+use report::Report;
+use source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Analyzer configuration (the CLI fills this from flags).
+pub struct Config {
+    /// Workspace root (the directory holding `crates/`).
+    pub root: PathBuf,
+    /// Manifest path; `None` means `<root>/lint-hotpaths.toml`.
+    pub manifest: Option<PathBuf>,
+    /// Baseline path; `None` means `<root>/lint-baseline.txt`.
+    pub baseline: Option<PathBuf>,
+}
+
+impl Config {
+    /// Configuration rooted at `root` with default file locations.
+    pub fn at_root(root: PathBuf) -> Config {
+        Config {
+            root,
+            manifest: None,
+            baseline: None,
+        }
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.manifest
+            .clone()
+            .unwrap_or_else(|| self.root.join("lint-hotpaths.toml"))
+    }
+
+    fn baseline_path(&self) -> PathBuf {
+        self.baseline
+            .clone()
+            .unwrap_or_else(|| self.root.join("lint-baseline.txt"))
+    }
+}
+
+/// Run every lint over the workspace. Violations come back sorted and
+/// baseline-marked; `Report::new_count` is the CI gate.
+pub fn run(config: &Config) -> Result<Report, String> {
+    let manifest_path = config.manifest_path();
+    let manifest = if manifest_path.exists() {
+        Manifest::load(&manifest_path)?
+    } else {
+        Manifest::default()
+    };
+    let baseline = Baseline::load(&config.baseline_path())?;
+    let files = collect_files(&config.root)?;
+    let mut report = analyze(&files, &manifest);
+    report.new_count = baseline.apply(&mut report.violations);
+    Ok(report)
+}
+
+/// Run the lints over already-collected files (fixture tests call this
+/// directly; `run` adds file discovery and baseline handling).
+pub fn analyze(files: &[SourceFile], manifest: &Manifest) -> Report {
+    let mut lints = all_lints();
+    let mut violations: Vec<Violation> = Vec::new();
+    for lint in lints.iter_mut() {
+        for sf in files {
+            lint.check_file(sf, manifest, &mut violations);
+        }
+        lint.finish(files, manifest, &mut violations);
+    }
+    // Adjacent `LINT: allow(<name>): reason` waivers, applied centrally
+    // so every lint supports them uniformly. An allow with no reason
+    // text does not count.
+    violations.retain(|v| !waived(files, v));
+    violations.sort_by(|a, b| {
+        (a.lint, &a.file, a.line, &a.message).cmp(&(b.lint, &b.file, b.line, &b.message))
+    });
+    Report {
+        new_count: violations.len(),
+        violations,
+        files_scanned: files.len(),
+        lints: all_lints()
+            .iter()
+            .map(|l| (l.name(), l.description()))
+            .collect(),
+    }
+}
+
+/// Update the baseline file to freeze the current violation set.
+pub fn update_baseline(config: &Config, report: &Report) -> Result<(), String> {
+    let path = config.baseline_path();
+    std::fs::write(&path, Baseline::render(&report.violations))
+        .map_err(|e| format!("cannot write baseline {}: {e}", path.display()))
+}
+
+/// Is this violation waived by an adjacent `LINT: allow(...)` comment?
+///
+/// The waiver may sit as a trailing comment on the violation line, or
+/// anywhere in the contiguous block of comment-only lines immediately
+/// above it (a multi-line waiver reads naturally as `allow` + wrapped
+/// reason text).
+fn waived(files: &[SourceFile], v: &Violation) -> bool {
+    let Some(sf) = files.iter().find(|f| f.rel == v.file) else {
+        return false;
+    };
+    if waiver_matches(sf.line_text(v.line), v.lint) {
+        return true;
+    }
+    // Walk the comment block above; a trailing comment on a *code* line
+    // up there waives that line's own code instead, so stop at it.
+    let mut probe = v.line.saturating_sub(1);
+    while probe >= 1 {
+        let text = sf.line_text(probe);
+        if !text.trim_start().starts_with("//") {
+            break;
+        }
+        if waiver_matches(text, v.lint) {
+            return true;
+        }
+        probe -= 1;
+    }
+    false
+}
+
+/// Does `text` carry `// LINT: allow(<lint>): <non-empty reason>`?
+fn waiver_matches(text: &str, lint: &str) -> bool {
+    let comment = match text.split_once("//") {
+        Some((_, c)) => c,
+        None => return false,
+    };
+    if let Some((name, reason)) = comment
+        .trim()
+        .strip_prefix("LINT: allow(")
+        .and_then(|r| r.split_once(')'))
+    {
+        let reason = reason.trim_start_matches([':', '-', '—', ' ']).trim();
+        return name.trim() == lint && !reason.is_empty();
+    }
+    false
+}
+
+/// Every `.rs` under `crates/*/src`, recursively. `shims/` is vendored
+/// third-party API surface and stays out of scope.
+pub fn collect_files(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    let mut crate_dirs: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let crate_name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        walk(&src, &mut files).map_err(|e| format!("walking {}: {e}", src.display()))?;
+        files.sort();
+        for f in files {
+            out.push(
+                SourceFile::load(root, &f, &crate_name)
+                    .map_err(|e| format!("reading {}: {e}", f.display()))?,
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walk up from `start` to the workspace root (the directory whose
+/// `Cargo.toml` declares `[workspace]`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(|p| p.to_path_buf());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_requires_reason() {
+        let sf = SourceFile::from_text(
+            PathBuf::from("m.rs"),
+            "crates/x/src/m.rs".into(),
+            "x",
+            "fn f() {\n\
+             let a = std::time::Instant::now(); // LINT: allow(virtual-clock): calibration boundary\n\
+             let b = std::time::Instant::now(); // LINT: allow(virtual-clock)\n\
+             }",
+        );
+        let report = analyze(&[sf], &Manifest::default());
+        // Line 2 waived (has a reason); line 3's allow has none → kept.
+        let clock: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.lint == "virtual-clock")
+            .collect();
+        assert_eq!(clock.len(), 1, "{clock:?}");
+        assert_eq!(clock[0].line, 3);
+    }
+
+    #[test]
+    fn waiver_on_preceding_line_works() {
+        let sf = SourceFile::from_text(
+            PathBuf::from("m.rs"),
+            "crates/x/src/m.rs".into(),
+            "x",
+            "fn f() {\n\
+             // LINT: allow(virtual-clock): wall-clock boundary by design\n\
+             let a = std::time::Instant::now();\n\
+             }",
+        );
+        let report = analyze(&[sf], &Manifest::default());
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn waiver_anywhere_in_comment_block_above_works() {
+        // The allow line is two lines up, with a wrapped continuation
+        // line in between — still part of the contiguous block.
+        let sf = SourceFile::from_text(
+            PathBuf::from("m.rs"),
+            "crates/x/src/m.rs".into(),
+            "x",
+            "fn f() {\n\
+             // LINT: allow(virtual-clock): wall-clock boundary by\n\
+             // design (startup calibration only).\n\
+             let a = std::time::Instant::now();\n\
+             }",
+        );
+        let report = analyze(&[sf], &Manifest::default());
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn waiver_block_stops_at_code_line() {
+        // A trailing comment on a code line above does not waive the
+        // statement below it.
+        let sf = SourceFile::from_text(
+            PathBuf::from("m.rs"),
+            "crates/x/src/m.rs".into(),
+            "x",
+            "fn f() {\n\
+             let a = 1; // LINT: allow(virtual-clock): someone else's waiver\n\
+             let b = std::time::Instant::now();\n\
+             }",
+        );
+        let report = analyze(&[sf], &Manifest::default());
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].line, 3);
+    }
+}

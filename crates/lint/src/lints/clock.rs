@@ -1,0 +1,138 @@
+//! Virtual-clock discipline: `std::time::{Instant, SystemTime}` are
+//! forbidden outside the manifest's `[clock] allow` prefixes.
+//!
+//! The simulator's whole premise is that time is virtual — device
+//! service, rent, and span timestamps all advance on the flashsim
+//! clock. A stray `Instant::now()` in simulated-clock code measures
+//! wall time in a world where the wall clock is meaningless, silently
+//! breaking determinism. The allowlist names the code that *is* the
+//! boundary: the flashsim device (wall-latency injection is its job),
+//! the telemetry monotonic fallback, and the measurement harnesses that
+//! time real hardware on purpose. Binary targets (`src/bin/**`) are
+//! exempt wholesale — drivers measure wall time by definition.
+
+use super::{Lint, Violation};
+use crate::manifest::Manifest;
+use crate::source::SourceFile;
+
+/// The clock-discipline lint.
+pub struct ClockDiscipline;
+
+impl Lint for ClockDiscipline {
+    fn name(&self) -> &'static str {
+        "virtual-clock"
+    }
+
+    fn description(&self) -> &'static str {
+        "std::time::{Instant, SystemTime} only in allowlisted clock-boundary code"
+    }
+
+    fn check_file(&mut self, sf: &SourceFile, m: &Manifest, out: &mut Vec<Violation>) {
+        if sf.is_bin {
+            return;
+        }
+        if m.clock_allow.iter().any(|p| sf.rel.starts_with(p.as_str())) {
+            return;
+        }
+        for (i, t) in sf.tokens.iter().enumerate() {
+            let Some(id) = t.ident() else { continue };
+            if id != "Instant" && id != "SystemTime" {
+                continue;
+            }
+            if sf.in_test(i) || sf.in_attr(i) {
+                continue;
+            }
+            let symbol = sf.context_name(i);
+            out.push(Violation::new(
+                self.name(),
+                sf,
+                t.line,
+                symbol,
+                format!(
+                    "`{id}` used outside the clock allowlist — route through the \
+                     shared virtual clock (`dcs_telemetry::now_nanos`) or add an \
+                     `[clock] allow` entry with a justification"
+                ),
+                id,
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(rel: &str, src: &str, allow: &[&str]) -> Vec<Violation> {
+        let sf = SourceFile::from_text(PathBuf::from("m.rs"), rel.into(), "x", src);
+        let m = Manifest {
+            clock_allow: allow.iter().map(|s| (*s).to_string()).collect(),
+            ..Manifest::default()
+        };
+        let mut out = Vec::new();
+        ClockDiscipline.check_file(&sf, &m, &mut out);
+        out
+    }
+
+    #[test]
+    fn instant_outside_allowlist_fires() {
+        let out = run(
+            "crates/x/src/m.rs",
+            "fn f() { let t = std::time::Instant::now(); }",
+            &[],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].symbol, "f");
+    }
+
+    #[test]
+    fn allowlisted_prefix_is_clean() {
+        let out = run(
+            "crates/flashsim/src/device.rs",
+            "fn f() { let t = Instant::now(); }",
+            &["crates/flashsim/"],
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let out = run(
+            "crates/x/src/m.rs",
+            "#[cfg(test)]\nmod tests { fn f() { let t = Instant::now(); } }",
+            &[],
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn bins_are_exempt() {
+        let out = run(
+            "crates/x/src/bin/loadgen.rs",
+            "fn main() { let t = Instant::now(); }",
+            &[],
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn string_mention_is_not_a_use() {
+        let out = run(
+            "crates/x/src/m.rs",
+            r#"fn f() { log("Instant::now"); }"#,
+            &[],
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn system_time_fires_too() {
+        let out = run(
+            "crates/x/src/m.rs",
+            "use std::time::SystemTime;\nfn f() -> SystemTime { SystemTime::now() }",
+            &[],
+        );
+        assert_eq!(out.len(), 3); // use + return type + call
+    }
+}

@@ -1,0 +1,402 @@
+//! Hot-path allocation lint: functions registered in
+//! `lint-hotpaths.toml` must not reach allocation or blocking locks.
+//!
+//! The paper's cost model prices the hot paths as pure main-memory
+//! execution; an accidental `format!` or `Mutex::lock` on one silently
+//! bends the measured curve away from the modeled one. Registered roots
+//! (server request loop, bwtree read path, flashsim poll, telemetry
+//! record) are checked for the banned constructs *and* traversed one
+//! crate deep: a call to a same-crate function with a unique name pulls
+//! that function's body into the checked set, with the call chain
+//! reported. Cross-crate calls and ambiguous names (several same-crate
+//! functions sharing the callee's name) stop traversal — the analyzer
+//! over-approximates locally, never globally.
+//!
+//! Banned in a hot path: `Box::new`, `.push(…)`, `format!`, `vec!`,
+//! `.to_vec()`, `.to_owned()`, `.to_string()`, `String::from`,
+//! zero-argument `.clone()`, and blocking `.lock()`/`.read()`/`.write()`
+//! (zero-argument — the RwLock shape).
+
+use super::{Lint, Violation};
+use crate::manifest::Manifest;
+use crate::source::{FnItem, SourceFile};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Hot-path allocation/blocking lint.
+#[derive(Default)]
+pub struct HotPathAlloc {
+    /// crate → function name → (file index, fn index); ambiguous names
+    /// collapse to `None` so traversal refuses to guess.
+    index: BTreeMap<String, BTreeMap<String, Option<(usize, usize)>>>,
+    files_seen: usize,
+}
+
+impl Lint for HotPathAlloc {
+    fn name(&self) -> &'static str {
+        "hot-path-alloc"
+    }
+
+    fn description(&self) -> &'static str {
+        "registered hot paths must not reach allocation, formatting, or blocking locks"
+    }
+
+    fn check_file(&mut self, sf: &SourceFile, _m: &Manifest, _out: &mut Vec<Violation>) {
+        // Index pass only; analysis happens in `finish` once every
+        // file's functions are known.
+        let file_idx = self.files_seen;
+        self.files_seen += 1;
+        let by_name = self.index.entry(sf.crate_name.clone()).or_default();
+        for (fi, f) in sf.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            let mut keys = vec![f.name.clone()];
+            if f.short != f.name {
+                keys.push(f.short.clone());
+            }
+            for key in keys {
+                by_name
+                    .entry(key)
+                    .and_modify(|e| *e = None) // duplicate name: ambiguous
+                    .or_insert(Some((file_idx, fi)));
+            }
+        }
+    }
+
+    fn finish(&mut self, files: &[SourceFile], m: &Manifest, out: &mut Vec<Violation>) {
+        for hp in &m.hotpaths {
+            let Some(by_name) = self.index.get(&hp.krate) else {
+                out.push(Violation {
+                    lint: self.name(),
+                    file: "lint-hotpaths.toml".into(),
+                    line: 0,
+                    symbol: hp.func.clone(),
+                    message: format!("hot-path crate `{}` not found in workspace", hp.krate),
+                    fingerprint: format!("hot-path-alloc|manifest|{}|missing-crate", hp.krate),
+                    baselined: false,
+                });
+                continue;
+            };
+            let Some(Some(root)) = by_name.get(&hp.func) else {
+                out.push(Violation {
+                    lint: self.name(),
+                    file: "lint-hotpaths.toml".into(),
+                    line: 0,
+                    symbol: hp.func.clone(),
+                    message: format!(
+                        "hot-path function `{}::{}` not found (or ambiguous) — \
+                         fix the manifest entry",
+                        hp.krate, hp.func
+                    ),
+                    fingerprint: format!(
+                        "hot-path-alloc|manifest|{}::{}|missing-fn",
+                        hp.krate, hp.func
+                    ),
+                    baselined: false,
+                });
+                continue;
+            };
+            self.check_root(files, by_name, *root, &hp.func, out);
+        }
+    }
+}
+
+impl HotPathAlloc {
+    /// BFS from one registered root through same-crate unique callees.
+    fn check_root(
+        &self,
+        files: &[SourceFile],
+        by_name: &BTreeMap<String, Option<(usize, usize)>>,
+        root: (usize, usize),
+        root_name: &str,
+        out: &mut Vec<Violation>,
+    ) {
+        let mut queue: VecDeque<((usize, usize), Vec<String>)> = VecDeque::new();
+        let mut visited: BTreeSet<(usize, usize)> = BTreeSet::new();
+        queue.push_back((root, vec![root_name.to_string()]));
+        visited.insert(root);
+        while let Some(((file_idx, fn_idx), chain)) = queue.pop_front() {
+            let sf = &files[file_idx];
+            let f = &sf.fns[fn_idx];
+            let via = if chain.len() > 1 {
+                format!(" (via {})", chain.join(" -> "))
+            } else {
+                String::new()
+            };
+            for (line, what, detail) in banned_in_body(sf, f) {
+                out.push(Violation::new(
+                    "hot-path-alloc",
+                    sf,
+                    line,
+                    f.name.clone(),
+                    format!("hot path `{root_name}` reaches {what}{via}"),
+                    &format!("{root_name}:{detail}"),
+                ));
+            }
+            if chain.len() >= 4 {
+                continue; // depth bound: deep chains get a manifest entry
+            }
+            for callee in callees(sf, f) {
+                if let Some(Some(target)) = by_name.get(&callee) {
+                    if visited.insert(*target) {
+                        let mut c = chain.clone();
+                        c.push(callee);
+                        queue.push_back((*target, c));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Banned constructs in one function body: `(line, message, fingerprint
+/// detail)`.
+fn banned_in_body(sf: &SourceFile, f: &FnItem) -> Vec<(u32, String, String)> {
+    let toks = &sf.tokens;
+    let mut found = Vec::new();
+    let mut i = f.body.0 + 1;
+    while i < f.body.1 {
+        if toks[i].is_comment() || sf.in_attr(i) {
+            i += 1;
+            continue;
+        }
+        let line = toks[i].line;
+        if let Some(id) = toks[i].ident() {
+            let next = sf.next_code(i + 1);
+            let next_is = |c: char| next.is_some_and(|n| toks[n].is_punct(c));
+            match id {
+                "Box" if path_call(sf, i, "new") => {
+                    found.push((
+                        line,
+                        "`Box::new` (heap allocation)".into(),
+                        "Box::new".into(),
+                    ));
+                }
+                "String" if path_call(sf, i, "from") => {
+                    found.push((
+                        line,
+                        "`String::from` (allocation)".into(),
+                        "String::from".into(),
+                    ));
+                }
+                "format" if next_is('!') => {
+                    found.push((line, "`format!` (allocation)".into(), "format!".into()));
+                }
+                "vec" if next_is('!') => {
+                    found.push((line, "`vec!` (allocation)".into(), "vec!".into()));
+                }
+                "push" | "to_vec" | "to_owned" | "to_string" | "clone"
+                    if method_call(sf, i) && (id == "push" || zero_arg_call(sf, i)) =>
+                {
+                    let what = if id == "push" {
+                        "`.push()` (possible reallocation)".to_string()
+                    } else {
+                        format!("`.{id}()` (allocation)")
+                    };
+                    found.push((line, what, format!(".{id}()")));
+                }
+                "lock" | "read" | "write" if method_call(sf, i) && zero_arg_call(sf, i) => {
+                    found.push((
+                        line,
+                        format!("blocking `.{id}()` (lock acquisition)"),
+                        format!(".{id}()"),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    // An adjacent `LINT: allow(hot-path-alloc)` is handled centrally by
+    // the engine; nothing to do here.
+    found
+}
+
+/// `Name :: method (` at token `i` = `Name`.
+fn path_call(sf: &SourceFile, i: usize, method: &str) -> bool {
+    let toks = &sf.tokens;
+    let Some(c1) = sf.next_code(i + 1) else {
+        return false;
+    };
+    if !toks[c1].is_punct(':') {
+        return false;
+    }
+    let Some(c2) = sf.next_code(c1 + 1) else {
+        return false;
+    };
+    if !toks[c2].is_punct(':') {
+        return false;
+    }
+    let Some(m) = sf.next_code(c2 + 1) else {
+        return false;
+    };
+    if toks[m].ident() != Some(method) {
+        return false;
+    }
+    let Some(p) = sf.next_code(m + 1) else {
+        return false;
+    };
+    toks[p].is_punct('(')
+}
+
+/// Token `i` is a method name: preceded by `.`, followed by `(`.
+fn method_call(sf: &SourceFile, i: usize) -> bool {
+    let toks = &sf.tokens;
+    let prev_dot = sf.prev_code(i).is_some_and(|p| toks[p].is_punct('.'));
+    let next_paren = sf.next_code(i + 1).is_some_and(|n| toks[n].is_punct('('));
+    prev_dot && next_paren
+}
+
+/// The call at token `i` has an empty argument list.
+fn zero_arg_call(sf: &SourceFile, i: usize) -> bool {
+    let toks = &sf.tokens;
+    let Some(open) = sf.next_code(i + 1) else {
+        return false;
+    };
+    if !toks[open].is_punct('(') {
+        return false;
+    }
+    sf.next_code(open + 1)
+        .is_some_and(|close| toks[close].is_punct(')'))
+}
+
+/// Names this function calls: free calls `name(`, path calls `a::name(`,
+/// and method calls `.name(`.
+fn callees(sf: &SourceFile, f: &FnItem) -> BTreeSet<String> {
+    let toks = &sf.tokens;
+    let mut out = BTreeSet::new();
+    let mut i = f.body.0 + 1;
+    while i < f.body.1 {
+        if toks[i].is_comment() || sf.in_attr(i) {
+            i += 1;
+            continue;
+        }
+        if let Some(id) = toks[i].ident() {
+            if !super::is_keyword(id) && sf.next_code(i + 1).is_some_and(|n| toks[n].is_punct('('))
+            {
+                out.insert(id.to_string());
+                // Also try the `Type::method` qualified form, so
+                // manifest-style names resolve.
+                if let Some(prev) = sf.prev_code(i) {
+                    if toks[prev].is_punct(':') {
+                        if let Some(p2) = sf.prev_code(prev) {
+                            if toks[p2].is_punct(':') {
+                                if let Some(p3) = sf.prev_code(p2) {
+                                    if let Some(ty) = toks[p3].ident() {
+                                        out.insert(format!("{ty}::{id}"));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::HotPath;
+    use std::path::PathBuf;
+
+    fn run(src: &str, funcs: &[&str]) -> Vec<Violation> {
+        let sf = SourceFile::from_text(PathBuf::from("m.rs"), "crates/x/src/m.rs".into(), "x", src);
+        let m = Manifest {
+            hotpaths: funcs
+                .iter()
+                .map(|f| HotPath {
+                    krate: "x".into(),
+                    func: (*f).to_string(),
+                })
+                .collect(),
+            ..Manifest::default()
+        };
+        let mut lint = HotPathAlloc::default();
+        let mut out = Vec::new();
+        lint.check_file(&sf, &m, &mut out);
+        lint.finish(&[sf], &m, &mut out);
+        out
+    }
+
+    #[test]
+    fn direct_format_fires() {
+        let out = run("fn hot() { let s = format!(\"x{}\", 1); }", &["hot"]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("format!"));
+    }
+
+    #[test]
+    fn transitive_alloc_fires_with_chain() {
+        let out = run(
+            "fn hot() { helper(); }\nfn helper() { let b = Box::new(1); }",
+            &["hot"],
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("Box::new"));
+        assert!(out[0].message.contains("via hot -> helper"));
+    }
+
+    #[test]
+    fn clean_hot_path_is_clean() {
+        let out = run(
+            "fn hot(x: &AtomicU64) { x.fetch_add(1, Ordering::Relaxed); helper(x); }\n\
+             fn helper(x: &AtomicU64) { x.load(Ordering::Acquire); }",
+            &["hot"],
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn blocking_lock_fires() {
+        let out = run("fn hot(s: &S) { let g = s.m.lock(); }", &["hot"]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("lock"));
+    }
+
+    #[test]
+    fn clone_with_args_is_not_flagged() {
+        // `.clone()` zero-arg fires; io `.read(buf)` style non-zero-arg
+        // receivers of banned names do not.
+        let out = run(
+            "fn hot(s: &S, buf: &mut [u8]) { s.file.read(buf); }",
+            &["hot"],
+        );
+        assert!(out.is_empty(), "{out:?}");
+        let out = run("fn hot(v: &Val) -> Val { v.clone() }", &["hot"]);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn ambiguous_callee_stops_traversal() {
+        let out = run(
+            "fn hot() { go(); }\n\
+             fn go() { let b = Box::new(1); }\n\
+             mod other { pub fn go() {} }",
+            &["hot"],
+        );
+        // Two `go` definitions: traversal refuses to guess, so the
+        // Box::new in one of them is not attributed to the hot path.
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn missing_function_is_a_manifest_violation() {
+        let out = run("fn other() {}", &["hot"]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("not found"));
+    }
+
+    #[test]
+    fn method_roots_resolve_by_qualified_name() {
+        let out = run(
+            "struct S;\nimpl S { fn serve(&self) { let v = vec![1]; } }",
+            &["S::serve"],
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("vec!"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Atomic-ordering justification: every `Ordering::Relaxed` in the
+//! manifest's `[ordering] crates` must carry an adjacent `// ORDERING:`
+//! comment.
+//!
+//! Mirrors the SAFETY-comment regime the workspace already enforces for
+//! `unsafe`: relaxed atomics are correct exactly when a happens-before
+//! edge exists elsewhere (or none is needed), and that argument lives
+//! in the author's head unless it is written down. The comment goes on
+//! the same line, or as a contiguous `//` block immediately above the
+//! statement (one block covers a multi-line statement). Acquire/Release
+//! orderings need no comment — their justification is the ordering
+//! itself.
+
+use super::{Lint, Violation};
+use crate::manifest::Manifest;
+use crate::source::SourceFile;
+
+/// The relaxed-ordering justification lint.
+pub struct OrderingJustified;
+
+impl Lint for OrderingJustified {
+    fn name(&self) -> &'static str {
+        "atomic-ordering"
+    }
+
+    fn description(&self) -> &'static str {
+        "every Ordering::Relaxed needs an adjacent `// ORDERING:` justification"
+    }
+
+    fn check_file(&mut self, sf: &SourceFile, m: &Manifest, out: &mut Vec<Violation>) {
+        if !m.ordering_crates.contains(&sf.crate_name) {
+            return;
+        }
+        let toks = &sf.tokens;
+        let mut last_line = 0u32;
+        for i in 0..toks.len() {
+            if toks[i].ident() != Some("Relaxed") || sf.in_test(i) {
+                continue;
+            }
+            // Require the `Ordering::` qualifier so a stray identifier
+            // named Relaxed (or an import) does not fire.
+            let Some(c2) = sf.prev_code(i) else { continue };
+            let Some(c1) = sf.prev_code(c2) else { continue };
+            let Some(q) = sf.prev_code(c1) else { continue };
+            if !(toks[c2].is_punct(':') && toks[c1].is_punct(':')) {
+                continue;
+            }
+            if toks[q].ident() != Some("Ordering") {
+                continue;
+            }
+            let line = toks[i].line;
+            if line == last_line {
+                continue; // several Relaxed on one line share one comment
+            }
+            last_line = line;
+            if !sf.has_adjacent_marker(line, sf.stmt_first_line(i), "ORDERING:") {
+                out.push(Violation::new(
+                    self.name(),
+                    sf,
+                    line,
+                    sf.context_name(i),
+                    "`Ordering::Relaxed` without an adjacent `// ORDERING:` \
+                     justification"
+                        .to_string(),
+                    "Relaxed",
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let sf = SourceFile::from_text(
+            PathBuf::from("m.rs"),
+            "crates/ebr/src/m.rs".into(),
+            "ebr",
+            src,
+        );
+        let m = Manifest {
+            ordering_crates: vec!["ebr".into()],
+            ..Manifest::default()
+        };
+        let mut out = Vec::new();
+        OrderingJustified.check_file(&sf, &m, &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_relaxed_fires() {
+        let out = run("fn f(x: &AtomicU64) { x.fetch_add(1, Ordering::Relaxed); }");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn same_line_comment_satisfies() {
+        let out = run(
+            "fn f(x: &AtomicU64) { x.fetch_add(1, Ordering::Relaxed); // ORDERING: stat only\n}",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn block_above_satisfies_multiline_stmt() {
+        let out = run("fn f(x: &AtomicU64) {\n\
+                 // ORDERING: pure counter, read only in snapshots.\n\
+                 x.fetch_add(\n\
+                     1, Ordering::Relaxed);\n\
+             }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn comment_does_not_leak_to_next_statement() {
+        let out = run("fn f(x: &AtomicU64) {\n\
+                 // ORDERING: covers only the next statement.\n\
+                 x.fetch_add(1, Ordering::Relaxed);\n\
+                 x.fetch_add(2, Ordering::Relaxed);\n\
+             }");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn acquire_release_need_no_comment() {
+        let out = run(
+            "fn f(x: &AtomicU64) { x.load(Ordering::Acquire); x.store(1, Ordering::Release); }",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn other_crates_are_out_of_scope() {
+        let sf = SourceFile::from_text(
+            PathBuf::from("m.rs"),
+            "crates/server/src/m.rs".into(),
+            "server",
+            "fn f(x: &AtomicU64) { x.fetch_add(1, Ordering::Relaxed); }",
+        );
+        let m = Manifest {
+            ordering_crates: vec!["ebr".into()],
+            ..Manifest::default()
+        };
+        let mut out = Vec::new();
+        OrderingJustified.check_file(&sf, &m, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let out =
+            run("#[cfg(test)]\nmod tests { fn f(x: &AtomicU64) { x.load(Ordering::Relaxed); } }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

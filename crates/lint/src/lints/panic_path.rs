@@ -1,0 +1,171 @@
+//! Panic-freedom on the wire path: no `unwrap`/`expect`, no panicking
+//! macros, no slice indexing in the manifest's `[wire-path] files`.
+//!
+//! A panic in request decode or shard dispatch kills the shard thread —
+//! the server's unit of capacity — on input an adversarial client
+//! controls. Those modules must answer with a typed protocol error
+//! instead. The lint bans the panicking surface syntactically:
+//! `.unwrap()` / `.expect(…)`, `panic!` / `unreachable!` / `todo!` /
+//! `unimplemented!`, and index expressions `x[…]` (slice-pattern and
+//! `.get(…)` alternatives exist for every one of them). `assert!` (and
+//! `debug_assert!`) stay allowed: they state invariants about *our*
+//! state, not about peer input, and removing them would hide bugs
+//! rather than harden the path.
+
+use super::{is_keyword, Lint, Violation};
+use crate::manifest::Manifest;
+use crate::source::SourceFile;
+
+/// The wire-path panic-freedom lint.
+pub struct PanicFree;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+impl Lint for PanicFree {
+    fn name(&self) -> &'static str {
+        "panic-path"
+    }
+
+    fn description(&self) -> &'static str {
+        "wire-path modules must not unwrap/expect/panic!/index"
+    }
+
+    fn check_file(&mut self, sf: &SourceFile, m: &Manifest, out: &mut Vec<Violation>) {
+        if !m.wire_files.contains(&sf.rel) {
+            return;
+        }
+        let toks = &sf.tokens;
+        for i in 0..toks.len() {
+            if toks[i].is_comment() || sf.in_attr(i) || sf.in_test(i) {
+                continue;
+            }
+            let line = toks[i].line;
+            if let Some(id) = toks[i].ident() {
+                let next_is = |c: char| sf.next_code(i + 1).is_some_and(|n| toks[n].is_punct(c));
+                match id {
+                    "unwrap" | "expect" | "unwrap_unchecked" => {
+                        let prev_dot = sf.prev_code(i).is_some_and(|p| toks[p].is_punct('.'));
+                        if prev_dot && next_is('(') {
+                            out.push(Violation::new(
+                                self.name(),
+                                sf,
+                                line,
+                                sf.context_name(i),
+                                format!(
+                                    "`.{id}()` on the wire path — return a typed \
+                                     protocol error instead"
+                                ),
+                                &format!(".{id}()"),
+                            ));
+                        }
+                    }
+                    _ if PANIC_MACROS.contains(&id) && next_is('!') => {
+                        out.push(Violation::new(
+                            self.name(),
+                            sf,
+                            line,
+                            sf.context_name(i),
+                            format!("`{id}!` on the wire path"),
+                            &format!("{id}!"),
+                        ));
+                    }
+                    _ => {}
+                }
+            } else if toks[i].is_punct('[') {
+                // Index expression: `[` directly after an expression tail
+                // (identifier that is not a keyword, `)`, or `]`).
+                let Some(p) = sf.prev_code(i) else { continue };
+                let is_index = match toks[p].ident() {
+                    Some(id) => !is_keyword(id),
+                    None => toks[p].is_punct(')') || toks[p].is_punct(']'),
+                };
+                if is_index {
+                    out.push(Violation::new(
+                        self.name(),
+                        sf,
+                        line,
+                        sf.context_name(i),
+                        "slice/array indexing on the wire path — use `.get(…)` or a \
+                         slice pattern"
+                            .to_string(),
+                        "index[]",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let rel = "crates/server/src/protocol.rs";
+        let sf = SourceFile::from_text(PathBuf::from("m.rs"), rel.into(), "server", src);
+        let m = Manifest {
+            wire_files: vec![rel.to_string()],
+            ..Manifest::default()
+        };
+        let mut out = Vec::new();
+        PanicFree.check_file(&sf, &m, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_expect_panic_fire() {
+        let out = run("fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+             fn g(x: Option<u32>) -> u32 { x.expect(\"msg\") }\n\
+             fn h() { panic!(\"boom\"); }\n\
+             fn u() { unreachable!(); }");
+        assert_eq!(out.len(), 4, "{out:?}");
+    }
+
+    #[test]
+    fn indexing_fires_but_patterns_do_not() {
+        let out = run("fn f(buf: &[u8]) -> u8 { buf[4] }\n\
+             fn ok(buf: &[u8]) { if let [a, b, ..] = buf { let _ = (a, b); } }\n\
+             fn arr() -> [u8; 4] { [0u8; 4] }\n\
+             fn get(buf: &[u8]) -> Option<&u8> { buf.get(4) }");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].symbol, "f");
+    }
+
+    #[test]
+    fn range_indexing_fires() {
+        let out = run("fn f(buf: &[u8]) -> &[u8] { &buf[0..4] }");
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn asserts_are_allowed() {
+        let out = run("fn f(n: usize) { assert!(n < 10); debug_assert!(n > 0); }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn files_not_in_scope_are_skipped() {
+        let sf = SourceFile::from_text(
+            PathBuf::from("m.rs"),
+            "crates/server/src/other.rs".into(),
+            "server",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+        );
+        let m = Manifest {
+            wire_files: vec!["crates/server/src/protocol.rs".to_string()],
+            ..Manifest::default()
+        };
+        let mut out = Vec::new();
+        PanicFree.check_file(&sf, &m, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn test_mod_within_wire_file_is_exempt() {
+        let out = run(
+            "fn clean() {}\n#[cfg(test)]\nmod tests { #[test] fn t() { None::<u32>.unwrap(); } }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Span/cost coverage: every `CostLedger` emission must sit inside an
+//! open telemetry span, or say why not.
+//!
+//! PR5's CI gate reconciles the ledger's exact counts against the
+//! priced span timeline; an emission site with no span in scope makes
+//! the two derivations drift apart in a way the reconciliation can only
+//! report as mystery slack. The lint requires each `ledger().mm_op()` /
+//! `ss_read()` / `wal_barrier()` / … call to be lexically preceded, in
+//! the same function, by a span opening (`span(…)`, `span_at(…)`, or a
+//! `*_span(…)` helper) — or to carry an adjacent `// SPAN:` comment
+//! naming the caller that holds the span (the pattern used by the
+//! per-crate stat mirrors, where the device/tree call site opened it).
+
+use super::{Lint, Violation};
+use crate::manifest::Manifest;
+use crate::source::SourceFile;
+
+/// The span-coverage lint.
+pub struct SpanCostCoverage;
+
+/// The `CostLedger` emission methods (gauges excluded: occupancy is
+/// reported at sweep boundaries, outside any span by design).
+const EMISSIONS: &[&str] = &[
+    "mm_op",
+    "mm_ops",
+    "ss_read",
+    "ss_reads",
+    "ss_write",
+    "wal_barrier",
+    "maintenance_op",
+];
+
+impl Lint for SpanCostCoverage {
+    fn name(&self) -> &'static str {
+        "span-cost"
+    }
+
+    fn description(&self) -> &'static str {
+        "CostLedger emissions must be inside an open span (or carry // SPAN:)"
+    }
+
+    fn check_file(&mut self, sf: &SourceFile, _m: &Manifest, out: &mut Vec<Violation>) {
+        let toks = &sf.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            let Some(id) = t.ident() else { continue };
+            if !EMISSIONS.contains(&id) || sf.in_test(i) || sf.in_attr(i) {
+                continue;
+            }
+            // Shape: `ledger() . <emission> (` — the receiver must be a
+            // `ledger()` call so stat-struct methods named `mm_op` (the
+            // per-crate mirrors that *call* the ledger) don't fire on
+            // their own definitions.
+            if !is_ledger_emission(sf, i) {
+                continue;
+            }
+            let Some(f) = sf.enclosing_fn(i) else {
+                continue;
+            };
+            if span_open_before(sf, f.body.0, i) {
+                continue;
+            }
+            let line = toks[i].line;
+            if sf.has_adjacent_marker(line, sf.stmt_first_line(i), "SPAN:") {
+                continue;
+            }
+            out.push(Violation::new(
+                self.name(),
+                sf,
+                line,
+                f.name.clone(),
+                format!(
+                    "cost emission `{id}` with no span open in `{}` — open one, or \
+                     add a `// SPAN:` comment naming the caller that holds it",
+                    f.name
+                ),
+                &format!("emission:{id}"),
+            ));
+        }
+    }
+}
+
+/// Is token `i` an emission method on a `ledger()` receiver?
+fn is_ledger_emission(sf: &SourceFile, i: usize) -> bool {
+    let toks = &sf.tokens;
+    if !sf.next_code(i + 1).is_some_and(|n| toks[n].is_punct('(')) {
+        return false;
+    }
+    let Some(dot) = sf.prev_code(i) else {
+        return false;
+    };
+    if !toks[dot].is_punct('.') {
+        return false;
+    }
+    // Receiver tail: `ledger ( )` or a variable previously bound from
+    // `ledger()` — approximate the latter by accepting an identifier
+    // receiver literally named `ledger`.
+    let Some(p) = sf.prev_code(dot) else {
+        return false;
+    };
+    if toks[p].ident() == Some("ledger") {
+        return true;
+    }
+    if toks[p].is_punct(')') {
+        if let Some(open) = sf.prev_code(p) {
+            if toks[open].is_punct('(') {
+                if let Some(name) = sf.prev_code(open) {
+                    return toks[name].ident() == Some("ledger");
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Was a span opened lexically before token `end` in the body starting
+/// at `start`? Openers: `span(`, `span_at(`, any `*_span(` helper.
+fn span_open_before(sf: &SourceFile, start: usize, end: usize) -> bool {
+    let toks = &sf.tokens;
+    for j in start..end {
+        if toks[j].is_comment() {
+            continue;
+        }
+        let Some(id) = toks[j].ident() else { continue };
+        if (id == "span" || id == "span_at" || id.ends_with("_span"))
+            && sf.next_code(j + 1).is_some_and(|n| toks[n].is_punct('('))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let sf = SourceFile::from_text(PathBuf::from("m.rs"), "crates/x/src/m.rs".into(), "x", src);
+        let m = Manifest::default();
+        let mut out = Vec::new();
+        SpanCostCoverage.check_file(&sf, &m, &mut out);
+        out
+    }
+
+    #[test]
+    fn emission_without_span_fires() {
+        let out = run("fn f() { dcs_telemetry::ledger().mm_op(); }");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("mm_op"));
+    }
+
+    #[test]
+    fn emission_after_span_is_clean() {
+        let out = run(
+            "fn f() { let _span = dcs_telemetry::span(\"x\", CostClass::Mm); \
+             dcs_telemetry::ledger().mm_op(); }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn span_helper_counts() {
+        let out = run("fn f() { let _s = service_span(\"x\", CostClass::SsRead); \
+             dcs_telemetry::ledger().ss_read(); }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn span_comment_satisfies() {
+        let out = run("fn f() {\n\
+                 // SPAN: the device call site holds flashsim.read.\n\
+                 dcs_telemetry::ledger().ss_read();\n\
+             }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn non_ledger_method_with_same_name_is_ignored() {
+        // A stats mirror calling its *own* mm_op is not an emission.
+        let out = run("fn f(s: &Stats) { s.mm_op(); }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn span_in_caller_does_not_leak_in() {
+        let out = run(
+            "fn caller() { let _s = dcs_telemetry::span(\"x\", CostClass::Mm); inner(); }\n\
+             fn inner() { dcs_telemetry::ledger().mm_op(); }",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].symbol, "inner");
+    }
+}

@@ -1,0 +1,118 @@
+//! `dcs-lint` CLI: run the workspace analyzer, gate on new violations.
+//!
+//! Exit codes: `0` clean (or all violations baselined), `1` new
+//! violations found, `2` usage or I/O error. `--update-baseline`
+//! rewrites `lint-baseline.txt` from the current tree and exits 0.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dcs-lint: workspace-wide static invariant analyzer
+
+USAGE:
+    dcs-lint [OPTIONS]
+
+OPTIONS:
+    --root <DIR>        workspace root (default: walk up from cwd)
+    --manifest <FILE>   policy manifest (default: <root>/lint-hotpaths.toml)
+    --baseline <FILE>   baseline file (default: <root>/lint-baseline.txt)
+    --json [<FILE>]     also write the JSON report (default: lint-report.json)
+    --update-baseline   rewrite the baseline from the current tree, exit 0
+    --list-lints        print the lint catalog and exit
+    -h, --help          print this help
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("dcs-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_cli(args: &[String]) -> Result<ExitCode, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut manifest: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut update = false;
+    let mut list = false;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = Some(path_arg(&mut it, "--root")?),
+            "--manifest" => manifest = Some(path_arg(&mut it, "--manifest")?),
+            "--baseline" => baseline = Some(path_arg(&mut it, "--baseline")?),
+            "--json" => {
+                // Optional value: a following non-flag token is the path.
+                json = Some(match it.peek() {
+                    Some(next) if !next.starts_with("--") => PathBuf::from(it.next().unwrap()),
+                    _ => PathBuf::from("lint-report.json"),
+                });
+            }
+            "--update-baseline" => update = true,
+            "--list-lints" => list = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+
+    if list {
+        for lint in dcs_lint::lints::all_lints() {
+            println!("{:<16} {}", lint.name(), lint.description());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cannot get cwd: {e}"))?;
+            dcs_lint::find_workspace_root(&cwd)
+                .ok_or("no workspace root found above cwd; pass --root")?
+        }
+    };
+    let config = dcs_lint::Config {
+        root,
+        manifest,
+        baseline,
+    };
+    let report = dcs_lint::run(&config)?;
+
+    if update {
+        dcs_lint::update_baseline(&config, &report)?;
+        println!(
+            "dcs-lint: baseline updated ({} violation(s) frozen)",
+            report.violations.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if let Some(json_path) = json {
+        std::fs::write(&json_path, report.render_json())
+            .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+    }
+    print!("{}", report.render_text());
+    Ok(if report.new_count == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn path_arg(
+    it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+    flag: &str,
+) -> Result<PathBuf, String> {
+    it.next()
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+}

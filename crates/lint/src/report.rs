@@ -1,0 +1,184 @@
+//! Report rendering: human text and machine-readable JSON.
+//!
+//! The JSON shape is the CI artifact contract:
+//!
+//! ```json
+//! {
+//!   "files_scanned": 100,
+//!   "summary": { "new": 0, "baselined": 3,
+//!                "per_lint": { "lock-order": 0, … } },
+//!   "lints": [ { "name": "lock-order", "description": "…" }, … ],
+//!   "violations": [ { "lint": "…", "file": "…", "line": 1,
+//!                     "symbol": "…", "message": "…",
+//!                     "baselined": false }, … ]
+//! }
+//! ```
+
+use crate::lints::Violation;
+use std::collections::BTreeMap;
+
+/// Everything one analyzer run produced.
+pub struct Report {
+    /// All violations, baselined ones included, in lint/file/line order.
+    pub violations: Vec<Violation>,
+    /// Count of violations the baseline did not absorb.
+    pub new_count: usize,
+    /// Files analyzed.
+    pub files_scanned: usize,
+    /// Registered lints: `(name, description)`.
+    pub lints: Vec<(&'static str, &'static str)>,
+}
+
+impl Report {
+    /// Human-readable summary for stderr/stdout.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            if v.baselined {
+                continue;
+            }
+            out.push_str(&format!(
+                "{}:{}: [{}] {} (in {})\n",
+                v.file, v.line, v.lint, v.message, v.symbol
+            ));
+        }
+        let baselined = self.violations.len() - self.new_count;
+        out.push_str(&format!(
+            "dcs-lint: {} file(s), {} lint(s): {} new violation(s), {} baselined\n",
+            self.files_scanned,
+            self.lints.len(),
+            self.new_count,
+            baselined
+        ));
+        out
+    }
+
+    /// The JSON artifact.
+    pub fn render_json(&self) -> String {
+        let mut per_lint: BTreeMap<&str, usize> = self.lints.iter().map(|(n, _)| (*n, 0)).collect();
+        for v in &self.violations {
+            if !v.baselined {
+                *per_lint.entry(v.lint).or_default() += 1;
+            }
+        }
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str("  \"summary\": {\n");
+        s.push_str(&format!("    \"new\": {},\n", self.new_count));
+        s.push_str(&format!(
+            "    \"baselined\": {},\n",
+            self.violations.len() - self.new_count
+        ));
+        s.push_str("    \"per_lint\": {");
+        let mut first = true;
+        for (name, n) in &per_lint {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(" \"{}\": {}", esc(name), n));
+        }
+        s.push_str(" }\n  },\n");
+        s.push_str("  \"lints\": [\n");
+        for (i, (name, desc)) in self.lints.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"description\": \"{}\" }}{}\n",
+                esc(name),
+                esc(desc),
+                if i + 1 < self.lints.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{ \"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+                 \"symbol\": \"{}\", \"message\": \"{}\", \"fingerprint\": \"{}\", \
+                 \"baselined\": {} }}{}\n",
+                esc(v.lint),
+                esc(&v.file),
+                v.line,
+                esc(&v.symbol),
+                esc(&v.message),
+                esc(&v.fingerprint),
+                v.baselined,
+                if i + 1 < self.violations.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Minimal JSON string escaping.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            violations: vec![
+                Violation {
+                    lint: "virtual-clock",
+                    file: "crates/x/src/a.rs".into(),
+                    line: 3,
+                    symbol: "f".into(),
+                    message: "bad \"clock\"".into(),
+                    fingerprint: "virtual-clock|crates/x/src/a.rs|f|Instant".into(),
+                    baselined: false,
+                },
+                Violation {
+                    lint: "lock-order",
+                    file: "crates/x/src/b.rs".into(),
+                    line: 9,
+                    symbol: "g".into(),
+                    message: "frozen".into(),
+                    fingerprint: "lock-order|x|cycle|a,b".into(),
+                    baselined: true,
+                },
+            ],
+            new_count: 1,
+            files_scanned: 2,
+            lints: vec![("virtual-clock", "desc"), ("lock-order", "desc2")],
+        }
+    }
+
+    #[test]
+    fn text_lists_only_new() {
+        let t = sample().render_text();
+        assert!(t.contains("crates/x/src/a.rs:3"));
+        assert!(!t.contains("crates/x/src/b.rs"));
+        assert!(t.contains("1 new violation(s), 1 baselined"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let j = sample().render_json();
+        assert!(j.contains("\\\"clock\\\""));
+        assert!(j.contains("\"new\": 1"));
+        assert!(j.contains("\"baselined\": 1"));
+        assert!(j.contains("\"virtual-clock\": 1"));
+        assert!(j.contains("\"lock-order\": 0"));
+        assert!(j.contains("\"baselined\": true"));
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end CLI gate test: seed a violation in a throwaway workspace,
+//! prove the binary exits non-zero (what fails the CI job), then freeze
+//! it into a baseline and prove the gate reopens.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// A scratch workspace under the target temp dir, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("dcs-lint-gate-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("crates/x/src")).unwrap();
+        std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+        Scratch(dir)
+    }
+
+    fn write(&self, rel: &str, text: &str) {
+        std::fs::write(self.0.join(rel), text).unwrap();
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn lint(root: &Path, extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dcs-lint"))
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("dcs-lint binary runs")
+}
+
+#[test]
+fn seeded_violation_fails_then_baseline_reopens_the_gate() {
+    let ws = Scratch::new("seeded");
+    // The seed: a stray real-clock read, the exact class of violation
+    // the CI job exists to catch.
+    ws.write(
+        "crates/x/src/lib.rs",
+        "fn wall() -> u64 {\n\
+         let t = std::time::Instant::now();\n\
+         t.elapsed().as_nanos() as u64\n\
+         }\n",
+    );
+
+    let out = lint(&ws.0, &[]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("virtual-clock"), "{stdout}");
+    assert!(stdout.contains("crates/x/src/lib.rs:2"), "{stdout}");
+
+    // Freeze the debt; the gate must pass afterwards.
+    let frozen = lint(&ws.0, &["--update-baseline"]);
+    assert_eq!(frozen.status.code(), Some(0), "{frozen:?}");
+    let reopened = lint(&ws.0, &[]);
+    assert_eq!(reopened.status.code(), Some(0), "{reopened:?}");
+
+    // A *second* instance of the same debt exceeds the frozen count.
+    ws.write(
+        "crates/x/src/more.rs",
+        "fn wall2() -> std::time::Instant {\n\
+         std::time::Instant::now()\n\
+         }\n",
+    );
+    let regressed = lint(&ws.0, &[]);
+    assert_eq!(regressed.status.code(), Some(1), "{regressed:?}");
+}
+
+#[test]
+fn clean_tree_exits_zero_and_writes_json() {
+    let ws = Scratch::new("clean");
+    ws.write(
+        "crates/x/src/lib.rs",
+        "pub fn add(a: u64, b: u64) -> u64 { a + b }\n",
+    );
+    let json_path = ws.0.join("lint-report.json");
+    let out = lint(&ws.0, &["--json", json_path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"new\": 0"), "{json}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dcs-lint"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("dcs-lint binary runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

@@ -1,0 +1,7 @@
+//! Fixture: known-bad real-clock use outside the allowlist (line 5 is
+//! asserted by the test).
+
+fn measure() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,7 @@
+//! Fixture: known-bad hot path — a manifest-registered function that
+//! allocates through `format!` (line 5 is asserted by the test).
+
+fn hot(x: u64) -> usize {
+    let s = format!("value {x}");
+    s.len()
+}

@@ -1,0 +1,16 @@
+//! Fixture: known-bad two-lock cycle (`alpha` before `beta` in one
+//! function, `beta` before `alpha` in another) for the lock-order lint.
+
+fn forward(s: &S) {
+    let a = s.alpha.lock().unwrap();
+    let b = s.beta.lock().unwrap();
+    drop(b);
+    drop(a);
+}
+
+fn backward(s: &S) {
+    let b = s.beta.lock().unwrap();
+    let a = s.alpha.lock().unwrap();
+    drop(a);
+    drop(b);
+}

@@ -1,0 +1,6 @@
+//! Fixture: known-bad relaxed atomic with no `// ORDERING:`
+//! justification (line 5 is asserted by the test).
+
+fn bump(x: &std::sync::atomic::AtomicU64) {
+    x.fetch_add(1, Ordering::Relaxed);
+}

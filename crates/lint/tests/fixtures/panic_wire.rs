@@ -1,0 +1,8 @@
+//! Fixture: known-bad wire-path code — `.unwrap()` and slice indexing
+//! in a file the manifest lists under `[wire-path]`.
+
+fn decode(buf: &[u8]) -> u8 {
+    let first = buf[0];
+    let second = buf.get(1).copied().unwrap();
+    first + second
+}

@@ -1,0 +1,6 @@
+//! Fixture: known-bad cost emission — `ledger().mm_op()` with no span
+//! opened earlier in the function and no `// SPAN:` comment (line 5).
+
+fn record() {
+    dcs_telemetry::ledger().mm_op();
+}

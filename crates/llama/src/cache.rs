@@ -90,6 +90,8 @@ impl CacheManager {
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
+            // ORDERING: statistics counters; each is individually exact
+            // and the snapshot tolerates a torn cross-field view.
             sweeps: self.sweeps.load(Ordering::Relaxed),
             pages_evicted: self.pages_evicted.load(Ordering::Relaxed),
             bytes_released: self.bytes_released.load(Ordering::Relaxed),
@@ -111,6 +113,7 @@ impl CacheManager {
     /// cost-model interval rule (if configured), then enforces the memory
     /// budget by LRU.
     pub fn sweep(&self, tree: &BwTree) -> Result<usize, TreeError> {
+        // ORDERING: statistics counter only.
         self.sweeps.fetch_add(1, Ordering::Relaxed);
         let _span = dcs_telemetry::span("llama.cache_sweep", dcs_telemetry::CostClass::Maintenance);
         dcs_telemetry::ledger().maintenance_op();
@@ -167,7 +170,10 @@ impl CacheManager {
             Ok(_) => {
                 let bytes_after = tree.page_info(pid).map(|p| p.mem_bytes).unwrap_or(0);
                 let released = bytes_before.saturating_sub(bytes_after);
+                // ORDERING: statistics counters; eviction correctness
+                // is carried by the tree's own page-state atomics.
                 self.pages_evicted.fetch_add(1, Ordering::Relaxed);
+                // ORDERING: as above.
                 self.bytes_released
                     .fetch_add(released as u64, Ordering::Relaxed);
                 Ok(Some(released))
@@ -188,6 +194,7 @@ impl CacheManager {
                 match tree.flush_page(page.pid, FlushKind::FlushOnly) {
                     Ok(_) => {
                         flushed += 1;
+                        // ORDERING: statistics counter only.
                         self.pages_checkpointed.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(TreeError::InnerPageNotEvictable(_)) | Err(TreeError::PageNotFound(_)) => {}

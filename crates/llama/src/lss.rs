@@ -303,6 +303,8 @@ impl LogStructuredStore {
     /// Counter snapshot.
     pub fn stats(&self) -> LssStats {
         LssStats {
+            // ORDERING: statistics counters; each is individually exact
+            // and the snapshot tolerates a torn cross-field view.
             parts_written: self.stats.parts_written.load(Ordering::Relaxed),
             payload_bytes: self.stats.payload_bytes.load(Ordering::Relaxed),
             stored_bytes: self.stats.stored_bytes.load(Ordering::Relaxed),
@@ -367,6 +369,8 @@ impl LogStructuredStore {
         let _span = dcs_telemetry::span("llama.flush_buffer", dcs_telemetry::CostClass::SsWrite);
         let blob = std::mem::take(&mut inner.buffer);
         let addr = self.device.append(&blob).map_err(device_err)?;
+        // ORDERING: statistics counter only; store state is guarded
+        // by the inner mutex held here.
         self.stats.buffers_flushed.fetch_add(1, Ordering::Relaxed);
         let seg = inner.segments.entry(addr.segment).or_default();
         seg.total_bytes += blob.len();
@@ -462,11 +466,13 @@ impl LogStructuredStore {
         token_access(lsn);
         let payload = match meta.loc {
             Location::Buffer(off) => {
+                // ORDERING: statistics counter only.
                 self.stats.buffer_hits.fetch_add(1, Ordering::Relaxed);
                 let start = off + FRAME_HEADER;
                 inner.buffer[start..start + meta.len as usize].to_vec()
             }
             Location::Flash(addr) => {
+                // ORDERING: statistics counter only.
                 self.stats.flash_reads.fetch_add(1, Ordering::Relaxed);
                 let payload_addr = FlashAddress {
                     segment: addr.segment,
@@ -537,6 +543,8 @@ impl LogStructuredStore {
             }
             let off = Self::encode_frame(&mut blob, *lsn, meta.pid, meta.prev, &payload);
             placed.push((*lsn, off, payload.len() as u32));
+            // ORDERING: statistics counter only; relocation is guarded
+            // by the inner mutex held here.
             self.stats.parts_relocated.fetch_add(1, Ordering::Relaxed);
         }
         if !blob.is_empty() {
@@ -558,6 +566,8 @@ impl LogStructuredStore {
         }
         inner.segments.remove(&victim);
         self.device.trim_segment(victim);
+        // ORDERING: statistics counter only; GC state is guarded by
+        // the inner mutex held here.
         self.stats
             .segments_collected
             .fetch_add(1, Ordering::Relaxed);
@@ -1080,6 +1090,7 @@ impl LogStructuredStore {
                 token_access(lsn);
                 let payload = match meta.loc {
                     Location::Buffer(off) => {
+                        // ORDERING: statistics counter only.
                         self.stats.buffer_hits.fetch_add(1, Ordering::Relaxed);
                         let start = off + FRAME_HEADER;
                         Some(inner.buffer[start..start + meta.len as usize].to_vec())
@@ -1098,6 +1109,7 @@ impl LogStructuredStore {
                         segment: addr.segment,
                         offset: addr.offset + FRAME_HEADER as u32,
                     };
+                    // ORDERING: statistics counter only.
                     self.stats.flash_reads.fetch_add(1, Ordering::Relaxed);
                     match self.qp.submit(IoRequest {
                         addr: payload_addr,
@@ -1216,6 +1228,7 @@ impl PageStore for LogStructuredStore {
                 if chain_len >= self.config.max_flush_chain {
                     let mut full = self.fetch_locked(&inner, prev_lsn)?;
                     full.apply_delta(image);
+                    // ORDERING: statistics counter only.
                     self.stats.rollups.fetch_add(1, Ordering::Relaxed);
                     rolled = Some(full);
                 }
@@ -1228,10 +1241,15 @@ impl PageStore for LogStructuredStore {
         let raw = image.serialize();
         let payload = self.config.codec.encode(&raw);
         let lsn = self.next_lsn.fetch_add(1, Ordering::SeqCst);
+        // ORDERING: statistics counters only; part visibility is
+        // carried by the inner mutex held here, lsn uniqueness by the
+        // SeqCst fetch_add above.
         self.stats.parts_written.fetch_add(1, Ordering::Relaxed);
+        // ORDERING: as above.
         self.stats
             .payload_bytes
             .fetch_add(raw.len() as u64, Ordering::Relaxed);
+        // ORDERING: as above.
         self.stats
             .stored_bytes
             .fetch_add(payload.len() as u64, Ordering::Relaxed);

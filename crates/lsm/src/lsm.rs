@@ -113,6 +113,8 @@ impl StatsInner {
     /// single attribution point for secondary-storage I/O.
     fn mm_op(&self) {
         self.mm_ops.fetch_add(1, Ordering::Relaxed);
+        // SPAN: the lsm.get/lsm.put call site holds the open span; this
+        // mirror only forwards the count to the ledger.
         dcs_telemetry::ledger().mm_op();
     }
 }
@@ -612,7 +614,8 @@ impl LsmTree {
         if state.memtable.approx_bytes() < self.config.memtable_bytes {
             return Ok(());
         }
-        let _span = dcs_telemetry::span("lsm.memtable_rotate", dcs_telemetry::CostClass::Maintenance);
+        let _span =
+            dcs_telemetry::span("lsm.memtable_rotate", dcs_telemetry::CostClass::Maintenance);
         dcs_telemetry::ledger().maintenance_op();
         let old = std::mem::replace(&mut state.memtable, Arc::new(Memtable::new()));
         let snapshot = old.snapshot();
@@ -631,7 +634,8 @@ impl LsmTree {
     /// Force a flush regardless of size (tests / shutdown).
     pub fn flush(&self) -> Result<(), LsmError> {
         let mut state = self.state.write();
-        let _span = dcs_telemetry::span("lsm.memtable_rotate", dcs_telemetry::CostClass::Maintenance);
+        let _span =
+            dcs_telemetry::span("lsm.memtable_rotate", dcs_telemetry::CostClass::Maintenance);
         let old = std::mem::replace(&mut state.memtable, Arc::new(Memtable::new()));
         let snapshot = old.snapshot();
         if snapshot.is_empty() {

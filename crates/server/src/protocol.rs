@@ -198,7 +198,10 @@ impl std::fmt::Display for ProtoError {
             }
             ProtoError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
             ProtoError::UnknownStatsVersion(v) => {
-                write!(f, "unknown STATS version {v} (this build speaks {STATS_VERSION})")
+                write!(
+                    f,
+                    "unknown STATS version {v} (this build speaks {STATS_VERSION})"
+                )
             }
             ProtoError::Truncated => write!(f, "payload truncated mid-field"),
         }
@@ -251,14 +254,29 @@ impl<'a> Cursor<'a> {
         self.pos += n;
         Ok(s)
     }
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        match self.take(1)? {
+            &[b] => Ok(b),
+            _ => Err(ProtoError::Truncated),
+        }
+    }
     fn u16(&mut self) -> Result<u16, ProtoError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+        match self.take(2)? {
+            &[a, b] => Ok(u16::from_le_bytes([a, b])),
+            _ => Err(ProtoError::Truncated),
+        }
     }
     fn u32(&mut self) -> Result<u32, ProtoError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        match self.take(4)? {
+            &[a, b, c, d] => Ok(u32::from_le_bytes([a, b, c, d])),
+            _ => Err(ProtoError::Truncated),
+        }
     }
     fn u64(&mut self) -> Result<u64, ProtoError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        match self.take(8)? {
+            &[a, b, c, d, e, f, g, h] => Ok(u64::from_le_bytes([a, b, c, d, e, f, g, h])),
+            _ => Err(ProtoError::Truncated),
+        }
     }
     fn key(&mut self) -> Result<Vec<u8>, ProtoError> {
         let n = self.u16()? as usize;
@@ -353,6 +371,22 @@ pub fn encode_to_vec(frame: &Frame) -> Vec<u8> {
     out
 }
 
+/// Little-endian u32 at `at`, if the slice is long enough.
+fn le_u32(buf: &[u8], at: usize) -> Option<u32> {
+    match buf.get(at..at.checked_add(4)?)? {
+        &[a, b, c, d] => Some(u32::from_le_bytes([a, b, c, d])),
+        _ => None,
+    }
+}
+
+/// Little-endian u64 at `at`, if the slice is long enough.
+fn le_u64(buf: &[u8], at: usize) -> Option<u64> {
+    match buf.get(at..at.checked_add(8)?)? {
+        &[a, b, c, d, e, f, g, h] => Some(u64::from_le_bytes([a, b, c, d, e, f, g, h])),
+        _ => None,
+    }
+}
+
 /// Try to decode one frame from the front of `buf`.
 ///
 /// * `Ok(Some((frame, consumed)))` — a whole frame was decoded; the caller
@@ -363,13 +397,13 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtoError> {
     if buf.len() < HEADER_LEN {
         return Ok(None);
     }
-    let magic = u32::from_le_bytes(buf[0..4].try_into().expect("4"));
+    let magic = le_u32(buf, 0).ok_or(ProtoError::Truncated)?;
     if magic != MAGIC {
         return Err(ProtoError::BadMagic(magic));
     }
-    let kind = buf[4];
-    let id = u64::from_le_bytes(buf[5..13].try_into().expect("8"));
-    let len = u32::from_le_bytes(buf[13..17].try_into().expect("4"));
+    let kind = *buf.get(4).ok_or(ProtoError::Truncated)?;
+    let id = le_u64(buf, 5).ok_or(ProtoError::Truncated)?;
+    let len = le_u32(buf, 13).ok_or(ProtoError::Truncated)?;
     // Reject hostile lengths before touching (or allocating for) the
     // payload.
     if len as usize > MAX_PAYLOAD {
@@ -379,8 +413,8 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtoError> {
     if buf.len() < total {
         return Ok(None);
     }
-    let expected = u64::from_le_bytes(buf[17..25].try_into().expect("8"));
-    let payload = &buf[HEADER_LEN..total];
+    let expected = le_u64(buf, 17).ok_or(ProtoError::Truncated)?;
+    let payload = buf.get(HEADER_LEN..total).ok_or(ProtoError::Truncated)?;
     let actual = fnv64(payload);
     if actual != expected {
         return Err(ProtoError::BadChecksum { expected, actual });
@@ -420,7 +454,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtoError> {
             },
         },
         OP_STATS => {
-            let version = c.take(1)?[0];
+            let version = c.u8()?;
             if version != STATS_VERSION {
                 return Err(ProtoError::UnknownStatsVersion(version));
             }
@@ -430,7 +464,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtoError> {
             }
         }
         RE_VALUE => {
-            let present = c.take(1)?[0];
+            let present = c.u8()?;
             let v = match present {
                 0 => None,
                 1 => Some(c.val()?),
@@ -652,7 +686,10 @@ mod tests {
         bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         bytes.extend_from_slice(&fnv64(&payload).to_le_bytes());
         bytes.extend_from_slice(&payload);
-        assert_eq!(decode_frame(&bytes), Err(ProtoError::UnknownStatsVersion(9)));
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(ProtoError::UnknownStatsVersion(9))
+        );
     }
 
     #[test]

@@ -28,7 +28,6 @@ use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 /// Server-wide configuration.
 #[derive(Debug, Clone)]
@@ -403,7 +402,7 @@ fn read_loop(
                                 id,
                                 req,
                                 reply: state.clone() as Arc<dyn ReplySink>,
-                                enqueued: Instant::now(),
+                                enqueued: dcs_telemetry::now_nanos(),
                             });
                         }
                         // A client has no business sending response frames;
@@ -452,13 +451,17 @@ pub(crate) fn stats_json(shards: &[Arc<Shard>]) -> String {
         misses += m.misses_submitted.load(Ordering::Relaxed);
         busy += m.busy_rejections.load(Ordering::Relaxed);
     }
-    snap.histograms.insert("server.read_latency_nanos".into(), read);
-    snap.histograms.insert("server.write_latency_nanos".into(), write);
-    snap.histograms.insert("server.miss_latency_nanos".into(), miss);
+    snap.histograms
+        .insert("server.read_latency_nanos".into(), read);
+    snap.histograms
+        .insert("server.write_latency_nanos".into(), write);
+    snap.histograms
+        .insert("server.miss_latency_nanos".into(), miss);
     snap.histograms.insert("server.mailbox_depth".into(), depth);
     snap.counters.insert("server.gets".into(), gets);
     snap.counters.insert("server.puts".into(), puts);
-    snap.counters.insert("server.misses_submitted".into(), misses);
+    snap.counters
+        .insert("server.misses_submitted".into(), misses);
     snap.counters.insert("server.busy_rejections".into(), busy);
     snap.to_json()
 }

@@ -28,7 +28,7 @@ use dcs_workload::{AsyncGet, AsyncKvStore, CompletedGet, KvStore};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Where a shard posts a finished request's response.
 ///
@@ -48,8 +48,10 @@ pub struct Mail {
     pub req: Request,
     /// Where the response goes.
     pub reply: Arc<dyn ReplySink>,
-    /// When the request entered the mailbox (latency measurement origin).
-    pub enqueued: Instant,
+    /// When the request entered the mailbox, in virtual-clock nanos
+    /// (`dcs_telemetry::now_nanos`) — the latency measurement origin,
+    /// on the same timeline the spans are recorded against.
+    pub enqueued: u64,
 }
 
 /// Lexicographic range partitioning of the key space.
@@ -71,7 +73,7 @@ impl Partitioner {
     /// (`splits.len() + 1` shards).
     pub fn from_splits(splits: Vec<Vec<u8>>) -> Self {
         assert!(
-            splits.windows(2).all(|w| w[0] < w[1]),
+            splits.iter().zip(splits.iter().skip(1)).all(|(a, b)| a < b),
             "split keys must be strictly ascending"
         );
         Partitioner { splits }
@@ -89,11 +91,9 @@ impl Partitioner {
 
     /// The smallest key shard `i` owns (empty key for shard 0).
     pub fn lower_bound(&self, i: usize) -> &[u8] {
-        if i == 0 {
-            b""
-        } else {
-            &self.splits[i - 1]
-        }
+        i.checked_sub(1)
+            .and_then(|j| self.splits.get(j))
+            .map_or(b"".as_slice(), |s| s.as_slice())
     }
 }
 
@@ -188,6 +188,8 @@ impl Shard {
             index,
             mailbox: Mailbox::new(config.mailbox_capacity),
             metrics: ShardMetrics::default(),
+            // LINT: allow(panic-path): construction-time config invariant
+            // (index < shard count), not wire input.
             backend: backends[index].clone(),
             async_backend: None,
             miss_mode: config.miss_mode,
@@ -454,7 +456,7 @@ impl Shard {
             }
         }
         for (mail, resp) in deferred {
-            let waited = mail.enqueued.elapsed().as_nanos() as u64;
+            let waited = dcs_telemetry::now_nanos().saturating_sub(mail.enqueued);
             self.metrics.write_latency.record(waited);
             // Write spans carry the WAL class: their latency is dominated by
             // the group-commit barrier they waited on.
@@ -464,7 +466,7 @@ impl Shard {
     }
 
     fn reply_read(&self, mail: Mail, resp: Response) {
-        let waited = mail.enqueued.elapsed().as_nanos() as u64;
+        let waited = dcs_telemetry::now_nanos().saturating_sub(mail.enqueued);
         self.metrics.read_latency.record(waited);
         let _span = Self::request_span(&mail.req, dcs_telemetry::CostClass::Mm, waited);
         mail.reply.deliver(mail.id, resp);
@@ -473,7 +475,7 @@ impl Shard {
     /// Answer a GET that needed a device fetch, recording its full
     /// mailbox-entry-to-reply time in the miss-service histogram.
     fn reply_miss(&self, mail: Mail, resp: Response) {
-        let waited = mail.enqueued.elapsed().as_nanos() as u64;
+        let waited = dcs_telemetry::now_nanos().saturating_sub(mail.enqueued);
         self.metrics.miss_latency.record(waited);
         let _span = dcs_telemetry::span_at(
             "server.get_miss",
@@ -521,7 +523,7 @@ impl Shard {
         let mut remaining = limit;
         let mut count = 0usize;
         let first = self.partitioner.shard_of(start).max(self.index);
-        for s in first..self.all_backends.len() {
+        for (s, backend) in self.all_backends.iter().enumerate().skip(first) {
             if remaining == 0 {
                 break;
             }
@@ -530,7 +532,7 @@ impl Shard {
             } else {
                 self.partitioner.lower_bound(s)
             };
-            let n = self.all_backends[s]
+            let n = backend
                 .kv_scan(from, remaining)
                 .map_err(|e| e.to_string())?;
             count += n;
@@ -546,6 +548,7 @@ mod tests {
     use dcs_workload::StoreFailure;
     use std::collections::BTreeMap;
     use std::sync::Mutex;
+    use std::time::Instant;
 
     #[derive(Default)]
     struct MapStore(Mutex<BTreeMap<Vec<u8>, Vec<u8>>>);
@@ -613,7 +616,7 @@ mod tests {
             id,
             req,
             reply: sink.clone() as Arc<dyn ReplySink>,
-            enqueued: Instant::now(),
+            enqueued: dcs_telemetry::now_nanos(),
         }
     }
 

@@ -16,7 +16,7 @@
 //!   terms integrate over (steady-state average; the stores update them
 //!   at sweep/flush boundaries).
 //!
-//! The ledger's counters live in the [`global`](crate::registry::global)
+//! The ledger's counters live in the [`global`]
 //! registry under `cost.*` names, so a `STATS` scrape carries the
 //! attribution and merged snapshots sum it exactly.
 

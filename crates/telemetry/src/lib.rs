@@ -47,6 +47,6 @@ pub use cost::{ledger, CostClass, CostLedger, CostTotals};
 pub use hist::{Histogram, HistogramSnapshot, HistogramSummary, HIST_BUCKETS};
 pub use registry::{global, Counter, Gauge, Registry, RegistrySnapshot};
 pub use trace::{
-    export_chrome_json, sampling_permille, set_sampling_permille, span, span_at, trace_stats,
-    Span, TraceStats,
+    export_chrome_json, sampling_permille, set_sampling_permille, span, span_at, trace_stats, Span,
+    TraceStats,
 };

@@ -11,7 +11,7 @@
 //!   sums the stripes — monotone, and exact once writers quiesce.
 //! * [`Gauge`] is a single `AtomicI64` (set/add semantics; gauges are
 //!   written rarely — occupancy updates, config echoes).
-//! * Histograms are the shared [`Histogram`](crate::hist::Histogram).
+//! * Histograms are the shared [`Histogram`].
 //!
 //! [`Registry::snapshot`] copies everything into a plain-data
 //! [`RegistrySnapshot`] that merges with other snapshots (multi-process
@@ -38,7 +38,9 @@ pub struct Counter {
 
 impl std::fmt::Debug for Counter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Counter").field("value", &self.value()).finish()
+        f.debug_struct("Counter")
+            .field("value", &self.value())
+            .finish()
     }
 }
 
@@ -68,7 +70,9 @@ impl Counter {
     /// Add `n` on this thread's stripe.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.stripes[stripe_index()].0.fetch_add(n, Ordering::Relaxed);
+        self.stripes[stripe_index()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
     }
 
     /// Add 1.
