@@ -3,37 +3,55 @@
 //! The dynamic checkers (dcs-check's seeded interleavings, dcs-lin's
 //! history search, miri/TSan) verify what a run *did*; this crate
 //! verifies what the source *can* do, on every commit, in milliseconds.
-//! Six invariants the cost model and the latch-free design depend on
-//! are enforced syntactically:
+//! Eight invariants the cost model and the latch-free design depend on
+//! are enforced statically:
 //!
 //! | lint | invariant |
 //! |------|-----------|
-//! | `lock-order` | per-crate lock acquisition graph is acyclic |
+//! | `lock-order` | the workspace lock acquisition graph is acyclic |
 //! | `hot-path-alloc` | manifest-registered hot paths reach no allocation/locks |
 //! | `virtual-clock` | `Instant`/`SystemTime` only at allowlisted clock boundaries |
-//! | `panic-path` | wire-path modules never unwrap/panic/index |
+//! | `panic-path` | wire-path modules never unwrap/panic/index (transitively) |
 //! | `atomic-ordering` | every `Ordering::Relaxed` carries `// ORDERING:` |
 //! | `span-cost` | every cost-ledger emission sits inside an open span |
+//! | `async-shard` | nothing reachable from the async drain loop blocks |
+//! | `bounded-send` | wire-path channel sends are bounded (`BUSY`, never block) |
+//!
+//! The reachability lints run on a shared **interprocedural effect
+//! engine** ([`callgraph`] + [`effects`]): one workspace call graph,
+//! per-function effect summaries inferred bottom-up over SCCs, so a
+//! blocking sleep three crates below the async drain loop is found at
+//! the call site that reaches it. `dcs-lint --effects <pattern>` dumps
+//! any function's inferred summary with origin chains.
 //!
 //! Policy lives in `lint-hotpaths.toml`; pre-existing debt is frozen in
 //! `lint-baseline.txt` so the gate fails only on *new* violations. Any
 //! single finding can be waived in place with an adjacent
 //! `// LINT: allow(<lint-name>): <reason>` comment — the reason is
-//! mandatory, mirroring the SAFETY/ORDERING comment regime.
+//! mandatory, mirroring the SAFETY/ORDERING comment regime. Intrinsic
+//! effects can additionally be waived at their *source* with
+//! `// LINT: allow(effect-<name>): <reason>` (see [`effects::Effect`]),
+//! which removes them from every transitive summary at once.
 //!
 //! Std-only by design: the analyzer hand-rolls its lexer and item
 //! parser (no `syn`/rustc, consistent with the offline shimmed build),
 //! trading full grammar fidelity for zero dependencies. Ambiguity is
-//! resolved toward over-reporting plus explicit waivers.
+//! resolved toward over-reporting plus explicit waivers; *call
+//! resolution* is the one place ambiguity resolves toward silence,
+//! because a wrong edge manufactures findings in unrelated crates.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod effects;
 pub mod lexer;
 pub mod lints;
 pub mod manifest;
 pub mod report;
+pub mod sarif;
 pub mod source;
 
 use baseline::Baseline;
+use effects::Analysis;
 use lints::{all_lints, Violation};
 use manifest::Manifest;
 use report::Report;
@@ -48,6 +66,9 @@ pub struct Config {
     pub manifest: Option<PathBuf>,
     /// Baseline path; `None` means `<root>/lint-baseline.txt`.
     pub baseline: Option<PathBuf>,
+    /// When set, keep only findings in files changed vs this git ref
+    /// (plus untracked files) — the fast pre-commit mode.
+    pub changed_only: Option<String>,
 }
 
 impl Config {
@@ -57,6 +78,7 @@ impl Config {
             root,
             manifest: None,
             baseline: None,
+            changed_only: None,
         }
     }
 
@@ -85,20 +107,61 @@ pub fn run(config: &Config) -> Result<Report, String> {
     let baseline = Baseline::load(&config.baseline_path())?;
     let files = collect_files(&config.root)?;
     let mut report = analyze(&files, &manifest);
+    if let Some(git_ref) = &config.changed_only {
+        let changed = changed_files(&config.root, git_ref)?;
+        // Manifest-anchored findings (file outside `crates/`) always
+        // apply: policy drift is never "out of diff".
+        report
+            .violations
+            .retain(|v| !v.file.starts_with("crates/") || changed.contains(&v.file));
+    }
     report.new_count = baseline.apply(&mut report.violations);
     Ok(report)
+}
+
+/// Workspace-relative paths changed vs `git_ref`, plus untracked files.
+fn changed_files(root: &Path, git_ref: &str) -> Result<std::collections::BTreeSet<String>, String> {
+    let run = |args: &[&str]| -> Result<String, String> {
+        let out = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(args)
+            .output()
+            .map_err(|e| format!("cannot run git: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "git {} failed: {}",
+                args.join(" "),
+                String::from_utf8_lossy(&out.stderr).trim()
+            ));
+        }
+        Ok(String::from_utf8_lossy(&out.stdout).into_owned())
+    };
+    let mut set = std::collections::BTreeSet::new();
+    for line in run(&["diff", "--name-only", git_ref])?.lines() {
+        if !line.is_empty() {
+            set.insert(line.to_string());
+        }
+    }
+    for line in run(&["ls-files", "--others", "--exclude-standard"])?.lines() {
+        if !line.is_empty() {
+            set.insert(line.to_string());
+        }
+    }
+    Ok(set)
 }
 
 /// Run the lints over already-collected files (fixture tests call this
 /// directly; `run` adds file discovery and baseline handling).
 pub fn analyze(files: &[SourceFile], manifest: &Manifest) -> Report {
+    let analysis = Analysis::build(files, manifest);
     let mut lints = all_lints();
     let mut violations: Vec<Violation> = Vec::new();
     for lint in lints.iter_mut() {
         for sf in files {
             lint.check_file(sf, manifest, &mut violations);
         }
-        lint.finish(files, manifest, &mut violations);
+        lint.finish(&analysis, &mut violations);
     }
     // Adjacent `LINT: allow(<name>): reason` waivers, applied centrally
     // so every lint supports them uniformly. An allow with no reason
@@ -116,6 +179,30 @@ pub fn analyze(files: &[SourceFile], manifest: &Manifest) -> Report {
             .map(|l| (l.name(), l.description()))
             .collect(),
     }
+}
+
+/// Render the inferred effect summary of every function whose display
+/// name (`dcs-<crate>::<fn>`) contains `pattern` — the
+/// `dcs-lint --effects` debugging entry point.
+pub fn dump_effects(config: &Config, pattern: &str) -> Result<String, String> {
+    let manifest_path = config.manifest_path();
+    let manifest = if manifest_path.exists() {
+        Manifest::load(&manifest_path)?
+    } else {
+        Manifest::default()
+    };
+    let files = collect_files(&config.root)?;
+    let analysis = Analysis::build(&files, &manifest);
+    let matches = analysis.find(pattern);
+    if matches.is_empty() {
+        return Err(format!("no function matches `{pattern}`"));
+    }
+    let mut out = String::new();
+    for id in matches {
+        out.push_str(&analysis.describe(id));
+        out.push('\n');
+    }
+    Ok(out)
 }
 
 /// Update the baseline file to freeze the current violation set.
@@ -155,7 +242,7 @@ fn waived(files: &[SourceFile], v: &Violation) -> bool {
 }
 
 /// Does `text` carry `// LINT: allow(<lint>): <non-empty reason>`?
-fn waiver_matches(text: &str, lint: &str) -> bool {
+pub(crate) fn waiver_matches(text: &str, lint: &str) -> bool {
     let comment = match text.split_once("//") {
         Some((_, c)) => c,
         None => return false,

@@ -1,0 +1,211 @@
+//! Bounded-send discipline: wire-path channel sends must be bounded.
+//!
+//! The server's overload story is `BUSY`, never block and never buffer
+//! without bound — the mailbox is a bounded MPSC whose `try_send`
+//! refuses instead of queueing. A bare `.send(…)` on the wire path
+//! either blocks the shard thread (bounded blocking channel) or grows
+//! an unbounded queue (the classic tail-latency bomb); both break the
+//! paper's cost accounting. The manifest's `[wire-path]
+//! bounded_senders` lists the receiver names whose `send` *is* the
+//! sanctioned bounded call (`mailbox`, `outbox`); everything else
+//! fires.
+//!
+//! Scope is the manifest's `[wire-path] send_files` (defaulting to the
+//! panic-path `files` list). The direct scan catches sends written in
+//! those files; `finish`'s transitive pass catches a wire function
+//! calling out to a helper that does the unbounded send elsewhere.
+
+use super::{Lint, Violation};
+use crate::effects::{Analysis, Effect};
+use crate::manifest::Manifest;
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// The bounded-send lint.
+pub struct BoundedSend;
+
+impl Lint for BoundedSend {
+    fn name(&self) -> &'static str {
+        "bounded-send"
+    }
+
+    fn description(&self) -> &'static str {
+        "wire-path channel sends must be bounded try_send (BUSY, never block)"
+    }
+
+    fn check_file(&mut self, _sf: &SourceFile, _m: &Manifest, _out: &mut Vec<Violation>) {}
+
+    fn finish(&mut self, a: &Analysis, out: &mut Vec<Violation>) {
+        let scope = a.manifest.send_scope();
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (id, node) in a.graph.nodes.iter().enumerate() {
+            let sf = &a.files[node.file];
+            if !scope.contains(&sf.rel) {
+                continue;
+            }
+            // Direct sends in the wire files.
+            for site in &node.intrinsics {
+                if site.effect == Effect::SendsUnbounded {
+                    out.push(Violation::new(
+                        self.name(),
+                        sf,
+                        site.line,
+                        node.name.clone(),
+                        format!(
+                            "{} on the wire path — use a bounded try_send (answer \
+                             BUSY) or register the receiver under \
+                             `[wire-path] bounded_senders`",
+                            site.what
+                        ),
+                        &site.detail,
+                    ));
+                }
+            }
+            // Transitive: wire code calling an out-of-scope function
+            // whose summary carries the effect.
+            for call in &node.calls {
+                for &t in &call.targets {
+                    let target = &a.graph.nodes[t];
+                    if scope.contains(&a.files[target.file].rel)
+                        || !a.summaries[t].has(Effect::SendsUnbounded)
+                        || !seen.insert((id, t))
+                    {
+                        continue;
+                    }
+                    let origin = a.summaries[t]
+                        .origin(Effect::SendsUnbounded)
+                        .map(|o| format!(" — {}", o.describe()))
+                        .unwrap_or_default();
+                    out.push(Violation::new(
+                        self.name(),
+                        sf,
+                        call.line,
+                        node.name.clone(),
+                        format!(
+                            "wire path calls `{}`, which performs an unbounded or \
+                             blocking send{origin}",
+                            target.display
+                        ),
+                        &format!("sends-via:{}", target.display),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run_files(srcs: &[(&str, &str, &str)], manifest: &str) -> Vec<Violation> {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .map(|(krate, name, src)| {
+                SourceFile::from_text(
+                    PathBuf::from(name),
+                    format!("crates/{krate}/src/{name}"),
+                    krate,
+                    src,
+                )
+            })
+            .collect();
+        let m = Manifest::parse(manifest).unwrap();
+        let a = Analysis::build(&files, &m);
+        let mut out = Vec::new();
+        BoundedSend.finish(&a, &mut out);
+        out
+    }
+
+    #[test]
+    fn unbounded_send_on_wire_path_fires() {
+        let out = run_files(
+            &[(
+                "server",
+                "shard.rs",
+                "fn dispatch(tx: &Sender<u32>) { tx.send(1); }",
+            )],
+            "[wire-path]\nsend_files = [\"crates/server/src/shard.rs\"]",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("send"));
+        assert!(out[0].fingerprint.contains("send:tx"));
+    }
+
+    #[test]
+    fn bounded_sender_receiver_is_clean() {
+        let out = run_files(
+            &[(
+                "server",
+                "shard.rs",
+                "fn dispatch(s: &Shard, m: Mail) { s.mailbox.send(m); }",
+            )],
+            "[wire-path]\nsend_files = [\"crates/server/src/shard.rs\"]\n\
+             bounded_senders = [\"mailbox\"]",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn try_send_is_clean() {
+        let out = run_files(
+            &[(
+                "server",
+                "shard.rs",
+                "fn dispatch(tx: &Sender<u32>) { tx.try_send(1); }",
+            )],
+            "[wire-path]\nsend_files = [\"crates/server/src/shard.rs\"]",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn out_of_scope_send_is_ignored() {
+        let out = run_files(
+            &[(
+                "server",
+                "metrics.rs",
+                "fn export(tx: &Sender<u32>) { tx.send(1); }",
+            )],
+            "[wire-path]\nsend_files = [\"crates/server/src/shard.rs\"]",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn transitive_send_via_helper_fires() {
+        let out = run_files(
+            &[
+                (
+                    "server",
+                    "shard.rs",
+                    "pub fn dispatch(m: Mail) { dcs_util::fanout(m); }",
+                ),
+                (
+                    "util",
+                    "m.rs",
+                    "pub fn fanout(m: Mail) { let tx = chan(); tx.send(m); }\n\
+                     fn chan() -> Sender<Mail> { make() }",
+                ),
+            ],
+            "[wire-path]\nsend_files = [\"crates/server/src/shard.rs\"]",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].file, "crates/server/src/shard.rs");
+        assert!(out[0].message.contains("dcs-util::fanout"));
+    }
+
+    #[test]
+    fn send_scope_falls_back_to_wire_files() {
+        let out = run_files(
+            &[(
+                "server",
+                "protocol.rs",
+                "fn push_frame(tx: &Sender<u32>) { tx.send(1); }",
+            )],
+            "[wire-path]\nfiles = [\"crates/server/src/protocol.rs\"]",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+}

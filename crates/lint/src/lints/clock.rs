@@ -10,10 +10,19 @@
 //! the telemetry monotonic fallback, and the measurement harnesses that
 //! time real hardware on purpose. Binary targets (`src/bin/**`) are
 //! exempt wholesale — drivers measure wall time by definition.
+//!
+//! `finish` adds the cross-crate view: a call from simulated-clock code
+//! into *another crate's* function whose inferred summary carries
+//! `WallClock` is reported at the call site. Allowlisted files don't
+//! seed the effect (their clock use is the sanctioned boundary), so
+//! this only fires when unsanctioned wall-clock code is reachable from
+//! a crate that can't see it.
 
 use super::{Lint, Violation};
+use crate::effects::{Analysis, Effect};
 use crate::manifest::Manifest;
 use crate::source::SourceFile;
+use std::collections::BTreeSet;
 
 /// The clock-discipline lint.
 pub struct ClockDiscipline;
@@ -55,6 +64,48 @@ impl Lint for ClockDiscipline {
                 ),
                 id,
             ));
+        }
+    }
+
+    fn finish(&mut self, a: &Analysis, out: &mut Vec<Violation>) {
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (id, node) in a.graph.nodes.iter().enumerate() {
+            let sf = &a.files[node.file];
+            if sf.is_bin
+                || a.manifest
+                    .clock_allow
+                    .iter()
+                    .any(|p| sf.rel.starts_with(p.as_str()))
+            {
+                continue;
+            }
+            for call in &node.calls {
+                for &t in &call.targets {
+                    let target = &a.graph.nodes[t];
+                    if target.krate == node.krate || !a.summaries[t].has(Effect::WallClock) {
+                        continue;
+                    }
+                    if !seen.insert((id, t)) {
+                        continue;
+                    }
+                    let origin = a.summaries[t]
+                        .origin(Effect::WallClock)
+                        .map(|o| format!(" — {}", o.describe()))
+                        .unwrap_or_default();
+                    out.push(Violation::new(
+                        self.name(),
+                        sf,
+                        call.line,
+                        node.name.clone(),
+                        format!(
+                            "simulated-clock code calls `{}`, which reads the wall \
+                             clock{origin}",
+                            target.display
+                        ),
+                        &format!("clock-via:{}", target.display),
+                    ));
+                }
+            }
         }
     }
 }
@@ -134,5 +185,59 @@ mod tests {
             &[],
         );
         assert_eq!(out.len(), 3); // use + return type + call
+    }
+
+    #[test]
+    fn cross_crate_wall_clock_call_fires() {
+        let files = [
+            SourceFile::from_text(
+                PathBuf::from("m.rs"),
+                "crates/a/src/m.rs".into(),
+                "a",
+                "pub fn tick() { dcs_b::stamp(); }",
+            ),
+            SourceFile::from_text(
+                PathBuf::from("m.rs"),
+                "crates/b/src/m.rs".into(),
+                "b",
+                "pub fn stamp() -> u64 { let t = Instant::now(); 0 }",
+            ),
+        ];
+        let m = Manifest::default();
+        let a = Analysis::build(&files, &m);
+        let mut out = Vec::new();
+        ClockDiscipline.finish(&a, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].file, "crates/a/src/m.rs");
+        assert!(out[0].message.contains("dcs-b::stamp"));
+        assert!(out[0].message.contains("wall"));
+    }
+
+    #[test]
+    fn allowlisted_origin_does_not_propagate() {
+        // The flashsim-style boundary crate is allowed to read the wall
+        // clock; callers of it must not be flagged.
+        let files = [
+            SourceFile::from_text(
+                PathBuf::from("m.rs"),
+                "crates/a/src/m.rs".into(),
+                "a",
+                "pub fn tick() { dcs_b::stamp(); }",
+            ),
+            SourceFile::from_text(
+                PathBuf::from("m.rs"),
+                "crates/b/src/m.rs".into(),
+                "b",
+                "pub fn stamp() -> u64 { let t = Instant::now(); 0 }",
+            ),
+        ];
+        let m = Manifest {
+            clock_allow: vec!["crates/b/".into()],
+            ..Manifest::default()
+        };
+        let a = Analysis::build(&files, &m);
+        let mut out = Vec::new();
+        ClockDiscipline.finish(&a, &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 }

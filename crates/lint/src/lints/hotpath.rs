@@ -5,31 +5,29 @@
 //! execution; an accidental `format!` or `Mutex::lock` on one silently
 //! bends the measured curve away from the modeled one. Registered roots
 //! (server request loop, bwtree read path, flashsim poll, telemetry
-//! record) are checked for the banned constructs *and* traversed one
-//! crate deep: a call to a same-crate function with a unique name pulls
-//! that function's body into the checked set, with the call chain
-//! reported. Cross-crate calls and ambiguous names (several same-crate
-//! functions sharing the callee's name) stop traversal — the analyzer
-//! over-approximates locally, never globally.
+//! record) are traversed through the workspace call graph — *across
+//! crate boundaries* — and every `Allocates` intrinsic or lock
+//! acquisition reachable from a root is reported with the call chain
+//! that reaches it. Ambiguous callees get no call edge (the resolver
+//! refuses to guess), so traversal over-approximates locally, never
+//! globally.
 //!
 //! Banned in a hot path: `Box::new`, `.push(…)`, `format!`, `vec!`,
 //! `.to_vec()`, `.to_owned()`, `.to_string()`, `String::from`,
-//! zero-argument `.clone()`, and blocking `.lock()`/`.read()`/`.write()`
+//! zero-argument `.clone()` (the `Allocates` intrinsics of
+//! [`crate::callgraph`]), and blocking `.lock()`/`.read()`/`.write()`
 //! (zero-argument — the RwLock shape).
 
 use super::{Lint, Violation};
+use crate::callgraph::NodeId;
+use crate::effects::{Analysis, Effect};
 use crate::manifest::Manifest;
-use crate::source::{FnItem, SourceFile};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use crate::source::SourceFile;
+use std::collections::{BTreeSet, VecDeque};
 
-/// Hot-path allocation/blocking lint.
-#[derive(Default)]
-pub struct HotPathAlloc {
-    /// crate → function name → (file index, fn index); ambiguous names
-    /// collapse to `None` so traversal refuses to guess.
-    index: BTreeMap<String, BTreeMap<String, Option<(usize, usize)>>>,
-    files_seen: usize,
-}
+/// Hot-path allocation/blocking lint. Pure `finish`-time consumer of
+/// the interprocedural analysis.
+pub struct HotPathAlloc;
 
 impl Lint for HotPathAlloc {
     fn name(&self) -> &'static str {
@@ -40,32 +38,11 @@ impl Lint for HotPathAlloc {
         "registered hot paths must not reach allocation, formatting, or blocking locks"
     }
 
-    fn check_file(&mut self, sf: &SourceFile, _m: &Manifest, _out: &mut Vec<Violation>) {
-        // Index pass only; analysis happens in `finish` once every
-        // file's functions are known.
-        let file_idx = self.files_seen;
-        self.files_seen += 1;
-        let by_name = self.index.entry(sf.crate_name.clone()).or_default();
-        for (fi, f) in sf.fns.iter().enumerate() {
-            if f.in_test {
-                continue;
-            }
-            let mut keys = vec![f.name.clone()];
-            if f.short != f.name {
-                keys.push(f.short.clone());
-            }
-            for key in keys {
-                by_name
-                    .entry(key)
-                    .and_modify(|e| *e = None) // duplicate name: ambiguous
-                    .or_insert(Some((file_idx, fi)));
-            }
-        }
-    }
+    fn check_file(&mut self, _sf: &SourceFile, _m: &Manifest, _out: &mut Vec<Violation>) {}
 
-    fn finish(&mut self, files: &[SourceFile], m: &Manifest, out: &mut Vec<Violation>) {
-        for hp in &m.hotpaths {
-            let Some(by_name) = self.index.get(&hp.krate) else {
+    fn finish(&mut self, a: &Analysis, out: &mut Vec<Violation>) {
+        for hp in &a.manifest.hotpaths {
+            if !a.has_crate(&hp.krate) {
                 out.push(Violation {
                     lint: self.name(),
                     file: "lint-hotpaths.toml".into(),
@@ -76,8 +53,9 @@ impl Lint for HotPathAlloc {
                     baselined: false,
                 });
                 continue;
-            };
-            let Some(Some(root)) = by_name.get(&hp.func) else {
+            }
+            let roots = a.resolve(hp);
+            if roots.len() != 1 {
                 out.push(Violation {
                     lint: self.name(),
                     file: "lint-hotpaths.toml".into(),
@@ -95,206 +73,64 @@ impl Lint for HotPathAlloc {
                     baselined: false,
                 });
                 continue;
-            };
-            self.check_root(files, by_name, *root, &hp.func, out);
+            }
+            check_root(a, roots[0], &hp.func, out);
         }
     }
 }
 
-impl HotPathAlloc {
-    /// BFS from one registered root through same-crate unique callees.
-    fn check_root(
-        &self,
-        files: &[SourceFile],
-        by_name: &BTreeMap<String, Option<(usize, usize)>>,
-        root: (usize, usize),
-        root_name: &str,
-        out: &mut Vec<Violation>,
-    ) {
-        let mut queue: VecDeque<((usize, usize), Vec<String>)> = VecDeque::new();
-        let mut visited: BTreeSet<(usize, usize)> = BTreeSet::new();
-        queue.push_back((root, vec![root_name.to_string()]));
-        visited.insert(root);
-        while let Some(((file_idx, fn_idx), chain)) = queue.pop_front() {
-            let sf = &files[file_idx];
-            let f = &sf.fns[fn_idx];
-            let via = if chain.len() > 1 {
-                format!(" (via {})", chain.join(" -> "))
-            } else {
-                String::new()
-            };
-            for (line, what, detail) in banned_in_body(sf, f) {
+/// BFS from one registered root through the resolved call graph.
+fn check_root(a: &Analysis, root: NodeId, root_name: &str, out: &mut Vec<Violation>) {
+    let mut queue: VecDeque<(NodeId, Vec<String>)> = VecDeque::new();
+    let mut visited: BTreeSet<NodeId> = BTreeSet::new();
+    queue.push_back((root, vec![root_name.to_string()]));
+    visited.insert(root);
+    while let Some((id, chain)) = queue.pop_front() {
+        let node = &a.graph.nodes[id];
+        let sf = &a.files[node.file];
+        let via = if chain.len() > 1 {
+            format!(" (via {})", chain.join(" -> "))
+        } else {
+            String::new()
+        };
+        for site in &node.intrinsics {
+            if site.effect == Effect::Allocates {
                 out.push(Violation::new(
                     "hot-path-alloc",
                     sf,
-                    line,
-                    f.name.clone(),
-                    format!("hot path `{root_name}` reaches {what}{via}"),
-                    &format!("{root_name}:{detail}"),
+                    site.line,
+                    node.name.clone(),
+                    format!("hot path `{root_name}` reaches {}{via}", site.what),
+                    &format!("{root_name}:{}", site.detail),
                 ));
             }
-            if chain.len() >= 4 {
-                continue; // depth bound: deep chains get a manifest entry
-            }
-            for callee in callees(sf, f) {
-                if let Some(Some(target)) = by_name.get(&callee) {
-                    if visited.insert(*target) {
-                        let mut c = chain.clone();
-                        c.push(callee);
-                        queue.push_back((*target, c));
-                    }
-                }
-            }
         }
-    }
-}
-
-/// Banned constructs in one function body: `(line, message, fingerprint
-/// detail)`.
-fn banned_in_body(sf: &SourceFile, f: &FnItem) -> Vec<(u32, String, String)> {
-    let toks = &sf.tokens;
-    let mut found = Vec::new();
-    let mut i = f.body.0 + 1;
-    while i < f.body.1 {
-        if toks[i].is_comment() || sf.in_attr(i) {
-            i += 1;
-            continue;
+        for lock in &node.locks {
+            out.push(Violation::new(
+                "hot-path-alloc",
+                sf,
+                lock.line,
+                node.name.clone(),
+                format!(
+                    "hot path `{root_name}` reaches blocking `.{}()` (lock acquisition){via}",
+                    lock.method
+                ),
+                &format!("{root_name}:.{}()", lock.method),
+            ));
         }
-        let line = toks[i].line;
-        if let Some(id) = toks[i].ident() {
-            let next = sf.next_code(i + 1);
-            let next_is = |c: char| next.is_some_and(|n| toks[n].is_punct(c));
-            match id {
-                "Box" if path_call(sf, i, "new") => {
-                    found.push((
-                        line,
-                        "`Box::new` (heap allocation)".into(),
-                        "Box::new".into(),
-                    ));
-                }
-                "String" if path_call(sf, i, "from") => {
-                    found.push((
-                        line,
-                        "`String::from` (allocation)".into(),
-                        "String::from".into(),
-                    ));
-                }
-                "format" if next_is('!') => {
-                    found.push((line, "`format!` (allocation)".into(), "format!".into()));
-                }
-                "vec" if next_is('!') => {
-                    found.push((line, "`vec!` (allocation)".into(), "vec!".into()));
-                }
-                "push" | "to_vec" | "to_owned" | "to_string" | "clone"
-                    if method_call(sf, i) && (id == "push" || zero_arg_call(sf, i)) =>
-                {
-                    let what = if id == "push" {
-                        "`.push()` (possible reallocation)".to_string()
-                    } else {
-                        format!("`.{id}()` (allocation)")
-                    };
-                    found.push((line, what, format!(".{id}()")));
-                }
-                "lock" | "read" | "write" if method_call(sf, i) && zero_arg_call(sf, i) => {
-                    found.push((
-                        line,
-                        format!("blocking `.{id}()` (lock acquisition)"),
-                        format!(".{id}()"),
-                    ));
-                }
-                _ => {}
-            }
+        if chain.len() >= 4 {
+            continue; // depth bound: deep chains get a manifest entry
         }
-        i += 1;
-    }
-    // An adjacent `LINT: allow(hot-path-alloc)` is handled centrally by
-    // the engine; nothing to do here.
-    found
-}
-
-/// `Name :: method (` at token `i` = `Name`.
-fn path_call(sf: &SourceFile, i: usize, method: &str) -> bool {
-    let toks = &sf.tokens;
-    let Some(c1) = sf.next_code(i + 1) else {
-        return false;
-    };
-    if !toks[c1].is_punct(':') {
-        return false;
-    }
-    let Some(c2) = sf.next_code(c1 + 1) else {
-        return false;
-    };
-    if !toks[c2].is_punct(':') {
-        return false;
-    }
-    let Some(m) = sf.next_code(c2 + 1) else {
-        return false;
-    };
-    if toks[m].ident() != Some(method) {
-        return false;
-    }
-    let Some(p) = sf.next_code(m + 1) else {
-        return false;
-    };
-    toks[p].is_punct('(')
-}
-
-/// Token `i` is a method name: preceded by `.`, followed by `(`.
-fn method_call(sf: &SourceFile, i: usize) -> bool {
-    let toks = &sf.tokens;
-    let prev_dot = sf.prev_code(i).is_some_and(|p| toks[p].is_punct('.'));
-    let next_paren = sf.next_code(i + 1).is_some_and(|n| toks[n].is_punct('('));
-    prev_dot && next_paren
-}
-
-/// The call at token `i` has an empty argument list.
-fn zero_arg_call(sf: &SourceFile, i: usize) -> bool {
-    let toks = &sf.tokens;
-    let Some(open) = sf.next_code(i + 1) else {
-        return false;
-    };
-    if !toks[open].is_punct('(') {
-        return false;
-    }
-    sf.next_code(open + 1)
-        .is_some_and(|close| toks[close].is_punct(')'))
-}
-
-/// Names this function calls: free calls `name(`, path calls `a::name(`,
-/// and method calls `.name(`.
-fn callees(sf: &SourceFile, f: &FnItem) -> BTreeSet<String> {
-    let toks = &sf.tokens;
-    let mut out = BTreeSet::new();
-    let mut i = f.body.0 + 1;
-    while i < f.body.1 {
-        if toks[i].is_comment() || sf.in_attr(i) {
-            i += 1;
-            continue;
-        }
-        if let Some(id) = toks[i].ident() {
-            if !super::is_keyword(id) && sf.next_code(i + 1).is_some_and(|n| toks[n].is_punct('('))
-            {
-                out.insert(id.to_string());
-                // Also try the `Type::method` qualified form, so
-                // manifest-style names resolve.
-                if let Some(prev) = sf.prev_code(i) {
-                    if toks[prev].is_punct(':') {
-                        if let Some(p2) = sf.prev_code(prev) {
-                            if toks[p2].is_punct(':') {
-                                if let Some(p3) = sf.prev_code(p2) {
-                                    if let Some(ty) = toks[p3].ident() {
-                                        out.insert(format!("{ty}::{id}"));
-                                    }
-                                }
-                            }
-                        }
-                    }
+        for call in &node.calls {
+            for &t in &call.targets {
+                if visited.insert(t) {
+                    let mut c = chain.clone();
+                    c.push(a.graph.nodes[t].name.clone());
+                    queue.push_back((t, c));
                 }
             }
         }
-        i += 1;
     }
-    out
 }
 
 #[cfg(test)]
@@ -304,21 +140,37 @@ mod tests {
     use std::path::PathBuf;
 
     fn run(src: &str, funcs: &[&str]) -> Vec<Violation> {
-        let sf = SourceFile::from_text(PathBuf::from("m.rs"), "crates/x/src/m.rs".into(), "x", src);
+        run_files(&[("x", "m.rs", src)], funcs)
+    }
+
+    fn run_files(srcs: &[(&str, &str, &str)], funcs: &[&str]) -> Vec<Violation> {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .map(|(krate, name, src)| {
+                SourceFile::from_text(
+                    PathBuf::from(name),
+                    format!("crates/{krate}/src/{name}"),
+                    krate,
+                    src,
+                )
+            })
+            .collect();
         let m = Manifest {
             hotpaths: funcs
                 .iter()
-                .map(|f| HotPath {
-                    krate: "x".into(),
-                    func: (*f).to_string(),
+                .map(|f| {
+                    let (krate, func) = f.split_once("!!").unwrap_or(("x", f));
+                    HotPath {
+                        krate: krate.into(),
+                        func: func.to_string(),
+                    }
                 })
                 .collect(),
             ..Manifest::default()
         };
-        let mut lint = HotPathAlloc::default();
+        let a = Analysis::build(&files, &m);
         let mut out = Vec::new();
-        lint.check_file(&sf, &m, &mut out);
-        lint.finish(&[sf], &m, &mut out);
+        HotPathAlloc.finish(&a, &mut out);
         out
     }
 
@@ -378,7 +230,7 @@ mod tests {
              mod other { pub fn go() {} }",
             &["hot"],
         );
-        // Two `go` definitions: traversal refuses to guess, so the
+        // Two `go` definitions: resolution refuses to guess, so the
         // Box::new in one of them is not attributed to the hot path.
         assert!(out.is_empty(), "{out:?}");
     }
@@ -398,5 +250,39 @@ mod tests {
         );
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].message.contains("vec!"));
+    }
+
+    #[test]
+    fn cross_crate_reachability_fires() {
+        // The allocation is in another crate, two hops down — invisible
+        // to the old per-crate BFS, found by the workspace graph.
+        let out = run_files(
+            &[
+                ("x", "m.rs", "pub fn hot() { dcs_y::step(); }"),
+                (
+                    "y",
+                    "m.rs",
+                    "pub fn step() { deep(); }\nfn deep() { let s = String::from(\"z\"); }",
+                ),
+            ],
+            &["hot"],
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("String::from"));
+        assert!(out[0].message.contains("via hot -> step -> deep"));
+        assert_eq!(out[0].file, "crates/y/src/m.rs");
+    }
+
+    #[test]
+    fn effect_alloc_waiver_stops_attribution() {
+        let out = run(
+            "fn hot() { helper(); }\n\
+             fn helper() {\n\
+                 // LINT: allow(effect-alloc): one-time cold-start buffer, amortized\n\
+                 let b = Box::new(1);\n\
+             }",
+            &["hot"],
+        );
+        assert!(out.is_empty(), "{out:?}");
     }
 }

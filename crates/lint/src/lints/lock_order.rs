@@ -1,29 +1,36 @@
-//! Lock-order lint: build the static Mutex/RwLock acquisition graph per
-//! crate and reject cycles.
+//! Lock-order lint: build the static Mutex/RwLock acquisition graph for
+//! the *whole workspace* and reject cycles.
 //!
-//! Within every function body the pass tracks which lock guards are
-//! live: an acquisition is a zero-argument `.lock()`, `.read()` or
-//! `.write()` call (the zero-argument test is what separates
-//! `RwLock::read()` from `io::Read::read(buf)`). A guard bound with
-//! `let g = …` lives to the end of its block (or an explicit `drop(g)`);
-//! an inline temporary lives to the end of its statement; `let _ = …`
-//! drops immediately. Acquiring `B` while holding `A` records the edge
-//! `A → B` keyed by the *receiver text* (`self.inner`, `GLOBAL`, …),
-//! which is the right granularity for this workspace's style of one
-//! lock per named field.
+//! The guard-scope modeling (block frames, statement temporaries,
+//! `drop(g)` release, `.unwrap()` adapters) lives in the call-graph walk
+//! ([`crate::callgraph`]); this lint consumes its output twice over:
 //!
-//! Edges union per crate across all functions; a cycle in the union
-//! means two code paths acquire the same pair of locks in opposite
-//! orders — a deadlock nobody has hit yet. Recursive acquisition of the
-//! same receiver inside one function is reported directly.
+//! * **Direct edges** — every [`crate::callgraph::LockSite`] records which labels were
+//!   held when it fired: held → acquired, keyed by crate-qualified
+//!   receiver text (`server:self.state`), the right granularity for
+//!   this workspace's one-lock-per-named-field style.
+//! * **Call-propagated edges** — every call site made while holding a
+//!   lock contributes held → *L* for each lock *L* in the callee's
+//!   inferred effect summary. This is what makes a server→tc→llama
+//!   inversion visible: the inner acquisition may be two crates away
+//!   from the outer one.
+//!
+//! Edges union across all functions; a cycle in the union means two
+//! code paths acquire the same set of locks in incompatible orders — a
+//! deadlock nobody has hit yet. Recursive acquisition of the same
+//! receiver inside one function (including via a callee, when direct)
+//! is reported at the site.
 //!
 //! Known approximations, chosen to over- rather than under-report:
-//! receivers with equal text in different types merge (disambiguate via
-//! `LINT: allow(lock-order)` with a reason, or rename the field), and a
-//! guard passed to a function that drops it early is still considered
-//! held to end of block.
+//! receivers with equal text in different types of the same crate merge
+//! (disambiguate via `LINT: allow(lock-order)` with a reason, or rename
+//! the field), and a guard passed to a function that drops it early is
+//! still considered held to end of block. An acquisition can be hidden
+//! from the interprocedural graph entirely with
+//! `// LINT: allow(effect-lock): <reason>`.
 
 use super::{Lint, Violation};
+use crate::effects::Analysis;
 use crate::manifest::Manifest;
 use crate::source::SourceFile;
 use std::collections::{BTreeMap, BTreeSet};
@@ -36,14 +43,13 @@ struct Edge {
     file: String,
     line: u32,
     symbol: String,
+    /// For call-propagated edges: the callee whose summary carries the
+    /// inner lock.
+    via: Option<String>,
 }
 
-/// The lock-order lint. Accumulates per-crate edges in `check_file`,
-/// searches for cycles in `finish`.
-#[derive(Default)]
-pub struct LockOrder {
-    edges: BTreeMap<String, Vec<Edge>>,
-}
+/// The lock-order lint. Pure `finish`-time consumer of the analysis.
+pub struct LockOrder;
 
 impl Lint for LockOrder {
     fn name(&self) -> &'static str {
@@ -51,372 +57,111 @@ impl Lint for LockOrder {
     }
 
     fn description(&self) -> &'static str {
-        "static per-crate lock acquisition graph must be acyclic"
+        "workspace-wide lock acquisition graph must be acyclic"
     }
 
-    fn check_file(&mut self, sf: &SourceFile, _m: &Manifest, out: &mut Vec<Violation>) {
-        let crate_edges = self.edges.entry(sf.crate_name.clone()).or_default();
-        for f in &sf.fns {
-            if f.in_test {
-                continue;
-            }
-            scan_fn(sf, f.body, &f.name, crate_edges, out);
-        }
-    }
+    fn check_file(&mut self, _sf: &SourceFile, _m: &Manifest, _out: &mut Vec<Violation>) {}
 
-    fn finish(&mut self, _files: &[SourceFile], _m: &Manifest, out: &mut Vec<Violation>) {
-        for (krate, edges) in &self.edges {
-            for cycle in find_cycles(edges) {
-                // One violation per cycle, anchored at its first edge's
-                // site; the message walks the whole loop with every
-                // participating site so the report is actionable alone.
-                let mut names: Vec<&str> = cycle.iter().map(|e| e.outer.as_str()).collect();
-                names.push(cycle[0].outer.as_str());
-                let sites = cycle
-                    .iter()
-                    .map(|e| {
+    fn finish(&mut self, a: &Analysis, out: &mut Vec<Violation>) {
+        let mut edges: Vec<Edge> = Vec::new();
+        for node in &a.graph.nodes {
+            let sf = &a.files[node.file];
+            for site in &node.locks {
+                if site.recursive {
+                    out.push(Violation::new(
+                        self.name(),
+                        sf,
+                        site.line,
+                        node.name.clone(),
                         format!(
-                            "{} -> {} at {}:{} ({})",
-                            e.outer, e.inner, e.file, e.line, e.symbol
-                        )
-                    })
-                    .collect::<Vec<_>>()
-                    .join("; ");
-                let first = &cycle[0];
-                // Fingerprint: the cycle's sorted node set — stable under
-                // both line churn and which edge the search enters at.
-                let mut key: Vec<&str> = cycle.iter().map(|e| e.outer.as_str()).collect();
-                key.sort_unstable();
-                out.push(Violation {
-                    lint: self.name(),
-                    file: first.file.clone(),
-                    line: first.line,
-                    symbol: first.symbol.clone(),
-                    message: format!(
-                        "lock-order cycle in crate `{krate}`: {} [{sites}]",
-                        names.join(" -> "),
-                    ),
-                    fingerprint: format!("lock-order|{krate}|cycle|{}", key.join(","),),
-                    baselined: false,
-                });
-            }
-        }
-    }
-}
-
-/// A live guard in some block frame.
-#[derive(Debug, Clone)]
-struct Held {
-    lock: String,
-    /// Binding name when `let`-bound (for `drop(g)` release).
-    binding: Option<String>,
-    /// When true, release at the next `;` at this depth.
-    stmt_scoped: bool,
-}
-
-/// Walk one function body, recording nested acquisitions.
-fn scan_fn(
-    sf: &SourceFile,
-    body: (usize, usize),
-    symbol: &str,
-    edges: &mut Vec<Edge>,
-    out: &mut Vec<Violation>,
-) {
-    let toks = &sf.tokens;
-    // One Vec<Held> per open block.
-    let mut frames: Vec<Vec<Held>> = vec![Vec::new()];
-    let mut i = body.0 + 1;
-    while i < body.1 {
-        let t = &toks[i];
-        if t.is_comment() || sf.in_attr(i) {
-            i += 1;
-            continue;
-        }
-        if t.is_punct('{') {
-            frames.push(Vec::new());
-        } else if t.is_punct('}') {
-            frames.pop();
-            if frames.is_empty() {
-                break;
-            }
-            // The statement a nested block belongs to (`for … { }`,
-            // `if … { }`, `match … { }`) is over when its brace closes:
-            // release the enclosing frame's statement-scoped temporaries.
-            if let Some(top) = frames.last_mut() {
-                top.retain(|h| !h.stmt_scoped);
-            }
-        } else if t.is_punct(';') {
-            if let Some(top) = frames.last_mut() {
-                top.retain(|h| !h.stmt_scoped);
-            }
-        } else if t.ident() == Some("drop") {
-            // `drop(g)` releases a named guard anywhere on the stack.
-            if let Some((name, end)) = single_ident_arg(sf, i) {
-                for frame in frames.iter_mut() {
-                    frame.retain(|h| h.binding.as_deref() != Some(name.as_str()));
+                            "recursive acquisition: `{}` is already held when it is \
+                             acquired again",
+                            site.label
+                        ),
+                        &format!("recursive:{}", site.label),
+                    ));
                 }
-                i = end;
-                continue;
-            }
-        } else if is_acquire_at(sf, i) {
-            let lock = receiver_text(sf, i);
-            if !lock.is_empty() {
-                // The guard is only `let`-bound (block-scoped) when the
-                // acquisition is the whole initializer — possibly via an
-                // `.unwrap()`/`.expect(…)` adapter. Anything longer
-                // (`….lock().pending.remove(…)`) produces a temporary
-                // guard that dies with the statement.
-                let (binding, immediate_drop) = if acquisition_ends_statement(sf, i) {
-                    let_binding_for(sf, i)
-                } else {
-                    (None, false)
-                };
-                for frame in frames.iter() {
-                    for h in frame {
-                        if h.lock == lock {
-                            let line = toks[i].line;
-                            out.push(Violation::new(
-                                "lock-order",
-                                sf,
-                                line,
-                                symbol.to_string(),
-                                format!(
-                                    "recursive acquisition: `{lock}` is already held \
-                                     when it is acquired again"
-                                ),
-                                &format!("recursive:{lock}"),
-                            ));
-                        } else {
-                            edges.push(Edge {
-                                outer: h.lock.clone(),
-                                inner: lock.clone(),
-                                file: sf.rel.clone(),
-                                line: toks[i].line,
-                                symbol: symbol.to_string(),
-                            });
-                        }
-                    }
-                }
-                if !immediate_drop {
-                    if let Some(top) = frames.last_mut() {
-                        top.push(Held {
-                            lock,
-                            stmt_scoped: binding.is_none(),
-                            binding,
+                for h in &site.held {
+                    if *h != site.label {
+                        edges.push(Edge {
+                            outer: h.clone(),
+                            inner: site.label.clone(),
+                            file: sf.rel.clone(),
+                            line: site.line,
+                            symbol: node.name.clone(),
+                            via: None,
                         });
                     }
                 }
             }
-        }
-        i += 1;
-    }
-}
-
-/// Is token `i` the method name of a zero-argument `.lock()`, `.read()`
-/// or `.write()` call?
-fn is_acquire_at(sf: &SourceFile, i: usize) -> bool {
-    let toks = &sf.tokens;
-    let Some(name) = toks[i].ident() else {
-        return false;
-    };
-    if !matches!(name, "lock" | "read" | "write") {
-        return false;
-    }
-    let Some(prev) = sf.prev_code(i) else {
-        return false;
-    };
-    if !toks[prev].is_punct('.') {
-        return false;
-    }
-    let Some(open) = sf.next_code(i + 1) else {
-        return false;
-    };
-    if !toks[open].is_punct('(') {
-        return false;
-    }
-    let Some(close) = sf.next_code(open + 1) else {
-        return false;
-    };
-    toks[close].is_punct(')')
-}
-
-/// The receiver chain to the left of the `.` before token `i`,
-/// normalized to text: `self.inner.lock()` → `self.inner`;
-/// `ledger().x.lock()` → `ledger().x`.
-fn receiver_text(sf: &SourceFile, method_tok: usize) -> String {
-    let toks = &sf.tokens;
-    let Some(dot) = sf.prev_code(method_tok) else {
-        return String::new();
-    };
-    let mut parts: Vec<String> = Vec::new();
-    let mut j = dot; // at the `.`
-    while let Some(p) = sf.prev_code(j) {
-        let t = &toks[p];
-        match &t.tok {
-            crate::lexer::Tok::Ident(s) => {
-                if super::is_keyword(s) && s != "self" && s != "Self" {
-                    break;
+            // Calls made while holding a lock: the callee's whole
+            // inferred lock set nests inside the held labels.
+            for call in &node.calls {
+                if call.held.is_empty() {
+                    continue;
                 }
-                parts.push(s.clone());
-                j = p;
-            }
-            crate::lexer::Tok::Punct('.') | crate::lexer::Tok::Punct(':') => {
-                parts.push(if t.is_punct('.') { "." } else { ":" }.to_string());
-                j = p;
-            }
-            crate::lexer::Tok::Punct(')') => {
-                // Balanced-paren hop: `ledger()` or `f(x)` receivers.
-                let mut depth = 0usize;
-                let mut k = p;
-                loop {
-                    if toks[k].is_punct(')') {
-                        depth += 1;
-                    } else if toks[k].is_punct('(') {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
+                for &t in &call.targets {
+                    for label in a.summaries[t].locks.keys() {
+                        for h in &call.held {
+                            if h != label {
+                                edges.push(Edge {
+                                    outer: h.clone(),
+                                    inner: label.clone(),
+                                    file: sf.rel.clone(),
+                                    line: call.line,
+                                    symbol: node.name.clone(),
+                                    via: Some(a.graph.nodes[t].display.clone()),
+                                });
+                            }
                         }
                     }
-                    let Some(prev) = sf.prev_code(k) else { break };
-                    k = prev;
-                }
-                parts.push("()".to_string());
-                j = k;
-            }
-            _ => break,
-        }
-    }
-    parts.reverse();
-    parts.concat()
-}
-
-/// Does the acquisition at token `i` end its statement? The guard chain
-/// may pass through `.unwrap()` / `.expect(…)` (the `std::sync` shapes)
-/// and must then hit `;` — any other continuation means the guard is a
-/// temporary inside a larger expression.
-fn acquisition_ends_statement(sf: &SourceFile, i: usize) -> bool {
-    let toks = &sf.tokens;
-    // Token after the acquisition's `()`.
-    let Some(open) = sf.next_code(i + 1) else {
-        return false;
-    };
-    let Some(mut k) = sf.next_code(open + 1) else {
-        return false;
-    }; // at the `)` (zero-arg call, checked by is_acquire_at)
-    loop {
-        let Some(next) = sf.next_code(k + 1) else {
-            return false;
-        };
-        if toks[next].is_punct(';') {
-            return true;
-        }
-        if !toks[next].is_punct('.') {
-            return false;
-        }
-        let Some(m) = sf.next_code(next + 1) else {
-            return false;
-        };
-        if !matches!(toks[m].ident(), Some("unwrap") | Some("expect")) {
-            return false;
-        }
-        // Hop the adapter's balanced argument list.
-        let Some(o) = sf.next_code(m + 1) else {
-            return false;
-        };
-        if !toks[o].is_punct('(') {
-            return false;
-        }
-        let mut depth = 0usize;
-        let mut j = o;
-        loop {
-            if toks[j].is_punct('(') {
-                depth += 1;
-            } else if toks[j].is_punct(')') {
-                depth -= 1;
-                if depth == 0 {
-                    break;
                 }
             }
-            j += 1;
-            if j >= toks.len() {
-                return false;
-            }
         }
-        k = j;
-    }
-}
-
-/// Is the statement this acquisition belongs to a `let` binding? Returns
-/// `(binding_name, immediate_drop)`; `let _ = …` is an immediate drop.
-fn let_binding_for(sf: &SourceFile, i: usize) -> (Option<String>, bool) {
-    let toks = &sf.tokens;
-    // Walk back to the statement start.
-    let mut start = i;
-    for j in (0..i).rev() {
-        let t = &toks[j];
-        if t.is_comment() {
-            continue;
+        for cycle in find_cycles(&edges) {
+            // One violation per cycle, anchored at its first edge's
+            // site; the message walks the whole loop with every
+            // participating site so the report is actionable alone.
+            let mut names: Vec<&str> = cycle.iter().map(|e| e.outer.as_str()).collect();
+            names.push(cycle[0].outer.as_str());
+            let sites = cycle
+                .iter()
+                .map(|e| {
+                    let via = e
+                        .via
+                        .as_ref()
+                        .map(|v| format!(" via `{v}`"))
+                        .unwrap_or_default();
+                    format!(
+                        "{} -> {} at {}:{} ({}){via}",
+                        e.outer, e.inner, e.file, e.line, e.symbol
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("; ");
+            let first = &cycle[0];
+            // Fingerprint: the cycle's sorted node set — stable under
+            // both line churn and which edge the search enters at.
+            let mut key: Vec<&str> = cycle.iter().map(|e| e.outer.as_str()).collect();
+            key.sort_unstable();
+            out.push(Violation {
+                lint: self.name(),
+                file: first.file.clone(),
+                line: first.line,
+                symbol: first.symbol.clone(),
+                message: format!(
+                    "lock-order cycle in workspace: {} [{sites}]",
+                    names.join(" -> "),
+                ),
+                fingerprint: format!("lock-order|workspace|cycle|{}", key.join(",")),
+                baselined: false,
+            });
         }
-        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
-            break;
-        }
-        start = j;
     }
-    if toks[start].ident() != Some("let") {
-        return (None, false);
-    }
-    // `let [mut] name [: ty] = …` — find the first ident after `let`
-    // (skipping `mut`); `_` lexes as an identifier.
-    let mut j = start + 1;
-    while j < i {
-        if let Some(id) = toks[j].ident() {
-            if id == "mut" {
-                j += 1;
-                continue;
-            }
-            if id == "_" {
-                return (None, true);
-            }
-            // A pattern binding (`let Some(g) = …`, `let res::Ok(g) = …`)
-            // destructures the value; the guard itself is a temporary.
-            // (`let g: Ty = …` — a single `:` — is still a binding.)
-            if let Some(n) = sf.next_code(j + 1) {
-                let paren = toks[n].is_punct('(');
-                let path = toks[n].is_punct(':')
-                    && sf.next_code(n + 1).is_some_and(|n2| toks[n2].is_punct(':'));
-                if paren || path {
-                    return (None, false);
-                }
-            }
-            return (Some(id.to_string()), false);
-        }
-        if toks[j].is_comment() {
-            j += 1;
-            continue;
-        }
-        break;
-    }
-    (None, false)
-}
-
-/// `drop ( ident )` → the ident and the index of the `)`.
-fn single_ident_arg(sf: &SourceFile, drop_tok: usize) -> Option<(String, usize)> {
-    let toks = &sf.tokens;
-    let open = sf.next_code(drop_tok + 1)?;
-    if !toks[open].is_punct('(') {
-        return None;
-    }
-    let arg = sf.next_code(open + 1)?;
-    let name = toks[arg].ident()?.to_string();
-    let close = sf.next_code(arg + 1)?;
-    if !toks[close].is_punct(')') {
-        return None;
-    }
-    Some((name, close))
 }
 
 /// All elementary cycles reachable in the edge union, deduplicated by
-/// node set. DFS with a bounded path — crate lock graphs are tiny.
+/// node set. DFS with a bounded path — workspace lock graphs are tiny.
 fn find_cycles(edges: &[Edge]) -> Vec<Vec<Edge>> {
     let mut adj: BTreeMap<&str, Vec<&Edge>> = BTreeMap::new();
     for e in edges {
@@ -481,12 +226,25 @@ mod tests {
     use std::path::PathBuf;
 
     fn run(src: &str) -> Vec<Violation> {
-        let sf = SourceFile::from_text(PathBuf::from("m.rs"), "crates/x/src/m.rs".into(), "x", src);
+        run_files(&[("x", "m.rs", src)])
+    }
+
+    fn run_files(srcs: &[(&str, &str, &str)]) -> Vec<Violation> {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .map(|(krate, name, src)| {
+                SourceFile::from_text(
+                    PathBuf::from(name),
+                    format!("crates/{krate}/src/{name}"),
+                    krate,
+                    src,
+                )
+            })
+            .collect();
         let m = Manifest::default();
-        let mut lint = LockOrder::default();
+        let a = Analysis::build(&files, &m);
         let mut out = Vec::new();
-        lint.check_file(&sf, &m, &mut out);
-        lint.finish(&[sf], &m, &mut out);
+        LockOrder.finish(&a, &mut out);
         out
     }
 
@@ -563,7 +321,7 @@ mod tests {
              fn bc(s: &S) { let b = s.b.lock(); let c = s.c.lock(); }\n\
              fn ca(s: &S) { let c = s.c.lock(); let a = s.a.lock(); }");
         assert_eq!(out.len(), 1, "{out:?}");
-        assert!(out[0].message.contains("s.a -> s.b"));
+        assert!(out[0].message.contains("x:s.a -> x:s.b"));
     }
 
     #[test]
@@ -627,6 +385,72 @@ mod tests {
         let out = run("#[cfg(test)]\nmod tests {\n\
              fn ab(s: &S) { let a = s.a.lock(); let b = s.b.lock(); }\n\
              fn ba(s: &S) { let b = s.b.lock(); let a = s.a.lock(); }\n}");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn cross_crate_cycle_via_call_propagation() {
+        // Crate a locks alpha then calls into crate b, which locks beta;
+        // crate b locks beta then calls back into a, which locks alpha.
+        // Neither crate's local graph has a cycle — only the merged one.
+        let out = run_files(&[
+            (
+                "a",
+                "a.rs",
+                "pub fn forward(s: &S) { let g = s.alpha.lock(); dcs_b::hold_beta(s); }\n\
+                 pub fn hold_alpha(s: &S) { let g = s.alpha.lock(); }",
+            ),
+            (
+                "b",
+                "b.rs",
+                "pub fn hold_beta(s: &S) { let g = s.beta.lock(); }\n\
+                 pub fn backward(s: &S) { let g = s.beta.lock(); dcs_a::hold_alpha(s); }",
+            ),
+        ]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("a:s.alpha"));
+        assert!(out[0].message.contains("b:s.beta"));
+        assert!(out[0].message.contains("via"), "{}", out[0].message);
+        assert_eq!(
+            out[0].fingerprint,
+            "lock-order|workspace|cycle|a:s.alpha,b:s.beta"
+        );
+    }
+
+    #[test]
+    fn deep_callee_lock_still_forms_edge() {
+        // The lock two hops below the call site still nests under the
+        // held guard (summary propagation, not just direct callees).
+        let out = run_files(&[
+            (
+                "a",
+                "a.rs",
+                "pub fn forward(s: &S) { let g = s.alpha.lock(); dcs_b::step(s); }\n\
+                 pub fn hold_alpha(s: &S) { let g = s.alpha.lock(); }",
+            ),
+            (
+                "b",
+                "b.rs",
+                "pub fn step(s: &S) { inner(s); }\n\
+                 fn inner(s: &S) { let g = s.beta.lock(); }\n\
+                 pub fn backward(s: &S) { let g = s.beta.lock(); dcs_a::hold_alpha(s); }",
+            ),
+        ]);
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn effect_lock_waiver_hides_acquisition() {
+        let out = run_files(&[(
+            "x",
+            "m.rs",
+            "fn ab(s: &S) { let a = s.a.lock(); let b = s.b.lock(); }\n\
+             fn ba(s: &S) {\n\
+                 // LINT: allow(effect-lock): startup-only path, never concurrent with ab\n\
+                 let b = s.b.lock();\n\
+                 let a = s.a.lock();\n\
+             }",
+        )]);
         assert!(out.is_empty(), "{out:?}");
     }
 }

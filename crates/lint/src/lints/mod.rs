@@ -1,15 +1,20 @@
 //! The lint framework: [`Lint`] trait, [`Violation`], and the registry.
 //!
 //! Each lint sees every parsed [`SourceFile`] once (`check_file`), then
-//! gets a whole-workspace pass (`finish`) for analyses that need the
-//! global view (the lock-order graph, hot-path reachability). Lints are
+//! gets a whole-workspace pass (`finish`) over the interprocedural
+//! [`Analysis`] — the call graph plus inferred per-function effect
+//! summaries — for checks that need the global view (the lock-order
+//! graph, hot-path reachability, async-path blocking). Lints are
 //! pluggable: [`all_lints`] is the registry, and the engine treats the
 //! list as data — adding a lint is implementing the trait and pushing it
 //! there.
 
+use crate::effects::Analysis;
 use crate::manifest::Manifest;
 use crate::source::SourceFile;
 
+pub mod async_shard;
+pub mod bounded_send;
 pub mod clock;
 pub mod hotpath;
 pub mod lock_order;
@@ -72,19 +77,22 @@ pub trait Lint {
     /// `self` for [`Lint::finish`].
     fn check_file(&mut self, sf: &SourceFile, manifest: &Manifest, out: &mut Vec<Violation>);
 
-    /// Whole-workspace pass after every file was seen.
-    fn finish(&mut self, _files: &[SourceFile], _manifest: &Manifest, _out: &mut Vec<Violation>) {}
+    /// Whole-workspace pass after every file was seen, with the shared
+    /// interprocedural analysis (call graph + effect summaries).
+    fn finish(&mut self, _a: &Analysis, _out: &mut Vec<Violation>) {}
 }
 
 /// The registry: every lint the analyzer ships, in report order.
 pub fn all_lints() -> Vec<Box<dyn Lint>> {
     vec![
-        Box::new(lock_order::LockOrder::default()),
-        Box::new(hotpath::HotPathAlloc::default()),
+        Box::new(lock_order::LockOrder),
+        Box::new(hotpath::HotPathAlloc),
         Box::new(clock::ClockDiscipline),
         Box::new(panic_path::PanicFree),
         Box::new(ordering::OrderingJustified),
         Box::new(span_cost::SpanCostCoverage),
+        Box::new(async_shard::AsyncShard),
+        Box::new(bounded_send::BoundedSend),
     ]
 }
 

@@ -11,10 +11,20 @@
 //! `debug_assert!`) stay allowed: they state invariants about *our*
 //! state, not about peer input, and removing them would hide bugs
 //! rather than harden the path.
+//!
+//! On top of the direct scan, `finish` walks the call graph: a wire-file
+//! function calling *out* of the wire files into something whose
+//! inferred summary carries `MayPanic` is reported at the call site,
+//! with the origin chain down to the intrinsic panic. Indexing stays a
+//! direct-only check — transitively every collection touch indexes
+//! somewhere, and the wire contract is about the code peer input flows
+//! through first.
 
 use super::{is_keyword, Lint, Violation};
+use crate::effects::{Analysis, Effect};
 use crate::manifest::Manifest;
 use crate::source::SourceFile;
+use std::collections::BTreeSet;
 
 /// The wire-path panic-freedom lint.
 pub struct PanicFree;
@@ -94,6 +104,48 @@ impl Lint for PanicFree {
             }
         }
     }
+
+    fn finish(&mut self, a: &Analysis, out: &mut Vec<Violation>) {
+        // Transitive pass: calls leaving the wire files into MayPanic
+        // callees. One finding per (caller, callee) pair — each call
+        // line repeating it would drown the report.
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (id, node) in a.graph.nodes.iter().enumerate() {
+            let sf = &a.files[node.file];
+            if !a.manifest.wire_files.contains(&sf.rel) {
+                continue;
+            }
+            for call in &node.calls {
+                for &t in &call.targets {
+                    let target = &a.graph.nodes[t];
+                    if a.manifest.wire_files.contains(&a.files[target.file].rel) {
+                        continue; // the direct scan covers wire-internal code
+                    }
+                    if !a.summaries[t].has(Effect::MayPanic) {
+                        continue;
+                    }
+                    if !seen.insert((id, t)) {
+                        continue;
+                    }
+                    let origin = a.summaries[t]
+                        .origin(Effect::MayPanic)
+                        .map(|o| format!(" — {}", o.describe()))
+                        .unwrap_or_default();
+                    out.push(Violation::new(
+                        self.name(),
+                        sf,
+                        call.line,
+                        node.name.clone(),
+                        format!(
+                            "wire path calls `{}`, which may panic{origin}",
+                            target.display
+                        ),
+                        &format!("panics:{}", target.display),
+                    ));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +217,75 @@ mod tests {
     fn test_mod_within_wire_file_is_exempt() {
         let out = run(
             "fn clean() {}\n#[cfg(test)]\nmod tests { #[test] fn t() { None::<u32>.unwrap(); } }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    fn run_transitive(srcs: &[(&str, &str, &str)], wire: &str) -> Vec<Violation> {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .map(|(krate, name, src)| {
+                SourceFile::from_text(
+                    PathBuf::from(name),
+                    format!("crates/{krate}/src/{name}"),
+                    krate,
+                    src,
+                )
+            })
+            .collect();
+        let m = Manifest {
+            wire_files: vec![wire.to_string()],
+            ..Manifest::default()
+        };
+        let a = Analysis::build(&files, &m);
+        let mut out = Vec::new();
+        PanicFree.finish(&a, &mut out);
+        out
+    }
+
+    #[test]
+    fn transitive_panic_across_crates_fires() {
+        // The unwrap is two hops and one crate away from the wire file;
+        // the finding lands on the wire-side call with the origin chain.
+        let out = run_transitive(
+            &[
+                (
+                    "server",
+                    "protocol.rs",
+                    "pub fn decode(buf: &[u8]) { dcs_util::parse_len(buf); }",
+                ),
+                (
+                    "util",
+                    "m.rs",
+                    "pub fn parse_len(buf: &[u8]) { helper(buf); }\n\
+                     fn helper(buf: &[u8]) { let n = buf.first().unwrap(); }",
+                ),
+            ],
+            "crates/server/src/protocol.rs",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].file, "crates/server/src/protocol.rs");
+        assert!(out[0].message.contains("may panic"));
+        assert!(out[0].message.contains("dcs-util::parse_len"));
+        assert!(out[0].message.contains("via"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn transitive_pass_skips_panic_free_callees() {
+        let out = run_transitive(
+            &[
+                (
+                    "server",
+                    "protocol.rs",
+                    "pub fn decode(buf: &[u8]) { dcs_util::parse_len(buf); }",
+                ),
+                (
+                    "util",
+                    "m.rs",
+                    "pub fn parse_len(buf: &[u8]) -> Option<&u8> { buf.first() }",
+                ),
+            ],
+            "crates/server/src/protocol.rs",
         );
         assert!(out.is_empty(), "{out:?}");
     }

@@ -18,6 +18,9 @@ OPTIONS:
     --manifest <FILE>   policy manifest (default: <root>/lint-hotpaths.toml)
     --baseline <FILE>   baseline file (default: <root>/lint-baseline.txt)
     --json [<FILE>]     also write the JSON report (default: lint-report.json)
+    --sarif <FILE>      also write a SARIF 2.1.0 report (code-scanning upload)
+    --changed-only <REF> keep only findings in files changed vs this git ref
+    --effects <PATTERN> print inferred effect summaries for matching functions
     --update-baseline   rewrite the baseline from the current tree, exit 0
     --list-lints        print the lint catalog and exit
     -h, --help          print this help
@@ -39,6 +42,9 @@ fn run_cli(args: &[String]) -> Result<ExitCode, String> {
     let mut manifest: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
     let mut json: Option<PathBuf> = None;
+    let mut sarif: Option<PathBuf> = None;
+    let mut changed_only: Option<String> = None;
+    let mut effects: Option<String> = None;
     let mut update = false;
     let mut list = false;
 
@@ -54,6 +60,21 @@ fn run_cli(args: &[String]) -> Result<ExitCode, String> {
                     Some(next) if !next.starts_with("--") => PathBuf::from(it.next().unwrap()),
                     _ => PathBuf::from("lint-report.json"),
                 });
+            }
+            "--sarif" => sarif = Some(path_arg(&mut it, "--sarif")?),
+            "--changed-only" => {
+                changed_only = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or(format!("--changed-only needs a git ref\n{USAGE}"))?,
+                );
+            }
+            "--effects" => {
+                effects = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or(format!("--effects needs a function pattern\n{USAGE}"))?,
+                );
             }
             "--update-baseline" => update = true,
             "--list-lints" => list = true,
@@ -84,7 +105,14 @@ fn run_cli(args: &[String]) -> Result<ExitCode, String> {
         root,
         manifest,
         baseline,
+        changed_only,
     };
+
+    if let Some(pattern) = effects {
+        print!("{}", dcs_lint::dump_effects(&config, &pattern)?);
+        return Ok(ExitCode::SUCCESS);
+    }
+
     let report = dcs_lint::run(&config)?;
 
     if update {
@@ -99,6 +127,10 @@ fn run_cli(args: &[String]) -> Result<ExitCode, String> {
     if let Some(json_path) = json {
         std::fs::write(&json_path, report.render_json())
             .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+    }
+    if let Some(sarif_path) = sarif {
+        std::fs::write(&sarif_path, dcs_lint::sarif::render(&report))
+            .map_err(|e| format!("cannot write {}: {e}", sarif_path.display()))?;
     }
     print!("{}", report.render_text());
     Ok(if report.new_count == 0 {

@@ -16,10 +16,29 @@
 //!
 //! [wire-path]
 //! files = ["crates/server/src/protocol.rs"]
+//! send_files = ["crates/server/src/server.rs"]
+//! bounded_senders = ["mailbox", "outbox"]
 //!
 //! [ordering]
 //! crates = ["ebr", "bwtree", "llama"]
+//!
+//! [dispatch]
+//! kv_get = ["dcs-core::CachingStore::kv_get", "dcs-core::LsmBackend::kv_get"]
+//!
+//! [async-shard]
+//! roots = ["dcs-server::Shard::run_async"]
+//!
+//! [effects]
+//! blocking = ["dcs-flashsim::FlashDevice::read"]
 //! ```
+//!
+//! `[dispatch]` is the interprocedural engine's answer to dynamic
+//! dispatch: a bare method call (`backend.kv_get(…)`) cannot be resolved
+//! by type, so the manifest names every implementation the call may
+//! reach and the call graph takes their union. `[async-shard] roots`
+//! name the drain loops that must stay non-blocking, and `[effects]
+//! blocking` declares functions that block by contract even when their
+//! bodies do not show it syntactically.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -44,6 +63,44 @@ pub struct Manifest {
     pub wire_files: Vec<String>,
     /// Crates whose `Ordering::Relaxed` uses need `// ORDERING:`.
     pub ordering_crates: Vec<String>,
+    /// Dynamic-dispatch policy: bare method name → every workspace
+    /// implementation a call through it may reach (the call graph takes
+    /// the union).
+    pub dispatch: BTreeMap<String, Vec<HotPath>>,
+    /// Roots of async drain loops that must stay `BlocksOnIo`-free.
+    pub async_roots: Vec<HotPath>,
+    /// Functions that block by contract even when their bodies do not
+    /// show it syntactically (e.g. a blocking device-read wrapper).
+    pub declared_blocking: Vec<HotPath>,
+    /// Files whose channel sends must be bounded; empty means "same as
+    /// `wire_files`".
+    pub wire_send_files: Vec<String>,
+    /// Receiver field names (last path segment) that are known bounded
+    /// mailboxes: `.send()` through them answers BUSY, never blocks.
+    pub bounded_senders: Vec<String>,
+}
+
+impl Manifest {
+    /// The bounded-send lint's file scope (`send_files`, defaulting to
+    /// the panic-free wire files).
+    pub fn send_scope(&self) -> &[String] {
+        if self.wire_send_files.is_empty() {
+            &self.wire_files
+        } else {
+            &self.wire_send_files
+        }
+    }
+}
+
+/// Parse one `crate::function` reference (`dcs-` prefix optional).
+fn parse_fn_ref(s: &str, what: &str) -> Result<HotPath, String> {
+    let (krate, func) = s
+        .split_once("::")
+        .ok_or_else(|| format!("{what} entry `{s}` is not `crate::function`"))?;
+    Ok(HotPath {
+        krate: krate.trim_start_matches("dcs-").to_string(),
+        func: func.to_string(),
+    })
 }
 
 impl Manifest {
@@ -60,13 +117,7 @@ impl Manifest {
         let mut m = Manifest::default();
         if let Some(t) = tables.get("hotpath") {
             for f in t.get_array("functions") {
-                let (krate, func) = f
-                    .split_once("::")
-                    .ok_or_else(|| format!("hotpath entry `{f}` is not `crate::function`"))?;
-                m.hotpaths.push(HotPath {
-                    krate: krate.trim_start_matches("dcs-").to_string(),
-                    func: func.to_string(),
-                });
+                m.hotpaths.push(parse_fn_ref(&f, "hotpath")?);
             }
         }
         if let Some(t) = tables.get("clock") {
@@ -74,6 +125,27 @@ impl Manifest {
         }
         if let Some(t) = tables.get("wire-path") {
             m.wire_files = t.get_array("files");
+            m.wire_send_files = t.get_array("send_files");
+            m.bounded_senders = t.get_array("bounded_senders");
+        }
+        if let Some(t) = tables.get("dispatch") {
+            for (method, _) in t.values.iter() {
+                let mut targets = Vec::new();
+                for s in t.get_array(method) {
+                    targets.push(parse_fn_ref(&s, "dispatch")?);
+                }
+                m.dispatch.insert(method.clone(), targets);
+            }
+        }
+        if let Some(t) = tables.get("async-shard") {
+            for f in t.get_array("roots") {
+                m.async_roots.push(parse_fn_ref(&f, "async-shard")?);
+            }
+        }
+        if let Some(t) = tables.get("effects") {
+            for f in t.get_array("blocking") {
+                m.declared_blocking.push(parse_fn_ref(&f, "effects")?);
+            }
         }
         if let Some(t) = tables.get("ordering") {
             m.ordering_crates = t
@@ -262,6 +334,71 @@ crates = ["dcs-ebr", "bwtree"]
         assert_eq!(m.clock_allow.len(), 2);
         assert_eq!(m.wire_files, vec!["crates/server/src/protocol.rs"]);
         assert_eq!(m.ordering_crates, vec!["ebr", "bwtree"]);
+    }
+
+    #[test]
+    fn parses_effect_policy_sections() {
+        let m = Manifest::parse(
+            r#"
+[wire-path]
+files = ["crates/server/src/protocol.rs"]
+send_files = ["crates/server/src/server.rs", "crates/server/src/shard.rs"]
+bounded_senders = ["mailbox", "outbox"]
+
+[dispatch]
+kv_get = ["dcs-core::CachingStore::kv_get", "dcs-core::LsmBackend::kv_get"]
+deliver = ["dcs-server::ConnState::deliver"]
+
+[async-shard]
+roots = ["dcs-server::Shard::run_async"]
+
+[effects]
+blocking = ["dcs-flashsim::FlashDevice::read"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(m.wire_send_files.len(), 2);
+        assert_eq!(m.send_scope(), &m.wire_send_files[..]);
+        assert_eq!(m.bounded_senders, vec!["mailbox", "outbox"]);
+        assert_eq!(m.dispatch.len(), 2);
+        assert_eq!(
+            m.dispatch["kv_get"],
+            vec![
+                HotPath {
+                    krate: "core".into(),
+                    func: "CachingStore::kv_get".into()
+                },
+                HotPath {
+                    krate: "core".into(),
+                    func: "LsmBackend::kv_get".into()
+                },
+            ]
+        );
+        assert_eq!(
+            m.async_roots,
+            vec![HotPath {
+                krate: "server".into(),
+                func: "Shard::run_async".into()
+            }]
+        );
+        assert_eq!(
+            m.declared_blocking,
+            vec![HotPath {
+                krate: "flashsim".into(),
+                func: "FlashDevice::read".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn send_scope_defaults_to_wire_files() {
+        let m = Manifest::parse("[wire-path]\nfiles = [\"crates/x/src/a.rs\"]").unwrap();
+        assert_eq!(m.send_scope(), &m.wire_files[..]);
+    }
+
+    #[test]
+    fn bad_dispatch_entry_is_an_error() {
+        assert!(Manifest::parse("[dispatch]\nkv_get = [\"bare_name\"]").is_err());
     }
 
     #[test]

@@ -115,7 +115,7 @@ impl Report {
 }
 
 /// Minimal JSON string escaping.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

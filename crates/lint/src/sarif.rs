@@ -1,0 +1,110 @@
+//! SARIF 2.1.0 rendering, so CI can upload findings as GitHub
+//! code-scanning annotations.
+//!
+//! Hand-assembled JSON like [`crate::report`] (std-only crate). Only
+//! non-baselined findings are emitted — frozen debt is invisible to the
+//! gate and should be invisible to annotations too. Violation
+//! fingerprints ride in `partialFingerprints` under the
+//! `dcsLint/v1` key, giving GitHub the same line-churn-stable identity
+//! the baseline file uses. Manifest-anchored findings report line 0
+//! internally; SARIF regions are 1-based, so those clamp to 1.
+
+use crate::report::{esc, Report};
+
+/// Render the report as a SARIF 2.1.0 document.
+pub fn render(report: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"dcs-lint\",\n");
+    s.push_str("          \"informationUri\": \"https://example.invalid/dcs-lint\",\n");
+    s.push_str("          \"rules\": [\n");
+    let rules: Vec<String> = report
+        .lints
+        .iter()
+        .map(|(name, desc)| {
+            format!(
+                "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+                esc(name),
+                esc(desc)
+            )
+        })
+        .collect();
+    s.push_str(&rules.join(",\n"));
+    s.push_str("\n          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [\n");
+    let results: Vec<String> = report
+        .violations
+        .iter()
+        .filter(|v| !v.baselined)
+        .map(|v| {
+            format!(
+                "        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"error\",\n          \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [\n            {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}\n          ],\n          \"partialFingerprints\": {{\"dcsLint/v1\": \"{}\"}}\n        }}",
+                esc(v.lint),
+                esc(&v.message),
+                esc(&v.file),
+                v.line.max(1),
+                esc(&v.fingerprint),
+            )
+        })
+        .collect();
+    s.push_str(&results.join(",\n"));
+    if !results.is_empty() {
+        s.push('\n');
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Violation;
+
+    fn report_with(violations: Vec<Violation>) -> Report {
+        Report {
+            new_count: violations.iter().filter(|v| !v.baselined).count(),
+            violations,
+            files_scanned: 1,
+            lints: vec![("lock-order", "graph must be acyclic")],
+        }
+    }
+
+    fn violation(line: u32, baselined: bool) -> Violation {
+        Violation {
+            lint: "lock-order",
+            file: "crates/x/src/m.rs".into(),
+            line,
+            symbol: "f".into(),
+            message: "cycle: \"a\" -> b".into(),
+            fingerprint: "lock-order|crates/x/src/m.rs|f|cycle".into(),
+            baselined,
+        }
+    }
+
+    #[test]
+    fn renders_rule_result_and_fingerprint() {
+        let s = render(&report_with(vec![violation(7, false)]));
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\": \"lock-order\""));
+        assert!(s.contains("\"startLine\": 7"));
+        assert!(s.contains("dcsLint/v1"));
+        assert!(s.contains("cycle: \\\"a\\\" -> b")); // message escaped
+    }
+
+    #[test]
+    fn baselined_findings_are_omitted() {
+        let s = render(&report_with(vec![violation(7, true)]));
+        assert!(!s.contains("ruleId\": \"lock-order\"") || !s.contains("startLine"));
+        assert!(s.contains("\"results\": ["));
+    }
+
+    #[test]
+    fn line_zero_clamps_to_one() {
+        let s = render(&report_with(vec![violation(0, false)]));
+        assert!(s.contains("\"startLine\": 1"));
+    }
+}

@@ -95,3 +95,88 @@ fn usage_errors_exit_two() {
         .expect("dcs-lint binary runs");
     assert_eq!(out.status.code(), Some(2), "{out:?}");
 }
+
+#[test]
+fn sarif_report_is_written() {
+    let ws = Scratch::new("sarif");
+    ws.write(
+        "crates/x/src/lib.rs",
+        "fn wall() -> u64 {\n\
+         let t = std::time::Instant::now();\n\
+         t.elapsed().as_nanos() as u64\n\
+         }\n",
+    );
+    let sarif_path = ws.0.join("lint.sarif");
+    let out = lint(&ws.0, &["--sarif", sarif_path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let sarif = std::fs::read_to_string(&sarif_path).unwrap();
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"ruleId\": \"virtual-clock\""), "{sarif}");
+    assert!(sarif.contains("\"startLine\": 2"), "{sarif}");
+    assert!(sarif.contains("dcsLint/v1"), "{sarif}");
+}
+
+#[test]
+fn effects_dump_prints_summary() {
+    let ws = Scratch::new("effects");
+    ws.write(
+        "crates/x/src/lib.rs",
+        "pub fn top() { helper(); }\n\
+         fn helper() { let b = Box::new(1); }\n",
+    );
+    let out = lint(&ws.0, &["--effects", "top"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dcs-x::top"), "{stdout}");
+    assert!(stdout.contains("Allocates"), "{stdout}");
+    assert!(stdout.contains("helper"), "{stdout}"); // origin chain
+}
+
+/// Run git in the scratch workspace (ignoring global config).
+fn git(root: &Path, args: &[&str]) {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .env("GIT_AUTHOR_NAME", "t")
+        .env("GIT_AUTHOR_EMAIL", "t@t")
+        .env("GIT_COMMITTER_NAME", "t")
+        .env("GIT_COMMITTER_EMAIL", "t@t")
+        .env("GIT_CONFIG_GLOBAL", "/dev/null")
+        .env("GIT_CONFIG_SYSTEM", "/dev/null")
+        .args(args)
+        .output()
+        .expect("git runs");
+    assert!(out.status.success(), "git {args:?}: {out:?}");
+}
+
+#[test]
+fn changed_only_skips_out_of_diff_violations() {
+    let ws = Scratch::new("changed");
+    // Two files, each with a violation. Commit both, then touch only
+    // one: the committed-and-unchanged violation must be skipped, the
+    // in-diff one must still fail the gate.
+    let bad = "fn wall() -> u64 {\n\
+         let t = std::time::Instant::now();\n\
+         t.elapsed().as_nanos() as u64\n\
+         }\n";
+    ws.write("crates/x/src/old.rs", bad);
+    ws.write("crates/x/src/new.rs", "pub fn clean() {}\n");
+    git(&ws.0, &["init", "-q"]);
+    git(&ws.0, &["add", "-A"]);
+    git(&ws.0, &["commit", "-q", "-m", "seed"]);
+
+    // Untouched tree vs HEAD: the old violation is out of diff.
+    let out = lint(&ws.0, &["--changed-only", "HEAD"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // Edit the second file to introduce a violation: in diff, fails.
+    ws.write(
+        "crates/x/src/new.rs",
+        "pub fn wall2() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    let out = lint(&ws.0, &["--changed-only", "HEAD"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("new.rs"), "{stdout}");
+    assert!(!stdout.contains("old.rs:"), "{stdout}");
+}

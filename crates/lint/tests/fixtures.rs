@@ -34,6 +34,7 @@ fn corpus_manifest() -> Manifest {
         clock_allow: Vec::new(),
         wire_files: vec!["crates/x/src/panic_wire.rs".into()],
         ordering_crates: vec!["x".into()],
+        ..Manifest::default()
     }
 }
 
@@ -58,8 +59,78 @@ fn lock_cycle_fixture_fires() {
     assert_eq!(v.line, 6);
     assert!(v.message.contains("forward"), "{}", v.message);
     assert!(v.message.contains("backward"), "{}", v.message);
-    // The fingerprint is the sorted node set, with no line numbers.
-    assert_eq!(v.fingerprint, "lock-order|x|cycle|s.alpha,s.beta");
+    // The fingerprint is the sorted node set (crate-qualified labels),
+    // with no line numbers.
+    assert_eq!(
+        v.fingerprint,
+        "lock-order|workspace|cycle|x:s.alpha,x:s.beta"
+    );
+}
+
+#[test]
+fn cross_crate_lock_cycle_fixture_fires() {
+    // The cycle is split across two crates: `a` locks alpha then calls
+    // into `b` (which locks beta); `b` locks beta then calls back into
+    // `a` (which locks alpha). Each crate's local graph is acyclic —
+    // only the call-propagated workspace graph closes the loop.
+    let files = vec![
+        fixture("a", "xcycle_a.rs", include_str!("fixtures/xcycle_a.rs")),
+        fixture("b", "xcycle_b.rs", include_str!("fixtures/xcycle_b.rs")),
+    ];
+    let vs = analyze(&files, &Manifest::default()).violations;
+    let cycles = only(&vs, "lock-order");
+    assert_eq!(cycles.len(), 1, "{vs:?}");
+    let v = cycles[0];
+    assert_eq!(
+        v.fingerprint,
+        "lock-order|workspace|cycle|a:s.alpha,b:s.beta"
+    );
+    assert!(v.message.contains("via"), "{}", v.message);
+}
+
+#[test]
+fn async_block_fixture_fires() {
+    let m = Manifest {
+        async_roots: vec![HotPath {
+            krate: "x".into(),
+            func: "Shard2::drain".into(),
+        }],
+        ..Manifest::default()
+    };
+    let sf = fixture(
+        "x",
+        "async_block.rs",
+        include_str!("fixtures/async_block.rs"),
+    );
+    let vs = analyze(&[sf], &m).violations;
+    let hits = only(&vs, "async-shard");
+    assert_eq!(hits.len(), 1, "{vs:?}");
+    let v = hits[0];
+    // Same-crate origin: anchored at the sleep itself, two hops down.
+    assert_eq!(v.line, 18);
+    assert_eq!(v.symbol, "fetch");
+    assert!(
+        v.message.contains("via Shard2::drain -> step -> fetch"),
+        "{}",
+        v.message
+    );
+}
+
+#[test]
+fn send_wire_fixture_fires() {
+    let m = Manifest {
+        wire_send_files: vec!["crates/x/src/send_wire.rs".into()],
+        bounded_senders: vec!["mailbox".into()],
+        ..Manifest::default()
+    };
+    let sf = fixture("x", "send_wire.rs", include_str!("fixtures/send_wire.rs"));
+    let vs = analyze(&[sf], &m).violations;
+    let hits = only(&vs, "bounded-send");
+    // Only the bare `tx.send` fires; `mailbox.send` (registered bounded
+    // receiver) and `try_send` stay clean.
+    assert_eq!(hits.len(), 1, "{vs:?}");
+    assert_eq!(hits[0].line, 7);
+    assert_eq!(hits[0].symbol, "dispatch");
 }
 
 #[test]

@@ -1,0 +1,19 @@
+//! Fixture: known-bad async drain loop — a manifest-registered
+//! `[async-shard]` root that reaches a blocking `sleep` two call hops
+//! down (the sleep site, line 18, is asserted by the test).
+
+struct Shard2;
+
+impl Shard2 {
+    fn drain(&self) {
+        step();
+    }
+}
+
+fn step() {
+    fetch();
+}
+
+fn fetch() {
+    std::thread::sleep(core::time::Duration::from_millis(1));
+}

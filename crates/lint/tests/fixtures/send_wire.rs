@@ -1,0 +1,16 @@
+//! Fixture: known-bad wire-path send — a bare `.send(…)` on a file the
+//! manifest puts in `[wire-path] send_files` scope (line 7 is asserted
+//! by the test). The bounded `mailbox.send` and the `try_send` below it
+//! are the sanctioned shapes and must stay clean.
+
+fn dispatch(tx: &Sender<Mail>, m: Mail) {
+    tx.send(m);
+}
+
+fn dispatch_bounded(s: &Shard, m: Mail) {
+    s.mailbox.send(m);
+}
+
+fn dispatch_try(tx: &Sender<Mail>, m: Mail) {
+    tx.try_send(m);
+}

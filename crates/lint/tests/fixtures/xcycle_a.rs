@@ -1,0 +1,14 @@
+//! Fixture (crate `a` half): cross-crate lock cycle. This crate locks
+//! `alpha` and then calls into crate `b`, which locks `beta`; the other
+//! half closes the loop. Neither crate's local graph is cyclic.
+
+pub fn forward(s: &S) {
+    let a = s.alpha.lock().unwrap();
+    dcs_b::hold_beta(s);
+    drop(a);
+}
+
+pub fn hold_alpha(s: &S) {
+    let a = s.alpha.lock().unwrap();
+    drop(a);
+}

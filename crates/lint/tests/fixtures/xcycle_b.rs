@@ -1,0 +1,13 @@
+//! Fixture (crate `b` half): cross-crate lock cycle. This crate locks
+//! `beta` and then calls back into crate `a`, which locks `alpha`.
+
+pub fn hold_beta(s: &S) {
+    let b = s.beta.lock().unwrap();
+    drop(b);
+}
+
+pub fn backward(s: &S) {
+    let b = s.beta.lock().unwrap();
+    dcs_a::hold_alpha(s);
+    drop(b);
+}

@@ -132,6 +132,9 @@ impl<T> Mailbox<T> {
         // each iteration a schedule point.
         #[cfg(not(feature = "check"))]
         {
+            // LINT: allow(effect-panic): a poisoned mailbox means a sibling
+            // shard thread already aborted; crash loudly rather than serve
+            // from a torn queue.
             let mut inner = self.inner.lock().unwrap();
             loop {
                 if !inner.queue.is_empty() {
@@ -141,12 +144,18 @@ impl<T> Mailbox<T> {
                 if inner.closed {
                     return false;
                 }
+                // LINT: allow(effect-block): the drain loop parks here only
+                // when no misses are in flight and the queue is empty — the
+                // async-shard guarantee is "never block *with work parked*",
+                // and run_async switches to try_recv_batch in that state.
+                // LINT: allow(effect-panic): poisoning, as above.
                 inner = self.notempty.wait(inner).unwrap();
             }
         }
         #[cfg(feature = "check")]
         loop {
             {
+                // LINT: allow(effect-panic): poisoned-mailbox abort, as above.
                 let mut inner = self.inner.lock().unwrap();
                 if !inner.queue.is_empty() {
                     Self::take(&mut inner, max, out);
@@ -164,6 +173,8 @@ impl<T> Mailbox<T> {
     /// mailbox can still produce items later (open, or closed but
     /// non-empty).
     pub fn try_recv_batch(&self, max: usize, out: &mut Vec<T>) -> bool {
+        // LINT: allow(effect-panic): poisoned-mailbox abort, same rationale
+        // as `recv_batch` above.
         let mut inner = self.inner.lock().unwrap();
         if !inner.queue.is_empty() {
             Self::take(&mut inner, max, out);

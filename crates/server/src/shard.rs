@@ -303,6 +303,9 @@ impl Shard {
             } else if !got_mail && reaped == 0 {
                 // Nothing arrived and nothing completed: back off briefly
                 // instead of hot-spinning against wall-clock device latency.
+                // LINT: allow(effect-block): bounded 20µs idle backoff, not
+                // I/O — it caps the poll rate, it cannot stall parked misses
+                // (they are already submitted to the device).
                 std::thread::sleep(Duration::from_micros(20));
             }
         }
@@ -324,6 +327,10 @@ impl Shard {
         loop {
             completions.clear();
             if ab.kv_poll(&mut completions) == 0 {
+                // LINT: allow(effect-block): sync-mode-only stall — the
+                // analysis is path-insensitive, but `process_batch` reaches
+                // this call only under `MissMode::Sync`; the async drain
+                // loop parks the miss instead of calling `await_miss`.
                 std::thread::sleep(Duration::from_micros(5));
                 continue;
             }

@@ -37,7 +37,11 @@ pub fn clear_time_source() {
 /// Current time in nanoseconds: the installed source if any, otherwise
 /// monotonic real time since the first call.
 pub fn now_nanos() -> u64 {
-    if let Some(f) = SOURCE.read().unwrap().as_ref() {
+    // Poison recovery, not unwrap: a panicking writer can only have
+    // swapped the whole `Option`, which is valid in either state, and the
+    // clock is read on every wire-path span — it must never abort a shard.
+    let source = SOURCE.read().unwrap_or_else(|e| e.into_inner());
+    if let Some(f) = source.as_ref() {
         return f();
     }
     monotonic_nanos()

@@ -132,9 +132,12 @@ impl Registry {
     }
 
     /// Get-or-create the counter `name`. Cache the handle; this path
-    /// takes the registration mutex.
+    /// takes the registration mutex. All registry lock sites recover
+    /// from poisoning instead of unwrapping: the maps stay structurally
+    /// valid across a panicking registrant, and the metrics plane must
+    /// never abort a serving shard.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut m = self.maps.lock().unwrap();
+        let mut m = self.maps.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(
             m.counters
                 .entry(name.to_string())
@@ -144,7 +147,7 @@ impl Registry {
 
     /// Get-or-create the gauge `name`.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut m = self.maps.lock().unwrap();
+        let mut m = self.maps.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(
             m.gauges
                 .entry(name.to_string())
@@ -154,7 +157,7 @@ impl Registry {
 
     /// Get-or-create the histogram `name`.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut m = self.maps.lock().unwrap();
+        let mut m = self.maps.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(
             m.histograms
                 .entry(name.to_string())
@@ -165,7 +168,7 @@ impl Registry {
     /// Copy every metric out. Safe concurrently with recording; each
     /// counter read is a consistent monotone lower bound.
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let m = self.maps.lock().unwrap();
+        let m = self.maps.lock().unwrap_or_else(|e| e.into_inner());
         RegistrySnapshot {
             counters: m
                 .counters
