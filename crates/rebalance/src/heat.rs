@@ -1,0 +1,99 @@
+//! Per-range access heat, recorded into the global [`dcs_telemetry`]
+//! registry so STATS exposes it like every other metric.
+//!
+//! The tracker keeps one registry counter per range of the *current*
+//! map epoch, named `rebalance.range_heat.N`. Counters are monotone —
+//! the rebalancer works with per-tick deltas (and an EWMA over them)
+//! rather than decaying the counters in place, so the cumulative values
+//! the operator sees stay meaningful. When the map epoch changes the
+//! counter set is re-registered for the new range count; the rebalancer
+//! resets its delta baseline on epoch change because range indices mean
+//! something different under the new map.
+
+use crate::map::PartitionMap;
+use dcs_telemetry::Counter;
+use std::sync::{Arc, Mutex};
+
+struct Inner {
+    epoch: u64,
+    counters: Vec<Arc<Counter>>,
+}
+
+/// Range-indexed op counters tied to a map epoch.
+pub struct HeatTracker {
+    inner: Mutex<Inner>,
+}
+
+impl Default for HeatTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HeatTracker {
+    /// An empty tracker; counters materialize at first `record`.
+    pub fn new() -> Self {
+        HeatTracker {
+            inner: Mutex::new(Inner {
+                epoch: u64::MAX,
+                counters: Vec::new(),
+            }),
+        }
+    }
+
+    fn sync_epoch(inner: &mut Inner, map: &PartitionMap) {
+        if inner.epoch != map.epoch() || inner.counters.len() != map.ranges() {
+            inner.epoch = map.epoch();
+            inner.counters = (0..map.ranges())
+                .map(|i| dcs_telemetry::global().counter(&format!("rebalance.range_heat.{i}")))
+                .collect();
+        }
+    }
+
+    /// Count one op against range `range` of `map`. Cheap: one short
+    /// lock plus a striped counter bump; re-registration only happens
+    /// on an epoch change.
+    pub fn record(&self, map: &PartitionMap, range: usize) {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Self::sync_epoch(&mut g, map);
+        if let Some(c) = g.counters.get(range) {
+            c.incr();
+        }
+    }
+
+    /// Cumulative per-range totals under `map`'s epoch (zeros if the
+    /// tracker has not seen this epoch yet — callers diff successive
+    /// snapshots for rates).
+    pub fn totals(&self, map: &PartitionMap) -> Vec<u64> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Self::sync_epoch(&mut g, map);
+        g.counters.iter().map(|c| c.value()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_range_and_survives_epoch_change() {
+        let t = HeatTracker::new();
+        let m = PartitionMap::contiguous(vec![b"m".to_vec()]);
+        let base = t.totals(&m);
+        t.record(&m, 0);
+        t.record(&m, 0);
+        t.record(&m, 1);
+        t.record(&m, 9); // out of range: ignored
+        let now = t.totals(&m);
+        assert_eq!(now[0] - base[0], 2);
+        assert_eq!(now[1] - base[1], 1);
+
+        // New epoch with more ranges re-registers without panicking.
+        let m2 = m.split(0, b"f".to_vec()).unwrap();
+        let b2 = t.totals(&m2);
+        t.record(&m2, 2);
+        let n2 = t.totals(&m2);
+        assert_eq!(n2.len(), 3);
+        assert_eq!(n2[2] - b2[2], 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Dynamic data placement for the sharded server: a versioned range →
+//! shard map, per-range heat tracking, and the admission machinery that
+//! lets a range move between shards while writes keep flowing.
+//!
+//! The static split-key `Partitioner` pins every key range to one shard
+//! for the life of the process, so a Zipfian head lands on one worker
+//! and the other cores idle — capacity the paper's cost model charges
+//! for but the deployment cannot use. This crate makes placement a
+//! first-class, *versioned* object:
+//!
+//! - [`PartitionMap`] — an immutable epoch-stamped snapshot of
+//!   range → shard ownership. Mutations (`split`, `merge`, `reassign`)
+//!   return a new map at `epoch + 1`; [`SharedMap`] swaps snapshots
+//!   atomically and refuses stale installs.
+//! - [`HeatTracker`] — per-range op counters registered in the global
+//!   [`dcs_telemetry`] registry (`rebalance.range_heat.N`), so STATS
+//!   exposes them like every other metric and the rebalancer prices
+//!   decisions from the same numbers the operator sees.
+//! - [`Router`] + [`WriteGate`] — the migration handoff. A range move
+//!   is copy → freeze → replay-tail → install-new-epoch; the gate
+//!   serializes each shard worker's writes with those phase changes so
+//!   no write can slip between the copy and the tail (see
+//!   `migrate.rs` for the interleaving argument).
+//! - [`policy`] — the cost-model decision rule: move a range when the
+//!   heat delta priced at the main-memory op rate outweighs a fixed
+//!   migration cost, split when moving the hottest range alone would
+//!   just relocate the hot spot, merge adjacent cold ranges to keep
+//!   the map small.
+//!
+//! The crate is deliberately mechanism-only: it never touches sockets,
+//! mailboxes, or backends. `dcs-server` owns the migration *engine*
+//! (copying data, replaying tails, WAL import) and the background
+//! rebalancer thread; this crate owns the data structures and the
+//! admission protocol they must agree on.
+
+mod heat;
+mod map;
+mod migrate;
+pub mod policy;
+
+pub use heat::HeatTracker;
+pub use map::{midpoint, PartitionMap, SharedMap};
+pub use migrate::{RangeLease, Router, TailEntry, WriteAdmission, WriteGate, WritePermit};
+pub use policy::{plan, Action, PolicyConfig};

@@ -1,0 +1,241 @@
+//! The rebalancer's decision rule, priced in the paper's cost terms.
+//!
+//! Each tick the rebalancer hands `plan` the current map and a smoothed
+//! per-range heat vector (ops observed since the last tick, EWMA'd).
+//! The policy emits at most **one** action — keeping every decision a
+//! single map transition makes the engine trivially correct and still
+//! converges in a handful of ticks:
+//!
+//! - **Move** the hottest range off the hottest shard to the coldest
+//!   one, when doing so actually lowers the peak *and* the projected
+//!   benefit prices above a fixed migration cost. Benefit is the
+//!   paper's processor-rent term: ops/tick relieved from the saturated
+//!   worker × `$P/ROPS` × an amortization horizon. Cost is per-record
+//!   secondary-storage traffic (copy out + replay in) plus a fixed
+//!   coordination charge. The server wires these prices from
+//!   `HardwareCatalog`, so a move is justified exactly when the
+//!   capacity it frees is worth more than the I/O it spends.
+//! - **Split** the hottest range at its byte midpoint when moving it
+//!   whole would just relocate the hot spot (the range carries more
+//!   heat than the hot/cold gap), so later ticks can move a half.
+//! - **Merge** adjacent same-owner cold ranges when balanced, keeping
+//!   the map from accreting splits forever.
+
+use crate::map::{midpoint, PartitionMap};
+
+/// Tunables and prices for `plan`. Defaults are deliberately generic;
+/// the server overrides the prices from its hardware catalog.
+#[derive(Debug, Clone)]
+pub struct PolicyConfig {
+    /// Do nothing below this many observed ops per tick (noise floor).
+    pub min_tick_heat: u64,
+    /// Act when the hottest shard exceeds `ratio × mean` shard heat.
+    pub imbalance_ratio: f64,
+    /// Hard cap on map ranges (bounds split growth and STATS size).
+    pub max_ranges: usize,
+    /// $ of processor rent per op/tick relieved (catalog `$P/ROPS`).
+    pub op_benefit: f64,
+    /// Ticks over which a move's benefit is amortized.
+    pub benefit_horizon_ticks: f64,
+    /// $ per record migrated (copy read + replay write).
+    pub migration_cost_per_record: f64,
+    /// $ fixed coordination cost per migration.
+    pub migration_cost_fixed: f64,
+    /// Rough record count across the store, for pricing a range copy as
+    /// `est_records / ranges`. Zero means "unknown": only the fixed
+    /// cost is charged.
+    pub est_records: u64,
+    /// Merge adjacent ranges whose combined heat is below this fraction
+    /// of the mean per-range heat.
+    pub cold_fraction: f64,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            min_tick_heat: 64,
+            imbalance_ratio: 1.3,
+            max_ranges: 64,
+            // Paper catalog: $P/ROPS = 7.5e-5, ss_exec ≈ 6.85e-4 and a
+            // record moves through one read and one write.
+            op_benefit: 7.5e-5,
+            benefit_horizon_ticks: 200.0,
+            migration_cost_per_record: 2.0 * 6.85e-4,
+            migration_cost_fixed: 0.01,
+            est_records: 0,
+            cold_fraction: 0.05,
+        }
+    }
+}
+
+/// One map transition the engine should perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Split `range` at `at` (owner keeps both halves; metadata only).
+    Split { range: usize, at: Vec<u8> },
+    /// Migrate `range` to shard `to` (copy/freeze/replay/install).
+    Move { range: usize, to: usize },
+    /// Merge `range` with `range + 1` (same owner; metadata only).
+    Merge { range: usize },
+}
+
+/// Pick at most one action for this tick. `heat[i]` is the smoothed
+/// ops-per-tick of range `i` under `map`; `shards` is the worker count.
+pub fn plan(map: &PartitionMap, heat: &[u64], shards: usize, cfg: &PolicyConfig) -> Option<Action> {
+    if heat.len() != map.ranges() || shards == 0 {
+        return None;
+    }
+    let mut shard_heat = vec![0u64; shards];
+    for (r, h) in heat.iter().enumerate() {
+        let owner = map.owner_of_range(r)?;
+        *shard_heat.get_mut(owner)? += h;
+    }
+    let total: u64 = shard_heat.iter().sum();
+    let mean = total as f64 / shards as f64;
+    if total < cfg.min_tick_heat {
+        return None;
+    }
+
+    let hot = argmax(&shard_heat)?;
+    let cold = argmin(&shard_heat)?;
+    let hot_heat = *shard_heat.get(hot)?;
+    let cold_heat = *shard_heat.get(cold)?;
+
+    if hot_heat as f64 > cfg.imbalance_ratio * mean && hot != cold {
+        // Hottest range owned by the hottest shard.
+        let r = (0..map.ranges())
+            .filter(|&r| map.owner_of_range(r) == Some(hot))
+            .max_by_key(|&r| heat.get(r).copied().unwrap_or(0))?;
+        let r_heat = heat.get(r).copied().unwrap_or(0);
+        // Moving r helps only if it narrows the hot/cold gap instead of
+        // handing the cold shard a bigger problem than it solves.
+        let gap = hot_heat.saturating_sub(cold_heat);
+        if r_heat < gap {
+            let per_range = if cfg.est_records == 0 || map.ranges() == 0 {
+                0.0
+            } else {
+                cfg.est_records as f64 / map.ranges() as f64
+            };
+            let benefit = r_heat as f64 * cfg.op_benefit * cfg.benefit_horizon_ticks;
+            let cost = cfg.migration_cost_fixed + per_range * cfg.migration_cost_per_record;
+            if benefit > cost {
+                return Some(Action::Move { range: r, to: cold });
+            }
+        } else if map.ranges() < cfg.max_ranges {
+            let (lo, hi) = map.bounds(r)?;
+            if let Some(at) = midpoint(lo, hi) {
+                return Some(Action::Split { range: r, at });
+            }
+        }
+        return None;
+    }
+
+    // Balanced: shrink the map if it carries dead weight.
+    if map.ranges() > shards.max(1) {
+        let mean_range = (total as f64 / map.ranges() as f64).max(1.0);
+        for r in 0..map.ranges().saturating_sub(1) {
+            if map.owner_of_range(r) != map.owner_of_range(r + 1) {
+                continue;
+            }
+            let combined =
+                heat.get(r).copied().unwrap_or(0) + heat.get(r + 1).copied().unwrap_or(0);
+            if (combined as f64) < cfg.cold_fraction * mean_range {
+                return Some(Action::Merge { range: r });
+            }
+        }
+    }
+    None
+}
+
+fn argmax(v: &[u64]) -> Option<usize> {
+    v.iter()
+        .enumerate()
+        .max_by_key(|(_, h)| **h)
+        .map(|(i, _)| i)
+}
+
+fn argmin(v: &[u64]) -> Option<usize> {
+    v.iter()
+        .enumerate()
+        .min_by_key(|(_, h)| **h)
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cheap_moves() -> PolicyConfig {
+        PolicyConfig {
+            min_tick_heat: 10,
+            est_records: 0,
+            migration_cost_fixed: 0.0001,
+            ..PolicyConfig::default()
+        }
+    }
+
+    #[test]
+    fn quiet_store_plans_nothing() {
+        let map = PartitionMap::contiguous(vec![b"m".to_vec()]);
+        assert_eq!(plan(&map, &[3, 2], 2, &cheap_moves()), None);
+    }
+
+    #[test]
+    fn movable_hot_range_moves_to_coldest() {
+        // Shard 0 owns two ranges, one hot; shard 1 idle.
+        let map =
+            PartitionMap::with_owners(vec![b"g".to_vec(), b"p".to_vec()], vec![0, 0, 1]).unwrap();
+        let a = plan(&map, &[900, 600, 50], 2, &cheap_moves());
+        assert_eq!(a, Some(Action::Move { range: 0, to: 1 }));
+    }
+
+    #[test]
+    fn monolithic_hot_range_splits_first() {
+        // One range carries nearly everything: moving it whole would
+        // just relocate the hot spot, so the policy bisects it.
+        let map = PartitionMap::contiguous(vec![b"m".to_vec()]);
+        match plan(&map, &[1000, 10], 2, &cheap_moves()) {
+            Some(Action::Split { range: 0, at }) => {
+                assert!(at.as_slice() > b"".as_slice() && at.as_slice() < b"m".as_slice());
+            }
+            other => panic!("expected split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expensive_migration_is_refused() {
+        let cfg = PolicyConfig {
+            min_tick_heat: 10,
+            est_records: 1_000_000,
+            migration_cost_per_record: 1.0, // absurd price
+            ..PolicyConfig::default()
+        };
+        let map =
+            PartitionMap::with_owners(vec![b"g".to_vec(), b"p".to_vec()], vec![0, 0, 1]).unwrap();
+        assert_eq!(plan(&map, &[900, 600, 50], 2, &cfg), None);
+    }
+
+    #[test]
+    fn balanced_map_merges_cold_neighbors() {
+        // Four ranges on two shards, balanced heat, ranges 0 and 1 cold
+        // and co-owned.
+        let map = PartitionMap::with_owners(
+            vec![b"d".to_vec(), b"g".to_vec(), b"p".to_vec()],
+            vec![0, 0, 1, 0],
+        )
+        .unwrap();
+        let a = plan(&map, &[1, 1, 500, 480], 2, &cheap_moves());
+        assert_eq!(a, Some(Action::Merge { range: 0 }));
+    }
+
+    #[test]
+    fn respects_max_ranges() {
+        let cfg = PolicyConfig {
+            max_ranges: 2,
+            ..cheap_moves()
+        };
+        let map = PartitionMap::contiguous(vec![b"m".to_vec()]);
+        // Hot monolith wants a split but the map is at its cap.
+        assert_eq!(plan(&map, &[1000, 10], 2, &cfg), None);
+    }
+}

@@ -16,14 +16,18 @@
 use dcs_core::{BackendKind, BackendOpts};
 use dcs_costmodel::accounting::{price_run, RunProfile};
 use dcs_costmodel::HardwareCatalog;
+use dcs_rebalance::{PartitionMap, PolicyConfig};
 use dcs_server::mailbox::Mailbox;
 use dcs_server::metrics::LatencyHistogram;
 use dcs_server::protocol::{Request, Response};
 use dcs_server::report::{
-    BenchReport, CostTerms, IoDepthReport, MissServiceReport, OpReport, TelemetryReport,
+    BenchReport, CostTerms, IoDepthReport, MissServiceReport, OpReport, PlacementReport,
+    TelemetryReport,
 };
 use dcs_server::shard::{MissMode, Partitioner};
-use dcs_server::{Client, ClientConfig, Server, ServerConfig, ShardBackend, Ticket};
+use dcs_server::{
+    Client, ClientConfig, RebalanceConfig, Server, ServerConfig, ShardBackend, Ticket,
+};
 use dcs_workload::{keys, Arrivals, KeyDist, OpKind, OpMix, WorkloadSpec};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,6 +46,10 @@ struct Args {
     threads: usize,
     value_len: usize,
     workload: String,
+    key_dist: String,
+    theta: f64,
+    rebalance: bool,
+    rebalance_tick_ms: u64,
     seed: u64,
     out: String,
     miss_mode: MissMode,
@@ -64,6 +72,10 @@ impl Default for Args {
             threads: 4,
             value_len: 100,
             workload: "mixed".into(),
+            key_dist: "default".into(),
+            theta: 0.99,
+            rebalance: false,
+            rebalance_tick_ms: 20,
             seed: 42,
             out: "BENCH_server.json".into(),
             miss_mode: MissMode::Async,
@@ -96,6 +108,13 @@ fn parse_args() -> Args {
                  --threads N                             (closed loop; default 4)\n\
                  --value-len BYTES                       (default 100)\n\
                  --workload mixed|a|b|c|d|e|f            (default mixed)\n\
+                 --key-dist default|uniform|zipfian      (default default: keep\n\
+                    the workload's own distribution; otherwise override it)\n\
+                 --theta T                               (default 0.99; Zipfian\n\
+                    skew for --key-dist zipfian)\n\
+                 --rebalance on|off                      (default off; run the\n\
+                    background range rebalancer against shard heat)\n\
+                 --rebalance-tick-ms MS                  (default 20)\n\
                  --seed N                                (default 42)\n\
                  --out PATH                              (default BENCH_server.json)\n\
                  --miss-mode sync|async                  (default async; how a\n\
@@ -131,6 +150,21 @@ fn parse_args() -> Args {
             "--threads" => args.threads = value.parse().expect("--threads"),
             "--value-len" => args.value_len = value.parse().expect("--value-len"),
             "--workload" => args.workload = value.clone(),
+            "--key-dist" => args.key_dist = value.clone(),
+            "--theta" => args.theta = value.parse().expect("--theta"),
+            "--rebalance" => {
+                args.rebalance = match value.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        eprintln!("--rebalance must be on or off, got '{other}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--rebalance-tick-ms" => {
+                args.rebalance_tick_ms = value.parse().expect("--rebalance-tick-ms")
+            }
             "--seed" => args.seed = value.parse().expect("--seed"),
             "--out" => args.out = value.clone(),
             "--miss-mode" => {
@@ -154,6 +188,10 @@ fn parse_args() -> Args {
     assert!(
         args.mode == "open" || args.mode == "closed" || args.mode == "inproc",
         "--mode must be open, closed, or inproc"
+    );
+    assert!(
+        matches!(args.key_dist.as_str(), "default" | "uniform" | "zipfian"),
+        "--key-dist must be default, uniform, or zipfian"
     );
     args
 }
@@ -215,7 +253,7 @@ impl Harness {
 }
 
 fn spec_for(args: &Args) -> WorkloadSpec {
-    if args.workload == "mixed" {
+    let mut spec = if args.workload == "mixed" {
         // A serving-flavored blend exercising every opcode: reads dominate,
         // writes ride the group-commit path, RMWs stress shard atomicity,
         // short scans cross shard boundaries.
@@ -234,7 +272,16 @@ fn spec_for(args: &Args) -> WorkloadSpec {
     } else {
         let c = args.workload.chars().next().unwrap_or('b');
         WorkloadSpec::ycsb(c, args.records, args.value_len, args.seed)
+    };
+    // --key-dist overrides whatever the workload preset picked, so the
+    // same op mix can be replayed with and without skew (the rebalancing
+    // A/B in CI drives a Zipfian hot shard this way).
+    match args.key_dist.as_str() {
+        "uniform" => spec.key_dist = KeyDist::Uniform,
+        "zipfian" => spec.key_dist = KeyDist::zipfian(args.theta),
+        _ => {}
     }
+    spec
 }
 
 fn request_for(op: &dcs_workload::Operation) -> (usize, Request) {
@@ -478,7 +525,7 @@ fn main() {
     };
     let harness = Arc::new(Harness::new());
 
-    let (issued, duration, shard_snapshots, cost_before) = if args.mode == "inproc" {
+    let (issued, duration, shard_snapshots, cost_before, final_map) = if args.mode == "inproc" {
         // In-process baseline: same workload, no wire. Load directly.
         for (key, value) in spec.load_set() {
             let id = keys::decode(&key).expect("load key");
@@ -491,12 +538,22 @@ fn main() {
         let cost_before = dcs_telemetry::ledger().totals();
         let run_start = Instant::now();
         let issued = run_inproc(&args, &backends, &partitioner, &spec, &harness);
-        (issued, run_start.elapsed(), Vec::new(), cost_before)
+        let map: Option<Arc<PartitionMap>> = None;
+        (issued, run_start.elapsed(), Vec::new(), cost_before, map)
     } else {
         let config = ServerConfig {
             shard: dcs_server::ShardConfig {
                 miss_mode: args.miss_mode,
                 ..dcs_server::ShardConfig::default()
+            },
+            rebalance: RebalanceConfig {
+                enabled: args.rebalance,
+                tick_ms: args.rebalance_tick_ms,
+                policy: PolicyConfig {
+                    est_records: args.records,
+                    ..PolicyConfig::default()
+                },
+                ..RebalanceConfig::default()
             },
             ..ServerConfig::default()
         };
@@ -535,8 +592,18 @@ fn main() {
         let duration = run_start.elapsed();
 
         client.close();
+        // Snapshot placement before teardown: post-run verification must
+        // look up each key through the *final* map, since the rebalancer
+        // may have migrated ranges off their seed shard mid-run.
+        let final_map = server.router().map().load();
         let report = server.shutdown();
-        (issued, duration, report.shards, cost_before)
+        (
+            issued,
+            duration,
+            report.shards,
+            cost_before,
+            Some(final_map),
+        )
     };
     // Ledger delta over the measured run (shutdown flush included: the
     // drain is work the run caused). Gauges are the post-run occupancy.
@@ -548,7 +615,10 @@ fn main() {
     let mut missing = 0u64;
     for &id in acked.iter() {
         let key = keys::encode(id);
-        let shard = partitioner.shard_of(&key);
+        let shard = match &final_map {
+            Some(map) => map.shard_of(&key),
+            None => partitioner.shard_of(&key),
+        };
         match backends[shard].kv_get(&key) {
             Ok(Some(_)) => {}
             _ => missing += 1,
@@ -629,6 +699,20 @@ fn main() {
         modeled,
         reconciled: measured.reconciles_with(&modeled, 0.10),
     };
+    let registry = dcs_telemetry::global();
+    let shard_ops: Vec<u64> = shard_snapshots.iter().map(|s| s.total_ops()).collect();
+    let placement = PlacementReport {
+        rebalance_enabled: args.rebalance,
+        map_epoch: final_map.as_ref().map_or(0, |m| m.epoch()),
+        map_ranges: final_map.as_ref().map_or(0, |m| m.ranges()),
+        moves: registry.counter("rebalance.moves").value(),
+        splits: registry.counter("rebalance.splits").value(),
+        merges: registry.counter("rebalance.merges").value(),
+        migrated_records: registry.counter("rebalance.migrated_records").value(),
+        moved_redirects: shard_snapshots.iter().map(|s| s.moved_redirects).sum(),
+        shard_op_spread: PlacementReport::spread_of(&shard_ops),
+        shard_ops,
+    };
     let bench = BenchReport {
         backend: args.backend.name().into(),
         mode: args.mode.clone(),
@@ -657,6 +741,7 @@ fn main() {
         shard_snapshots,
         io_depth,
         miss_service,
+        placement,
         telemetry,
         acked_writes: acked.len() as u64,
         verified_keys: acked.len() as u64 - missing,

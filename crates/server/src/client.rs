@@ -29,6 +29,14 @@ pub enum ClientError {
     UnexpectedResponse,
     /// The server rejected the request with BUSY (shard mailbox full).
     Busy,
+    /// The key's range moved (or is moving) to another shard; the request
+    /// was not executed. Resubmitting routes it by the server's live map.
+    Moved {
+        /// Map epoch the redirect is valid for.
+        epoch: u64,
+        /// Shard owning (or receiving) the key.
+        shard: u32,
+    },
     /// The server reported an execution error.
     Server(String),
 }
@@ -40,6 +48,9 @@ impl std::fmt::Display for ClientError {
             ClientError::ConnectionClosed => write!(f, "connection closed with request in flight"),
             ClientError::UnexpectedResponse => write!(f, "response kind does not match request"),
             ClientError::Busy => write!(f, "server busy"),
+            ClientError::Moved { epoch, shard } => {
+                write!(f, "moved to shard {shard} (map epoch {epoch})")
+            }
             ClientError::Server(m) => write!(f, "server error: {m}"),
         }
     }
@@ -125,8 +136,20 @@ pub struct ClientConfig {
     /// Connections in the pool (requests round-robin across them).
     pub connections: usize,
     /// Synchronous convenience ops retry BUSY this many times before
-    /// surfacing [`ClientError::Busy`].
+    /// surfacing [`ClientError::Busy`]. Each retry backs off
+    /// exponentially with jitter (see [`ClientConfig::backoff_base_micros`]).
     pub busy_retries: usize,
+    /// Synchronous convenience ops resubmit after `MOVED` this many
+    /// times before surfacing [`ClientError::Moved`]. Redirect chases are
+    /// bounded so a flapping map cannot trap a caller forever.
+    pub moved_retries: usize,
+    /// First backoff delay in microseconds; doubles per consecutive
+    /// rejection up to [`ClientConfig::backoff_cap_micros`], with equal
+    /// jitter (uniform in `[delay/2, delay]`) so synchronized retriers
+    /// don't re-stampede the same shard in lockstep.
+    pub backoff_base_micros: u64,
+    /// Backoff ceiling in microseconds.
+    pub backoff_cap_micros: u64,
 }
 
 impl Default for ClientConfig {
@@ -134,6 +157,9 @@ impl Default for ClientConfig {
         ClientConfig {
             connections: 2,
             busy_retries: 1000,
+            moved_retries: 64,
+            backoff_base_micros: 20,
+            backoff_cap_micros: 2_000,
         }
     }
 }
@@ -144,6 +170,15 @@ pub struct Client {
     readers: Mutex<Vec<JoinHandle<()>>>,
     rr: AtomicUsize,
     busy_retries: usize,
+    moved_retries: usize,
+    backoff_base_micros: u64,
+    backoff_cap_micros: u64,
+    /// Highest map epoch seen in a `MOVED` reply — the client's cached
+    /// view of placement progress. Routing itself stays server-side (the
+    /// connection reader routes by the live map), so the epoch is what a
+    /// remote client can usefully cache: it distinguishes progress
+    /// (higher epoch, keep chasing) from churn.
+    known_epoch: AtomicU64,
 }
 
 impl Client {
@@ -178,6 +213,10 @@ impl Client {
             readers: Mutex::new(readers),
             rr: AtomicUsize::new(0),
             busy_retries: config.busy_retries,
+            moved_retries: config.moved_retries,
+            backoff_base_micros: config.backoff_base_micros.max(1),
+            backoff_cap_micros: config.backoff_cap_micros.max(1),
+            known_epoch: AtomicU64::new(0),
         })
     }
 
@@ -297,23 +336,58 @@ impl Client {
     fn unexpected<T>(resp: Response) -> Result<T, ClientError> {
         match resp {
             Response::Busy => Err(ClientError::Busy),
+            Response::Moved { epoch, shard } => Err(ClientError::Moved { epoch, shard }),
             Response::Err(m) => Err(ClientError::Server(m)),
             _ => Err(ClientError::UnexpectedResponse),
         }
+    }
+
+    /// Highest map epoch this client has seen in a `MOVED` reply (0 if
+    /// it has never been redirected).
+    pub fn known_map_epoch(&self) -> u64 {
+        self.known_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Exponential backoff with equal jitter: `base * 2^(attempt-1)`
+    /// capped, then uniform in `[delay/2, delay]`. Jitter comes from a
+    /// per-call xorshift seeded off the virtual clock, so retriers that
+    /// were rejected together spread out instead of re-colliding.
+    fn backoff(&self, attempt: usize, rng: &mut u64) -> std::time::Duration {
+        let shift = attempt.saturating_sub(1).min(16) as u32;
+        let delay = self
+            .backoff_base_micros
+            .saturating_mul(1u64 << shift)
+            .min(self.backoff_cap_micros)
+            .max(1);
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        std::time::Duration::from_micros(delay / 2 + *rng % (delay / 2 + 1))
     }
 
     fn retry_busy<T>(
         &self,
         mut op: impl FnMut() -> Result<T, ClientError>,
     ) -> Result<T, ClientError> {
-        let mut tries = 0;
+        let mut busy_tries = 0;
+        let mut moved_tries = 0;
+        let mut rng = dcs_telemetry::now_nanos() | 1;
         loop {
             match op() {
-                Err(ClientError::Busy) if tries < self.busy_retries => {
-                    tries += 1;
-                    // The shard is saturated; back off briefly instead of
-                    // hammering the mailbox.
-                    std::thread::sleep(std::time::Duration::from_micros(50));
+                Err(ClientError::Busy) if busy_tries < self.busy_retries => {
+                    busy_tries += 1;
+                    // The shard is saturated; back off (exponentially,
+                    // jittered) instead of hammering the mailbox.
+                    std::thread::sleep(self.backoff(busy_tries, &mut rng));
+                }
+                Err(ClientError::Moved { epoch, .. }) if moved_tries < self.moved_retries => {
+                    moved_tries += 1;
+                    self.known_epoch.fetch_max(epoch, Ordering::Relaxed);
+                    // Resubmitting routes by the server's live map; a
+                    // short jittered pause lets an in-flight epoch
+                    // install land instead of bouncing off the freeze
+                    // window again.
+                    std::thread::sleep(self.backoff(moved_tries, &mut rng));
                 }
                 other => return other,
             }

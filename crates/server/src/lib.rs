@@ -30,6 +30,7 @@ pub mod client;
 pub mod mailbox;
 pub mod metrics;
 pub mod protocol;
+pub mod rebalance;
 pub mod report;
 pub mod server;
 pub mod shard;
@@ -39,6 +40,7 @@ pub use client::{Client, ClientConfig, ClientError, Ticket};
 pub use mailbox::{Mailbox, MailboxStats, SendError};
 pub use metrics::{LatencyHistogram, LatencySummary, ShardMetrics, ShardSnapshot};
 pub use protocol::{Frame, ProtoError, Request, Response};
-pub use report::{BenchReport, IoDepthReport, MissServiceReport, OpReport};
+pub use rebalance::{migrate_range, MigrationStats, RebalanceConfig};
+pub use report::{BenchReport, IoDepthReport, MissServiceReport, OpReport, PlacementReport};
 pub use server::{Server, ServerConfig, ServerReport, ShardBackend};
 pub use shard::{Mail, MissMode, Partitioner, ReplySink, Shard, ShardConfig};

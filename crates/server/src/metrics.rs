@@ -32,6 +32,9 @@ pub struct ShardMetrics {
     pub rmws: AtomicU64,
     /// Requests refused with BUSY at this shard's mailbox.
     pub busy_rejections: AtomicU64,
+    /// Requests answered `MOVED` because the current partition map says
+    /// another shard owns (or is receiving) the key.
+    pub moved_redirects: AtomicU64,
     /// Batches drained from the mailbox.
     pub batches: AtomicU64,
     /// Operations across all drained batches.
@@ -74,6 +77,8 @@ pub struct ShardSnapshot {
     pub rmws: u64,
     /// BUSY rejections at the mailbox.
     pub busy_rejections: u64,
+    /// Requests answered `MOVED` (stale-routed under the current map).
+    pub moved_redirects: u64,
     /// Batches drained.
     pub batches: u64,
     /// Ops across drained batches.
@@ -118,6 +123,7 @@ impl ShardMetrics {
             scans: self.scans.load(Ordering::Relaxed),
             rmws: self.rmws.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            moved_redirects: self.moved_redirects.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_ops: self.batched_ops.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),

@@ -149,6 +149,18 @@ pub enum Response {
     /// Telemetry registry snapshot, rendered as JSON (the
     /// [`dcs_telemetry::RegistrySnapshot::to_json`] shape).
     Stats(String),
+    /// The key's range no longer lives on the shard this request reached
+    /// — it moved under a newer partition-map epoch (or is mid-handoff).
+    /// The request was **not** executed; resubmit it and the server will
+    /// route through the current map. `epoch` lets the client distinguish
+    /// progress from churn across retries; `shard` names the new owner
+    /// for observability.
+    Moved {
+        /// Partition-map epoch the redirect is valid for.
+        epoch: u64,
+        /// Shard owning (or receiving) the key under that epoch.
+        shard: u32,
+    },
 }
 
 const OP_GET: u8 = 0x01;
@@ -163,6 +175,7 @@ const RE_COUNT: u8 = 0x83;
 const RE_BUSY: u8 = 0x84;
 const RE_ERR: u8 = 0x85;
 const RE_STATS: u8 = 0x86;
+const RE_MOVED: u8 = 0x87;
 
 /// Why a buffer failed to decode. All of these are fatal for the
 /// connection: once framing is lost there is no way to resynchronize.
@@ -322,6 +335,7 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
                 Response::Busy => RE_BUSY,
                 Response::Err(_) => RE_ERR,
                 Response::Stats(_) => RE_STATS,
+                Response::Moved { .. } => RE_MOVED,
             },
             *id,
         ),
@@ -352,6 +366,10 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
             Response::Count(n) => payload.extend_from_slice(&n.to_le_bytes()),
             Response::Err(msg) => put_val(&mut payload, msg.as_bytes()),
             Response::Stats(json) => put_val(&mut payload, json.as_bytes()),
+            Response::Moved { epoch, shard } => {
+                payload.extend_from_slice(&epoch.to_le_bytes());
+                payload.extend_from_slice(&shard.to_le_bytes());
+            }
         },
     }
     debug_assert!(payload.len() <= MAX_PAYLOAD, "frame payload too large");
@@ -495,6 +513,13 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtoError> {
             id,
             resp: Response::Stats(String::from_utf8_lossy(&c.val()?).into_owned()),
         },
+        RE_MOVED => Frame::Response {
+            id,
+            resp: Response::Moved {
+                epoch: c.u64()?,
+                shard: c.u32()?,
+            },
+        },
         other => return Err(ProtoError::UnknownKind(other)),
     };
     c.done()?;
@@ -569,6 +594,13 @@ mod tests {
             Frame::Response {
                 id: 13,
                 resp: Response::Stats("{\"counters\":{}}".into()),
+            },
+            Frame::Response {
+                id: 14,
+                resp: Response::Moved {
+                    epoch: u64::MAX,
+                    shard: 3,
+                },
             },
         ]
     }
@@ -700,6 +732,79 @@ mod tests {
         assert!(req.routing_key().is_empty());
         assert!(!req.is_write());
         assert_eq!(req.kind_name(), "stats");
+    }
+
+    #[test]
+    fn moved_frame_truncation_is_incomplete_or_truncated() {
+        // Every proper prefix of a MOVED frame either asks for more bytes
+        // (cut inside the header/payload) — never a panic, never a bogus
+        // decode.
+        let bytes = encode_to_vec(&Frame::Response {
+            id: 77,
+            resp: Response::Moved {
+                epoch: 0x0102_0304_0506_0708,
+                shard: 9,
+            },
+        });
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode_frame(&bytes[..cut]).unwrap(),
+                None,
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        // A MOVED payload short of its fixed 12 bytes, checksum recomputed:
+        // the frame layer is intact but the body is truncated mid-field.
+        let payload = 5u64.to_le_bytes()[..6].to_vec();
+        let mut short = Vec::new();
+        short.extend_from_slice(&MAGIC.to_le_bytes());
+        short.push(0x87);
+        short.extend_from_slice(&77u64.to_le_bytes());
+        short.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        short.extend_from_slice(&fnv64(&payload).to_le_bytes());
+        short.extend_from_slice(&payload);
+        assert_eq!(decode_frame(&short), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn moved_frame_payload_bitflips_rejected_by_checksum() {
+        let bytes = encode_to_vec(&Frame::Response {
+            id: 78,
+            resp: Response::Moved {
+                epoch: 42,
+                shard: 1,
+            },
+        });
+        // Flip each payload bit in turn: the epoch and shard fields are
+        // checksummed, so no corruption can smuggle in a wrong redirect.
+        for byte in HEADER_LEN..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    matches!(decode_frame(&corrupt), Err(ProtoError::BadChecksum { .. })),
+                    "byte {byte} bit {bit} must fail the checksum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn moved_frame_trailing_garbage_rejected() {
+        // A MOVED payload with extra bytes past the epoch + shard fields,
+        // checksum recomputed: layout disagreement, not a valid frame.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&3u64.to_le_bytes());
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.push(0xEE);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.push(0x87);
+        bytes.extend_from_slice(&79u64.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&fnv64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert_eq!(decode_frame(&bytes), Err(ProtoError::Truncated));
     }
 
     #[test]

@@ -61,6 +61,44 @@ impl MissServiceReport {
     }
 }
 
+/// Dynamic-placement accounting: the final partition map's shape, what
+/// the rebalancer did during the run, and how evenly the shards ended up
+/// sharing the executed operations — the report's direct evidence for
+/// (or against) the hot-shard kill.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementReport {
+    /// Whether the background rebalancer ran.
+    pub rebalance_enabled: bool,
+    /// Final partition-map epoch (0 = never changed).
+    pub map_epoch: u64,
+    /// Ranges in the final map.
+    pub map_ranges: usize,
+    /// Range migrations executed.
+    pub moves: u64,
+    /// Range splits executed.
+    pub splits: u64,
+    /// Range merges executed.
+    pub merges: u64,
+    /// Records copied/replayed by migrations.
+    pub migrated_records: u64,
+    /// Requests answered `MOVED` across all shards.
+    pub moved_redirects: u64,
+    /// Executed ops per shard (server-side counters).
+    pub shard_ops: Vec<u64>,
+    /// Hottest/coldest shard op ratio (coldest clamped to 1 op). 1.0 is
+    /// a perfect spread; a Zipfian skew without rebalancing runs ~10x.
+    pub shard_op_spread: f64,
+}
+
+impl PlacementReport {
+    /// The hottest/coldest ratio of `ops` (coldest clamped to 1).
+    pub fn spread_of(ops: &[u64]) -> f64 {
+        let max = ops.iter().max().copied().unwrap_or(0);
+        let min = ops.iter().min().copied().unwrap_or(0);
+        max as f64 / min.max(1) as f64
+    }
+}
+
 /// One per-term cost breakdown in the paper's algebra (rent + execution),
 /// in catalog dollars with the lifetime factor dropped as everywhere else.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -191,6 +229,9 @@ pub struct BenchReport {
     /// Unified telemetry: span tracing stats plus measured-vs-modeled
     /// cost attribution in the paper's terms.
     pub telemetry: TelemetryReport,
+    /// Dynamic placement: final map shape, rebalancer actions, per-shard
+    /// op spread.
+    pub placement: PlacementReport,
     /// Writes acknowledged by the server during the run.
     pub acked_writes: u64,
     /// Distinct acked keys re-read from the backends after drain shutdown.
@@ -316,6 +357,21 @@ impl BenchReport {
             self.miss_service.parked_peak,
             latency_json(&self.miss_service.latency),
         );
+        let p = &self.placement;
+        let shard_ops: Vec<String> = p.shard_ops.iter().map(|n| n.to_string()).collect();
+        let placement = format!(
+            "{{\"rebalance_enabled\": {}, \"map_epoch\": {}, \"map_ranges\": {}, \"moves\": {}, \"splits\": {}, \"merges\": {}, \"migrated_records\": {}, \"moved_redirects\": {}, \"shard_ops\": [{}], \"shard_op_spread\": {}}}",
+            p.rebalance_enabled,
+            p.map_epoch,
+            p.map_ranges,
+            p.moves,
+            p.splits,
+            p.merges,
+            p.migrated_records,
+            p.moved_redirects,
+            shard_ops.join(", "),
+            num(p.shard_op_spread),
+        );
         let t = &self.telemetry;
         let telemetry = format!(
             "{{\n    \"sampling_permille\": {},\n    \"spans\": {{\"roots_seen\": {}, \"roots_sampled\": {}, \"events_dropped\": {}}},\n    \"trace_out\": \"{}\",\n    \"cost_counts\": {{\"mm_ops\": {}, \"ss_reads\": {}, \"ss_writes\": {}, \"wal_barriers\": {}, \"maintenance_ops\": {}}},\n    \"avg_dram_bytes\": {},\n    \"avg_flash_bytes\": {},\n    \"cost_attribution\": {{\n      \"measured\": {},\n      \"modeled\": {},\n      \"reconciled_within_10pct\": {}\n    }}\n  }}",
@@ -336,7 +392,7 @@ impl BenchReport {
             t.reconciled,
         );
         format!(
-            "{{\n  \"bench\": \"server\",\n  \"backend\": \"{}\",\n  \"mode\": \"{}\",\n  \"miss_mode\": \"{}\",\n  \"device_latency_nanos\": {},\n  \"shards\": {},\n  \"connections\": {},\n  \"records\": {},\n  \"value_len\": {},\n  \"target_rate\": {},\n  \"ops_issued\": {},\n  \"ops_completed\": {},\n  \"duration_secs\": {},\n  \"throughput_ops_per_sec\": {},\n  \"io_depth\": {},\n  \"miss_service\": {},\n  \"telemetry\": {},\n  \"ops\": [\n{}\n  ],\n  \"shards_detail\": [\n{}\n  ],\n  \"verification\": {{\"acked_writes\": {}, \"verified_keys\": {}, \"missing_keys\": {}}}\n}}\n",
+            "{{\n  \"bench\": \"server\",\n  \"backend\": \"{}\",\n  \"mode\": \"{}\",\n  \"miss_mode\": \"{}\",\n  \"device_latency_nanos\": {},\n  \"shards\": {},\n  \"connections\": {},\n  \"records\": {},\n  \"value_len\": {},\n  \"target_rate\": {},\n  \"ops_issued\": {},\n  \"ops_completed\": {},\n  \"duration_secs\": {},\n  \"throughput_ops_per_sec\": {},\n  \"io_depth\": {},\n  \"miss_service\": {},\n  \"placement\": {},\n  \"telemetry\": {},\n  \"ops\": [\n{}\n  ],\n  \"shards_detail\": [\n{}\n  ],\n  \"verification\": {{\"acked_writes\": {}, \"verified_keys\": {}, \"missing_keys\": {}}}\n}}\n",
             esc(&self.backend),
             esc(&self.mode),
             esc(&self.miss_mode),
@@ -352,6 +408,7 @@ impl BenchReport {
             num(self.throughput_ops_per_sec),
             io_depth,
             miss_service,
+            placement,
             telemetry,
             ops.join(",\n"),
             shards.join(",\n"),
@@ -428,6 +485,18 @@ mod tests {
                 },
                 reconciled: true,
             },
+            placement: PlacementReport {
+                rebalance_enabled: true,
+                map_epoch: 3,
+                map_ranges: 6,
+                moves: 2,
+                splits: 1,
+                merges: 0,
+                migrated_records: 1234,
+                moved_redirects: 17,
+                shard_ops: vec![100, 80, 90, 95],
+                shard_op_spread: 1.25,
+            },
             acked_writes: 5,
             verified_keys: 5,
             missing_keys: 0,
@@ -451,6 +520,18 @@ mod tests {
         assert!(json.contains("\"reconciled_within_10pct\": true"));
         assert!(json.contains("\"cost_counts\": {\"mm_ops\": 900"));
         assert!(json.contains("\"mm_exec\": 3.000000e-8"));
+        assert!(json.contains("\"placement\": {\"rebalance_enabled\": true, \"map_epoch\": 3"));
+        assert!(json.contains("\"shard_ops\": [100, 80, 90, 95]"));
+        assert!(json.contains("\"shard_op_spread\": 1.250"));
+    }
+
+    #[test]
+    fn spread_handles_degenerate_shard_counts() {
+        assert_eq!(PlacementReport::spread_of(&[]), 0.0);
+        assert_eq!(PlacementReport::spread_of(&[10, 10]), 1.0);
+        assert_eq!(PlacementReport::spread_of(&[100, 10]), 10.0);
+        // A completely idle shard clamps to 1 op instead of dividing by 0.
+        assert_eq!(PlacementReport::spread_of(&[50, 0]), 50.0);
     }
 
     #[test]

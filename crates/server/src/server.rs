@@ -20,7 +20,9 @@
 use crate::mailbox::{Mailbox, MailboxStats};
 use crate::metrics::ShardSnapshot;
 use crate::protocol::{decode_frame, encode_to_vec, Frame, ProtoError, Request, Response};
+use crate::rebalance::{MigrationStats, RebalanceConfig, Rebalancer};
 use crate::shard::{Mail, Partitioner, ReplySink, Shard, ShardConfig};
+use dcs_rebalance::{PartitionMap, Router};
 use dcs_tc::RecoveryLog;
 use dcs_workload::{AsyncKvStore, KvStore};
 use std::io::{Read, Write};
@@ -36,6 +38,9 @@ pub struct ServerConfig {
     pub shard: ShardConfig,
     /// Give each shard a flash-device-backed WAL (in-memory otherwise).
     pub durable_wal: bool,
+    /// Background rebalancer (disabled by default: static placement is
+    /// the baseline the on/off CI comparison measures against).
+    pub rebalance: RebalanceConfig,
 }
 
 impl Default for ServerConfig {
@@ -43,6 +48,7 @@ impl Default for ServerConfig {
         ServerConfig {
             shard: ShardConfig::default(),
             durable_wal: true,
+            rebalance: RebalanceConfig::default(),
         }
     }
 }
@@ -138,6 +144,11 @@ pub struct Server {
     shards: Vec<Arc<Shard>>,
     backends: Arc<Vec<Arc<dyn KvStore + Send + Sync>>>,
     partitioner: Arc<Partitioner>,
+    /// The shared placement surface: versioned partition map, per-shard
+    /// write gates, per-range heat. All shards and the connection
+    /// readers route through it.
+    router: Arc<Router>,
+    rebalancer: Option<Rebalancer>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     shard_threads: Vec<JoinHandle<()>>,
@@ -183,6 +194,12 @@ impl Server {
         let listener_addr = listener.local_addr()?;
         let backends = Arc::new(kv_backends);
         let partitioner = Arc::new(partitioner);
+        // One router for the whole server: its epoch-0 map mirrors the
+        // static partitioner; migrations install successors.
+        let router = Arc::new(Router::new(
+            PartitionMap::contiguous(partitioner.splits().to_vec()),
+            backends.len(),
+        ));
         let mut shards = Vec::with_capacity(backends.len());
         let mut shard_threads = Vec::with_capacity(backends.len());
         for (i, async_kv) in async_handles.into_iter().enumerate() {
@@ -197,7 +214,8 @@ impl Server {
             };
             let shard = Arc::new(
                 Shard::new(i, &config.shard, backends.clone(), partitioner.clone(), wal)
-                    .with_async_backend(async_kv),
+                    .with_async_backend(async_kv)
+                    .with_router(router.clone()),
             );
             let worker = shard.clone();
             shard_threads.push(
@@ -216,7 +234,7 @@ impl Server {
             let conns = conns.clone();
             let conn_threads = conn_threads.clone();
             let shards = shards.clone();
-            let partitioner = partitioner.clone();
+            let router = router.clone();
             std::thread::Builder::new()
                 .name("dcs-accept".into())
                 .spawn(move || {
@@ -237,11 +255,11 @@ impl Server {
                             let stream = stream.try_clone().expect("clone stream");
                             let state = state.clone();
                             let shards = shards.clone();
-                            let partitioner = partitioner.clone();
+                            let router = router.clone();
                             handles.push(
                                 std::thread::Builder::new()
                                     .name("dcs-conn-rd".into())
-                                    .spawn(move || read_loop(stream, &state, &shards, &partitioner))
+                                    .spawn(move || read_loop(stream, &state, &shards, &router))
                                     .expect("spawn reader"),
                             );
                         }
@@ -260,11 +278,23 @@ impl Server {
                 })?
         };
 
+        let rebalancer = if config.rebalance.enabled {
+            Some(Rebalancer::spawn(
+                config.rebalance.clone(),
+                router.clone(),
+                shards.clone(),
+            )?)
+        } else {
+            None
+        };
+
         Ok(Server {
             listener_addr,
             shards,
             backends,
             partitioner,
+            router,
+            rebalancer,
             stop,
             accept_thread: Some(accept_thread),
             shard_threads,
@@ -283,9 +313,22 @@ impl Server {
         self.backends.clone()
     }
 
-    /// The range partitioner in force.
+    /// The range partitioner the server started from (epoch 0; the live
+    /// placement is [`Server::router`]'s map).
     pub fn partitioner(&self) -> Arc<Partitioner> {
         self.partitioner.clone()
+    }
+
+    /// The live placement surface: versioned map, write gates, heat.
+    pub fn router(&self) -> Arc<Router> {
+        self.router.clone()
+    }
+
+    /// Move `range` of the current map to shard `target`, online, while
+    /// the server keeps serving. Test and operator hook; the background
+    /// rebalancer calls the same engine.
+    pub fn migrate_range(&self, range: usize, target: usize) -> Result<MigrationStats, String> {
+        crate::rebalance::migrate_range(&self.router, &self.shards, range, target)
     }
 
     /// The live shards (metrics access while serving).
@@ -318,6 +361,11 @@ impl Server {
     /// Graceful drain: every accepted request is answered, every
     /// acknowledged write durable, before this returns.
     pub fn shutdown(mut self) -> ServerReport {
+        // Stop the rebalancer first: no new migrations may start while
+        // the shard workers drain toward their final WAL barrier.
+        if let Some(mut r) = self.rebalancer.take() {
+            r.stop();
+        }
         self.stop_accepting();
         // Half-close read sides: readers see EOF, no new requests arrive,
         // but in-flight responses still reach the client.
@@ -347,6 +395,9 @@ impl Server {
     /// requests are simply never answered. For testing client failure
     /// paths.
     pub fn abort(mut self) -> ServerReport {
+        if let Some(mut r) = self.rebalancer.take() {
+            r.stop();
+        }
         self.stop_accepting();
         for (stream, state) in self.conns.lock().unwrap().iter() {
             state.dead.store(true, Ordering::SeqCst);
@@ -373,7 +424,7 @@ fn read_loop(
     mut stream: TcpStream,
     state: &Arc<ConnState>,
     shards: &[Arc<Shard>],
-    partitioner: &Partitioner,
+    router: &Router,
 ) {
     let mut buf: Vec<u8> = Vec::with_capacity(64 * 1024);
     let mut tmp = [0u8; 64 * 1024];
@@ -394,11 +445,24 @@ fn read_loop(
                             // scrape must work even when every shard
                             // mailbox is refusing with BUSY.
                             if matches!(req, Request::Stats { .. }) {
-                                state.deliver(id, Response::Stats(stats_json(shards)));
+                                state.deliver(id, Response::Stats(stats_json(shards, router)));
                                 continue;
                             }
-                            let idx = partitioner.shard_of(req.routing_key());
-                            shards[idx].offer(Mail {
+                            // Route by the live map (not the static
+                            // partitioner) and feed the per-range heat
+                            // counters the rebalancer's policy reads.
+                            let map = router.map().load();
+                            let range = map.range_of(req.routing_key());
+                            router.heat().record(&map, range);
+                            let idx = map.owner_of_range(range).unwrap_or(0);
+                            let Some(shard) = shards.get(idx) else {
+                                state.deliver(
+                                    id,
+                                    Response::Err(format!("no shard {idx} for range {range}")),
+                                );
+                                continue;
+                            };
+                            shard.offer(Mail {
                                 id,
                                 req,
                                 reply: state.clone() as Arc<dyn ReplySink>,
@@ -433,13 +497,13 @@ fn read_loop(
 /// serving layer's own metrics, folded in under `server.*` names so one
 /// scrape shows the whole stack (storage counters arrive via the global
 /// registry's `cost.*` terms and crate counters).
-pub(crate) fn stats_json(shards: &[Arc<Shard>]) -> String {
+pub(crate) fn stats_json(shards: &[Arc<Shard>], router: &Router) -> String {
     let mut snap = dcs_telemetry::global().snapshot();
     let mut read = dcs_telemetry::HistogramSnapshot::default();
     let mut write = dcs_telemetry::HistogramSnapshot::default();
     let mut miss = dcs_telemetry::HistogramSnapshot::default();
     let mut depth = dcs_telemetry::HistogramSnapshot::default();
-    let (mut gets, mut puts, mut misses, mut busy) = (0u64, 0u64, 0u64, 0u64);
+    let (mut gets, mut puts, mut misses, mut busy, mut moved) = (0u64, 0u64, 0u64, 0u64, 0u64);
     for s in shards {
         let m = s.metrics();
         read.merge(&m.read_latency.snapshot());
@@ -450,7 +514,16 @@ pub(crate) fn stats_json(shards: &[Arc<Shard>]) -> String {
         puts += m.puts.load(Ordering::Relaxed);
         misses += m.misses_submitted.load(Ordering::Relaxed);
         busy += m.busy_rejections.load(Ordering::Relaxed);
+        moved += m.moved_redirects.load(Ordering::Relaxed);
     }
+    // Placement visibility: map version + shape on every scrape. The
+    // per-range heat counters (`rebalance.range_heat.*`) arrive through
+    // the global registry snapshot above.
+    let map = router.map().load();
+    snap.counters.insert("server.map_epoch".into(), map.epoch());
+    snap.counters
+        .insert("server.map_ranges".into(), map.ranges() as u64);
+    snap.counters.insert("server.moved_redirects".into(), moved);
     snap.histograms
         .insert("server.read_latency_nanos".into(), read);
     snap.histograms

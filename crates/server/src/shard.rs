@@ -23,6 +23,7 @@ use crate::mailbox::{Mailbox, SendError};
 use crate::metrics::ShardMetrics;
 use crate::protocol::{Request, Response};
 use bytes::Bytes;
+use dcs_rebalance::{PartitionMap, Router, TailEntry, WriteAdmission};
 use dcs_tc::{LogRecord, RecoveryLog};
 use dcs_workload::{AsyncGet, AsyncKvStore, CompletedGet, KvStore};
 use std::collections::HashMap;
@@ -94,6 +95,11 @@ impl Partitioner {
         i.checked_sub(1)
             .and_then(|j| self.splits.get(j))
             .map_or(b"".as_slice(), |s| s.as_slice())
+    }
+
+    /// The split keys (the epoch-0 partition map is built from these).
+    pub fn splits(&self) -> &[Vec<u8>] {
+        &self.splits
     }
 }
 
@@ -168,7 +174,12 @@ pub struct Shard {
     miss_mode: MissMode,
     /// All shards' backends, for read-only scan continuation.
     all_backends: Arc<Vec<Arc<dyn KvStore + Send + Sync>>>,
-    partitioner: Arc<Partitioner>,
+    /// The shared placement surface: versioned map, per-shard write
+    /// gates, per-range heat. Every write admission and every read's
+    /// ownership check goes through it. Defaults to a private router
+    /// whose epoch-0 map mirrors the static [`Partitioner`]; the server
+    /// swaps in its shared one with [`Shard::with_router`].
+    router: Arc<Router>,
     wal: Arc<RecoveryLog>,
     /// Per-shard redo timestamp (monotone within the shard's WAL).
     wal_ts: AtomicU64,
@@ -184,6 +195,10 @@ impl Shard {
         partitioner: Arc<Partitioner>,
         wal: Arc<RecoveryLog>,
     ) -> Self {
+        let router = Arc::new(Router::new(
+            PartitionMap::contiguous(partitioner.splits().to_vec()),
+            backends.len(),
+        ));
         Shard {
             index,
             mailbox: Mailbox::new(config.mailbox_capacity),
@@ -194,11 +209,29 @@ impl Shard {
             async_backend: None,
             miss_mode: config.miss_mode,
             all_backends: backends,
-            partitioner,
+            router,
             wal,
             wal_ts: AtomicU64::new(1),
             batch_max: config.batch_max.max(1),
         }
+    }
+
+    /// Share the server-wide router (map + gates + heat) instead of the
+    /// private epoch-0 one built by [`Shard::new`]. All shards of one
+    /// server must share a single router for migration to be coherent.
+    pub fn with_router(mut self, router: Arc<Router>) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// The placement surface this shard consults.
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+
+    /// This shard's own backend store (migration copies ranges out of it).
+    pub fn kv_backend(&self) -> &Arc<dyn KvStore + Send + Sync> {
+        &self.backend
     }
 
     /// Attach the non-blocking handle over this shard's own store. With
@@ -359,6 +392,15 @@ impl Shard {
             match &mail.req {
                 Request::Get { key } => {
                     self.metrics.gets.fetch_add(1, Ordering::Relaxed);
+                    // Stale-routed under the current map: bounce before
+                    // touching the store. Reads never take the write gate
+                    // (see dcs-rebalance::migrate) — a frozen range's
+                    // source copy is immutable, so serving it stays
+                    // linearizable right up to the epoch install.
+                    if let Some((epoch, owner)) = self.router.read_misroute(self.index, key) {
+                        self.reply_redirect(mail, epoch, owner);
+                        continue;
+                    }
                     let Some(ab) = &self.async_backend else {
                         let resp = match self.backend.kv_get(key) {
                             Ok(v) => Response::Value(v),
@@ -400,25 +442,44 @@ impl Shard {
                 }
                 Request::Put { key, value } => {
                     self.metrics.puts.fetch_add(1, Ordering::Relaxed);
-                    let resp = match self.backend.kv_put(key.clone(), value.clone()) {
-                        Ok(()) => {
-                            wal_records.push(self.redo(key, Some(value)));
-                            Response::Ok
+                    match self.router.admit_write(self.index, key, Some(value)) {
+                        WriteAdmission::Moved { epoch, shard } => {
+                            self.reply_redirect(mail, epoch, shard);
                         }
-                        Err(e) => Response::Err(e.to_string()),
-                    };
-                    deferred.push((mail, resp));
+                        WriteAdmission::Clear(permit) => {
+                            let resp = match self.backend.kv_put(key.clone(), value.clone()) {
+                                Ok(()) => {
+                                    wal_records.push(self.redo(key, Some(value)));
+                                    Response::Ok
+                                }
+                                Err(e) => Response::Err(e.to_string()),
+                            };
+                            // The permit pins the migration phase across
+                            // the backend apply; release it before the
+                            // group-commit wait.
+                            drop(permit);
+                            deferred.push((mail, resp));
+                        }
+                    }
                 }
                 Request::Delete { key } => {
                     self.metrics.deletes.fetch_add(1, Ordering::Relaxed);
-                    let resp = match self.backend.kv_delete(key.clone()) {
-                        Ok(()) => {
-                            wal_records.push(self.redo(key, None));
-                            Response::Ok
+                    match self.router.admit_write(self.index, key, None) {
+                        WriteAdmission::Moved { epoch, shard } => {
+                            self.reply_redirect(mail, epoch, shard);
                         }
-                        Err(e) => Response::Err(e.to_string()),
-                    };
-                    deferred.push((mail, resp));
+                        WriteAdmission::Clear(permit) => {
+                            let resp = match self.backend.kv_delete(key.clone()) {
+                                Ok(()) => {
+                                    wal_records.push(self.redo(key, None));
+                                    Response::Ok
+                                }
+                                Err(e) => Response::Err(e.to_string()),
+                            };
+                            drop(permit);
+                            deferred.push((mail, resp));
+                        }
+                    }
                 }
                 // STATS never reaches a shard (the connection reader
                 // answers it); a stray one is harmless to refuse.
@@ -428,17 +489,30 @@ impl Shard {
                 Request::Rmw { key, value } => {
                     self.metrics.rmws.fetch_add(1, Ordering::Relaxed);
                     // Atomic at the shard: the worker is the only writer of
-                    // this key range, so read-append-write cannot race.
+                    // this key range, so read-append-write cannot race. The
+                    // merged post-image is computed before admission so a
+                    // copying migration mirrors the complete value into its
+                    // tail, not the delta.
                     let resp = match self.backend.kv_get(key) {
                         Ok(cur) => {
                             let mut new = cur.unwrap_or_default();
                             new.extend_from_slice(value);
-                            match self.backend.kv_put(key.clone(), new.clone()) {
-                                Ok(()) => {
-                                    wal_records.push(self.redo(key, Some(&new)));
-                                    Response::Ok
+                            match self.router.admit_write(self.index, key, Some(&new)) {
+                                WriteAdmission::Moved { epoch, shard } => {
+                                    self.reply_redirect(mail, epoch, shard);
+                                    continue;
                                 }
-                                Err(e) => Response::Err(e.to_string()),
+                                WriteAdmission::Clear(permit) => {
+                                    let resp = match self.backend.kv_put(key.clone(), new.clone()) {
+                                        Ok(()) => {
+                                            wal_records.push(self.redo(key, Some(&new)));
+                                            Response::Ok
+                                        }
+                                        Err(e) => Response::Err(e.to_string()),
+                                    };
+                                    drop(permit);
+                                    resp
+                                }
                             }
                         }
                         Err(e) => Response::Err(e.to_string()),
@@ -470,6 +544,20 @@ impl Shard {
             let _span = Self::request_span(&mail.req, dcs_telemetry::CostClass::Wal, waited);
             mail.reply.deliver(mail.id, resp);
         }
+    }
+
+    /// Answer a stale-routed request with `MOVED(epoch, shard)`: the
+    /// request was not executed; the client should refresh its map and
+    /// resubmit toward `shard`.
+    fn reply_redirect(&self, mail: Mail, epoch: u64, shard: usize) {
+        self.metrics.moved_redirects.fetch_add(1, Ordering::Relaxed);
+        mail.reply.deliver(
+            mail.id,
+            Response::Moved {
+                epoch,
+                shard: shard as u32,
+            },
+        );
     }
 
     fn reply_read(&self, mail: Mail, resp: Response) {
@@ -524,23 +612,58 @@ impl Shard {
         }
     }
 
-    /// Count up to `limit` records from `start`, continuing read-only into
-    /// higher shards when this shard's range runs out.
+    /// Apply migrated entries (`None` value = delete) to this shard's own
+    /// store and WAL under one group commit, returning how many were
+    /// applied. Called by the migrator from its own thread while this
+    /// shard's worker keeps running: safe because the entries' range is
+    /// not yet owned by this shard (the worker refuses writes in it with
+    /// `MOVED` until the new map lands), and both the backend store and
+    /// the WAL are thread-safe.
+    pub fn import(&self, entries: &[TailEntry]) -> Result<u64, String> {
+        let mut records: Vec<LogRecord> = Vec::with_capacity(entries.len());
+        for (key, value) in entries {
+            match value {
+                Some(v) => self
+                    .backend
+                    .kv_put(key.clone(), v.clone())
+                    .map_err(|e| e.to_string())?,
+                None => self
+                    .backend
+                    .kv_delete(key.clone())
+                    .map_err(|e| e.to_string())?,
+            }
+            records.push(self.redo(key, value.as_deref()));
+        }
+        if !records.is_empty() {
+            self.wal.commit_batch(&records).map_err(|e| e.to_string())?;
+        }
+        Ok(records.len() as u64)
+    }
+
+    /// Count up to `limit` records from `start`, walking the partition
+    /// map's ranges in key order and reading each from its owner's store.
+    /// Read-only and weakly consistent across range boundaries, exactly
+    /// like a scan racing concurrent writers on a single store. Bounded
+    /// per range by the map (not `kv_scan`'s open tail) so the stale
+    /// bytes a finished migration leaves at the source are never counted.
     fn scan_from(&self, start: &[u8], limit: usize) -> Result<usize, String> {
+        let map = self.router.map().load();
         let mut remaining = limit;
         let mut count = 0usize;
-        let first = self.partitioner.shard_of(start).max(self.index);
-        for (s, backend) in self.all_backends.iter().enumerate().skip(first) {
+        for r in map.range_of(start)..map.ranges() {
             if remaining == 0 {
                 break;
             }
-            let from: &[u8] = if s == first {
-                start
-            } else {
-                self.partitioner.lower_bound(s)
+            let Some((lo, hi)) = map.bounds(r) else { break };
+            let Some(owner) = map.owner_of_range(r) else {
+                break;
             };
+            let Some(backend) = self.all_backends.get(owner) else {
+                return Err(format!("range {r} owned by unknown shard {owner}"));
+            };
+            let from: &[u8] = if lo > start { lo } else { start };
             let n = backend
-                .kv_scan(from, remaining)
+                .kv_range(from, hi, remaining, &mut |_k, _v| {})
                 .map_err(|e| e.to_string())?;
             count += n;
             remaining = remaining.saturating_sub(n);
@@ -580,6 +703,24 @@ mod tests {
                 .range(start.to_vec()..)
                 .take(limit)
                 .count())
+        }
+        fn kv_range(
+            &self,
+            start: &[u8],
+            end: Option<&[u8]>,
+            limit: usize,
+            visit: &mut dyn FnMut(&[u8], &[u8]),
+        ) -> Result<usize, StoreFailure> {
+            let m = self.0.lock().unwrap();
+            let mut n = 0;
+            for (k, v) in m.range(start.to_vec()..) {
+                if n == limit || end.is_some_and(|e| k.as_slice() >= e) {
+                    break;
+                }
+                visit(k, v);
+                n += 1;
+            }
+            Ok(n)
         }
     }
 
@@ -786,6 +927,15 @@ mod tests {
         }
         fn kv_scan(&self, start: &[u8], limit: usize) -> Result<usize, StoreFailure> {
             self.inner.kv_scan(start, limit)
+        }
+        fn kv_range(
+            &self,
+            start: &[u8],
+            end: Option<&[u8]>,
+            limit: usize,
+            visit: &mut dyn FnMut(&[u8], &[u8]),
+        ) -> Result<usize, StoreFailure> {
+            self.inner.kv_range(start, end, limit, visit)
         }
     }
 

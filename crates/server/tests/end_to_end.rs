@@ -165,6 +165,7 @@ fn flood_gets_busy_not_hangs_and_accepted_ops_all_answered() {
                 ..ShardConfig::default()
             },
             durable_wal: false,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -314,6 +315,7 @@ fn start_cold_key_server(miss_mode: MissMode, delay: Duration) -> (Server, Arc<C
                 ..ShardConfig::default()
             },
             durable_wal: false,
+            ..ServerConfig::default()
         },
     )
     .unwrap();

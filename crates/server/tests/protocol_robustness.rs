@@ -60,6 +60,13 @@ fn sample_frames(rng: &mut SmallRng) -> Vec<Frame> {
             id: rng.gen(),
             resp: Response::Err("oh no".into()),
         },
+        Frame::Response {
+            id: rng.gen(),
+            resp: Response::Moved {
+                epoch: rng.gen(),
+                shard: rng.gen(),
+            },
+        },
         Frame::Request {
             id: rng.gen(),
             req: Request::Stats {
@@ -262,6 +269,66 @@ fn stats_scrape_round_trips_through_a_live_server() {
     }
     client.close();
     server.shutdown();
+}
+
+/// A hostile server that answers *every* request with `MOVED` at an
+/// absurd epoch: the client must chase the redirect a bounded number of
+/// times, record the highest epoch it was told about, and then surface a
+/// typed error — never spin forever or panic on an epoch from the
+/// future.
+#[test]
+fn endless_moved_redirects_error_out_bounded() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut buf = Vec::new();
+        let mut tmp = [0u8; 4096];
+        let mut consumed = 0usize;
+        loop {
+            let n = match stream.read(&mut tmp) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => n,
+            };
+            buf.extend_from_slice(&tmp[..n]);
+            while let Ok(Some((Frame::Request { id, .. }, used))) = decode_frame(&buf[consumed..]) {
+                consumed += used;
+                let reply = encode_to_vec(&Frame::Response {
+                    id,
+                    resp: Response::Moved {
+                        epoch: u64::MAX,
+                        shard: 9_999,
+                    },
+                });
+                if stream.write_all(&reply).is_err() {
+                    return;
+                }
+            }
+        }
+    });
+
+    let client = Client::connect(
+        addr,
+        ClientConfig {
+            connections: 1,
+            moved_retries: 4,
+            backoff_base_micros: 1,
+            backoff_cap_micros: 10,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    match client.put(b"k", b"v") {
+        Err(ClientError::Moved { epoch, shard }) => {
+            assert_eq!(epoch, u64::MAX);
+            assert_eq!(shard, 9_999);
+        }
+        other => panic!("expected a bounded MOVED failure, got {other:?}"),
+    }
+    // The client remembered the newest epoch it was redirected toward.
+    assert_eq!(client.known_map_epoch(), u64::MAX);
+    client.close();
+    drop(server);
 }
 
 /// A hand-rolled server that waits for the whole pipeline to arrive,

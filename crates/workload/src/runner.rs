@@ -36,6 +36,22 @@ pub trait KvStore {
     fn kv_blind_update(&self, key: Vec<u8>, value: Vec<u8>) -> Result<(), StoreFailure> {
         self.kv_put(key, value)
     }
+    /// Enumerate up to `limit` records of `[start, end)` in ascending key
+    /// order (`end = None` means unbounded), invoking `visit` per record
+    /// and returning how many were visited. Unlike [`KvStore::kv_scan`]
+    /// this hands back the data, which range migration needs to copy a
+    /// key range between shards. Stores that cannot enumerate (e.g. a
+    /// remote client) keep the default refusal.
+    fn kv_range(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+        visit: &mut dyn FnMut(&[u8], &[u8]),
+    ) -> Result<usize, StoreFailure> {
+        let _ = (start, end, limit, visit);
+        Err(StoreFailure("range enumeration not supported".to_string()))
+    }
 }
 
 /// Outcome of a non-blocking point read submitted to an [`AsyncKvStore`].
