@@ -128,6 +128,9 @@ pub struct BwTree {
     stats: StatsInner,
     /// Host-driven virtual time used to stamp page accesses.
     vtime: AtomicU64,
+    /// Miss-ratio-curve profiler over the leaf-page access stream
+    /// (entity = PID, sized at the configured leaf capacity).
+    mrc: Arc<dcs_telemetry::MrcProfiler>,
 }
 
 /// Result of searching one leaf chain.
@@ -181,6 +184,7 @@ impl BwTree {
             store,
             stats: StatsInner::default(),
             vtime: AtomicU64::new(0),
+            mrc: dcs_telemetry::mrc().profiler("mrc.page_cache"),
         }
     }
 
@@ -309,6 +313,7 @@ impl BwTree {
             store,
             stats: StatsInner::default(),
             vtime: AtomicU64::new(0),
+            mrc: dcs_telemetry::mrc().profiler("mrc.page_cache"),
         })
     }
 
@@ -498,6 +503,7 @@ impl BwTree {
         let vt = self.vtime();
         let mut fetched = false;
         let mut pid = self.find_leaf(key, &guard);
+        self.mrc.record(pid, self.config.max_leaf_bytes as u64);
         self.mapping.touch(pid, vt);
         loop {
             let head = self.mapping.load(pid);
@@ -575,6 +581,11 @@ impl BwTree {
         let guard = dcs_ebr::pin();
         let vt = self.vtime();
         let mut pid = self.find_leaf(key, &guard);
+        if count_hit {
+            // One logical get, one MRC access; the resume probe after an
+            // install must not count the page twice.
+            self.mrc.record(pid, self.config.max_leaf_bytes as u64);
+        }
         self.mapping.touch(pid, vt);
         loop {
             let head = self.mapping.load(pid);

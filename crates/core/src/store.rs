@@ -9,6 +9,7 @@ use dcs_llama::{
     LogStructuredStore, LssConfig, LssStats,
 };
 use dcs_tc::{TcConfig, TransactionalStore};
+use dcs_telemetry::MrcProfiler;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -151,6 +152,7 @@ impl StoreBuilder {
             misses: Mutex::new(MissTable::default()),
             reported_dram: AtomicU64::new(0),
             reported_flash: AtomicU64::new(0),
+            mrc: dcs_telemetry::mrc().profiler("mrc.record_cache"),
         }
     }
 }
@@ -231,6 +233,10 @@ pub struct CachingStore {
     /// Deltas are reported so several shard stores sum correctly.
     reported_dram: AtomicU64,
     reported_flash: AtomicU64,
+    /// Miss-ratio-curve profiler over the record-level access stream
+    /// (shared process-wide under `mrc.record_cache` so shard stores
+    /// profile one merged stream).
+    mrc: Arc<MrcProfiler>,
 }
 
 impl CachingStore {
@@ -242,8 +248,19 @@ impl CachingStore {
     /// Point lookup.
     pub fn try_get(&self, key: &[u8]) -> Result<Option<Bytes>, TreeError> {
         let r = self.tree.try_get(key);
+        if let Ok(found) = &r {
+            self.mrc_record(key, found.as_ref().map_or(0, |v| v.len()));
+        }
         self.tick();
         r
+    }
+
+    /// Feed one record access into the MRC profiler. `val_len` is 0 when
+    /// the record's value is not in hand (miss still in flight, absent
+    /// key), so the byte axis slightly understates record size in
+    /// proportion to the miss ratio — acceptable for a sampled estimate.
+    fn mrc_record(&self, key: &[u8], val_len: usize) {
+        self.mrc.record_key(key, (key.len() + val_len) as u64);
     }
 
     /// Begin a non-blocking point lookup. Cache hits (and misses resolved
@@ -254,6 +271,13 @@ impl CachingStore {
     /// [`CachingStore::poll_gets`].
     pub fn get_submit(&self, key: &[u8]) -> Result<SubmittedGet, TreeError> {
         let r = self.get_submit_inner(key);
+        if let Ok(submitted) = &r {
+            let val_len = match submitted {
+                SubmittedGet::Ready(Some(v)) => v.len(),
+                _ => 0,
+            };
+            self.mrc_record(key, val_len);
+        }
         self.tick();
         r
     }

@@ -42,6 +42,7 @@ pub mod curves;
 pub mod figures;
 pub mod miss_service;
 pub mod mixed;
+pub mod mrc_cost;
 pub mod mm_vs_caching;
 pub mod render;
 pub mod technology;

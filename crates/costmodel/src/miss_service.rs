@@ -152,7 +152,7 @@ pub fn parse_bench_server(json: &str) -> Option<MissServiceMeasurement> {
 }
 
 /// The text after `"key":`, trimmed, or `None` if the key is absent.
-fn after_key<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn after_key<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
     let needle = format!("\"{key}\"");
     let at = doc.find(&needle)?;
     let rest = doc[at + needle.len()..].trim_start();
@@ -161,7 +161,7 @@ fn after_key<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
 }
 
 /// First number after `"key":`.
-fn number_field(doc: &str, key: &str) -> Option<f64> {
+pub(crate) fn number_field(doc: &str, key: &str) -> Option<f64> {
     let rest = after_key(doc, key)?;
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || c == '-' || c == '+' || c == '.' || c == 'e'))
@@ -171,13 +171,13 @@ fn number_field(doc: &str, key: &str) -> Option<f64> {
 
 /// First quoted string after `"key":`. The emitter escapes quotes, so a
 /// bare `"` terminates the value.
-fn string_field(doc: &str, key: &str) -> Option<String> {
+pub(crate) fn string_field(doc: &str, key: &str) -> Option<String> {
     let rest = after_key(doc, key)?.strip_prefix('"')?;
     Some(rest[..rest.find('"')?].to_string())
 }
 
 /// The balanced `{...}` object after `"key":`.
-fn object_after<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn object_after<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
     let rest = after_key(doc, key)?;
     if !rest.starts_with('{') {
         return None;

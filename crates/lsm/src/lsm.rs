@@ -179,6 +179,10 @@ pub struct LsmTree {
     /// never reaps a point read's completion.
     compact_qp: IoQueuePair,
     async_gets: Mutex<AsyncGets>,
+    /// Miss-ratio-curve profiler over the record-level read stream
+    /// (memtable + block path together: what a bigger memory budget
+    /// would have absorbed).
+    mrc: Arc<dcs_telemetry::MrcProfiler>,
 }
 
 impl LsmTree {
@@ -198,6 +202,7 @@ impl LsmTree {
             next_table_id: AtomicU64::new(0),
             stats: StatsInner::default(),
             async_gets: Mutex::new(AsyncGets::default()),
+            mrc: dcs_telemetry::mrc().profiler("mrc.lsm"),
         }
     }
 
@@ -263,6 +268,7 @@ impl LsmTree {
         if let Some(answer) = state.memtable.get(key) {
             self.stats.memtable_hits.fetch_add(1, Ordering::Relaxed);
             self.stats.mm_op();
+            self.mrc_record(key, answer.as_ref().map_or(0, |v| v.len()));
             return Ok(answer);
         }
         let mut did_io = false;
@@ -299,10 +305,20 @@ impl LsmTree {
         } else {
             self.stats.mm_op();
         }
-        Ok(match result {
+        let found = match result {
             Some(TableValue::Put(v)) => Some(v),
             Some(TableValue::Tombstone) | None => None,
-        })
+        };
+        self.mrc_record(key, found.as_ref().map_or(0, |v| v.len()));
+        Ok(found)
+    }
+
+    /// Feed one record access into the MRC profiler: what the memtable +
+    /// block path together would absorb at a different memory budget.
+    /// `val_len` is 0 when the value is not in hand (absent key, read
+    /// still in flight).
+    fn mrc_record(&self, key: &[u8], val_len: usize) {
+        self.mrc.record_key(key, (key.len() + val_len) as u64);
     }
 
     /// Begin a non-blocking point lookup. Memtable hits and bloom-filtered
@@ -320,6 +336,7 @@ impl LsmTree {
         if let Some(answer) = state.memtable.get(key) {
             self.stats.memtable_hits.fetch_add(1, Ordering::Relaxed);
             self.stats.mm_op();
+            self.mrc_record(key, answer.as_ref().map_or(0, |v| v.len()));
             return Ok(LsmGet::Ready(answer));
         }
         // Candidate tables newest-first, with the block each would read.
@@ -341,6 +358,7 @@ impl LsmTree {
             }
         }
         drop(state);
+        self.mrc_record(key, 0);
         if cands.is_empty() {
             self.stats.mm_op();
             return Ok(LsmGet::Ready(None));

@@ -15,14 +15,15 @@
 
 use dcs_core::{BackendKind, BackendOpts};
 use dcs_costmodel::accounting::{price_run, RunProfile};
+use dcs_costmodel::mrc_cost::{marginal_at, recommended_bytes, MrcCurvePoint};
 use dcs_costmodel::HardwareCatalog;
 use dcs_rebalance::{PartitionMap, PolicyConfig};
 use dcs_server::mailbox::Mailbox;
 use dcs_server::metrics::LatencyHistogram;
 use dcs_server::protocol::{Request, Response};
 use dcs_server::report::{
-    BenchReport, CostTerms, IoDepthReport, MissServiceReport, OpReport, PlacementReport,
-    TelemetryReport,
+    BenchReport, CostTerms, IoDepthReport, MissServiceReport, MrcConsumerReport, MrcReport,
+    OpReport, PlacementReport, TelemetryReport,
 };
 use dcs_server::shard::{MissMode, Partitioner};
 use dcs_server::{
@@ -57,6 +58,8 @@ struct Args {
     memory_budget: Option<usize>,
     trace_out: Option<String>,
     trace_sample: u32,
+    mrc: bool,
+    flight_out: String,
 }
 
 impl Default for Args {
@@ -83,6 +86,8 @@ impl Default for Args {
             memory_budget: None,
             trace_out: None,
             trace_sample: 10,
+            mrc: false,
+            flight_out: "FLIGHT_server.json".into(),
         }
     }
 }
@@ -126,7 +131,12 @@ fn parse_args() -> Args {
                  --trace-out PATH                        (write a Chrome/Perfetto\n\
                     trace of the sampled spans after the run)\n\
                  --trace-sample PERMILLE                 (default 10; root-span\n\
-                    sampling rate, 0..=1000. 1000 traces every request)"
+                    sampling rate, 0..=1000. 1000 traces every request)\n\
+                 --mrc on|off                            (default off; report\n\
+                    per-consumer miss-ratio curves fused with the cost\n\
+                    catalog, and write a flight-recorder dump)\n\
+                 --flight-out PATH                       (default\n\
+                    FLIGHT_server.json; where --mrc writes the dump)"
             );
             std::process::exit(0);
         }
@@ -177,6 +187,17 @@ fn parse_args() -> Args {
             "--memory-budget" => args.memory_budget = Some(value.parse().expect("--memory-budget")),
             "--trace-out" => args.trace_out = Some(value.clone()),
             "--trace-sample" => args.trace_sample = value.parse().expect("--trace-sample"),
+            "--mrc" => {
+                args.mrc = match value.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        eprintln!("--mrc must be on or off, got '{other}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--flight-out" => args.flight_out = value.clone(),
             other => {
                 eprintln!("unknown flag '{other}' (try --help)");
                 std::process::exit(2);
@@ -497,6 +518,7 @@ fn run_inproc(
 
 fn main() {
     let args = parse_args();
+    let t_main = Instant::now();
     dcs_telemetry::set_sampling_permille(args.trace_sample);
     let spec = spec_for(&args);
     eprintln!(
@@ -524,6 +546,22 @@ fn main() {
         Partitioner::from_splits(keys::range_splits(args.records, args.shards))
     };
     let harness = Arc::new(Harness::new());
+
+    // Flight-recorder pacing: the recorder is passive, so a side thread
+    // ticks the global ring every 25ms while the run is in flight
+    // (every_n = 10 ⇒ a frame roughly every 250ms, ring bounded at 32).
+    // The serving path never touches it.
+    let flight_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flight_ticker = args.mrc.then(|| {
+        dcs_telemetry::flight().configure(dcs_telemetry::FlightConfig::default());
+        let stop = flight_stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                dcs_telemetry::flight().tick();
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        })
+    });
 
     let (issued, duration, shard_snapshots, cost_before, final_map) = if args.mode == "inproc" {
         // In-process baseline: same workload, no wire. Load directly.
@@ -605,6 +643,10 @@ fn main() {
             Some(final_map),
         )
     };
+    flight_stop.store(true, Ordering::Relaxed);
+    if let Some(h) = flight_ticker {
+        h.join().expect("flight ticker");
+    }
     // Ledger delta over the measured run (shutdown flush included: the
     // drain is work the run caused). Gauges are the post-run occupancy.
     let cost = dcs_telemetry::ledger().totals().delta(&cost_before);
@@ -698,6 +740,9 @@ fn main() {
         measured,
         modeled,
         reconciled: measured.reconciles_with(&modeled, 0.10),
+        trace_dropped_spans: dcs_telemetry::global()
+            .counter("trace.dropped_spans")
+            .value(),
     };
     let registry = dcs_telemetry::global();
     let shard_ops: Vec<u64> = shard_snapshots.iter().map(|s| s.total_ops()).collect();
@@ -712,6 +757,81 @@ fn main() {
         moved_redirects: shard_snapshots.iter().map(|s| s.moved_redirects).sum(),
         shard_op_spread: PlacementReport::spread_of(&shard_ops),
         shard_ops,
+    };
+    let mrc_report = if args.mrc {
+        // Post-run anomaly detection: fire the flight recorder so the
+        // dump's final frame lands at the moment of detection, then
+        // write the ring unconditionally (CI ships it as an artifact
+        // whether or not anything tripped).
+        let flight = dcs_telemetry::flight();
+        let total_busy: u64 = harness
+            .stats
+            .iter()
+            .map(|s| s.busy.load(Ordering::Relaxed))
+            .sum();
+        if total_busy.saturating_mul(100) > issued.max(1) {
+            flight.trigger("busy spike");
+        }
+        let get = harness.stats[K_GET].hist.summary();
+        if get.count > 0 && get.p95_nanos > 10.0 * get.p50_nanos.max(1.0) {
+            flight.trigger("p95 regression");
+        }
+        if !telemetry.reconciled {
+            flight.trigger("cost reconciliation failure");
+        }
+        std::fs::write(&args.flight_out, flight.dump_json()).expect("write flight dump");
+        eprintln!("loadgen: wrote flight-recorder dump -> {}", args.flight_out);
+
+        // Fuse each consumer's measured curve with the cost catalog.
+        // The access rate spans the whole process (load + run): the
+        // profilers count from process start, so dividing by the run
+        // window alone would overstate the rent the cache saves.
+        let elapsed = t_main.elapsed().as_secs_f64().max(1e-9);
+        let budget = args.memory_budget.map_or(0.0, |b| b as f64);
+        let consumers = dcs_telemetry::mrc()
+            .snapshots()
+            .iter()
+            .map(|s| {
+                let curve: Vec<MrcCurvePoint> = s
+                    .points
+                    .iter()
+                    .map(|p| MrcCurvePoint {
+                        bytes: p.bytes,
+                        miss_ratio: p.miss_ratio,
+                    })
+                    .collect();
+                let access_rate = s.accesses as f64 / elapsed;
+                // Price the marginal byte at the configured budget, or at
+                // the full measured working set when none was given.
+                let eval_budget = if budget > 0.0 {
+                    budget
+                } else {
+                    curve.last().map_or(0.0, |p| p.bytes)
+                };
+                let at = marginal_at(&hw, access_rate, &curve, eval_budget);
+                MrcConsumerReport {
+                    consumer: s.consumer.clone(),
+                    accesses: s.accesses,
+                    sampled: s.sampled,
+                    sample_rate: s.sample_rate,
+                    mean_entity_bytes: s.mean_entity_bytes,
+                    points: s.points.iter().map(|p| (p.bytes, p.miss_ratio)).collect(),
+                    marginal_value_per_byte: at.map_or(0.0, |p| p.marginal_value_per_byte),
+                    dram_price_per_byte: hw.dram_per_byte,
+                    net_per_byte: at.map_or(0.0, |p| p.net_per_byte()),
+                    recommended_bytes: recommended_bytes(&hw, access_rate, &curve),
+                }
+            })
+            .collect();
+        MrcReport {
+            enabled: true,
+            budget_bytes: budget,
+            flight_out: args.flight_out.clone(),
+            triggers: flight.triggers(),
+            consumers,
+        }
+    } else {
+        MrcReport::default()
     };
     let bench = BenchReport {
         backend: args.backend.name().into(),
@@ -743,6 +863,7 @@ fn main() {
         miss_service,
         placement,
         telemetry,
+        mrc: mrc_report,
         acked_writes: acked.len() as u64,
         verified_keys: acked.len() as u64 - missing,
         missing_keys: missing,

@@ -34,6 +34,7 @@ pub mod rebalance;
 pub mod report;
 pub mod server;
 pub mod shard;
+pub mod statsblock;
 mod sync;
 
 pub use client::{Client, ClientConfig, ClientError, Ticket};

@@ -25,6 +25,8 @@
 //! `Ok(None)` on a partial buffer and only consumes whole frames, so a TCP
 //! reader can append bytes and re-poll without framing state of its own.
 
+use crate::statsblock::StatsPayload;
+
 /// Frame magic: `b"DCS1"`.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"DCS1");
 
@@ -92,8 +94,10 @@ pub enum Request {
     },
 }
 
-/// The STATS snapshot-format version this build speaks.
-pub const STATS_VERSION: u8 = 1;
+/// The STATS snapshot-format version this build speaks. v2 framed the
+/// response as tagged, epoch-stamped sub-blocks (see
+/// [`crate::statsblock`]); v1's single opaque JSON string is gone.
+pub const STATS_VERSION: u8 = 2;
 
 impl Request {
     /// The key that routes this request to a shard.
@@ -146,9 +150,10 @@ pub enum Response {
     Busy,
     /// The server failed to execute the request.
     Err(String),
-    /// Telemetry registry snapshot, rendered as JSON (the
-    /// [`dcs_telemetry::RegistrySnapshot::to_json`] shape).
-    Stats(String),
+    /// Telemetry snapshot: tagged sub-blocks (registry, MRC, ...), each
+    /// stamped with the partition-map epoch it was captured under. See
+    /// [`crate::statsblock`].
+    Stats(StatsPayload),
     /// The key's range no longer lives on the shard this request reached
     /// — it moved under a newer partition-map epoch (or is mid-handoff).
     /// The request was **not** executed; resubmit it and the server will
@@ -248,17 +253,22 @@ fn put_key(out: &mut Vec<u8>, key: &[u8]) {
     out.extend_from_slice(key);
 }
 
-fn put_val(out: &mut Vec<u8>, val: &[u8]) {
+pub(crate) fn put_val(out: &mut Vec<u8>, val: &[u8]) {
     out.extend_from_slice(&(val.len() as u32).to_le_bytes());
     out.extend_from_slice(val);
 }
 
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
+    /// A cursor over a raw payload (sub-block codecs decode through the
+    /// same bounds-checked reader the frame decoder uses).
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
     fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
         let s = self
             .buf
@@ -267,7 +277,7 @@ impl<'a> Cursor<'a> {
         self.pos += n;
         Ok(s)
     }
-    fn u8(&mut self) -> Result<u8, ProtoError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, ProtoError> {
         match self.take(1)? {
             &[b] => Ok(b),
             _ => Err(ProtoError::Truncated),
@@ -285,7 +295,7 @@ impl<'a> Cursor<'a> {
             _ => Err(ProtoError::Truncated),
         }
     }
-    fn u64(&mut self) -> Result<u64, ProtoError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, ProtoError> {
         match self.take(8)? {
             &[a, b, c, d, e, f, g, h] => Ok(u64::from_le_bytes([a, b, c, d, e, f, g, h])),
             _ => Err(ProtoError::Truncated),
@@ -295,14 +305,14 @@ impl<'a> Cursor<'a> {
         let n = self.u16()? as usize;
         Ok(self.take(n)?.to_vec())
     }
-    fn val(&mut self) -> Result<Vec<u8>, ProtoError> {
+    pub(crate) fn val(&mut self) -> Result<Vec<u8>, ProtoError> {
         let n = self.u32()? as usize;
         if n > MAX_PAYLOAD {
             return Err(ProtoError::Oversized(n as u32));
         }
         Ok(self.take(n)?.to_vec())
     }
-    fn done(&self) -> Result<(), ProtoError> {
+    pub(crate) fn done(&self) -> Result<(), ProtoError> {
         // Trailing garbage means the peer and we disagree about the layout;
         // treat it like truncation (framing is unreliable either way).
         if self.pos == self.buf.len() {
@@ -365,7 +375,7 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
             Response::Ok | Response::Busy => {}
             Response::Count(n) => payload.extend_from_slice(&n.to_le_bytes()),
             Response::Err(msg) => put_val(&mut payload, msg.as_bytes()),
-            Response::Stats(json) => put_val(&mut payload, json.as_bytes()),
+            Response::Stats(blocks) => blocks.encode(&mut payload),
             Response::Moved { epoch, shard } => {
                 payload.extend_from_slice(&epoch.to_le_bytes());
                 payload.extend_from_slice(&shard.to_le_bytes());
@@ -437,10 +447,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtoError> {
     if actual != expected {
         return Err(ProtoError::BadChecksum { expected, actual });
     }
-    let mut c = Cursor {
-        buf: payload,
-        pos: 0,
-    };
+    let mut c = Cursor::new(payload);
     let frame = match kind {
         OP_GET => Frame::Request {
             id,
@@ -511,7 +518,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtoError> {
         },
         RE_STATS => Frame::Response {
             id,
-            resp: Response::Stats(String::from_utf8_lossy(&c.val()?).into_owned()),
+            resp: Response::Stats(StatsPayload::decode(&mut c)?),
         },
         RE_MOVED => Frame::Response {
             id,
@@ -529,6 +536,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtoError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::statsblock::{StatsBlock, BLOCK_VERSION, SB_MRC, SB_REGISTRY};
 
     fn all_frames() -> Vec<Frame> {
         vec![
@@ -593,7 +601,22 @@ mod tests {
             },
             Frame::Response {
                 id: 13,
-                resp: Response::Stats("{\"counters\":{}}".into()),
+                resp: Response::Stats(StatsPayload {
+                    blocks: vec![
+                        StatsBlock {
+                            tag: SB_REGISTRY,
+                            version: BLOCK_VERSION,
+                            epoch: 3,
+                            json: "{\"counters\":{}}".into(),
+                        },
+                        StatsBlock {
+                            tag: SB_MRC,
+                            version: BLOCK_VERSION,
+                            epoch: 3,
+                            json: "{\"consumers\":[]}".into(),
+                        },
+                    ],
+                }),
             },
             Frame::Response {
                 id: 14,

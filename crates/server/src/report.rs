@@ -171,6 +171,51 @@ pub struct TelemetryReport {
     pub modeled: CostTerms,
     /// Every term of `measured` within 10% of `modeled`.
     pub reconciled: bool,
+    /// `trace.dropped_spans` registry counter at the end of the run:
+    /// span events lost to per-thread ring bounds. CI asserts 0 for the
+    /// sampled telemetry run.
+    pub trace_dropped_spans: u64,
+}
+
+/// One consumer's measured miss-ratio curve and its marginal pricing.
+#[derive(Debug, Clone, Default)]
+pub struct MrcConsumerReport {
+    /// Profiler name (`mrc.record_cache`, `mrc.page_cache`, `mrc.lsm`).
+    pub consumer: String,
+    /// Accesses observed (before sampling).
+    pub accesses: u64,
+    /// Accesses past the SHARDS hash threshold.
+    pub sampled: u64,
+    /// Configured spatial sampling rate.
+    pub sample_rate: f64,
+    /// Mean entity size over the sampled accesses.
+    pub mean_entity_bytes: f64,
+    /// `(cache_bytes, miss_ratio)` points, bytes ascending.
+    pub points: Vec<(f64, f64)>,
+    /// Execution rent saved per extra byte at the current budget.
+    pub marginal_value_per_byte: f64,
+    /// DRAM price per byte from the catalog.
+    pub dram_price_per_byte: f64,
+    /// `marginal_value_per_byte - dram_price_per_byte`.
+    pub net_per_byte: f64,
+    /// Largest curve budget whose marginal byte still pays for itself.
+    pub recommended_bytes: f64,
+}
+
+/// The `mrc` report block: per-consumer miss-ratio curves fused with the
+/// cost catalog (`--mrc`).
+#[derive(Debug, Clone, Default)]
+pub struct MrcReport {
+    /// Whether `--mrc` was requested.
+    pub enabled: bool,
+    /// Memory budget the marginal pricing was evaluated at (bytes).
+    pub budget_bytes: f64,
+    /// Where the flight-recorder dump was written ("" = none).
+    pub flight_out: String,
+    /// Anomaly triggers the flight recorder fired during the run.
+    pub triggers: Vec<String>,
+    /// Per-consumer curves.
+    pub consumers: Vec<MrcConsumerReport>,
 }
 
 /// Per-operation-kind latency/throughput line.
@@ -229,6 +274,8 @@ pub struct BenchReport {
     /// Unified telemetry: span tracing stats plus measured-vs-modeled
     /// cost attribution in the paper's terms.
     pub telemetry: TelemetryReport,
+    /// Miss-ratio curves + marginal cost-per-byte per memory consumer.
+    pub mrc: MrcReport,
     /// Dynamic placement: final map shape, rebalancer actions, per-shard
     /// op spread.
     pub placement: PlacementReport,
@@ -269,6 +316,17 @@ fn num(v: f64) -> String {
 fn sci(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6e}")
+    } else {
+        "0.0".into()
+    }
+}
+
+/// Ratios (miss ratios, sampling rates) need more precision than `num`'s
+/// three decimals: adjacent MRC points can differ in the fourth decimal
+/// and the CI monotonicity gate compares them.
+fn format_ratio(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
     } else {
         "0.0".into()
     }
@@ -374,11 +432,12 @@ impl BenchReport {
         );
         let t = &self.telemetry;
         let telemetry = format!(
-            "{{\n    \"sampling_permille\": {},\n    \"spans\": {{\"roots_seen\": {}, \"roots_sampled\": {}, \"events_dropped\": {}}},\n    \"trace_out\": \"{}\",\n    \"cost_counts\": {{\"mm_ops\": {}, \"ss_reads\": {}, \"ss_writes\": {}, \"wal_barriers\": {}, \"maintenance_ops\": {}}},\n    \"avg_dram_bytes\": {},\n    \"avg_flash_bytes\": {},\n    \"cost_attribution\": {{\n      \"measured\": {},\n      \"modeled\": {},\n      \"reconciled_within_10pct\": {}\n    }}\n  }}",
+            "{{\n    \"sampling_permille\": {},\n    \"spans\": {{\"roots_seen\": {}, \"roots_sampled\": {}, \"events_dropped\": {}}},\n    \"trace_dropped_spans\": {},\n    \"trace_out\": \"{}\",\n    \"cost_counts\": {{\"mm_ops\": {}, \"ss_reads\": {}, \"ss_writes\": {}, \"wal_barriers\": {}, \"maintenance_ops\": {}}},\n    \"avg_dram_bytes\": {},\n    \"avg_flash_bytes\": {},\n    \"cost_attribution\": {{\n      \"measured\": {},\n      \"modeled\": {},\n      \"reconciled_within_10pct\": {}\n    }}\n  }}",
             t.sampling_permille,
             t.roots_seen,
             t.roots_sampled,
             t.events_dropped,
+            t.trace_dropped_spans,
             esc(&t.trace_out),
             t.mm_ops,
             t.ss_reads,
@@ -391,8 +450,52 @@ impl BenchReport {
             cost_terms_json(&t.modeled),
             t.reconciled,
         );
+        let mrc_consumers: Vec<String> = self
+            .mrc
+            .consumers
+            .iter()
+            .map(|c| {
+                let points: Vec<String> = c
+                    .points
+                    .iter()
+                    .map(|(b, m)| format!("[{}, {}]", num(*b), format_ratio(*m)))
+                    .collect();
+                format!(
+                    "      {{\"consumer\": \"{}\", \"accesses\": {}, \"sampled\": {}, \"sample_rate\": {}, \"mean_entity_bytes\": {}, \"points\": [{}], \"marginal\": {{\"value_per_byte\": {}, \"dram_price_per_byte\": {}, \"net_per_byte\": {}}}, \"recommended_bytes\": {}}}",
+                    esc(&c.consumer),
+                    c.accesses,
+                    c.sampled,
+                    format_ratio(c.sample_rate),
+                    num(c.mean_entity_bytes),
+                    points.join(", "),
+                    sci(c.marginal_value_per_byte),
+                    sci(c.dram_price_per_byte),
+                    sci(c.net_per_byte),
+                    num(c.recommended_bytes),
+                )
+            })
+            .collect();
+        let triggers: Vec<String> = self
+            .mrc
+            .triggers
+            .iter()
+            .map(|t| format!("\"{}\"", esc(t)))
+            .collect();
+        let consumers_block = if mrc_consumers.is_empty() {
+            "[]".to_string()
+        } else {
+            format!("[\n{}\n    ]", mrc_consumers.join(",\n"))
+        };
+        let mrc = format!(
+            "{{\n    \"enabled\": {},\n    \"budget_bytes\": {},\n    \"flight_out\": \"{}\",\n    \"triggers\": [{}],\n    \"consumers\": {}\n  }}",
+            self.mrc.enabled,
+            num(self.mrc.budget_bytes),
+            esc(&self.mrc.flight_out),
+            triggers.join(", "),
+            consumers_block,
+        );
         format!(
-            "{{\n  \"bench\": \"server\",\n  \"backend\": \"{}\",\n  \"mode\": \"{}\",\n  \"miss_mode\": \"{}\",\n  \"device_latency_nanos\": {},\n  \"shards\": {},\n  \"connections\": {},\n  \"records\": {},\n  \"value_len\": {},\n  \"target_rate\": {},\n  \"ops_issued\": {},\n  \"ops_completed\": {},\n  \"duration_secs\": {},\n  \"throughput_ops_per_sec\": {},\n  \"io_depth\": {},\n  \"miss_service\": {},\n  \"placement\": {},\n  \"telemetry\": {},\n  \"ops\": [\n{}\n  ],\n  \"shards_detail\": [\n{}\n  ],\n  \"verification\": {{\"acked_writes\": {}, \"verified_keys\": {}, \"missing_keys\": {}}}\n}}\n",
+            "{{\n  \"bench\": \"server\",\n  \"backend\": \"{}\",\n  \"mode\": \"{}\",\n  \"miss_mode\": \"{}\",\n  \"device_latency_nanos\": {},\n  \"shards\": {},\n  \"connections\": {},\n  \"records\": {},\n  \"value_len\": {},\n  \"target_rate\": {},\n  \"ops_issued\": {},\n  \"ops_completed\": {},\n  \"duration_secs\": {},\n  \"throughput_ops_per_sec\": {},\n  \"io_depth\": {},\n  \"miss_service\": {},\n  \"placement\": {},\n  \"telemetry\": {},\n  \"mrc\": {},\n  \"ops\": [\n{}\n  ],\n  \"shards_detail\": [\n{}\n  ],\n  \"verification\": {{\"acked_writes\": {}, \"verified_keys\": {}, \"missing_keys\": {}}}\n}}\n",
             esc(&self.backend),
             esc(&self.mode),
             esc(&self.miss_mode),
@@ -410,6 +513,7 @@ impl BenchReport {
             miss_service,
             placement,
             telemetry,
+            mrc,
             ops.join(",\n"),
             shards.join(",\n"),
             self.acked_writes,
@@ -484,6 +588,25 @@ mod tests {
                     ss_exec: 4.0e-7,
                 },
                 reconciled: true,
+                trace_dropped_spans: 0,
+            },
+            mrc: MrcReport {
+                enabled: true,
+                budget_bytes: 4.0e6,
+                flight_out: "flight.json".into(),
+                triggers: vec!["p95 regression".into()],
+                consumers: vec![MrcConsumerReport {
+                    consumer: "mrc.record_cache".into(),
+                    accesses: 10_000,
+                    sampled: 100,
+                    sample_rate: 0.01,
+                    mean_entity_bytes: 108.0,
+                    points: vec![(1.0e6, 0.42), (2.0e6, 0.1234)],
+                    marginal_value_per_byte: 2.0e-8,
+                    dram_price_per_byte: 5.0e-9,
+                    net_per_byte: 1.5e-8,
+                    recommended_bytes: 2.0e6,
+                }],
             },
             placement: PlacementReport {
                 rebalance_enabled: true,
@@ -523,6 +646,14 @@ mod tests {
         assert!(json.contains("\"placement\": {\"rebalance_enabled\": true, \"map_epoch\": 3"));
         assert!(json.contains("\"shard_ops\": [100, 80, 90, 95]"));
         assert!(json.contains("\"shard_op_spread\": 1.250"));
+        assert!(json.contains("\"trace_dropped_spans\": 0"));
+        assert!(json.contains("\"enabled\": true"));
+        assert!(json.contains("\"consumer\": \"mrc.record_cache\""));
+        assert!(json.contains("\"points\": [[1000000.000, 0.420000], [2000000.000, 0.123400]]"));
+        assert!(json.contains("\"net_per_byte\": 1.500000e-8"));
+        assert!(json.contains("\"triggers\": [\"p95 regression\"]"));
+        assert!(json.contains("\"flight_out\": \"flight.json\""));
+        assert!(json.contains("\"recommended_bytes\": 2000000.000"));
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::metrics::ShardSnapshot;
 use crate::protocol::{decode_frame, encode_to_vec, Frame, ProtoError, Request, Response};
 use crate::rebalance::{MigrationStats, RebalanceConfig, Rebalancer};
 use crate::shard::{Mail, Partitioner, ReplySink, Shard, ShardConfig};
+use crate::statsblock::{StatsBlock, StatsPayload, BLOCK_VERSION, SB_MRC, SB_REGISTRY};
 use dcs_rebalance::{PartitionMap, Router};
 use dcs_tc::RecoveryLog;
 use dcs_workload::{AsyncKvStore, KvStore};
@@ -445,7 +446,7 @@ fn read_loop(
                             // scrape must work even when every shard
                             // mailbox is refusing with BUSY.
                             if matches!(req, Request::Stats { .. }) {
-                                state.deliver(id, Response::Stats(stats_json(shards, router)));
+                                state.deliver(id, Response::Stats(stats_payload(shards, router)));
                                 continue;
                             }
                             // Route by the live map (not the static
@@ -493,10 +494,38 @@ fn read_loop(
     state.reader_done();
 }
 
-/// The STATS payload: the process-global telemetry registry plus the
-/// serving layer's own metrics, folded in under `server.*` names so one
-/// scrape shows the whole stack (storage counters arrive via the global
-/// registry's `cost.*` terms and crate counters).
+/// The STATS response: one sub-block per telemetry domain, each stamped
+/// with the partition-map epoch current when *that* block was captured.
+/// A rebalance committing between the two captures shows up as epoch
+/// skew in the payload — the client rescrapes — instead of a silently
+/// inconsistent merge.
+pub(crate) fn stats_payload(shards: &[Arc<Shard>], router: &Router) -> StatsPayload {
+    let registry_epoch = router.map().load().epoch();
+    let registry_json = stats_json(shards, router);
+    let mrc_epoch = router.map().load().epoch();
+    let mrc_json = dcs_telemetry::mrc().to_json();
+    StatsPayload {
+        blocks: vec![
+            StatsBlock {
+                tag: SB_REGISTRY,
+                version: BLOCK_VERSION,
+                epoch: registry_epoch,
+                json: registry_json,
+            },
+            StatsBlock {
+                tag: SB_MRC,
+                version: BLOCK_VERSION,
+                epoch: mrc_epoch,
+                json: mrc_json,
+            },
+        ],
+    }
+}
+
+/// The registry block body: the process-global telemetry registry plus
+/// the serving layer's own metrics, folded in under `server.*` names so
+/// one scrape shows the whole stack (storage counters arrive via the
+/// global registry's `cost.*` terms and crate counters).
 pub(crate) fn stats_json(shards: &[Arc<Shard>], router: &Router) -> String {
     let mut snap = dcs_telemetry::global().snapshot();
     let mut read = dcs_telemetry::HistogramSnapshot::default();

@@ -9,6 +9,7 @@ use dcs_server::protocol::{
     decode_frame, encode_to_vec, Frame, ProtoError, Request, Response, HEADER_LEN, MAX_PAYLOAD,
     STATS_VERSION,
 };
+use dcs_server::statsblock::{StatsBlock, StatsPayload, BLOCK_VERSION, SB_MRC, SB_REGISTRY};
 use dcs_server::{Client, ClientConfig, ClientError};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -75,14 +76,19 @@ fn sample_frames(rng: &mut SmallRng) -> Vec<Frame> {
         },
         Frame::Response {
             id: rng.gen(),
-            resp: Response::Stats(
-                // A registry snapshot is arbitrary UTF-8 to the wire layer;
-                // include escapes and length variety.
-                format!(
-                    "{{\"counters\":{{\"cost.mm_ops\": {}}},\"gauges\":{{}},\"x\":\"\\\"\\n\"}}",
-                    rng.gen::<u64>()
-                ),
-            ),
+            resp: Response::Stats(StatsPayload {
+                blocks: vec![StatsBlock {
+                    tag: SB_REGISTRY,
+                    version: BLOCK_VERSION,
+                    epoch: rng.gen(),
+                    // A block body is arbitrary UTF-8 to the wire layer;
+                    // include escapes and length variety.
+                    json: format!(
+                        "{{\"counters\":{{\"cost.mm_ops\": {}}},\"gauges\":{{}},\"x\":\"\\\"\\n\"}}",
+                        rng.gen::<u64>()
+                    ),
+                }],
+            }),
         },
     ]
 }
@@ -170,7 +176,7 @@ fn stats_unknown_version_rejected_not_panicked() {
     // The encoder happily writes any version; the decoder must refuse the
     // ones this build does not speak with a typed error, not a panic and
     // not a silently-wrong snapshot.
-    for v in [0u8, 2, 7, 255] {
+    for v in [0u8, 1, 7, 255] {
         let bytes = encode_to_vec(&Frame::Request {
             id: 42,
             req: Request::Stats { version: v },
@@ -207,7 +213,22 @@ fn stats_frames_survive_bit_flips_and_oversize() {
         },
         Frame::Response {
             id: 1,
-            resp: Response::Stats("{\"counters\":{\"cost.ss_reads\": 3}}".into()),
+            resp: Response::Stats(StatsPayload {
+                blocks: vec![
+                    StatsBlock {
+                        tag: SB_REGISTRY,
+                        version: BLOCK_VERSION,
+                        epoch: 5,
+                        json: "{\"counters\":{\"cost.ss_reads\": 3}}".into(),
+                    },
+                    StatsBlock {
+                        tag: SB_MRC,
+                        version: BLOCK_VERSION,
+                        epoch: 5,
+                        json: "{\"consumers\": []}".into(),
+                    },
+                ],
+            }),
         },
     ];
     for frame in &frames {
@@ -259,14 +280,23 @@ fn stats_scrape_round_trips_through_a_live_server() {
     assert_eq!(client.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
     let json = client.stats().unwrap();
     for needle in [
+        "\"stats_epoch\"",
+        "\"registry\"",
         "\"counters\"",
         "\"histograms\"",
         "server.read_latency_nanos",
         "server.mailbox_depth",
         "\"server.puts\":1",
+        "\"mrc\"",
+        "\"consumers\"",
     ] {
         assert!(json.contains(needle), "missing {needle} in {json}");
     }
+    // The raw payload exposes the per-block epoch framing.
+    let payload = client.stats_payload().unwrap();
+    assert!(payload.block(SB_REGISTRY).is_some());
+    assert!(payload.block(SB_MRC).is_some());
+    assert!(!payload.epoch_skew());
     client.close();
     server.shutdown();
 }

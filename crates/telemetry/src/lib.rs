@@ -28,6 +28,13 @@
 //!   sampled) [`CostLedger`] counts MM ops, SS I/Os, and occupancy so
 //!   `dcs_costmodel::accounting` can be fed *measured* rather than
 //!   modeled inputs.
+//! * [`mrc`] — online miss-ratio curves per memory consumer via
+//!   SHARDS-style spatially-hashed reuse-distance sampling (exact
+//!   ghost-cache mode for tests): the counterfactual the ledger cannot
+//!   see — what a bigger or smaller cache *would* do.
+//! * [`flight`] — a bounded ring of registry + MRC snapshots captured
+//!   on a tick cadence and dumped on anomaly (BUSY spike, p95
+//!   regression, reconciliation failure) for postmortems.
 //!
 //! The crate is a dependency leaf (std only) so every runtime crate —
 //! ebr, flashsim, llama, lsm, bwtree, tc, core, server — can record into
@@ -38,13 +45,17 @@
 
 pub mod clock;
 pub mod cost;
+pub mod flight;
 pub mod hist;
+pub mod mrc;
 pub mod registry;
 pub mod trace;
 
 pub use clock::{clear_time_source, now_nanos, set_time_source};
 pub use cost::{ledger, CostClass, CostLedger, CostTotals};
+pub use flight::{flight, FlightConfig, FlightFrame, FlightRecorder};
 pub use hist::{Histogram, HistogramSnapshot, HistogramSummary, HIST_BUCKETS};
+pub use mrc::{mrc, MrcConfig, MrcPoint, MrcProfiler, MrcRegistry, MrcSnapshot};
 pub use registry::{global, Counter, Gauge, Registry, RegistrySnapshot};
 pub use trace::{
     export_chrome_json, sampling_permille, set_sampling_permille, span, span_at, trace_stats, Span,

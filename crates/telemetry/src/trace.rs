@@ -86,6 +86,14 @@ thread_local! {
     static RING: RefCell<Option<Arc<ThreadBuf>>> = const { RefCell::new(None) };
 }
 
+/// The registry counter mirroring ring-bound drops, resolved once: the
+/// span-drop path must not pay the registry's name lookup per event.
+#[cfg(not(feature = "disabled"))]
+fn dropped_spans_counter() -> &'static crate::registry::Counter {
+    static COUNTER: OnceLock<Arc<crate::registry::Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| crate::registry::global().counter("trace.dropped_spans"))
+}
+
 #[cfg(not(feature = "disabled"))]
 fn my_ring() -> Arc<ThreadBuf> {
     RING.with(|r| {
@@ -211,6 +219,10 @@ impl Drop for Span {
                 if ring.events.len() >= RING_CAPACITY {
                     ring.events.pop_front();
                     ring.dropped += 1;
+                    // Silent overwrite made visible: scrapers (and the CI
+                    // telemetry job) watch `trace.dropped_spans` to know a
+                    // trace export is missing events.
+                    dropped_spans_counter().add(1);
                 }
                 ring.events.push_back(ev);
             }
